@@ -1,0 +1,100 @@
+//! State shared by the logging baselines: per-core log cursors and the
+//! commit persist barrier.
+
+use silo_core::{Record, ThreadLogArea, RECORD_BYTES};
+use silo_sim::{Machine, SimConfig};
+use silo_types::{CoreId, Cycles, PhysAddr, TxTag};
+
+/// Per-core bookkeeping common to Base / FWB / MorLog: the thread's log
+/// area cursor, the in-flight transaction, and the latest WPQ admission
+/// time the commit barrier must wait for.
+#[derive(Clone, Debug)]
+pub(crate) struct CoreCursor {
+    pub area: ThreadLogArea,
+    pub current_tag: Option<TxTag>,
+    /// Latest persist (WPQ admission) of this transaction's writes; the
+    /// ordering constraints of Fig 3 make commit wait for it.
+    pub persist_barrier: Cycles,
+}
+
+impl CoreCursor {
+    pub fn new(config: &SimConfig, core: usize) -> Self {
+        let tid = CoreId::new(core).thread();
+        CoreCursor {
+            area: ThreadLogArea::new(config.thread_log_base(tid), config.thread_log_end(tid)),
+            current_tag: None,
+            persist_barrier: Cycles::ZERO,
+        }
+    }
+
+    /// Raises the barrier to cover a new admission.
+    pub fn cover(&mut self, admitted: Cycles) {
+        self.persist_barrier = self.persist_barrier.max(admitted);
+    }
+
+    /// Commit wait: the later of `now` and the barrier.
+    pub fn barrier_wait(&self, now: Cycles) -> Cycles {
+        now.max(self.persist_barrier)
+    }
+}
+
+/// Writes `records` contiguously into the core's log area via the
+/// write-through path, raising the persist barrier. Returns the admission
+/// time.
+pub(crate) fn write_records(
+    m: &mut Machine,
+    cursor: &mut CoreCursor,
+    records: &[Record],
+    now: Cycles,
+) -> Cycles {
+    debug_assert!(!records.is_empty());
+    let addr = cursor.area.reserve(records.len());
+    let mut bytes = Vec::with_capacity(records.len() * RECORD_BYTES);
+    for r in records {
+        bytes.extend_from_slice(&r.encode());
+    }
+    let adm = m.pm_write_through(now, addr, &bytes);
+    cursor.cover(adm.admit);
+    adm.admit
+}
+
+/// Writes one group of records per hardware log-entry write: each group
+/// is a single contiguous PM write request (one media program), the
+/// convention of the per-entry logging paths. Returns the last admission.
+pub(crate) fn write_entry_records(
+    m: &mut Machine,
+    cursor: &mut CoreCursor,
+    groups: &[Vec<Record>],
+    now: Cycles,
+) -> Cycles {
+    let mut last = now;
+    for group in groups {
+        if group.is_empty() {
+            continue;
+        }
+        last = write_records(m, cursor, group, now);
+    }
+    last
+}
+
+/// Writes a full-cacheline architectural image via write-through and
+/// raises the barrier (the per-store data flush of Base, the sweeps of
+/// FWB, LAD's commit drain).
+pub(crate) fn write_line(
+    m: &mut Machine,
+    cursor: &mut CoreCursor,
+    line: silo_types::LineAddr,
+    now: Cycles,
+) -> Cycles {
+    let image = m.line_image(line);
+    let adm = m.pm_write_through(now, line.base(), &image);
+    cursor.cover(adm.admit);
+    adm.admit
+}
+
+/// All thread log-area bases for `config`.
+pub(crate) fn area_bases(config: &SimConfig) -> Vec<PhysAddr> {
+    (0..config.cores)
+        .map(|i| config.thread_log_base(CoreId::new(i).thread()))
+        .collect()
+}

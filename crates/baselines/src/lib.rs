@@ -1,0 +1,68 @@
+//! Baseline hardware logging schemes evaluated against Silo (paper §VI-A).
+//!
+//! Four designs, each implementing
+//! [`LoggingScheme`](silo_sim::LoggingScheme) over the same machine model
+//! Silo runs on, with their paper-documented ordering constraints
+//! (Fig 2, Fig 3):
+//!
+//! * [`BaseScheme`] — "flushes an undo+redo log entry and the
+//!   corresponding updated cacheline for each write"; commit waits for
+//!   every persist of the transaction.
+//! * [`FwbScheme`] — FWB \[38\]: per-store undo+redo logging, log forced
+//!   before data, with a periodic cache force-write-back sweep
+//!   (3 M cycles) that also truncates fully covered logs.
+//! * [`MorLogScheme`] — MorLog \[52\]: morphable logging. Entries merge in
+//!   an on-chip buffer (eliminating intermediate redo data); at commit the
+//!   survivors are written to the log region, choosing undo-only records
+//!   when the data line already reached PM and undo+redo otherwise; commit
+//!   waits for draining those log writes.
+//! * [`SwLogScheme`] — software WAL (Fig 1a): clwb + sfence per log on
+//!   the critical path; the §II-B motivation baseline.
+//! * [`EadrSwLogScheme`] — software WAL on an eADR platform: no fences,
+//!   but append-only log stores pollute the cache; the §II-C argument.
+//! * [`LadScheme`] — LAD \[18\]: logless atomic durability. Updated
+//!   cachelines are held in a persistent memory-controller buffer;
+//!   commit's Prepare phase drains the transaction's dirty L1 lines
+//!   through the hierarchy (stalling per line), and MC-buffer overflow
+//!   falls back to a slow mode that reads PM to build undo logs.
+//!
+//! None of them use Silo's on-PM write-coalescing path (§III-E frames it
+//! as part of the Silo design), so their PM writes program the media
+//! directly (modulo data-comparison-write).
+//!
+//! Recovery for the logging baselines reuses the log-region scan of
+//! `silo-core` — the record wire format is shared — with commit markers
+//! (ID tuples) written at commit time.
+//!
+//! # Examples
+//!
+//! ```
+//! use silo_baselines::BaseScheme;
+//! use silo_sim::{Engine, SimConfig, Transaction};
+//! use silo_types::{PhysAddr, Word};
+//!
+//! let config = SimConfig::table_ii(1);
+//! let mut base = BaseScheme::new(&config);
+//! let tx = Transaction::builder().write(PhysAddr::new(0), Word::new(1)).build();
+//! let out = Engine::new(&config, &mut base).run(vec![vec![tx]], None);
+//! assert_eq!(out.stats.txs_committed, 1);
+//! assert!(out.stats.pm.log_region_writes > 0); // logs written even crash-free
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod base;
+mod common;
+mod eadr;
+mod fwb;
+mod lad;
+mod morlog;
+mod swlog;
+
+pub use base::BaseScheme;
+pub use eadr::EadrSwLogScheme;
+pub use fwb::FwbScheme;
+pub use lad::LadScheme;
+pub use morlog::MorLogScheme;
+pub use swlog::SwLogScheme;

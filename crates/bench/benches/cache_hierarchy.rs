@@ -1,0 +1,47 @@
+//! Microbenchmarks of the cache hierarchy simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silo_cache::{CacheHierarchy, HierarchyConfig};
+use silo_types::{CoreId, LineAddr, PhysAddr, SplitMix64};
+
+fn bench_l1_hits(c: &mut Criterion) {
+    c.bench_function("cache/l1_hit_stream", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::table_ii(1));
+        let line = LineAddr::containing(PhysAddr::new(0));
+        h.access(CoreId::new(0), line, true);
+        b.iter(|| h.access(CoreId::new(0), line, true))
+    });
+}
+
+fn bench_random_stream(c: &mut Criterion) {
+    c.bench_function("cache/random_access_stream", |b| {
+        let mut h = CacheHierarchy::new(HierarchyConfig::table_ii(4));
+        let mut rng = SplitMix64::new(7);
+        b.iter(|| {
+            let line = LineAddr::containing(PhysAddr::new(rng.below(1 << 22) * 64));
+            let core = CoreId::new(rng.below(4) as usize);
+            h.access(core, line, rng.chance(1, 2))
+        })
+    });
+}
+
+fn bench_force_writeback(c: &mut Criterion) {
+    c.bench_function("cache/force_writeback_1k_dirty", |b| {
+        b.iter_with_setup(
+            || {
+                let mut h = CacheHierarchy::new(HierarchyConfig::table_ii(1));
+                for i in 0..1024u64 {
+                    h.access(CoreId::new(0), LineAddr::containing(PhysAddr::new(i * 64)), true);
+                }
+                h
+            },
+            |mut h| {
+                let swept = h.force_writeback_all();
+                (h, swept)
+            },
+        )
+    });
+}
+
+criterion_group!(benches, bench_l1_hits, bench_random_stream, bench_force_writeback);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end simulator throughput: full engine runs per scheme, measuring
+//! host-side simulation speed (simulated transactions per host second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silo_bench::{make_scheme, SCHEMES};
+use silo_sim::{Engine, SimConfig};
+use silo_workloads::{Workload, YcsbWorkload};
+
+fn bench_schemes_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end/ycsb_2core_100tx");
+    group.sample_size(20);
+    for scheme_name in SCHEMES {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme_name),
+            &scheme_name,
+            |b, &name| {
+                let config = SimConfig::table_ii(2);
+                let workload = YcsbWorkload::default();
+                b.iter(|| {
+                    let mut scheme = make_scheme(name, &config);
+                    let streams = workload.generate(2, 100, 42);
+                    Engine::new(&config, scheme.as_mut()).run(streams, None).stats
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crash_recovery(c: &mut Criterion) {
+    c.bench_function("end_to_end/silo_crash_recovery", |b| {
+        let config = SimConfig::table_ii(2);
+        let workload = YcsbWorkload::default();
+        b.iter(|| {
+            let mut scheme = make_scheme("Silo", &config);
+            let streams = workload.generate(2, 100, 42);
+            Engine::new(&config, scheme.as_mut())
+                .run(streams, Some(silo_types::Cycles::new(50_000)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_schemes_end_to_end, bench_crash_recovery);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Microbenchmarks of the Silo log buffer: the per-store insert/merge path
+//! and the flush-bit comparator match.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use silo_core::{LogBuffer, LogEntry};
+use silo_types::{LineAddr, PhysAddr, ThreadId, TxId, TxTag, Word};
+
+fn tag() -> TxTag {
+    TxTag::new(ThreadId::new(0), TxId::new(1))
+}
+
+fn bench_insert_distinct(c: &mut Criterion) {
+    c.bench_function("log_buffer/insert_20_distinct", |b| {
+        b.iter_batched(
+            || LogBuffer::new(20),
+            |mut buf| {
+                for i in 0..20u64 {
+                    buf.insert(LogEntry::new(
+                        tag(),
+                        PhysAddr::new(i * 8),
+                        Word::new(i),
+                        Word::new(i + 1),
+                    ));
+                }
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_insert_merging(c: &mut Criterion) {
+    c.bench_function("log_buffer/insert_100_same_word_merges", |b| {
+        b.iter_batched(
+            || LogBuffer::new(20),
+            |mut buf| {
+                for i in 0..100u64 {
+                    buf.insert(LogEntry::new(
+                        tag(),
+                        PhysAddr::new(0),
+                        Word::new(i),
+                        Word::new(i + 1),
+                    ));
+                }
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_flush_bit_match(c: &mut Criterion) {
+    c.bench_function("log_buffer/flush_bit_comparator_match", |b| {
+        b.iter_batched(
+            || {
+                let mut buf = LogBuffer::new(20);
+                for i in 0..20u64 {
+                    buf.insert(LogEntry::new(
+                        tag(),
+                        PhysAddr::new(i * 8),
+                        Word::ZERO,
+                        Word::new(1),
+                    ));
+                }
+                buf
+            },
+            |mut buf| {
+                buf.mark_line_evicted(LineAddr::containing(PhysAddr::new(64)));
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_overflow_batch(c: &mut Criterion) {
+    c.bench_function("log_buffer/take_overflow_batch_14", |b| {
+        b.iter_batched(
+            || {
+                let mut buf = LogBuffer::new(20);
+                for i in 0..20u64 {
+                    buf.insert(LogEntry::new(
+                        tag(),
+                        PhysAddr::new(i * 8),
+                        Word::ZERO,
+                        Word::new(1),
+                    ));
+                }
+                buf
+            },
+            |mut buf| {
+                let batch = buf.take_overflow_batch(14);
+                (buf, batch)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert_distinct,
+    bench_insert_merging,
+    bench_flush_bit_match,
+    bench_overflow_batch
+);
+criterion_main!(benches);

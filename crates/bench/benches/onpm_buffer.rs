@@ -1,0 +1,69 @@
+//! Microbenchmarks of the on-PM buffer coalescing path (§III-E).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use silo_pm::{Media, OnPmBuffer, PmDevice, PmDeviceConfig};
+use silo_types::PhysAddr;
+
+fn bench_word_coalescing(c: &mut Criterion) {
+    c.bench_function("onpm_buffer/64_words_same_line", |b| {
+        b.iter_batched(
+            || (Media::new(), OnPmBuffer::new(16)),
+            |(mut media, mut buf)| {
+                for i in 0..64u64 {
+                    buf.write(PhysAddr::new((i % 32) * 8), &[i as u8; 8], &mut media);
+                }
+                buf.flush_all(&mut media);
+                (media, buf)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mixed_words_and_lines(c: &mut Criterion) {
+    c.bench_function("onpm_buffer/fig9_mixed_traffic", |b| {
+        b.iter_batched(
+            || (Media::new(), OnPmBuffer::new(16)),
+            |(mut media, mut buf)| {
+                for i in 0..16u64 {
+                    buf.write(PhysAddr::new(i * 320), &[1u8; 8], &mut media);
+                    buf.write(PhysAddr::new(i * 320 + 64), &[2u8; 64], &mut media);
+                }
+                buf.flush_all(&mut media);
+                (media, buf)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_write_through(c: &mut Criterion) {
+    c.bench_function("pm_device/write_through_64B", |b| {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            pm.write_through(PhysAddr::new((i % 4096) * 64), &[i as u8; 64]);
+            i += 1;
+        })
+    });
+}
+
+fn bench_staged_write(c: &mut Criterion) {
+    c.bench_function("pm_device/staged_word_write", |b| {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            pm.write(PhysAddr::new((i % 4096) * 8), &[i as u8; 8]);
+            i += 1;
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_word_coalescing,
+    bench_mixed_words_and_lines,
+    bench_write_through,
+    bench_staged_write
+);
+criterion_main!(benches);

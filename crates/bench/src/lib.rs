@@ -1,0 +1,277 @@
+//! Shared harness for the figure/table generators and Criterion benches.
+//!
+//! Every evaluation binary in `src/bin/` builds on [`run_one`]: construct
+//! the Table II machine, instantiate a scheme by name, generate a
+//! workload's per-core transaction streams, run the engine, and return the
+//! statistics. Figures normalize exactly as the paper does (to `Base`, or
+//! to a reference configuration).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use silo_baselines::{BaseScheme, FwbScheme, LadScheme, MorLogScheme};
+use silo_core::{SiloOptions, SiloScheme};
+use silo_sim::{Engine, LoggingScheme, SimConfig, SimStats, Transaction};
+use silo_workloads::Workload;
+
+/// The evaluated designs, in the paper's legend order.
+pub const SCHEMES: [&str; 5] = ["Base", "FWB", "MorLog", "LAD", "Silo"];
+
+/// The figure benchmarks, in the paper's x-axis order.
+pub const FIG11_BENCHMARKS: [&str; 7] =
+    ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
+
+/// Instantiates a scheme by its legend name.
+///
+/// # Panics
+///
+/// Panics on an unknown name.
+pub fn make_scheme(name: &str, config: &SimConfig) -> Box<dyn LoggingScheme> {
+    match name {
+        "Base" => Box::new(BaseScheme::new(config)),
+        "FWB" => Box::new(FwbScheme::new(config)),
+        "MorLog" => Box::new(MorLogScheme::new(config)),
+        "LAD" => Box::new(LadScheme::new(config)),
+        "Silo" => Box::new(SiloScheme::new(config)),
+        other => panic!("unknown scheme {other}"),
+    }
+}
+
+/// Instantiates Silo with specific mechanisms toggled (ablation studies).
+pub fn make_silo_with(config: &SimConfig, options: SiloOptions) -> Box<dyn LoggingScheme> {
+    Box::new(SiloScheme::with_options(config, options))
+}
+
+/// Runs `workload` under `scheme_name` on the Table II machine.
+pub fn run_one(
+    scheme_name: &str,
+    workload: &dyn Workload,
+    cores: usize,
+    txs_per_core: usize,
+    seed: u64,
+) -> SimStats {
+    let config = SimConfig::table_ii(cores);
+    run_streams(
+        scheme_name,
+        &config,
+        workload.generate(cores, txs_per_core, seed),
+    )
+}
+
+/// Steady-state measurement of `workload` under `scheme_name`: runs the
+/// deterministic workload twice (N and 2N transactions per core) and
+/// returns the difference, which excludes the setup transaction and any
+/// cold-start effects. This is how every figure generator measures.
+pub fn run_one_delta(
+    scheme_name: &str,
+    workload: &dyn Workload,
+    cores: usize,
+    txs_per_core: usize,
+    seed: u64,
+) -> SimStats {
+    let config = SimConfig::table_ii(cores);
+    let short = run_streams(scheme_name, &config, workload.generate(cores, txs_per_core, seed));
+    let long = run_streams(
+        scheme_name,
+        &config,
+        workload.generate(cores, txs_per_core * 2, seed),
+    );
+    long.delta_from(&short)
+}
+
+/// Steady-state delta measurement with an explicit scheme factory (for
+/// ablations and parameter sweeps). The factory must produce equivalent
+/// fresh schemes for both runs.
+pub fn run_delta_with(
+    config: &SimConfig,
+    mut factory: impl FnMut() -> Box<dyn LoggingScheme>,
+    workload: &dyn Workload,
+    txs_per_core: usize,
+    seed: u64,
+) -> SimStats {
+    let mut s1 = factory();
+    let short = run_with_scheme(s1.as_mut(), config, workload.generate(config.cores, txs_per_core, seed));
+    let mut s2 = factory();
+    let long = run_with_scheme(
+        s2.as_mut(),
+        config,
+        workload.generate(config.cores, txs_per_core * 2, seed),
+    );
+    long.delta_from(&short)
+}
+
+/// Runs pre-generated streams under `scheme_name` and `config`.
+pub fn run_streams(
+    scheme_name: &str,
+    config: &SimConfig,
+    streams: Vec<Vec<Transaction>>,
+) -> SimStats {
+    let mut scheme = make_scheme(scheme_name, config);
+    Engine::new(config, scheme.as_mut()).run(streams, None).stats
+}
+
+/// Runs pre-generated streams under an explicit scheme instance.
+pub fn run_with_scheme(
+    scheme: &mut dyn LoggingScheme,
+    config: &SimConfig,
+    streams: Vec<Vec<Transaction>>,
+) -> SimStats {
+    Engine::new(config, scheme).run(streams, None).stats
+}
+
+/// Prints a normalized table: one row per benchmark, one column per
+/// scheme, each cell `value[bench][scheme] / value[bench][reference]`.
+pub fn print_normalized(
+    title: &str,
+    benches: &[String],
+    schemes: &[&str],
+    values: &[Vec<f64>],
+    reference: usize,
+) {
+    println!("\n{title}");
+    print!("{:<10}", "");
+    for s in schemes {
+        print!("{s:>9}");
+    }
+    println!();
+    let mut sums = vec![0.0; schemes.len()];
+    for (b, row) in benches.iter().zip(values) {
+        print!("{b:<10}");
+        let norm = row[reference];
+        for (i, v) in row.iter().enumerate() {
+            let x = if norm == 0.0 { 0.0 } else { v / norm };
+            sums[i] += x;
+            print!("{x:>9.3}");
+        }
+        println!();
+    }
+    print!("{:<10}", "Average");
+    for s in &sums {
+        print!("{:>9.3}", s / benches.len() as f64);
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_workloads::workload_by_name;
+
+    #[test]
+    fn all_schemes_instantiate() {
+        let cfg = SimConfig::table_ii(2);
+        for s in SCHEMES {
+            assert_eq!(make_scheme(s, &cfg).name(), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheme")]
+    fn unknown_scheme_panics() {
+        make_scheme("Nope", &SimConfig::table_ii(1));
+    }
+
+    #[test]
+    fn smoke_run_every_scheme_on_one_workload() {
+        let w = workload_by_name("Bank").expect("bank exists");
+        for s in SCHEMES {
+            let stats = run_one(s, w.as_ref(), 1, 20, 42);
+            assert_eq!(stats.txs_committed, 21, "{s}: setup + 20 txs");
+            assert!(stats.sim_cycles.as_u64() > 0);
+        }
+    }
+}
+
+/// Wraps a workload so that every `group` consecutive measured
+/// transactions execute as **one** transaction, multiplying the write set —
+/// the knob behind the paper's Fig 14 large-transaction study.
+pub struct Batched<W> {
+    inner: W,
+    group: usize,
+}
+
+impl<W: Workload> Batched<W> {
+    /// Groups `group` inner transactions per emitted transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is zero.
+    pub fn new(inner: W, group: usize) -> Self {
+        assert!(group > 0, "group must be positive");
+        Batched { inner, group }
+    }
+}
+
+impl<W: Workload> Workload for Batched<W> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn generate(
+        &self,
+        cores: usize,
+        txs_per_core: usize,
+        seed: u64,
+    ) -> Vec<Vec<Transaction>> {
+        let raw = self.inner.generate(cores, txs_per_core * self.group, seed);
+        raw.into_iter()
+            .map(|stream| {
+                let mut out = Vec::with_capacity(txs_per_core + 1);
+                let mut iter = stream.into_iter();
+                // The setup transaction stays as-is.
+                if let Some(setup) = iter.next() {
+                    out.push(setup);
+                }
+                let mut ops = Vec::new();
+                let mut n = 0;
+                for tx in iter {
+                    ops.extend_from_slice(tx.ops());
+                    n += 1;
+                    if n == self.group {
+                        out.push(Transaction::new(std::mem::take(&mut ops)));
+                        n = 0;
+                    }
+                }
+                if !ops.is_empty() {
+                    out.push(Transaction::new(ops));
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+/// Parses `--txs N` style overrides from a binary's argument list; returns
+/// `default` when absent.
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod batched_tests {
+    use super::*;
+    use silo_workloads::BankWorkload;
+
+    #[test]
+    fn batching_multiplies_write_sets() {
+        let plain = BankWorkload::default().generate(1, 8, 1);
+        let batched = Batched::new(BankWorkload::default(), 4).generate(1, 2, 1);
+        // Same setup tx; 2 batched txs covering the same 8 inner txs.
+        assert_eq!(batched[0].len(), 3);
+        let plain_words: usize = plain[0][1..].iter().map(|t| t.store_count()).sum();
+        let batched_words: usize = batched[0][1..].iter().map(|t| t.store_count()).sum();
+        assert_eq!(plain_words, batched_words);
+        assert!(batched[0][1].store_count() >= 3 * plain[0][1].store_count());
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["bin", "--txs", "500"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_usize(&args, "--txs", 100), 500);
+        assert_eq!(arg_usize(&args, "--cores", 8), 8);
+    }
+}

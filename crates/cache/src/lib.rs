@@ -1,0 +1,46 @@
+//! Cache-hierarchy simulator for the Silo evaluation platform.
+//!
+//! Stand-in for the gem5 memory hierarchy of paper Table II: per-core
+//! private L1D (32 KB, 8-way, 4 cycles) and L2 (256 KB, 8-way, 12 cycles),
+//! and a shared L3 (8 MB, 16-way, 28 cycles), all with 64 B lines, LRU
+//! replacement, and write-back / write-allocate policy.
+//!
+//! The caches are **metadata-only**: they track tags and dirty bits and
+//! report latencies, fills and evictions; data values live in the
+//! simulator's architectural memory and in the PM device. This split is
+//! exactly what the crash model needs — cache contents are volatile and
+//! vanish at a power failure, while the PM device holds whatever was
+//! actually written back.
+//!
+//! Two behaviours matter to the logging schemes built on top:
+//!
+//! * **Natural evictions** ([`HierarchyAccess::pm_writebacks`]) — dirty
+//!   lines pushed out of L3 to the memory controller; these are the evicted
+//!   cachelines that set Silo's flush-bit (paper §III-D).
+//! * **Explicit flushes** ([`CacheHierarchy::flush_line`],
+//!   [`CacheHierarchy::core_l1_dirty`]) — the clwb-style line flush Base
+//!   and FWB issue per store, and the L1-drain LAD performs at Prepare.
+//!
+//! # Examples
+//!
+//! ```
+//! use silo_cache::{CacheHierarchy, HierarchyConfig};
+//! use silo_types::{CoreId, LineAddr, PhysAddr};
+//!
+//! let mut h = CacheHierarchy::new(HierarchyConfig::table_ii(1));
+//! let line = LineAddr::containing(PhysAddr::new(0x1000));
+//! let first = h.access(CoreId::new(0), line, true);
+//! assert!(first.filled_from_memory); // cold miss
+//! let second = h.access(CoreId::new(0), line, true);
+//! assert!(!second.filled_from_memory); // L1 hit
+//! assert!(second.latency < first.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod set_assoc;
+
+pub use hierarchy::{CacheHierarchy, HierarchyAccess, HierarchyConfig, HierarchyStats};
+pub use set_assoc::{AccessOutcome, CacheConfig, Evicted, SetAssocCache};

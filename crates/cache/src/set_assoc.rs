@@ -1,0 +1,474 @@
+//! A single set-associative, write-back cache level (metadata only).
+
+use silo_types::{LineAddr, LINE_BYTES};
+
+/// Geometry of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use silo_cache::CacheConfig;
+///
+/// let l1 = CacheConfig::new(32 * 1024, 8);
+/// assert_eq!(l1.sets(), 64); // 32 KB / (64 B * 8 ways)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a geometry; validates that it divides into whole sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not a positive multiple of
+    /// `ways * LINE_BYTES`.
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0, "cache needs at least one way");
+        assert!(
+            size_bytes > 0 && size_bytes.is_multiple_of(ways * LINE_BYTES),
+            "capacity {size_bytes} is not a multiple of ways*line ({ways}*{LINE_BYTES})"
+        );
+        CacheConfig { size_bytes, ways }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * LINE_BYTES)
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / LINE_BYTES
+    }
+}
+
+/// A line evicted to make room for a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The victim line's address.
+    pub line: LineAddr,
+    /// Whether the victim was dirty (needs writing back downstream).
+    pub dirty: bool,
+}
+
+/// The outcome of one access to a cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was already present.
+    pub hit: bool,
+    /// A victim displaced by the fill (misses only).
+    pub evicted: Option<Evicted>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64, // full line index; the set already encodes the low bits
+    dirty: bool,
+    lru: u64,
+}
+
+/// One set-associative, write-back, write-allocate cache level with true
+/// LRU replacement. Tracks tags and dirty bits only; data values live
+/// elsewhere (see the crate docs).
+///
+/// # Examples
+///
+/// ```
+/// use silo_cache::{CacheConfig, SetAssocCache};
+/// use silo_types::{LineAddr, PhysAddr};
+///
+/// let mut c = SetAssocCache::new(CacheConfig::new(4096, 4));
+/// let line = LineAddr::containing(PhysAddr::new(0));
+/// assert!(!c.access(line, true).hit);
+/// assert!(c.access(line, false).hit);
+/// assert!(c.is_dirty(line));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Option<Way>>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    dirty_evictions: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        SetAssocCache {
+            config,
+            sets: vec![vec![None; config.ways]; config.sets()],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            dirty_evictions: 0,
+        }
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.index() % self.config.sets() as u64) as usize
+    }
+
+    /// Accesses `line`, allocating on miss (write-allocate for both reads
+    /// and writes). `is_write` marks the line dirty. Returns the hit/miss
+    /// outcome and any displaced victim.
+    pub fn access(&mut self, line: LineAddr, is_write: bool) -> AccessOutcome {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(line);
+        let ways = &mut self.sets[set_idx];
+
+        if let Some(way) = ways
+            .iter_mut()
+            .flatten()
+            .find(|w| w.tag == line.index())
+        {
+            way.lru = tick;
+            way.dirty |= is_write;
+            self.hits += 1;
+            return AccessOutcome { hit: true, evicted: None };
+        }
+
+        self.misses += 1;
+        // Prefer an empty way; otherwise evict the least recently used.
+        let victim_idx = match ways.iter().position(|w| w.is_none()) {
+            Some(i) => i,
+            None => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.expect("no empty ways here").lru)
+                .map(|(i, _)| i)
+                .expect("ways is non-empty"),
+        };
+        let evicted = ways[victim_idx].map(|w| {
+            if w.dirty {
+                self.dirty_evictions += 1;
+            }
+            Evicted {
+                line: LineAddr::containing(silo_types::PhysAddr::new(
+                    w.tag * LINE_BYTES as u64,
+                )),
+                dirty: w.dirty,
+            }
+        });
+        ways[victim_idx] = Some(Way {
+            tag: line.index(),
+            dirty: is_write,
+            lru: tick,
+        });
+        AccessOutcome { hit: false, evicted }
+    }
+
+    /// Installs `line` without counting a demand hit or miss — the path a
+    /// writeback from an upper level takes (e.g. a dirty L1 victim landing
+    /// in L2). If the line is already present its dirty bit is OR-ed;
+    /// otherwise it is allocated, possibly displacing a victim.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_of(line);
+        let ways = &mut self.sets[set_idx];
+        if let Some(way) = ways.iter_mut().flatten().find(|w| w.tag == line.index()) {
+            way.lru = tick;
+            way.dirty |= dirty;
+            return None;
+        }
+        let victim_idx = match ways.iter().position(|w| w.is_none()) {
+            Some(i) => i,
+            None => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.expect("no empty ways here").lru)
+                .map(|(i, _)| i)
+                .expect("ways is non-empty"),
+        };
+        let evicted = ways[victim_idx].map(|w| {
+            if w.dirty {
+                self.dirty_evictions += 1;
+            }
+            Evicted {
+                line: LineAddr::containing(silo_types::PhysAddr::new(
+                    w.tag * LINE_BYTES as u64,
+                )),
+                dirty: w.dirty,
+            }
+        });
+        ways[victim_idx] = Some(Way {
+            tag: line.index(),
+            dirty,
+            lru: tick,
+        });
+        evicted
+    }
+
+    /// Whether the line is present (no LRU update, no allocation).
+    pub fn probe(&self, line: LineAddr) -> bool {
+        self.sets[self.set_of(line)]
+            .iter()
+            .flatten()
+            .any(|w| w.tag == line.index())
+    }
+
+    /// Whether the line is present and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        self.sets[self.set_of(line)]
+            .iter()
+            .flatten()
+            .any(|w| w.tag == line.index() && w.dirty)
+    }
+
+    /// Clears the dirty bit if the line is present (a clwb-style flush
+    /// writes the line back without invalidating it). Returns whether the
+    /// line was dirty.
+    pub fn clean(&mut self, line: LineAddr) -> bool {
+        let set_idx = self.set_of(line);
+        for way in self.sets[set_idx].iter_mut().flatten() {
+            if way.tag == line.index() {
+                let was = way.dirty;
+                way.dirty = false;
+                return was;
+            }
+        }
+        false
+    }
+
+    /// Removes the line if present; returns whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let set_idx = self.set_of(line);
+        for way in self.sets[set_idx].iter_mut() {
+            if let Some(w) = way {
+                if w.tag == line.index() {
+                    let dirty = w.dirty;
+                    *way = None;
+                    return dirty;
+                }
+            }
+        }
+        false
+    }
+
+    /// All currently dirty lines, in unspecified order.
+    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+        self.sets
+            .iter()
+            .flatten()
+            .flatten()
+            .filter(|w| w.dirty)
+            .map(|w| LineAddr::containing(silo_types::PhysAddr::new(w.tag * LINE_BYTES as u64)))
+            .collect()
+    }
+
+    /// Clears every dirty bit and returns the lines that were dirty (a
+    /// force-write-back sweep, as FWB performs periodically).
+    pub fn clean_all(&mut self) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for way in set.iter_mut().flatten() {
+                if way.dirty {
+                    way.dirty = false;
+                    out.push(LineAddr::containing(silo_types::PhysAddr::new(
+                        way.tag * LINE_BYTES as u64,
+                    )));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops every line (volatile cache contents at a power failure).
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            set.fill(None);
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().flatten().count()
+    }
+
+    /// (hits, misses, dirty evictions) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.dirty_evictions)
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_types::PhysAddr;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::containing(PhysAddr::new(n * LINE_BYTES as u64))
+    }
+
+    /// 2 sets × 2 ways, so lines with even index map to set 0.
+    fn tiny() -> SetAssocCache {
+        SetAssocCache::new(CacheConfig::new(4 * LINE_BYTES, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 8);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.lines(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn invalid_geometry_rejected() {
+        let _ = CacheConfig::new(100, 3);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(line(0), false).hit);
+        assert!(c.access(line(0), false).hit);
+        let (h, m, _) = c.counters();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn write_sets_dirty_and_read_does_not() {
+        let mut c = tiny();
+        c.access(line(0), false);
+        assert!(!c.is_dirty(line(0)));
+        c.access(line(0), true);
+        assert!(c.is_dirty(line(0)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds even line indices; fill both ways.
+        c.access(line(0), true);
+        c.access(line(2), false);
+        c.access(line(0), false); // touch 0, making 2 the LRU victim
+        let out = c.access(line(4), false);
+        assert!(!out.hit);
+        let ev = out.evicted.expect("set was full");
+        assert_eq!(ev.line, line(2));
+        assert!(!ev.dirty);
+        assert!(c.probe(line(0)));
+        assert!(!c.probe(line(2)));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        c.access(line(2), true);
+        let ev = c.access(line(4), false).evicted.expect("eviction");
+        assert!(ev.dirty);
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Odd line indices map to set 1 and never evict set 0 residents.
+        c.access(line(0), false);
+        c.access(line(1), false);
+        c.access(line(3), false);
+        c.access(line(5), false);
+        assert!(c.probe(line(0)));
+    }
+
+    #[test]
+    fn clean_clears_dirty_without_invalidating() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        assert!(c.clean(line(0)));
+        assert!(c.probe(line(0)));
+        assert!(!c.is_dirty(line(0)));
+        assert!(!c.clean(line(0))); // already clean
+        assert!(!c.clean(line(2))); // absent
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        assert!(c.invalidate(line(0)));
+        assert!(!c.probe(line(0)));
+        assert!(!c.invalidate(line(0)));
+    }
+
+    #[test]
+    fn dirty_lines_and_clean_all() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        c.access(line(1), true);
+        c.access(line(2), false);
+        let mut dirty = c.dirty_lines();
+        dirty.sort();
+        assert_eq!(dirty, vec![line(0), line(1)]);
+        let mut swept = c.clean_all();
+        swept.sort();
+        assert_eq!(swept, vec![line(0), line(1)]);
+        assert!(c.dirty_lines().is_empty());
+    }
+
+    #[test]
+    fn invalidate_all_empties() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        c.access(line(1), true);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn fill_does_not_count_demand_stats() {
+        let mut c = tiny();
+        c.fill(line(0), true);
+        let (h, m, _) = c.counters();
+        assert_eq!((h, m), (0, 0));
+        assert!(c.is_dirty(line(0)));
+    }
+
+    #[test]
+    fn fill_ors_dirty_into_existing_line() {
+        let mut c = tiny();
+        c.access(line(0), false);
+        assert!(!c.is_dirty(line(0)));
+        assert!(c.fill(line(0), true).is_none());
+        assert!(c.is_dirty(line(0)));
+        // Filling dirty=false must not clear an existing dirty bit.
+        c.fill(line(0), false);
+        assert!(c.is_dirty(line(0)));
+    }
+
+    #[test]
+    fn fill_evicts_when_set_full() {
+        let mut c = tiny();
+        c.access(line(0), true);
+        c.access(line(2), false);
+        let ev = c.fill(line(4), false).expect("eviction");
+        assert_eq!(ev.line, line(0));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let mut c = tiny();
+        c.access(line(0), false);
+        c.access(line(2), false);
+        c.probe(line(0)); // must NOT refresh line 0
+        // LRU is line 0 (probe didn't touch it): it is the victim.
+        let ev = c.access(line(4), false).evicted.expect("eviction");
+        assert_eq!(ev.line, line(0));
+    }
+}

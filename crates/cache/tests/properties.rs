@@ -1,0 +1,90 @@
+//! Property tests: cache structure invariants under random access
+//! streams.
+
+use proptest::prelude::*;
+use silo_cache::{CacheConfig, CacheHierarchy, HierarchyConfig, SetAssocCache};
+use silo_types::{CoreId, Cycles, LineAddr, PhysAddr};
+
+fn line(n: u64) -> LineAddr {
+    LineAddr::containing(PhysAddr::new(n * 64))
+}
+
+proptest! {
+    /// Occupancy never exceeds capacity, and an accessed line is resident
+    /// immediately afterwards.
+    #[test]
+    fn occupancy_bounded_and_access_allocates(
+        accesses in prop::collection::vec((0u64..256, any::<bool>()), 1..200),
+    ) {
+        let mut c = SetAssocCache::new(CacheConfig::new(16 * 64, 4));
+        for (n, w) in &accesses {
+            c.access(line(*n), *w);
+            prop_assert!(c.probe(line(*n)));
+            prop_assert!(c.occupancy() <= 16);
+        }
+        let (h, m, _) = c.counters();
+        prop_assert_eq!(h + m, accesses.len() as u64);
+    }
+
+    /// Dirty lines are exactly those written and not yet cleaned/evicted;
+    /// a full sweep leaves nothing dirty.
+    #[test]
+    fn dirty_tracking_is_sound(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..150),
+    ) {
+        let mut c = SetAssocCache::new(CacheConfig::new(32 * 64, 4));
+        let mut written = std::collections::HashSet::new();
+        for (n, w) in &accesses {
+            let out = c.access(line(*n), *w);
+            if let Some(ev) = out.evicted {
+                written.remove(&ev.line);
+            }
+            if *w {
+                written.insert(line(*n));
+            }
+        }
+        for l in c.dirty_lines() {
+            prop_assert!(written.contains(&l), "{l:?} dirty but never written");
+        }
+        c.clean_all();
+        prop_assert!(c.dirty_lines().is_empty());
+    }
+
+    /// Hierarchy: every dirty line lost at invalidate_all was previously
+    /// written; a force-writeback returns each dirty line exactly once.
+    #[test]
+    fn hierarchy_force_writeback_is_exact(
+        accesses in prop::collection::vec((0u64..128, any::<bool>(), 0usize..2), 1..200),
+    ) {
+        let mut h = CacheHierarchy::new(HierarchyConfig {
+            cores: 2,
+            l1: CacheConfig::new(4 * 64, 2),
+            l1_latency: Cycles::new(4),
+            l2: CacheConfig::new(8 * 64, 2),
+            l2_latency: Cycles::new(12),
+            l3: CacheConfig::new(16 * 64, 4),
+            l3_latency: Cycles::new(28),
+        });
+        let mut written = std::collections::HashSet::new();
+        let mut evicted_to_pm = Vec::new();
+        for (n, w, core) in &accesses {
+            let acc = h.access(CoreId::new(*core), line(*n), *w);
+            evicted_to_pm.extend(acc.pm_writebacks);
+            if *w {
+                written.insert(line(*n));
+            }
+        }
+        let mut swept = h.force_writeback_all();
+        swept.sort();
+        let mut unique = swept.clone();
+        unique.dedup();
+        prop_assert_eq!(&swept, &unique, "no line swept twice");
+        for l in &swept {
+            prop_assert!(written.contains(l));
+        }
+        for l in &evicted_to_pm {
+            prop_assert!(written.contains(l), "{l:?} evicted dirty but never written");
+        }
+        prop_assert!(h.all_dirty_lines().is_empty());
+    }
+}

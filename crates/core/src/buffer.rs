@@ -1,0 +1,298 @@
+//! The per-core battery-backed log buffer (paper §III-B, §III-C).
+
+use std::collections::VecDeque;
+
+use silo_types::{LineAddr, PhysAddr, TxTag};
+#[cfg(test)]
+use silo_types::Word;
+
+use crate::LogEntry;
+
+/// What [`LogBuffer::insert`] did with a new entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Appended as a fresh entry.
+    Appended,
+    /// Merged into an existing same-address entry (§III-C): the buffer did
+    /// not grow.
+    Merged,
+}
+
+/// The 20-entry FIFO log buffer attached to each core's memory-controller
+/// path, persistent via a small battery (Table I).
+///
+/// Every entry has an associated 64-bit hardware comparator; an incoming
+/// entry's address is compared against all resident entries **in parallel**
+/// (modelled as an associative scan), enabling:
+///
+/// * **log merging** — a same-word, same-transaction entry absorbs the new
+///   one, keeping the oldest `old` and newest `new` (§III-C);
+/// * **flush-bit matching** — an evicted cacheline address is compared at
+///   line granularity against all entries, setting their flush-bits
+///   (§III-D).
+///
+/// Overflow does not abort the transaction: the **oldest** entries are
+/// evicted as an undo batch (§III-F); [`LogBuffer::take_overflow_batch`]
+/// hands them to the log controller.
+///
+/// # Examples
+///
+/// ```
+/// use silo_core::{LogBuffer, LogEntry, InsertOutcome};
+/// use silo_types::{PhysAddr, ThreadId, TxId, TxTag, Word};
+///
+/// let tag = TxTag::new(ThreadId::new(0), TxId::new(1));
+/// let mut buf = LogBuffer::new(20);
+/// let e1 = LogEntry::new(tag, PhysAddr::new(0), Word::new(0), Word::new(1));
+/// let e2 = LogEntry::new(tag, PhysAddr::new(0), Word::new(1), Word::new(2));
+/// assert_eq!(buf.insert(e1), InsertOutcome::Appended);
+/// assert_eq!(buf.insert(e2), InsertOutcome::Merged);
+/// assert_eq!(buf.len(), 1);
+/// assert_eq!(buf.entries().next().unwrap().new_data(), Word::new(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LogBuffer {
+    capacity: usize,
+    entries: VecDeque<LogEntry>,
+}
+
+impl LogBuffer {
+    /// Creates an empty buffer with room for `capacity` entries (paper:
+    /// 20, from the §VI-D sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "log buffer needs at least one entry");
+        LogBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts an entry, merging into an existing same-address entry of the
+    /// same transaction if the comparators find one.
+    ///
+    /// The caller must make room first: inserting into a full buffer with
+    /// no merge candidate panics — the log controller always drains an
+    /// overflow batch before retrying (see
+    /// [`LogBuffer::needs_overflow_for`]).
+    pub fn insert(&mut self, entry: LogEntry) -> InsertOutcome {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.addr() == entry.addr() && e.tag() == entry.tag())
+        {
+            existing.merge(&entry);
+            return InsertOutcome::Merged;
+        }
+        assert!(
+            self.entries.len() < self.capacity,
+            "log buffer overflow not drained before insert"
+        );
+        self.entries.push_back(entry);
+        InsertOutcome::Appended
+    }
+
+    /// Appends without any merge search (the no-merging ablation): every
+    /// store consumes a slot, so same-address entries pile up in FIFO
+    /// order. Recovery and commit flushing stay correct because both apply
+    /// entries in order (last write wins) and undo in reverse order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full.
+    pub fn append(&mut self, entry: LogEntry) {
+        assert!(
+            self.entries.len() < self.capacity,
+            "log buffer overflow not drained before append"
+        );
+        self.entries.push_back(entry);
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Whether inserting `entry` would overflow (full and no merge
+    /// candidate).
+    pub fn needs_overflow_for(&self, entry: &LogEntry) -> bool {
+        self.entries.len() >= self.capacity
+            && !self
+                .entries
+                .iter()
+                .any(|e| e.addr() == entry.addr() && e.tag() == entry.tag())
+    }
+
+    /// Pops up to `n` oldest entries (FIFO) as an overflow batch (§III-F).
+    pub fn take_overflow_batch(&mut self, n: usize) -> Vec<LogEntry> {
+        let take = n.min(self.entries.len());
+        self.entries.drain(..take).collect()
+    }
+
+    /// Sets the flush-bit of every entry whose word lies in `line`
+    /// (parallel comparator match at line granularity, §III-D). Returns how
+    /// many newly flipped from 0 to 1.
+    pub fn mark_line_evicted(&mut self, line: LineAddr) -> usize {
+        let mut flipped = 0;
+        for e in self.entries.iter_mut() {
+            if e.in_line(line) && !e.flush_bit() {
+                e.set_flush_bit();
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// Drains all entries in FIFO order (commit: the log controller reads
+    /// the new data out and deallocates the buffer).
+    pub fn drain_all(&mut self) -> Vec<LogEntry> {
+        self.entries.drain(..).collect()
+    }
+
+    /// The resident entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Whether a word address currently has an entry for `tag`.
+    pub fn contains(&self, tag: TxTag, addr: PhysAddr) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.addr() == addr && e.tag() == tag)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_types::{ThreadId, TxId};
+
+    fn tag(txid: u16) -> TxTag {
+        TxTag::new(ThreadId::new(0), TxId::new(txid))
+    }
+
+    fn entry(txid: u16, addr: u64, old: u64, new: u64) -> LogEntry {
+        LogEntry::new(tag(txid), PhysAddr::new(addr), Word::new(old), Word::new(new))
+    }
+
+    #[test]
+    fn appends_until_capacity() {
+        let mut b = LogBuffer::new(3);
+        for i in 0..3 {
+            assert_eq!(b.insert(entry(1, i * 8, 0, i)), InsertOutcome::Appended);
+        }
+        assert_eq!(b.len(), 3);
+        assert!(b.needs_overflow_for(&entry(1, 100 * 8, 0, 1)));
+    }
+
+    #[test]
+    fn merging_does_not_grow_the_buffer() {
+        let mut b = LogBuffer::new(2);
+        b.insert(entry(1, 0, 0, 1));
+        b.insert(entry(1, 8, 0, 1));
+        // Full, but a same-address store still merges.
+        assert!(!b.needs_overflow_for(&entry(1, 0, 1, 2)));
+        assert_eq!(b.insert(entry(1, 0, 1, 2)), InsertOutcome::Merged);
+        assert_eq!(b.len(), 2);
+        let merged = b.entries().next().expect("entry present");
+        assert_eq!(merged.old(), Word::new(0), "oldest old preserved");
+        assert_eq!(merged.new_data(), Word::new(2), "newest new adopted");
+    }
+
+    #[test]
+    fn no_merging_across_transactions() {
+        // §III-C: "Silo merges logs without crossing threads or transactions."
+        let mut b = LogBuffer::new(4);
+        b.insert(entry(1, 0, 0, 1));
+        assert_eq!(b.insert(entry(2, 0, 1, 2)), InsertOutcome::Appended);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow not drained")]
+    fn inserting_into_full_buffer_panics() {
+        let mut b = LogBuffer::new(1);
+        b.insert(entry(1, 0, 0, 1));
+        b.insert(entry(1, 8, 0, 1));
+    }
+
+    #[test]
+    fn overflow_batch_is_fifo_oldest_first() {
+        let mut b = LogBuffer::new(5);
+        for i in 0..5 {
+            b.insert(entry(1, i * 8, i, i + 1));
+        }
+        let batch = b.take_overflow_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch[0].addr(), PhysAddr::new(0));
+        assert_eq!(batch[2].addr(), PhysAddr::new(16));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.entries().next().expect("entry").addr(), PhysAddr::new(24));
+    }
+
+    #[test]
+    fn overflow_batch_larger_than_contents_takes_all() {
+        let mut b = LogBuffer::new(4);
+        b.insert(entry(1, 0, 0, 1));
+        assert_eq!(b.take_overflow_batch(14).len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn flush_bit_matches_at_line_granularity() {
+        let mut b = LogBuffer::new(8);
+        b.insert(entry(1, 0, 0, 1)); // line 0
+        b.insert(entry(1, 56, 0, 1)); // line 0, last word
+        b.insert(entry(1, 64, 0, 1)); // line 1
+        let line0 = LineAddr::containing(PhysAddr::new(0));
+        assert_eq!(b.mark_line_evicted(line0), 2);
+        // Re-evicting flips nothing new.
+        assert_eq!(b.mark_line_evicted(line0), 0);
+        let flags: Vec<bool> = b.entries().map(|e| e.flush_bit()).collect();
+        assert_eq!(flags, vec![true, true, false]);
+    }
+
+    #[test]
+    fn drain_all_preserves_fifo_order_and_empties() {
+        let mut b = LogBuffer::new(4);
+        b.insert(entry(1, 8, 0, 1));
+        b.insert(entry(1, 0, 0, 2));
+        let drained = b.drain_all();
+        assert_eq!(drained[0].addr(), PhysAddr::new(8));
+        assert_eq!(drained[1].addr(), PhysAddr::new(0));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn contains_checks_tag_and_addr() {
+        let mut b = LogBuffer::new(4);
+        b.insert(entry(7, 0, 0, 1));
+        assert!(b.contains(tag(7), PhysAddr::new(0)));
+        assert!(!b.contains(tag(8), PhysAddr::new(0)));
+        assert!(!b.contains(tag(7), PhysAddr::new(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = LogBuffer::new(0);
+    }
+}

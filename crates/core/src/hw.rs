@@ -1,0 +1,132 @@
+//! The hardware-overhead model of paper Table I and the battery sizing of
+//! Table IV.
+
+/// Energy to move one byte from an on-chip buffer to PM, in nanojoules
+/// (paper §VI-E, from the model of \[5\], \[41\]).
+pub const FLUSH_ENERGY_NJ_PER_BYTE: f64 = 11.228;
+
+/// Energy density of supercapacitors, Wh / cm³ (paper §VI-E: 10⁻⁴).
+pub const CAP_ENERGY_DENSITY_WH_PER_CM3: f64 = 1e-4;
+
+/// Energy density of lithium thin-film batteries, Wh / cm³ (10⁻²).
+pub const LI_ENERGY_DENSITY_WH_PER_CM3: f64 = 1e-2;
+
+/// The per-core and per-system hardware cost of Silo (paper Table I).
+///
+/// # Examples
+///
+/// ```
+/// use silo_core::HwOverhead;
+///
+/// let hw = HwOverhead::paper(8);
+/// assert_eq!(hw.log_buffer_bytes_per_core, 680); // 20 × (26 + 8)
+/// assert_eq!(hw.comparators_per_core, 20);
+/// assert_eq!(hw.total_flush_bytes(), 5440);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HwOverhead {
+    /// Core count the totals are computed for.
+    pub cores: usize,
+    /// Log-buffer entries per core.
+    pub entries_per_core: usize,
+    /// SRAM bytes per core: entries × (26 B undo+redo payload + 8 B entry
+    /// physical address), §VI-D.
+    pub log_buffer_bytes_per_core: usize,
+    /// One 64-bit comparator per entry.
+    pub comparators_per_core: usize,
+    /// Head + tail registers (flip-flops) per core, in bytes.
+    pub head_tail_bytes_per_core: usize,
+}
+
+impl HwOverhead {
+    /// The paper's configuration: 20-entry buffers.
+    pub fn paper(cores: usize) -> Self {
+        HwOverhead::with_entries(cores, 20)
+    }
+
+    /// A configuration with `entries` log-buffer entries per core.
+    pub fn with_entries(cores: usize, entries: usize) -> Self {
+        HwOverhead {
+            cores,
+            entries_per_core: entries,
+            log_buffer_bytes_per_core: entries * (26 + 8),
+            comparators_per_core: entries,
+            head_tail_bytes_per_core: 16,
+        }
+    }
+
+    /// Bytes the crash battery must flush: all cores' log buffers
+    /// (§VI-E: 5,440 B for 8 cores).
+    pub fn total_flush_bytes(&self) -> usize {
+        self.cores * self.log_buffer_bytes_per_core
+    }
+
+    /// Battery energy for the crash flush, in microjoules.
+    pub fn flush_energy_uj(&self) -> f64 {
+        self.total_flush_bytes() as f64 * FLUSH_ENERGY_NJ_PER_BYTE / 1000.0
+    }
+
+    /// Required battery volume in mm³ for the given energy density in
+    /// Wh / cm³.
+    pub fn battery_volume_mm3(&self, density_wh_per_cm3: f64) -> f64 {
+        // energy (µJ) → Wh: 1 Wh = 3600 J = 3.6e9 µJ. Volume in cm³, then
+        // mm³ (× 1000).
+        let wh = self.flush_energy_uj() / 3.6e9;
+        wh / density_wh_per_cm3 * 1000.0
+    }
+
+    /// Battery footprint area in mm² assuming a cubic cell (the paper's
+    /// "mm² in cubic shapes").
+    pub fn battery_area_mm2(&self, density_wh_per_cm3: f64) -> f64 {
+        self.battery_volume_mm3(density_wh_per_cm3).powf(2.0 / 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_numbers() {
+        let hw = HwOverhead::paper(8);
+        assert_eq!(hw.log_buffer_bytes_per_core, 680);
+        assert_eq!(hw.comparators_per_core, 20);
+        assert_eq!(hw.head_tail_bytes_per_core, 16);
+        assert_eq!(hw.total_flush_bytes(), 5440);
+    }
+
+    #[test]
+    fn table_iv_flush_energy_matches_paper() {
+        // Paper: "we require 62 µJ to flush a 5,440B log buffer".
+        let hw = HwOverhead::paper(8);
+        let e = hw.flush_energy_uj();
+        assert!((e - 61.08).abs() < 1.0, "energy = {e} µJ");
+    }
+
+    #[test]
+    fn battery_volumes_are_in_paper_ballpark() {
+        // Paper Table IV: Cap 0.17 mm³ / Li 0.0017 mm³ for Silo.
+        let hw = HwOverhead::paper(8);
+        let cap = hw.battery_volume_mm3(CAP_ENERGY_DENSITY_WH_PER_CM3);
+        let li = hw.battery_volume_mm3(LI_ENERGY_DENSITY_WH_PER_CM3);
+        assert!((cap - 0.17).abs() < 0.03, "cap volume = {cap}");
+        assert!((li - 0.0017).abs() < 0.0003, "li volume = {li}");
+        assert!((cap / li - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn areas_scale_as_two_thirds_power() {
+        let hw = HwOverhead::paper(8);
+        let v = hw.battery_volume_mm3(CAP_ENERGY_DENSITY_WH_PER_CM3);
+        let a = hw.battery_area_mm2(CAP_ENERGY_DENSITY_WH_PER_CM3);
+        assert!((a - v.powf(2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_buffers_cost_less() {
+        let small = HwOverhead::with_entries(8, 10);
+        let big = HwOverhead::with_entries(8, 40);
+        assert!(small.total_flush_bytes() < big.total_flush_bytes());
+        assert!(small.flush_energy_uj() < big.flush_energy_uj());
+    }
+}

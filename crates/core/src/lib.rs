@@ -1,0 +1,61 @@
+//! Silo: speculative hardware logging for atomic durability in persistent
+//! memory (HPCA 2023).
+//!
+//! This crate implements the paper's primary contribution as a
+//! [`LoggingScheme`](silo_sim::LoggingScheme) plug-in for the `silo-sim`
+//! engine, plus the standalone hardware structures it is built from:
+//!
+//! * [`LogEntry`] — the undo+redo entry of Fig 6 (flush-bit, 8-bit tid,
+//!   16-bit txid, 48-bit address, old + new word) with the PM wire encoding
+//!   used by the log region (18 B undo/redo records, ID tuples).
+//! * [`LogBuffer`] — the 20-entry battery-backed per-core buffer with
+//!   parallel-comparator **merging** (§III-C), line-granular **flush-bit**
+//!   matching (§III-D), and FIFO **overflow** eviction (§III-F).
+//! * [`ThreadLogArea`] — a thread's private area in the distributed PM log
+//!   region, with the crash-time header that tells recovery how many bytes
+//!   are valid.
+//! * [`SiloScheme`] — the full design: log ignorance, merging, log-as-data
+//!   in-place updates after commit, batched undo overflow, selective crash
+//!   flushing, and recovery (§III-G, Fig 10).
+//! * [`HwOverhead`] — the Table I hardware cost model.
+//!
+//! The "common failure-free case" writes **zero** log bytes to PM: the only
+//! PM traffic is the new data itself, flushed at word granularity through
+//! the on-PM coalescing buffer. Logs reach the PM log region only on buffer
+//! overflow (undo batches) and on a power failure (selective flush).
+//!
+//! # Examples
+//!
+//! ```
+//! use silo_core::SiloScheme;
+//! use silo_sim::{Engine, SimConfig, Transaction};
+//! use silo_types::{PhysAddr, Word};
+//!
+//! let config = SimConfig::table_ii(1);
+//! let mut silo = SiloScheme::new(&config);
+//! let tx = Transaction::builder()
+//!     .write(PhysAddr::new(0), Word::new(1))
+//!     .write(PhysAddr::new(0), Word::new(2)) // merged on chip
+//!     .build();
+//! let out = Engine::new(&config, &mut silo).run(vec![vec![tx]], None);
+//! assert_eq!(out.stats.txs_committed, 1);
+//! assert_eq!(out.stats.scheme_stats.log_entries_merged, 1);
+//! assert_eq!(out.stats.pm.log_region_writes, 0); // log-as-data: no log writes
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod entry;
+mod hw;
+mod recovery;
+mod region;
+mod scheme;
+
+pub use buffer::{InsertOutcome, LogBuffer};
+pub use entry::{LogEntry, Record, RecordKind, RECORD_BYTES, UNDO_ENTRY_BYTES};
+pub use hw::{HwOverhead, CAP_ENERGY_DENSITY_WH_PER_CM3, FLUSH_ENERGY_NJ_PER_BYTE, LI_ENERGY_DENSITY_WH_PER_CM3};
+pub use recovery::recover as recover_log_region;
+pub use region::{AreaHeader, ThreadLogArea, AREA_HEADER_BYTES};
+pub use scheme::{SiloOptions, SiloScheme};

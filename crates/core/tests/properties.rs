@@ -1,0 +1,174 @@
+//! Property tests: log-buffer merge invariants, record codec, and
+//! recovery correctness on randomly generated log regions.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use silo_core::{
+    recover_log_region, InsertOutcome, LogBuffer, LogEntry, Record, RecordKind, ThreadLogArea,
+    RECORD_BYTES,
+};
+use silo_pm::{PmDevice, PmDeviceConfig};
+use silo_types::{PhysAddr, ThreadId, TxId, TxTag, Word};
+
+fn tag(tid: u8, txid: u16) -> TxTag {
+    TxTag::new(ThreadId::new(tid), TxId::new(txid))
+}
+
+proptest! {
+    /// After any insert sequence (within one transaction), the buffer
+    /// holds at most one entry per word address, with the FIRST old value
+    /// and the LAST new value of that word.
+    #[test]
+    fn merge_keeps_oldest_old_and_newest_new(
+        stores in prop::collection::vec((0u64..12, any::<u64>()), 1..20),
+    ) {
+        let t = tag(0, 1);
+        let mut buf = LogBuffer::new(32);
+        let mut first_old: HashMap<u64, Word> = HashMap::new();
+        let mut last_new: HashMap<u64, Word> = HashMap::new();
+        let mut current: HashMap<u64, Word> = HashMap::new();
+        for (slot, value) in &stores {
+            let addr = PhysAddr::new(slot * 8);
+            let old = current.get(slot).copied().unwrap_or(Word::ZERO);
+            let new = Word::new(*value);
+            buf.insert(LogEntry::new(t, addr, old, new));
+            first_old.entry(*slot).or_insert(old);
+            last_new.insert(*slot, new);
+            current.insert(*slot, new);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in buf.entries() {
+            let slot = e.addr().as_u64() / 8;
+            prop_assert!(seen.insert(slot), "duplicate entry for one word");
+            prop_assert_eq!(e.old(), first_old[&slot]);
+            prop_assert_eq!(e.new_data(), last_new[&slot]);
+        }
+        prop_assert_eq!(buf.len(), first_old.len());
+    }
+
+    /// Entries from different transactions never merge.
+    #[test]
+    fn no_cross_transaction_merging(
+        txids in prop::collection::vec(1u16..5, 2..16),
+    ) {
+        let mut buf = LogBuffer::new(64);
+        let mut appended = 0;
+        let mut seen = std::collections::HashSet::new();
+        for txid in &txids {
+            let outcome = buf.insert(LogEntry::new(
+                tag(0, *txid),
+                PhysAddr::new(0),
+                Word::ZERO,
+                Word::new(*txid as u64),
+            ));
+            if seen.insert(*txid) {
+                prop_assert_eq!(outcome, InsertOutcome::Appended);
+                appended += 1;
+            } else {
+                prop_assert_eq!(outcome, InsertOutcome::Merged);
+            }
+        }
+        prop_assert_eq!(buf.len(), appended);
+    }
+
+    /// The 18 B wire codec round-trips every representable record.
+    #[test]
+    fn record_codec_roundtrip(
+        kind in 1u8..4,
+        flush in any::<bool>(),
+        tid in any::<u8>(),
+        txid in any::<u16>(),
+        word_slot in 0u64..(1u64 << 45),
+        data in any::<u64>(),
+    ) {
+        let rec = Record {
+            kind: match kind {
+                1 => RecordKind::Undo,
+                2 => RecordKind::Redo,
+                _ => RecordKind::IdTuple,
+            },
+            flush_bit: flush,
+            tag: tag(tid, txid),
+            addr: PhysAddr::new(word_slot * 8),
+            data: Word::new(data),
+        };
+        prop_assert_eq!(Record::decode(&rec.encode()), Some(rec));
+    }
+
+    /// Recovery semantics on random log regions: committed transactions'
+    /// redo records replay in order (last write wins); uncommitted
+    /// transactions' undo records unwind in reverse (first old wins);
+    /// recovery is idempotent.
+    #[test]
+    fn recovery_replays_and_revokes_correctly(
+        committed in any::<bool>(),
+        entries in prop::collection::vec((0u64..6, any::<u64>(), any::<u64>()), 1..12),
+    ) {
+        const BASE: u64 = 0x10_000;
+        let t = tag(1, 7);
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        let mut area = ThreadLogArea::new(PhysAddr::new(BASE), PhysAddr::new(BASE + 0x10_000));
+
+        // Data region state "at the crash": the newest value of each word.
+        let mut first_old: HashMap<u64, u64> = HashMap::new();
+        let mut last_new: HashMap<u64, u64> = HashMap::new();
+        let mut records = Vec::new();
+        for (slot, old, new) in &entries {
+            first_old.entry(*slot).or_insert(*old);
+            last_new.insert(*slot, *new);
+            records.push(Record {
+                kind: if committed { RecordKind::Redo } else { RecordKind::Undo },
+                flush_bit: false,
+                tag: t,
+                addr: PhysAddr::new(slot * 8),
+                data: Word::new(if committed { *new } else { *old }),
+            });
+        }
+        if committed {
+            records.push(Record::id_tuple(t));
+        }
+        let addr = area.reserve(records.len());
+        let mut bytes = Vec::with_capacity(records.len() * RECORD_BYTES);
+        for r in &records {
+            bytes.extend_from_slice(&r.encode());
+        }
+        pm.write(addr, &bytes);
+        area.write_crash_header(&mut pm);
+
+        recover_log_region(&mut pm, &[PhysAddr::new(BASE)]);
+        for (slot, _, _) in &entries {
+            let expected = if committed { last_new[slot] } else { first_old[slot] };
+            prop_assert_eq!(
+                pm.peek_word(PhysAddr::new(slot * 8)).as_u64(),
+                expected,
+                "slot {}", slot
+            );
+        }
+        // Idempotence.
+        let again = recover_log_region(&mut pm, &[PhysAddr::new(BASE)]);
+        prop_assert_eq!(again.replayed_words + again.revoked_words, 0);
+    }
+
+    /// Flush-bit matching flips exactly the entries in the evicted line.
+    #[test]
+    fn flush_bit_matches_exactly_the_line(
+        slots in prop::collection::vec(0u64..32, 1..20),
+        evict_line in 0u64..4,
+    ) {
+        let t = tag(0, 1);
+        let mut buf = LogBuffer::new(32);
+        let mut expect = 0;
+        let mut distinct = std::collections::HashSet::new();
+        for slot in &slots {
+            let addr = PhysAddr::new(slot * 8); // 8 words per 64B line
+            if distinct.insert(*slot) && slot / 8 == evict_line {
+                expect += 1;
+            }
+            buf.insert(LogEntry::new(t, addr, Word::ZERO, Word::new(1)));
+        }
+        let line = silo_types::LineAddr::containing(PhysAddr::new(evict_line * 64));
+        prop_assert_eq!(buf.mark_line_evicted(line), expect);
+        prop_assert_eq!(buf.mark_line_evicted(line), 0, "second eviction flips nothing");
+    }
+}

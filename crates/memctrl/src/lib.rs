@@ -1,0 +1,45 @@
+//! Memory-controller model: the ADR persist domain and the PM bandwidth
+//! bottleneck.
+//!
+//! Paper Table II specifies an "FRFCFS, 64-entry queue in ADR domain"
+//! memory controller over phase-change memory with 50 / 150 ns read /
+//! write latency. Two properties of that controller shape every result in
+//! the paper:
+//!
+//! 1. **Persistence point.** With ADR, a write is durable as soon as it is
+//!    *admitted* to the write pending queue (WPQ) — the battery drains the
+//!    queue on a power failure. Schemes therefore stall not on the media
+//!    write latency but on WPQ admission, which is instant until the queue
+//!    fills ([`Admission::stall`] is the back-pressure).
+//! 2. **Bandwidth bottleneck.** The WPQ drains at the media's aggregate
+//!    program bandwidth. Write-heavy schemes (Base, FWB, MorLog) saturate
+//!    it as core count grows; this queueing delay is the mechanism behind
+//!    the paper's Fig 12 scaling gap.
+//!
+//! The service model is a single FIFO server at aggregate bandwidth: each
+//! accepted request costs a fixed command overhead, its payload's bus
+//! beats (8 B per cycle — the 64-bit processor-memory bus of §III-E, so
+//! Silo's word writes occupy one beat while a 64 B line takes eight), and
+//! one media line program (divided by the bank parallelism) *per new
+//! on-PM-buffer line it fills* — requests that coalesce into
+//! already-staged buffer lines are bus-only. Reads are prioritized
+//! (FR-FCFS) and modelled at constant device latency.
+//!
+//! # Examples
+//!
+//! ```
+//! use silo_memctrl::{MemCtrl, MemCtrlConfig};
+//! use silo_types::Cycles;
+//!
+//! let mut mc = MemCtrl::new(MemCtrlConfig::table_ii());
+//! let adm = mc.enqueue_write(Cycles::new(0), 64, 1);
+//! assert_eq!(adm.stall, Cycles::ZERO); // empty WPQ admits instantly
+//! assert!(adm.complete > adm.admit);   // ...but drains at media speed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+
+pub use controller::{Admission, MemCtrl, MemCtrlConfig, MemCtrlStats};

@@ -1,0 +1,58 @@
+//! Property tests: queueing-model invariants of the memory controller.
+
+use proptest::prelude::*;
+use silo_memctrl::{MemCtrl, MemCtrlConfig};
+use silo_types::Cycles;
+
+proptest! {
+    /// Admissions and completions are monotone in call order, stalls only
+    /// occur when the queue is full, and occupancy never exceeds the WPQ
+    /// capacity once the producer respects admissions.
+    #[test]
+    fn admission_is_monotone_and_bounded(
+        reqs in prop::collection::vec((0u64..256, 0u64..3, 0u64..50), 1..200),
+        wpq in 1usize..64,
+    ) {
+        let mut mc = MemCtrl::new(MemCtrlConfig {
+            wpq_entries: wpq,
+            ..MemCtrlConfig::table_ii()
+        });
+        let mut now = Cycles::ZERO;
+        let mut last_admit = Cycles::ZERO;
+        let mut last_complete = Cycles::ZERO;
+        for (bytes, lines, think) in reqs {
+            now += Cycles::new(think);
+            let adm = mc.enqueue_write(now, bytes, lines);
+            prop_assert!(adm.admit >= now, "admission not before issue");
+            prop_assert!(adm.admit >= last_admit, "admissions monotone");
+            prop_assert!(adm.complete > adm.admit - Cycles::ZERO.max(adm.admit), "completion after admission");
+            prop_assert!(adm.complete >= last_complete, "completions monotone (FIFO)");
+            prop_assert_eq!(adm.stall, adm.admit - now);
+            last_admit = adm.admit;
+            last_complete = adm.complete;
+            // A producer that waits for its admission keeps the queue at
+            // or below capacity.
+            now = adm.admit;
+            prop_assert!(mc.occupancy(now) <= wpq, "occupancy bounded");
+        }
+        prop_assert_eq!(mc.drained_at(), last_complete);
+    }
+
+    /// Service conservation: total busy cycles equal the sum of per-request
+    /// service costs, independent of arrival pattern.
+    #[test]
+    fn busy_cycles_are_conserved(
+        reqs in prop::collection::vec((1u64..128, 0u64..3, 0u64..40), 1..100),
+    ) {
+        let cfg = MemCtrlConfig::table_ii();
+        let mut mc = MemCtrl::new(cfg);
+        let mut now = Cycles::ZERO;
+        let mut expected = 0u64;
+        for (bytes, lines, think) in reqs {
+            now += Cycles::new(think);
+            mc.enqueue_write(now, bytes, lines);
+            expected += cfg.service_cycles(bytes, lines);
+        }
+        prop_assert_eq!(mc.stats().busy_cycles, expected);
+    }
+}

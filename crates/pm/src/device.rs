@@ -1,0 +1,352 @@
+//! The composed PM DIMM: on-PM buffer in front of the media.
+
+use silo_types::{PhysAddr, Word, WORD_BYTES};
+
+use crate::{Media, OnPmBuffer, PmStats, DEFAULT_BUFFER_LINES};
+
+/// Configuration of a [`PmDevice`].
+///
+/// # Examples
+///
+/// ```
+/// use silo_pm::PmDeviceConfig;
+///
+/// let cfg = PmDeviceConfig {
+///     buffer_lines: 16,
+///     ..PmDeviceConfig::default()
+/// };
+/// assert_eq!(cfg.buffer_lines, 16);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PmDeviceConfig {
+    /// Number of 256 B lines in the on-PM buffer.
+    pub buffer_lines: usize,
+    /// First address of the log region; writes at or above it are counted
+    /// as log-region traffic. `None` counts everything as data-region.
+    pub log_region_start: Option<u64>,
+}
+
+impl Default for PmDeviceConfig {
+    fn default() -> Self {
+        PmDeviceConfig {
+            buffer_lines: DEFAULT_BUFFER_LINES,
+            log_region_start: None,
+        }
+    }
+}
+
+/// The simulated PM DIMM: [`OnPmBuffer`] staging in front of [`Media`],
+/// with unified traffic accounting.
+///
+/// All writes — word-granular new data from Silo's log-update scheme,
+/// 64 B cacheline evictions, and batched undo-log flushes — enter through
+/// [`PmDevice::write`] and coalesce in the buffer (paper §III-E). Reads see
+/// buffered data (read-through). Because both the buffer (ADR) and the media
+/// are persistent across a crash, the device's logical contents — what
+/// [`PmDevice::read`] returns — are exactly the post-crash state; crash
+/// handling in the simulator just stops issuing writes.
+///
+/// # Examples
+///
+/// ```
+/// use silo_pm::{PmDevice, PmDeviceConfig};
+/// use silo_types::{PhysAddr, Word};
+///
+/// let mut pm = PmDevice::new(PmDeviceConfig::default());
+/// pm.write_word(PhysAddr::new(64), Word::new(99));
+/// assert_eq!(pm.read_word(PhysAddr::new(64)), Word::new(99));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PmDevice {
+    media: Media,
+    buffer: OnPmBuffer,
+    config: PmDeviceConfig,
+    accepted_writes: u64,
+    accepted_bytes: u64,
+    data_region_writes: u64,
+    log_region_writes: u64,
+    reads: u64,
+}
+
+impl PmDevice {
+    /// Creates a device from a configuration.
+    pub fn new(config: PmDeviceConfig) -> Self {
+        PmDevice {
+            media: Media::new(),
+            buffer: OnPmBuffer::new(config.buffer_lines),
+            config,
+            accepted_writes: 0,
+            accepted_bytes: 0,
+            data_region_writes: 0,
+            log_region_writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Accepts a write of arbitrary size into the on-PM buffer.
+    pub fn write(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        self.accepted_writes += 1;
+        self.accepted_bytes += bytes.len() as u64;
+        match self.config.log_region_start {
+            Some(start) if addr.as_u64() >= start => self.log_region_writes += 1,
+            _ => self.data_region_writes += 1,
+        }
+        self.buffer.write(addr, bytes, &mut self.media);
+    }
+
+    /// Accepts a write that **bypasses** the coalescing buffer and programs
+    /// the media directly (split at buffer-line boundaries, one line
+    /// program per touched line unless data-comparison-write suppresses
+    /// it). This is the path of the baseline logging schemes, which do not
+    /// have Silo's §III-E on-PM write-coalescing mechanism. Any staged copy
+    /// of the bytes is patched so the two paths stay coherent.
+    ///
+    /// Returns the number of media line programs actually performed.
+    pub fn write_through(&mut self, addr: PhysAddr, bytes: &[u8]) -> u64 {
+        self.accepted_writes += 1;
+        self.accepted_bytes += bytes.len() as u64;
+        match self.config.log_region_start {
+            Some(start) if addr.as_u64() >= start => self.log_region_writes += 1,
+            _ => self.data_region_writes += 1,
+        }
+        self.buffer.patch_if_staged(addr, bytes);
+        let before = self.media.line_writes();
+        let mut cur = addr.as_u64();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (cur % silo_types::BUF_LINE_BYTES as u64) as usize;
+            let chunk = rest.len().min(silo_types::BUF_LINE_BYTES - off);
+            let base = PhysAddr::new(cur - off as u64);
+            self.media.write_masked(base, &rest[..chunk], off);
+            cur += chunk as u64;
+            rest = &rest[chunk..];
+        }
+        self.media.line_writes() - before
+    }
+
+    /// Accepts an 8 B word write (the Silo in-place-update granularity,
+    /// §III-E: "each new data is atomically written to PM without wasting
+    /// the bus width").
+    pub fn write_word(&mut self, addr: PhysAddr, word: Word) {
+        self.write(addr, &word.to_le_bytes());
+    }
+
+    /// Reads `len` bytes of the device's logical contents (buffer overrides
+    /// media).
+    pub fn read(&mut self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        self.reads += 1;
+        self.buffer.read_through(addr, len, &self.media)
+    }
+
+    /// Reads one word.
+    pub fn read_word(&mut self, addr: PhysAddr) -> Word {
+        let b = self.read(addr, WORD_BYTES);
+        Word::from_le_bytes(b.try_into().expect("read(8) returns 8 bytes"))
+    }
+
+    /// Reads one little-endian `u64`.
+    pub fn read_u64(&mut self, addr: PhysAddr) -> u64 {
+        self.read_word(addr).as_u64()
+    }
+
+    /// Peeks at the logical contents without counting a read (for test
+    /// oracles and recovery-verification code).
+    pub fn peek(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        self.buffer.read_through(addr, len, &self.media)
+    }
+
+    /// Peeks one word without counting a read.
+    pub fn peek_word(&self, addr: PhysAddr) -> Word {
+        let b = self.peek(addr, WORD_BYTES);
+        Word::from_le_bytes(b.try_into().expect("peek(8) returns 8 bytes"))
+    }
+
+    /// Drains the on-PM buffer to the media.
+    pub fn flush_all(&mut self) {
+        self.buffer.flush_all(&mut self.media);
+    }
+
+    /// A snapshot of all traffic counters.
+    pub fn stats(&self) -> PmStats {
+        PmStats {
+            accepted_writes: self.accepted_writes,
+            accepted_bytes: self.accepted_bytes,
+            data_region_writes: self.data_region_writes,
+            log_region_writes: self.log_region_writes,
+            media_line_writes: self.media.line_writes(),
+            media_bits_programmed: self.media.bits_programmed(),
+            dcw_suppressed: self.media.dcw_suppressed(),
+            coalesced_hits: self.buffer.coalesced_hits(),
+            buffer_fills: self.buffer.fills(),
+            buffer_forced_drains: self.buffer.forced_drains(),
+            reads: self.reads,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &PmDeviceConfig {
+        &self.config
+    }
+
+    /// Per-line wear counters (endurance analysis; see
+    /// [`WearTracker`](crate::WearTracker)).
+    pub fn wear(&self) -> &crate::WearTracker {
+        self.media.wear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write(PhysAddr::new(100), &[1, 2, 3]);
+        assert_eq!(pm.read(PhysAddr::new(100), 3), vec![1, 2, 3]);
+        assert_eq!(pm.stats().reads, 1);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write_word(PhysAddr::new(8), Word::new(0xfeed));
+        assert_eq!(pm.read_word(PhysAddr::new(8)), Word::new(0xfeed));
+        assert_eq!(pm.read_u64(PhysAddr::new(8)), 0xfeed);
+    }
+
+    #[test]
+    fn region_classification() {
+        let mut pm = PmDevice::new(PmDeviceConfig {
+            log_region_start: Some(1 << 20),
+            ..PmDeviceConfig::default()
+        });
+        pm.write(PhysAddr::new(0), &[1]);
+        pm.write(PhysAddr::new(1 << 20), &[1]);
+        pm.write(PhysAddr::new((1 << 20) + 64), &[1]);
+        let s = pm.stats();
+        assert_eq!(s.data_region_writes, 1);
+        assert_eq!(s.log_region_writes, 2);
+        assert_eq!(s.accepted_writes, 3);
+    }
+
+    #[test]
+    fn no_boundary_counts_everything_as_data() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write(PhysAddr::new(1 << 30), &[1]);
+        assert_eq!(pm.stats().data_region_writes, 1);
+        assert_eq!(pm.stats().log_region_writes, 0);
+    }
+
+    #[test]
+    fn peek_does_not_count_reads() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write_word(PhysAddr::new(0), Word::new(5));
+        assert_eq!(pm.peek_word(PhysAddr::new(0)), Word::new(5));
+        assert_eq!(pm.stats().reads, 0);
+    }
+
+    #[test]
+    fn evicted_cacheline_after_in_place_update_is_dcw_free() {
+        // The §III-D scenario: Silo's IPU wrote the words; the later
+        // cacheline eviction carries identical bytes, so the media is not
+        // programmed again.
+        let mut pm = PmDevice::new(PmDeviceConfig {
+            buffer_lines: 1, // force immediate drains so both writes hit media
+            ..PmDeviceConfig::default()
+        });
+        // IPU: two modified words of line 0.
+        pm.write_word(PhysAddr::new(0), Word::new(0xa1));
+        pm.write_word(PhysAddr::new(8), Word::new(0xb2));
+        // Unrelated line allocation drains line 0 to media.
+        pm.write(PhysAddr::new(4096), &[1u8; 8]);
+        let before = pm.stats().media_line_writes;
+        // CE: the full 64B line with the same two modified words; other
+        // words still zero (matching fresh media).
+        let mut line = [0u8; 64];
+        line[0..8].copy_from_slice(&Word::new(0xa1).to_le_bytes());
+        line[8..16].copy_from_slice(&Word::new(0xb2).to_le_bytes());
+        pm.write(PhysAddr::new(0), &line);
+        pm.write(PhysAddr::new(8192), &[1u8; 8]); // drain line 0 again
+        let after = pm.stats().media_line_writes;
+        assert_eq!(after, before + 1, "only the 8192 drain programs media");
+        assert!(pm.stats().dcw_suppressed >= 1);
+    }
+
+    #[test]
+    fn write_through_programs_media_immediately() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        let n = pm.write_through(PhysAddr::new(0), &[1u8; 8]);
+        assert_eq!(n, 1);
+        assert_eq!(pm.stats().media_line_writes, 1);
+        assert_eq!(pm.read(PhysAddr::new(0), 8), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn write_through_does_not_coalesce_repeats() {
+        // The baseline behaviour: flushing the same line per store costs a
+        // media program per flush (the paper's Base traffic model).
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        let mut line = [0u8; 64];
+        for i in 0..4 {
+            line[i] = i as u8 + 1;
+            pm.write_through(PhysAddr::new(0), &line);
+        }
+        assert_eq!(pm.stats().media_line_writes, 4);
+    }
+
+    #[test]
+    fn write_through_identical_is_dcw_suppressed() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        assert_eq!(pm.write_through(PhysAddr::new(0), &[5u8; 8]), 1);
+        assert_eq!(pm.write_through(PhysAddr::new(0), &[5u8; 8]), 0);
+    }
+
+    #[test]
+    fn write_through_splits_across_buffer_lines() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        let n = pm.write_through(PhysAddr::new(250), &[9u8; 12]);
+        assert_eq!(n, 2);
+        assert_eq!(pm.read(PhysAddr::new(250), 12), vec![9u8; 12]);
+    }
+
+    #[test]
+    fn write_through_keeps_staged_lines_coherent() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write(PhysAddr::new(0), &[1u8; 8]); // staged
+        pm.write_through(PhysAddr::new(0), &[2u8; 8]); // bypass
+        // Read must see the write-through bytes, not the stale staged copy.
+        assert_eq!(pm.read(PhysAddr::new(0), 8), vec![2u8; 8]);
+        pm.flush_all();
+        assert_eq!(pm.read(PhysAddr::new(0), 8), vec![2u8; 8]);
+    }
+
+    #[test]
+    fn flush_all_persists_logical_contents() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write(PhysAddr::new(0), &[7; 16]);
+        pm.flush_all();
+        assert_eq!(pm.read(PhysAddr::new(0), 16), vec![7; 16]);
+        assert_eq!(pm.stats().media_line_writes, 1);
+    }
+
+    #[test]
+    fn wear_tracks_media_programs() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write_through(PhysAddr::new(0), &[1u8; 8]);
+        pm.write_through(PhysAddr::new(0), &[2u8; 8]);
+        pm.write_through(PhysAddr::new(256), &[1u8; 8]);
+        assert_eq!(pm.wear().total_programs(), 3);
+        assert_eq!(pm.wear().max_wear(), 2);
+        assert_eq!(pm.wear().lines_touched(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate_bytes() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write(PhysAddr::new(0), &[0; 8]);
+        pm.write(PhysAddr::new(64), &[0; 64]);
+        assert_eq!(pm.stats().accepted_bytes, 72);
+        assert_eq!(pm.stats().accepted_writes, 2);
+    }
+}

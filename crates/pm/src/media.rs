@@ -1,0 +1,316 @@
+//! The physical PCM media with bit-level data-comparison-write accounting.
+
+use std::collections::HashMap;
+
+use silo_types::{PhysAddr, BUF_LINE_BYTES};
+
+use crate::WearTracker;
+
+/// The phase-change-memory physical media.
+///
+/// Storage is sparse: only buffer lines that have ever been programmed are
+/// materialized, so a 16 GB address space (paper Table II) costs memory
+/// proportional to the touched footprint.
+///
+/// Writes arrive from the [on-PM buffer](crate::OnPmBuffer) at buffer-line
+/// granularity with a per-byte valid mask (read-modify-write, paper §III-E).
+/// A **data-comparison-write** check (paper \[62\]) compares the incoming
+/// bytes with the stored ones: if no bit changes, the media is not
+/// programmed at all and the write is not counted — the mechanism Silo
+/// relies on to make post-commit cacheline evictions free (§III-D, CE/IPU
+/// timing scenario 3).
+///
+/// # Examples
+///
+/// ```
+/// use silo_pm::Media;
+/// use silo_types::PhysAddr;
+///
+/// let mut m = Media::new();
+/// let wrote = m.write_masked(PhysAddr::new(0), &[1, 2, 3], 0);
+/// assert!(wrote);
+/// // Re-writing identical bytes is suppressed by data-comparison-write.
+/// assert!(!m.write_masked(PhysAddr::new(0), &[1, 2, 3], 0));
+/// assert_eq!(m.read(PhysAddr::new(1), 2), vec![2, 3]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Media {
+    lines: HashMap<u64, Box<[u8; BUF_LINE_BYTES]>>,
+    line_writes: u64,
+    bits_programmed: u64,
+    dcw_suppressed: u64,
+    wear: WearTracker,
+}
+
+impl Media {
+    /// Creates empty (all-zero) media.
+    pub fn new() -> Self {
+        Media::default()
+    }
+
+    /// Programs `bytes` starting at the byte address `base + offset`,
+    /// where `base` must be buffer-line aligned when `offset` is the offset
+    /// within that line. Returns `true` if the media was actually programmed
+    /// (at least one bit changed), `false` if data-comparison-write
+    /// suppressed it.
+    ///
+    /// The write must not cross a buffer-line boundary — the on-PM buffer
+    /// splits larger writes before they reach the media.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + bytes.len()` exceeds the buffer-line size.
+    pub fn write_masked(&mut self, line_base: PhysAddr, bytes: &[u8], offset: usize) -> bool {
+        assert!(
+            offset + bytes.len() <= BUF_LINE_BYTES,
+            "media write crosses a buffer-line boundary: offset {offset} + len {}",
+            bytes.len()
+        );
+        let idx = line_base.buf_line_index();
+        let line = self
+            .lines
+            .entry(idx)
+            .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
+        let target = &mut line[offset..offset + bytes.len()];
+        let changed_bits: u64 = target
+            .iter()
+            .zip(bytes)
+            .map(|(old, new)| (old ^ new).count_ones() as u64)
+            .sum();
+        if changed_bits == 0 {
+            self.dcw_suppressed += 1;
+            return false;
+        }
+        target.copy_from_slice(bytes);
+        self.line_writes += 1;
+        self.bits_programmed += changed_bits;
+        self.wear.record_program(idx);
+        true
+    }
+
+    /// Programs one full buffer line in a single read-modify-write cycle,
+    /// applying only the bytes flagged in `valid`. Returns `true` if the
+    /// media was programmed (any valid byte changed any bit); a fully
+    /// unchanged program is suppressed by data-comparison-write and counts
+    /// nothing.
+    ///
+    /// This is the path the [on-PM buffer](crate::OnPmBuffer) uses when it
+    /// drains a staged line: however many words, cachelines, and log-batch
+    /// fragments coalesced into the line, the media sees **one** program —
+    /// the write-amplification reduction of paper §III-E.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_base` is not buffer-line aligned.
+    pub fn program_line(
+        &mut self,
+        line_base: PhysAddr,
+        data: &[u8; BUF_LINE_BYTES],
+        valid: &[bool; BUF_LINE_BYTES],
+    ) -> bool {
+        assert_eq!(
+            line_base.buf_line_aligned(),
+            line_base,
+            "program_line requires a buffer-line-aligned base"
+        );
+        let idx = line_base.buf_line_index();
+        let line = self
+            .lines
+            .entry(idx)
+            .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
+        let mut changed_bits = 0u64;
+        for i in 0..BUF_LINE_BYTES {
+            if valid[i] {
+                changed_bits += (line[i] ^ data[i]).count_ones() as u64;
+            }
+        }
+        if changed_bits == 0 {
+            self.dcw_suppressed += 1;
+            return false;
+        }
+        for i in 0..BUF_LINE_BYTES {
+            if valid[i] {
+                line[i] = data[i];
+            }
+        }
+        self.line_writes += 1;
+        self.bits_programmed += changed_bits;
+        self.wear.record_program(idx);
+        true
+    }
+
+    /// Reads `len` bytes starting at `addr`. Unprogrammed media reads as
+    /// zero. Reads may cross buffer-line boundaries.
+    pub fn read(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = addr.as_u64();
+        let mut remaining = len;
+        while remaining > 0 {
+            let line_idx = cur / BUF_LINE_BYTES as u64;
+            let off = (cur % BUF_LINE_BYTES as u64) as usize;
+            let chunk = remaining.min(BUF_LINE_BYTES - off);
+            match self.lines.get(&line_idx) {
+                Some(line) => out.extend_from_slice(&line[off..off + chunk]),
+                None => out.extend(std::iter::repeat_n(0u8, chunk)),
+            }
+            cur += chunk as u64;
+            remaining -= chunk;
+        }
+        out
+    }
+
+    /// Reads one little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: PhysAddr) -> u64 {
+        let b = self.read(addr, 8);
+        u64::from_le_bytes(b.try_into().expect("read(8) returns 8 bytes"))
+    }
+
+    /// Number of media line programs performed (the paper Fig 11 metric).
+    pub fn line_writes(&self) -> u64 {
+        self.line_writes
+    }
+
+    /// Total bits actually programmed across all writes.
+    pub fn bits_programmed(&self) -> u64 {
+        self.bits_programmed
+    }
+
+    /// Number of writes fully suppressed by data-comparison-write.
+    pub fn dcw_suppressed(&self) -> u64 {
+        self.dcw_suppressed
+    }
+
+    /// Number of distinct buffer lines ever materialized (footprint).
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Per-line wear counters (endurance analysis).
+    pub fn wear(&self) -> &WearTracker {
+        &self.wear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_media_reads_zero() {
+        let m = Media::new();
+        assert_eq!(m.read(PhysAddr::new(12345), 4), vec![0, 0, 0, 0]);
+        assert_eq!(m.read_u64(PhysAddr::new(0)), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(512), &[9, 8, 7, 6], 10);
+        assert_eq!(m.read(PhysAddr::new(522), 4), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn dcw_suppresses_identical_writes() {
+        let mut m = Media::new();
+        assert!(m.write_masked(PhysAddr::new(0), &[1, 1], 0));
+        assert!(!m.write_masked(PhysAddr::new(0), &[1, 1], 0));
+        assert_eq!(m.line_writes(), 1);
+        assert_eq!(m.dcw_suppressed(), 1);
+    }
+
+    #[test]
+    fn dcw_counts_only_changed_bits() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(0), &[0b0000_0001], 0);
+        assert_eq!(m.bits_programmed(), 1);
+        m.write_masked(PhysAddr::new(0), &[0b0000_0011], 0);
+        assert_eq!(m.bits_programmed(), 2); // only one new bit flipped
+    }
+
+    #[test]
+    fn writing_zeros_to_fresh_media_is_suppressed() {
+        // Fresh media is all-zero, so a zero write changes no bits.
+        let mut m = Media::new();
+        assert!(!m.write_masked(PhysAddr::new(64), &[0, 0, 0], 0));
+        assert_eq!(m.line_writes(), 0);
+    }
+
+    #[test]
+    fn reads_cross_buffer_line_boundaries() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(0), &[0xaa], 255); // last byte of line 0
+        m.write_masked(PhysAddr::new(256), &[0xbb], 0); // first byte of line 1
+        assert_eq!(m.read(PhysAddr::new(255), 2), vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a buffer-line boundary")]
+    fn writes_may_not_cross_buffer_lines() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(0), &[1, 2], 255);
+    }
+
+    #[test]
+    fn footprint_is_sparse() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(0), &[1], 0);
+        m.write_masked(PhysAddr::new(1 << 30), &[1], 0);
+        assert_eq!(m.touched_lines(), 2);
+    }
+
+    #[test]
+    fn program_line_counts_one_write_for_many_fragments() {
+        let mut m = Media::new();
+        let mut data = [0u8; BUF_LINE_BYTES];
+        let mut valid = [false; BUF_LINE_BYTES];
+        // Three disjoint fragments (two words and a half-cacheline) in one
+        // staged line...
+        for i in 0..8 {
+            data[i] = 0x11;
+            valid[i] = true;
+        }
+        for i in 16..24 {
+            data[i] = 0x22;
+            valid[i] = true;
+        }
+        for i in 128..160 {
+            data[i] = 0x33;
+            valid[i] = true;
+        }
+        // ...cost exactly one media line write.
+        assert!(m.program_line(PhysAddr::new(0), &data, &valid));
+        assert_eq!(m.line_writes(), 1);
+        assert_eq!(m.read(PhysAddr::new(16), 8), vec![0x22; 8]);
+        // Invalid bytes were not touched.
+        assert_eq!(m.read(PhysAddr::new(8), 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn program_line_identical_content_suppressed() {
+        let mut m = Media::new();
+        let mut data = [0u8; BUF_LINE_BYTES];
+        let mut valid = [false; BUF_LINE_BYTES];
+        data[0] = 5;
+        valid[0] = true;
+        assert!(m.program_line(PhysAddr::new(256), &data, &valid));
+        assert!(!m.program_line(PhysAddr::new(256), &data, &valid));
+        assert_eq!(m.line_writes(), 1);
+        assert_eq!(m.dcw_suppressed(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn program_line_requires_alignment() {
+        let mut m = Media::new();
+        let data = [0u8; BUF_LINE_BYTES];
+        let valid = [false; BUF_LINE_BYTES];
+        m.program_line(PhysAddr::new(8), &data, &valid);
+    }
+
+    #[test]
+    fn read_u64_little_endian() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(0), &42u64.to_le_bytes(), 8);
+        assert_eq!(m.read_u64(PhysAddr::new(8)), 42);
+    }
+}

@@ -1,0 +1,166 @@
+//! The simulated-system configuration (paper Table II plus the design
+//! parameters of §III).
+
+use silo_cache::HierarchyConfig;
+use silo_memctrl::MemCtrlConfig;
+use silo_pm::{PmDeviceConfig, DEFAULT_BUFFER_LINES};
+use silo_types::{Cycles, PhysAddr, ThreadId};
+
+/// Full configuration of a simulation run.
+///
+/// [`SimConfig::table_ii`] reproduces the paper's evaluated system: 8-way
+/// 32 KB L1D (4 cycles), 8-way 256 KB L2 (12 cycles), 16-way 8 MB shared L3
+/// (28 cycles), FR-FCFS memory controller with a 64-entry ADR write pending
+/// queue, PCM at 50 / 150 ns read / write, a 20-entry battery-backed log
+/// buffer per core at 8-cycle access latency, and FWB's 3 M-cycle force
+/// write-back interval.
+///
+/// # Examples
+///
+/// ```
+/// use silo_sim::SimConfig;
+///
+/// let cfg = SimConfig::table_ii(8);
+/// assert_eq!(cfg.cores, 8);
+/// assert_eq!(cfg.log_buffer_entries, 20);
+/// assert_eq!(cfg.overflow_batch_entries(), 14); // floor(256 / 18), §III-F
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of cores (one thread per core, as in the evaluation).
+    pub cores: usize,
+    /// Cache hierarchy geometry and latencies.
+    pub hierarchy: HierarchyConfig,
+    /// Memory-controller and PM timing.
+    pub memctrl: MemCtrlConfig,
+    /// On-PM buffer capacity in 256 B lines.
+    pub onpm_buffer_lines: usize,
+    /// First byte of the PM log region. The data region is below it.
+    pub log_region_start: u64,
+    /// Bytes of log area reserved per thread (the distributed log scheme of
+    /// §III-B gives each thread its own area to avoid contention).
+    pub thread_log_area_bytes: u64,
+    /// Entries per per-core log buffer (Table I / §VI-D: 20).
+    pub log_buffer_entries: usize,
+    /// Access latency of the log buffer (Table II: 8 cycles; swept 8–128 in
+    /// Fig 15).
+    pub log_buffer_latency: Cycles,
+    /// On-chip ACK round trip of the Silo commit ("several cycles", §III-D).
+    pub commit_ack_cycles: u64,
+    /// FWB's periodic cache force-write-back interval (§VI-A: 3,000,000).
+    pub fwb_interval_cycles: u64,
+    /// Capacity of LAD's persistent MC buffer, in cachelines.
+    pub lad_mc_buffer_lines: usize,
+    /// Base pipeline cost charged per executed operation.
+    pub op_issue_cycles: u64,
+    /// Number of memory controllers. Each MC serves the whole memory
+    /// (paper §III-D citing ATLAS \[30\]); demand traffic interleaves across
+    /// them by cacheline, while a logging scheme with MC affinity (Silo)
+    /// routes a transaction's log traffic through its core's home MC.
+    pub num_mcs: usize,
+}
+
+impl SimConfig {
+    /// The paper Table II configuration for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or greater than 255 (thread ids are 8-bit).
+    pub fn table_ii(cores: usize) -> Self {
+        assert!(cores > 0 && cores <= 255, "cores must be in 1..=255");
+        SimConfig {
+            cores,
+            hierarchy: HierarchyConfig::table_ii(cores),
+            memctrl: MemCtrlConfig::table_ii(),
+            onpm_buffer_lines: DEFAULT_BUFFER_LINES,
+            // Data region: first 8 GiB. Log region: above it.
+            log_region_start: 8 << 30,
+            thread_log_area_bytes: 64 << 20,
+            log_buffer_entries: 20,
+            log_buffer_latency: Cycles::new(8),
+            commit_ack_cycles: 4,
+            fwb_interval_cycles: 3_000_000,
+            lad_mc_buffer_lines: 64,
+            op_issue_cycles: 1,
+            num_mcs: 1,
+        }
+    }
+
+    /// The PM-device configuration implied by this simulation config.
+    pub fn pm_device_config(&self) -> PmDeviceConfig {
+        PmDeviceConfig {
+            buffer_lines: self.onpm_buffer_lines,
+            log_region_start: Some(self.log_region_start),
+        }
+    }
+
+    /// Base address of `tid`'s private log area (distributed log scheme).
+    pub fn thread_log_base(&self, tid: ThreadId) -> PhysAddr {
+        PhysAddr::new(self.log_region_start + tid.as_u8() as u64 * self.thread_log_area_bytes)
+    }
+
+    /// Exclusive upper bound of `tid`'s log area.
+    pub fn thread_log_end(&self, tid: ThreadId) -> PhysAddr {
+        self.thread_log_base(tid).add(self.thread_log_area_bytes)
+    }
+
+    /// Undo-log entries per overflow batch: `N = floor(S / 18)` where `S`
+    /// is the on-PM buffer line size and 18 B is the undo entry size
+    /// (§III-F; 14 for S = 256).
+    pub fn overflow_batch_entries(&self) -> usize {
+        silo_types::BUF_LINE_BYTES / 18
+    }
+}
+
+impl Default for SimConfig {
+    /// The single-core Table II system.
+    fn default() -> Self {
+        SimConfig::table_ii(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_matches_paper() {
+        let c = SimConfig::table_ii(8);
+        assert_eq!(c.hierarchy.l1_latency, Cycles::new(4));
+        assert_eq!(c.hierarchy.l2_latency, Cycles::new(12));
+        assert_eq!(c.hierarchy.l3_latency, Cycles::new(28));
+        assert_eq!(c.memctrl.wpq_entries, 64);
+        assert_eq!(c.memctrl.read_cycles, 100);
+        assert_eq!(c.memctrl.media_write_cycles, 300);
+        assert_eq!(c.log_buffer_entries, 20);
+        assert_eq!(c.log_buffer_latency, Cycles::new(8));
+        assert_eq!(c.fwb_interval_cycles, 3_000_000);
+    }
+
+    #[test]
+    fn overflow_batch_is_fourteen_for_256b_lines() {
+        assert_eq!(SimConfig::table_ii(1).overflow_batch_entries(), 14);
+    }
+
+    #[test]
+    fn thread_log_areas_are_disjoint() {
+        let c = SimConfig::table_ii(8);
+        let a0 = c.thread_log_base(ThreadId::new(0));
+        let e0 = c.thread_log_end(ThreadId::new(0));
+        let a1 = c.thread_log_base(ThreadId::new(1));
+        assert_eq!(e0, a1);
+        assert!(a0.as_u64() >= c.log_region_start);
+    }
+
+    #[test]
+    fn pm_config_carries_log_boundary() {
+        let c = SimConfig::table_ii(2);
+        assert_eq!(c.pm_device_config().log_region_start, Some(8 << 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=255")]
+    fn zero_cores_rejected() {
+        let _ = SimConfig::table_ii(0);
+    }
+}

@@ -1,0 +1,488 @@
+//! The deterministic multicore execution engine.
+
+use std::collections::HashMap;
+
+use silo_types::{CoreId, Cycles, PhysAddr, TxId, TxTag, Word};
+
+use crate::{
+    ConsistencyReport, LoggingScheme, Machine, Op, RecoveryReport, SimConfig, SimStats,
+    Transaction, TxOracle, TxRecord,
+};
+use crate::schemes::EvictAction;
+
+/// The result of a crash-injected run.
+#[derive(Clone, Debug)]
+pub struct CrashOutcome {
+    /// The cycle at which power failed.
+    pub crash_at: Cycles,
+    /// What the scheme's recovery did.
+    pub recovery: RecoveryReport,
+    /// The oracle's verdict on the recovered PM image.
+    pub consistency: ConsistencyReport,
+    /// Transactions committed before the crash.
+    pub committed_txs: u64,
+    /// Transactions in flight (uncommitted) at the crash.
+    pub inflight_txs: u64,
+}
+
+/// Everything a run returns.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Aggregate statistics.
+    pub stats: SimStats,
+    /// Present when a crash was injected.
+    pub crash: Option<CrashOutcome>,
+    /// The final PM device contents (post-recovery when a crash was
+    /// injected), for inspection by tests and examples.
+    pub pm: silo_pm::PmDevice,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    BetweenTxs,
+    InTx,
+    Done,
+}
+
+struct CoreRun {
+    id: CoreId,
+    time: Cycles,
+    txs: Vec<Transaction>,
+    tx_idx: usize,
+    op_idx: usize,
+    phase: Phase,
+    txid: TxId,
+    tag: TxTag,
+    cur_writes: HashMap<u64, Word>,
+    committed: u64,
+}
+
+impl CoreRun {
+    fn record(&self, committed: bool) -> TxRecord {
+        let mut writes: Vec<(PhysAddr, Word)> = self
+            .cur_writes
+            .iter()
+            .map(|(&a, &w)| (PhysAddr::new(a), w))
+            .collect();
+        writes.sort_by_key(|(a, _)| a.as_u64());
+        TxRecord {
+            tag: self.tag,
+            writes,
+            committed,
+        }
+    }
+}
+
+/// Executes per-core transaction streams under a logging scheme.
+///
+/// The engine always steps the core with the smallest local clock
+/// (ties broken by core id), so runs are fully deterministic and
+/// cross-core memory-controller contention is modelled faithfully.
+///
+/// See the crate docs for an end-to-end example.
+pub struct Engine<'a> {
+    machine: Machine,
+    scheme: &'a mut dyn LoggingScheme,
+    oracle: TxOracle,
+}
+
+impl<'a> Engine<'a> {
+    /// Builds an engine over a fresh machine.
+    pub fn new(config: &SimConfig, scheme: &'a mut dyn LoggingScheme) -> Self {
+        Engine {
+            machine: Machine::new(config),
+            scheme,
+            oracle: TxOracle::default(),
+        }
+    }
+
+    /// Gives the scheme and tests access to the machine before a run (e.g.
+    /// to pre-populate PM state).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Runs `streams[i]` on core `i`. With `crash_at = Some(c)`, power
+    /// fails at cycle `c`: cores halt at the preceding op boundary, the
+    /// crash/recovery sequence executes, and the outcome carries the
+    /// oracle's consistency verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len()` differs from the configured core count.
+    pub fn run(mut self, streams: Vec<Vec<Transaction>>, crash_at: Option<Cycles>) -> RunOutcome {
+        assert_eq!(
+            streams.len(),
+            self.machine.config.cores,
+            "one transaction stream per core required"
+        );
+        let mut cores: Vec<CoreRun> = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, txs)| CoreRun {
+                id: CoreId::new(i),
+                time: Cycles::ZERO,
+                txs,
+                tx_idx: 0,
+                op_idx: 0,
+                phase: Phase::BetweenTxs,
+                txid: TxId::new(0),
+                tag: TxTag::default(),
+                cur_writes: HashMap::new(),
+                committed: 0,
+            })
+            .collect();
+
+        loop {
+            // Pick the unfinished core with the smallest clock.
+            let next = cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.phase != Phase::Done)
+                .min_by_key(|(i, c)| (c.time, *i))
+                .map(|(i, _)| i);
+            let Some(ci) = next else { break };
+            if let Some(crash) = crash_at {
+                if cores[ci].time >= crash {
+                    break; // power failed before this core's next op
+                }
+            }
+            self.step(&mut cores[ci]);
+            let now = cores[ci].time;
+            self.scheme.on_tick(&mut self.machine, now);
+        }
+
+        let sim_cycles = cores
+            .iter()
+            .map(|c| c.time)
+            .max()
+            .unwrap_or(Cycles::ZERO);
+
+        let crash = match crash_at {
+            Some(crash_cycle) => Some(self.crash_sequence(&mut cores, crash_cycle)),
+            None => {
+                // Clean end of run: let the scheme finish lazy background
+                // work (e.g. Silo's post-commit data-region updates).
+                self.scheme.on_run_end(&mut self.machine, sim_cycles);
+                None
+            }
+        };
+
+        // Drain the ADR on-PM buffer so traffic stats cover all writes.
+        self.machine.pm.flush_all();
+        let stats = SimStats {
+            scheme: self.scheme.name(),
+            cores: cores.len(),
+            per_core: cores
+                .iter()
+                .map(|c| crate::CoreStats {
+                    cycles: c.time,
+                    txs_committed: c.committed,
+                })
+                .collect(),
+            sim_cycles,
+            txs_committed: cores.iter().map(|c| c.committed).sum(),
+            pm: self.machine.pm.stats(),
+            mc: self.machine.mc_stats_total(),
+            cache: self.machine.caches.stats(),
+            scheme_stats: self.scheme.stats(),
+        };
+        RunOutcome {
+            stats,
+            crash,
+            pm: self.machine.pm.clone(),
+        }
+    }
+
+    /// Executes one step (transaction boundary or single op) on `core`.
+    fn step(&mut self, core: &mut CoreRun) {
+        match core.phase {
+            Phase::Done => {}
+            Phase::BetweenTxs => {
+                if core.tx_idx >= core.txs.len() {
+                    core.phase = Phase::Done;
+                    return;
+                }
+                // Tx_begin: the log generator latches (tid, txid), §III-B.
+                core.txid = core.txid.next();
+                core.tag = TxTag::new(core.id.thread(), core.txid);
+                core.cur_writes.clear();
+                core.time =
+                    self.scheme
+                        .on_tx_begin(&mut self.machine, core.id, core.tag, core.time);
+                core.phase = Phase::InTx;
+                core.op_idx = 0;
+            }
+            Phase::InTx => {
+                let tx = &core.txs[core.tx_idx];
+                if core.op_idx < tx.ops().len() {
+                    let op = tx.ops()[core.op_idx];
+                    core.op_idx += 1;
+                    self.exec_op(core, op);
+                } else {
+                    // Tx_end.
+                    core.time =
+                        self.scheme
+                            .on_tx_end(&mut self.machine, core.id, core.tag, core.time);
+                    self.oracle.observe(core.record(true));
+                    core.committed += 1;
+                    core.tx_idx += 1;
+                    core.phase = Phase::BetweenTxs;
+                }
+            }
+        }
+    }
+
+    fn exec_op(&mut self, core: &mut CoreRun, op: Op) {
+        let issue = Cycles::new(self.machine.config.op_issue_cycles);
+        match op {
+            Op::Compute(cycles) => {
+                core.time += issue + Cycles::new(cycles as u64);
+            }
+            Op::Read(addr) => {
+                let acc = self.machine.caches.access(core.id, addr.line(), false);
+                core.time += issue + acc.latency;
+                if acc.filled_from_memory {
+                    core.time = self.machine.pm_read_at(core.time, addr);
+                }
+                self.handle_evictions(core, &acc.pm_writebacks);
+            }
+            Op::Write(addr, new) => {
+                let acc = self.machine.caches.access(core.id, addr.line(), true);
+                core.time += issue + acc.latency;
+                if acc.filled_from_memory {
+                    // Write-allocate: fetch the line before merging the store.
+                    core.time = self.machine.pm_read_at(core.time, addr);
+                }
+                self.handle_evictions(core, &acc.pm_writebacks);
+                let old = self.machine.shadow.load(addr, &self.machine.pm);
+                self.machine.shadow.store(addr, new);
+                core.cur_writes.insert(addr.word_aligned().as_u64(), new);
+                core.time = self.machine.shadow_store_hook(
+                    self.scheme,
+                    core.id,
+                    addr,
+                    old,
+                    new,
+                    core.time,
+                );
+            }
+        }
+    }
+
+    fn handle_evictions(&mut self, core: &mut CoreRun, lines: &[silo_types::LineAddr]) {
+        for &line in lines {
+            let (action, t) = self
+                .scheme
+                .on_evict(&mut self.machine, core.id, line, core.time);
+            core.time = t;
+            if action == EvictAction::WriteBack {
+                let coalesced = self.scheme.coalesces_pm_writes();
+                let adm = self.machine.writeback_line(core.time, line, coalesced);
+                // Evictions leave via write-back buffers; only WPQ
+                // back-pressure reaches the core.
+                core.time = adm.admit;
+            }
+        }
+    }
+
+    fn crash_sequence(&mut self, cores: &mut [CoreRun], crash_at: Cycles) -> CrashOutcome {
+        let mut inflight = 0;
+        for core in cores.iter_mut() {
+            if core.phase == Phase::InTx {
+                self.oracle.observe(core.record(false));
+                inflight += 1;
+            }
+            core.phase = Phase::Done;
+        }
+        // Volatile state dies with the power.
+        self.machine.caches.invalidate_all();
+        self.machine.shadow.clear();
+        // Battery-backed flush, then recovery.
+        self.scheme.on_crash(&mut self.machine);
+        let recovery = self.scheme.recover(&mut self.machine);
+        let consistency = self.oracle.verify(&self.machine.pm);
+        CrashOutcome {
+            crash_at,
+            recovery,
+            consistency,
+            committed_txs: self.oracle.tx_counts().0,
+            inflight_txs: inflight,
+        }
+    }
+}
+
+impl Machine {
+    /// Routes a store notification to the scheme. Separate method so the
+    /// borrow of the scheme and the machine stay disjoint at the call site.
+    fn shadow_store_hook(
+        &mut self,
+        scheme: &mut dyn LoggingScheme,
+        core: CoreId,
+        addr: PhysAddr,
+        old: Word,
+        new: Word,
+        now: Cycles,
+    ) -> Cycles {
+        scheme.on_store(self, core, addr, old, new, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::NullScheme;
+
+    fn tx_writing(addrs: &[(u64, u64)]) -> Transaction {
+        let mut b = Transaction::builder();
+        for &(a, v) in addrs {
+            b = b.write(PhysAddr::new(a), Word::new(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_core_commits_all_transactions() {
+        let cfg = SimConfig::table_ii(1);
+        let txs = vec![tx_writing(&[(0, 1)]), tx_writing(&[(8, 2)]), tx_writing(&[(16, 3)])];
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(vec![txs], None);
+        assert_eq!(out.stats.txs_committed, 3);
+        assert!(out.crash.is_none());
+        assert!(out.stats.sim_cycles > Cycles::ZERO);
+    }
+
+    #[test]
+    fn multicore_runs_all_streams() {
+        let cfg = SimConfig::table_ii(4);
+        let streams: Vec<Vec<Transaction>> = (0..4)
+            .map(|c| {
+                (0..5)
+                    .map(|i| tx_writing(&[((c * 4096 + i * 8) as u64, i as u64)]))
+                    .collect()
+            })
+            .collect();
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(streams, None);
+        assert_eq!(out.stats.txs_committed, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "one transaction stream per core")]
+    fn stream_count_must_match_cores() {
+        let cfg = SimConfig::table_ii(2);
+        let mut scheme = NullScheme::default();
+        let _ = Engine::new(&cfg, &mut scheme).run(vec![vec![]], None);
+    }
+
+    #[test]
+    fn determinism_same_input_same_stats() {
+        let cfg = SimConfig::table_ii(2);
+        let streams = || {
+            vec![
+                vec![tx_writing(&[(0, 1), (64, 2)]), tx_writing(&[(128, 3)])],
+                vec![tx_writing(&[(4096, 4)]), tx_writing(&[(8192, 5), (8200, 6)])],
+            ]
+        };
+        let mut s1 = NullScheme::default();
+        let a = Engine::new(&cfg, &mut s1).run(streams(), None);
+        let mut s2 = NullScheme::default();
+        let b = Engine::new(&cfg, &mut s2).run(streams(), None);
+        assert_eq!(a.stats.sim_cycles, b.stats.sim_cycles);
+        assert_eq!(a.stats.pm, b.stats.pm);
+        assert_eq!(a.stats.mc.busy_cycles, b.stats.mc.busy_cycles);
+    }
+
+    #[test]
+    fn crash_with_null_scheme_loses_committed_data() {
+        // NullScheme never persists anything (no flushes, tiny footprint
+        // stays cached), so committed writes are lost — the oracle must
+        // catch that.
+        let cfg = SimConfig::table_ii(1);
+        let txs = vec![tx_writing(&[(0, 7)])];
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(vec![txs], Some(Cycles::new(1_000_000)));
+        let crash = out.crash.expect("crash requested");
+        assert_eq!(crash.committed_txs, 1);
+        assert!(!crash.consistency.is_consistent());
+        assert_eq!(
+            crash.consistency.violations[0].kind,
+            "committed write lost or corrupted"
+        );
+    }
+
+    #[test]
+    fn per_core_stats_track_each_core() {
+        let cfg = SimConfig::table_ii(2);
+        let streams = vec![
+            vec![tx_writing(&[(0, 1)]), tx_writing(&[(8, 2)])],
+            vec![tx_writing(&[(1 << 20, 3)])],
+        ];
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(streams, None);
+        assert_eq!(out.stats.per_core.len(), 2);
+        assert_eq!(out.stats.per_core[0].txs_committed, 2);
+        assert_eq!(out.stats.per_core[1].txs_committed, 1);
+        assert_eq!(
+            out.stats.per_core.iter().map(|c| c.txs_committed).sum::<u64>(),
+            out.stats.txs_committed
+        );
+        assert!(out.stats.fairness().expect("both cores ran") >= 1.0);
+    }
+
+    #[test]
+    fn crash_at_cycle_zero_runs_nothing() {
+        let cfg = SimConfig::table_ii(1);
+        let txs = vec![tx_writing(&[(0, 7)])];
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(vec![txs], Some(Cycles::ZERO));
+        assert_eq!(out.stats.txs_committed, 0);
+        let crash = out.crash.expect("crash requested");
+        assert!(crash.consistency.is_consistent(), "nothing ran, PM all-zero");
+    }
+
+    #[test]
+    fn reads_and_compute_advance_time_without_pm_writes() {
+        let cfg = SimConfig::table_ii(1);
+        let tx = Transaction::builder()
+            .read(PhysAddr::new(0))
+            .compute(100)
+            .read(PhysAddr::new(0))
+            .build();
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(vec![vec![tx]], None);
+        assert_eq!(out.stats.pm.accepted_writes, 0);
+        // 1 cold miss (100 cyc PM read) + compute(100) + hit.
+        assert!(out.stats.sim_cycles >= Cycles::new(200));
+        assert_eq!(out.stats.pm.reads, 0, "timing-only read path");
+        assert_eq!(out.stats.mc.reads, 1);
+    }
+
+    #[test]
+    fn cold_store_pays_write_allocate_fetch() {
+        let cfg = SimConfig::table_ii(1);
+        let tx = tx_writing(&[(0, 1)]);
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(vec![vec![tx]], None);
+        // L1+L2+L3 lookups (44) + PM read (100) + issue cycles.
+        assert!(out.stats.sim_cycles >= Cycles::new(144));
+    }
+
+    #[test]
+    fn capacity_pressure_reaches_pm_through_evictions() {
+        // Write far more distinct lines than the tiny-est real hierarchy
+        // can hold... Table II L3 is 8 MB, too big to overflow cheaply, so
+        // shrink the hierarchy.
+        let mut cfg = SimConfig::table_ii(1);
+        cfg.hierarchy.l1 = silo_cache::CacheConfig::new(2 * 64, 1);
+        cfg.hierarchy.l2 = silo_cache::CacheConfig::new(2 * 64, 1);
+        cfg.hierarchy.l3 = silo_cache::CacheConfig::new(4 * 64, 1);
+        let txs: Vec<Transaction> = (0..64)
+            .map(|i| tx_writing(&[(i * 64, i + 1)]))
+            .collect();
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(vec![txs], None);
+        assert!(out.stats.cache.pm_writebacks > 0);
+        assert!(out.stats.pm.accepted_writes > 0);
+    }
+}

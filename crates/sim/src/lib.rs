@@ -1,0 +1,65 @@
+//! Discrete-event multicore simulator for persistent-memory logging
+//! schemes.
+//!
+//! This crate is the gem5 stand-in of the reproduction: it executes
+//! per-core transactional operation streams ([`Transaction`]) over the
+//! Table II machine ([`Machine`]: cache hierarchy + memory controller + PM
+//! device + architectural shadow memory) under a pluggable hardware
+//! logging scheme (the [`LoggingScheme`] trait, implemented by `silo-core`
+//! for Silo itself and by `silo-baselines` for Base / FWB / MorLog / LAD).
+//!
+//! # Execution model
+//!
+//! Each core owns a local clock and executes its transactions op by op;
+//! the [`Engine`] always advances the core with the smallest local time,
+//! so cross-core contention on the shared memory controller is simulated
+//! deterministically. Stores walk the cache hierarchy (write-allocate,
+//! write-back); dirty lines evicted from L3 are routed to the scheme
+//! (Silo's flush-bit hook, §III-D) and then to the memory controller.
+//! Persistence follows ADR semantics: a write is durable once admitted to
+//! the write pending queue.
+//!
+//! # Crash model
+//!
+//! [`Engine::run`] optionally injects a power failure at a given cycle:
+//! cores halt at the preceding op boundary, volatile state (caches,
+//! architectural register/cache view) is discarded, the scheme's
+//! battery-backed `on_crash` flush runs, then `recover` rebuilds the data
+//! region. A [`TxOracle`] built during execution checks the recovered PM
+//! image for **atomic durability**: every committed transaction fully
+//! applied, every uncommitted transaction fully absent.
+//!
+//! # Examples
+//!
+//! ```
+//! use silo_sim::{Engine, SimConfig, Transaction, schemes::NullScheme};
+//! use silo_types::{PhysAddr, Word};
+//!
+//! let config = SimConfig::table_ii(1);
+//! let tx = Transaction::builder()
+//!     .write(PhysAddr::new(0), Word::new(1))
+//!     .write(PhysAddr::new(8), Word::new(2))
+//!     .build();
+//! let mut scheme = NullScheme::default();
+//! let outcome = Engine::new(&config, &mut scheme).run(vec![vec![tx]], None);
+//! assert_eq!(outcome.stats.txs_committed, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod machine;
+mod ops;
+mod oracle;
+pub mod schemes;
+mod stats;
+
+pub use config::SimConfig;
+pub use engine::{Engine, RunOutcome};
+pub use machine::{Machine, ShadowMem};
+pub use ops::{Op, Transaction, TransactionBuilder};
+pub use oracle::{ConsistencyReport, TxOracle, TxRecord, Violation};
+pub use schemes::{EvictAction, LoggingScheme, RecoveryReport, SchemeStats};
+pub use stats::{CoreStats, SimStats};

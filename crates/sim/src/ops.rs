@@ -1,0 +1,219 @@
+//! Transactions and the operations they contain.
+
+use std::collections::BTreeSet;
+
+use silo_types::{PhysAddr, Word, WORD_BYTES};
+
+/// One operation inside a transaction.
+///
+/// Workload generators emit traces of these; the engine executes them
+/// against the simulated machine. Writes carry only the *new* value — the
+/// old value (needed for undo logging and log ignorance) is read from the
+/// architectural state at execution time, which keeps traces valid across
+/// crash/recovery replays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Load one word.
+    Read(PhysAddr),
+    /// Store one word (address must be word-aligned).
+    Write(PhysAddr, Word),
+    /// Pure computation for the given number of cycles.
+    Compute(u32),
+}
+
+/// A transaction: the unit of atomic durability (paper §II-A), bracketed by
+/// `Tx_begin` / `Tx_end` in the hardware interface.
+///
+/// # Examples
+///
+/// ```
+/// use silo_sim::Transaction;
+/// use silo_types::{PhysAddr, Word};
+///
+/// let tx = Transaction::builder()
+///     .read(PhysAddr::new(64))
+///     .write(PhysAddr::new(0), Word::new(7))
+///     .write(PhysAddr::new(0), Word::new(9)) // same word: merges on chip
+///     .compute(20)
+///     .build();
+/// assert_eq!(tx.ops().len(), 4);
+/// assert_eq!(tx.write_set_words(), 1);
+/// assert_eq!(tx.write_set_bytes(), 8);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Transaction {
+    ops: Vec<Op>,
+}
+
+impl Transaction {
+    /// Creates a transaction from raw operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any write address is not word-aligned.
+    pub fn new(ops: Vec<Op>) -> Self {
+        for op in &ops {
+            if let Op::Write(addr, _) = op {
+                assert!(
+                    addr.is_word_aligned(),
+                    "store to unaligned address {addr}"
+                );
+            }
+        }
+        Transaction { ops }
+    }
+
+    /// Starts building a transaction.
+    pub fn builder() -> TransactionBuilder {
+        TransactionBuilder::default()
+    }
+
+    /// The operations, in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of store operations (before any on-chip reduction).
+    pub fn store_count(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Write(..)))
+            .count()
+    }
+
+    /// Number of *distinct* words written.
+    pub fn write_set_words(&self) -> usize {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Write(addr, _) => Some(addr.word_aligned().as_u64()),
+                _ => None,
+            })
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+
+    /// Size of the write set in bytes (distinct words × 8) — the Fig 4
+    /// metric.
+    pub fn write_set_bytes(&self) -> usize {
+        self.write_set_words() * WORD_BYTES
+    }
+
+    /// The final value written to each distinct word, in address order.
+    pub fn final_writes(&self) -> Vec<(PhysAddr, Word)> {
+        let mut map = std::collections::BTreeMap::new();
+        for op in &self.ops {
+            if let Op::Write(addr, w) = op {
+                map.insert(addr.word_aligned().as_u64(), *w);
+            }
+        }
+        map.into_iter()
+            .map(|(a, w)| (PhysAddr::new(a), w))
+            .collect()
+    }
+
+    /// Whether the transaction writes nothing.
+    pub fn is_read_only(&self) -> bool {
+        self.store_count() == 0
+    }
+}
+
+/// Incremental builder for [`Transaction`] (see its example).
+#[derive(Clone, Debug, Default)]
+pub struct TransactionBuilder {
+    ops: Vec<Op>,
+}
+
+impl TransactionBuilder {
+    /// Appends a word load.
+    pub fn read(mut self, addr: PhysAddr) -> Self {
+        self.ops.push(Op::Read(addr));
+        self
+    }
+
+    /// Appends a word store.
+    pub fn write(mut self, addr: PhysAddr, value: Word) -> Self {
+        self.ops.push(Op::Write(addr, value));
+        self
+    }
+
+    /// Appends pure compute time.
+    pub fn compute(mut self, cycles: u32) -> Self {
+        self.ops.push(Op::Compute(cycles));
+        self
+    }
+
+    /// Finishes the transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any write address is not word-aligned.
+    pub fn build(self) -> Transaction {
+        Transaction::new(self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_preserves_program_order() {
+        let tx = Transaction::builder()
+            .write(PhysAddr::new(8), Word::new(1))
+            .read(PhysAddr::new(16))
+            .compute(5)
+            .build();
+        assert_eq!(
+            tx.ops(),
+            &[
+                Op::Write(PhysAddr::new(8), Word::new(1)),
+                Op::Read(PhysAddr::new(16)),
+                Op::Compute(5),
+            ]
+        );
+    }
+
+    #[test]
+    fn write_set_deduplicates_words() {
+        let tx = Transaction::builder()
+            .write(PhysAddr::new(0), Word::new(1))
+            .write(PhysAddr::new(0), Word::new(2))
+            .write(PhysAddr::new(8), Word::new(3))
+            .build();
+        assert_eq!(tx.store_count(), 3);
+        assert_eq!(tx.write_set_words(), 2);
+        assert_eq!(tx.write_set_bytes(), 16);
+    }
+
+    #[test]
+    fn final_writes_keep_last_value_per_word() {
+        let tx = Transaction::builder()
+            .write(PhysAddr::new(8), Word::new(1))
+            .write(PhysAddr::new(0), Word::new(2))
+            .write(PhysAddr::new(8), Word::new(9))
+            .build();
+        assert_eq!(
+            tx.final_writes(),
+            vec![
+                (PhysAddr::new(0), Word::new(2)),
+                (PhysAddr::new(8), Word::new(9)),
+            ]
+        );
+    }
+
+    #[test]
+    fn read_only_detection() {
+        let tx = Transaction::builder().read(PhysAddr::new(0)).compute(1).build();
+        assert!(tx.is_read_only());
+        assert_eq!(tx.write_set_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_store_rejected() {
+        let _ = Transaction::builder()
+            .write(PhysAddr::new(3), Word::new(1))
+            .build();
+    }
+}

@@ -1,0 +1,195 @@
+//! Aggregated simulation statistics.
+
+use std::fmt;
+
+use silo_cache::HierarchyStats;
+use silo_memctrl::MemCtrlStats;
+use silo_pm::PmStats;
+use silo_types::Cycles;
+
+use crate::SchemeStats;
+
+/// Per-core execution summary (fairness analysis).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// The core's final local clock.
+    pub cycles: Cycles,
+    /// Transactions the core committed.
+    pub txs_committed: u64,
+}
+
+/// Everything a run produced, in one snapshot.
+///
+/// The two paper-headline metrics:
+///
+/// * **Write traffic** (Fig 11): [`SimStats::media_writes`] — line programs
+///   on the PM physical media.
+/// * **Throughput** (Fig 12): [`SimStats::throughput`] — committed
+///   transactions per kilocycle of simulated wall-clock.
+#[derive(Clone, Debug)]
+pub struct SimStats {
+    /// Scheme that produced the run.
+    pub scheme: &'static str,
+    /// Core count.
+    pub cores: usize,
+    /// Per-core breakdown (empty in delta snapshots).
+    pub per_core: Vec<CoreStats>,
+    /// Simulated wall-clock: the latest core-local time at the end.
+    pub sim_cycles: Cycles,
+    /// Transactions that reached `Tx_end`.
+    pub txs_committed: u64,
+    /// PM device counters.
+    pub pm: PmStats,
+    /// Memory-controller counters.
+    pub mc: MemCtrlStats,
+    /// Cache-hierarchy counters.
+    pub cache: HierarchyStats,
+    /// Logging-scheme counters.
+    pub scheme_stats: SchemeStats,
+}
+
+impl SimStats {
+    /// Media line programs (the Fig 11 metric).
+    pub fn media_writes(&self) -> u64 {
+        self.pm.media_line_writes
+    }
+
+    /// Committed transactions per 1000 simulated cycles (the Fig 12
+    /// metric; absolute scale is arbitrary, figures normalize to Base).
+    pub fn throughput(&self) -> f64 {
+        if self.sim_cycles.as_u64() == 0 {
+            0.0
+        } else {
+            self.txs_committed as f64 * 1000.0 / self.sim_cycles.as_u64() as f64
+        }
+    }
+
+    /// Media writes per committed transaction.
+    pub fn media_writes_per_tx(&self) -> f64 {
+        if self.txs_committed == 0 {
+            0.0
+        } else {
+            self.media_writes() as f64 / self.txs_committed as f64
+        }
+    }
+
+    /// Fairness: the ratio of the slowest to the fastest core's committed
+    /// transaction count (1.0 = perfectly fair). `None` without per-core
+    /// data or with an idle core.
+    pub fn fairness(&self) -> Option<f64> {
+        let min = self.per_core.iter().map(|c| c.txs_committed).min()?;
+        let max = self.per_core.iter().map(|c| c.txs_committed).max()?;
+        if min == 0 {
+            return None;
+        }
+        Some(max as f64 / min as f64)
+    }
+}
+
+impl SimStats {
+    /// The difference between this run and an `earlier` run that executed
+    /// a strict prefix of the same deterministic workload — the
+    /// steady-state measurement trick the figure generators use to exclude
+    /// the setup transaction: run N and 2N transactions, subtract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs disagree on scheme or core count.
+    pub fn delta_from(&self, earlier: &SimStats) -> SimStats {
+        assert_eq!(self.scheme, earlier.scheme, "runs must use one scheme");
+        assert_eq!(self.cores, earlier.cores, "runs must use one core count");
+        SimStats {
+            scheme: self.scheme,
+            cores: self.cores,
+            per_core: Vec::new(),
+            sim_cycles: self.sim_cycles - earlier.sim_cycles,
+            txs_committed: self.txs_committed - earlier.txs_committed,
+            pm: self.pm - earlier.pm,
+            mc: self.mc - earlier.mc,
+            cache: self.cache - earlier.cache,
+            scheme_stats: self.scheme_stats - earlier.scheme_stats,
+        }
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{} / {} cores] {} txs in {} ({:.4} tx/kcycle)",
+            self.scheme,
+            self.cores,
+            self.txs_committed,
+            self.sim_cycles,
+            self.throughput()
+        )?;
+        writeln!(f, "  pm:     {}", self.pm)?;
+        writeln!(f, "  mc:     {}", self.mc)?;
+        writeln!(
+            f,
+            "  cache:  L1 {:?} L2 {:?} L3 {:?}, {} PM writebacks",
+            self.cache.l1, self.cache.l2, self.cache.l3, self.cache.pm_writebacks
+        )?;
+        write!(f, "  scheme: {}", self.scheme_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats {
+            scheme: "Test",
+            cores: 2,
+            per_core: vec![
+                CoreStats { cycles: Cycles::new(2000), txs_committed: 6 },
+                CoreStats { cycles: Cycles::new(1500), txs_committed: 4 },
+            ],
+            sim_cycles: Cycles::new(2000),
+            txs_committed: 10,
+            pm: PmStats {
+                media_line_writes: 40,
+                ..PmStats::default()
+            },
+            mc: MemCtrlStats::default(),
+            cache: HierarchyStats::default(),
+            scheme_stats: SchemeStats::default(),
+        }
+    }
+
+    #[test]
+    fn throughput_is_txs_per_kilocycle() {
+        assert!((stats().throughput() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn media_writes_per_tx() {
+        assert!((stats().media_writes_per_tx() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let mut s = stats();
+        s.sim_cycles = Cycles::ZERO;
+        s.txs_committed = 0;
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.media_writes_per_tx(), 0.0);
+    }
+
+    #[test]
+    fn fairness_ratio() {
+        let s = stats();
+        assert!((s.fairness().expect("per-core data") - 1.5).abs() < 1e-9);
+        let mut empty = stats();
+        empty.per_core.clear();
+        assert_eq!(empty.fairness(), None);
+    }
+
+    #[test]
+    fn display_mentions_scheme_and_cores() {
+        let text = format!("{}", stats());
+        assert!(text.contains("Test"));
+        assert!(text.contains("2 cores"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Physical addresses and the alignment granularities of the memory system.
+
+use core::fmt;
+
+/// Size in bytes of one CPU word — the granularity of a store and of the
+/// old/new data recorded in a Silo log entry (paper Fig 6: "1 word, e.g. 8B
+/// in 64-bit CPUs").
+pub const WORD_BYTES: usize = 8;
+
+/// Size in bytes of one cacheline, shared by all three cache levels
+/// (paper Table II: "64B per line").
+pub const LINE_BYTES: usize = 64;
+
+/// Size in bytes of one line of the on-PM buffer inside the PM DIMM
+/// (paper §III-E: "the line size of the on-PM buffer is larger (e.g.,
+/// 256B)"). Overflowed undo-log batches are sized to fill one such line.
+pub const BUF_LINE_BYTES: usize = 256;
+
+/// A byte-granular physical address into simulated persistent memory.
+///
+/// The paper's log entries carry a 48-bit physical address (Fig 6); we store
+/// the full `u64` but [`PhysAddr::new`] debug-asserts the 48-bit bound so the
+/// hardware field width is honoured by construction.
+///
+/// # Examples
+///
+/// ```
+/// use silo_types::PhysAddr;
+///
+/// let a = PhysAddr::new(0x1fff);
+/// assert!(!a.is_word_aligned());
+/// assert_eq!(a.word_aligned().as_u64(), 0x1ff8);
+/// assert_eq!(a.line_aligned().as_u64(), 0x1fc0);
+/// assert_eq!(a.offset_in_line(), 0x3f);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// The lowest representable address.
+    pub const ZERO: PhysAddr = PhysAddr(0);
+
+    /// Maximum representable address: the log-entry `addr` field is 48 bits.
+    pub const MAX: PhysAddr = PhysAddr((1 << 48) - 1);
+
+    /// Creates an address from a raw byte offset.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `raw` does not fit in the 48-bit hardware field.
+    #[inline]
+    pub fn new(raw: u64) -> Self {
+        debug_assert!(raw < (1 << 48), "physical address exceeds 48 bits: {raw:#x}");
+        PhysAddr(raw)
+    }
+
+    /// Returns the raw byte offset.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the raw byte offset as a `usize` index.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the address rounded down to the containing word.
+    #[inline]
+    pub fn word_aligned(self) -> PhysAddr {
+        PhysAddr(self.0 & !(WORD_BYTES as u64 - 1))
+    }
+
+    /// Returns the address rounded down to the containing cacheline.
+    #[inline]
+    pub fn line_aligned(self) -> PhysAddr {
+        PhysAddr(self.0 & !(LINE_BYTES as u64 - 1))
+    }
+
+    /// Returns the address rounded down to the containing on-PM buffer line.
+    #[inline]
+    pub fn buf_line_aligned(self) -> PhysAddr {
+        PhysAddr(self.0 & !(BUF_LINE_BYTES as u64 - 1))
+    }
+
+    /// Returns `true` if the address is word-aligned.
+    #[inline]
+    pub fn is_word_aligned(self) -> bool {
+        self.0.is_multiple_of(WORD_BYTES as u64)
+    }
+
+    /// Returns `true` if the address is cacheline-aligned.
+    #[inline]
+    pub fn is_line_aligned(self) -> bool {
+        self.0.is_multiple_of(LINE_BYTES as u64)
+    }
+
+    /// Index of the containing cacheline (address divided by [`LINE_BYTES`]).
+    ///
+    /// This is the quantity the flush-bit comparators match on: "shifting the
+    /// addr field" to compare line addresses (paper §III-D).
+    #[inline]
+    pub fn line_index(self) -> u64 {
+        self.0 / LINE_BYTES as u64
+    }
+
+    /// Index of the containing on-PM buffer line.
+    #[inline]
+    pub fn buf_line_index(self) -> u64 {
+        self.0 / BUF_LINE_BYTES as u64
+    }
+
+    /// Byte offset within the containing cacheline.
+    #[inline]
+    pub fn offset_in_line(self) -> usize {
+        (self.0 % LINE_BYTES as u64) as usize
+    }
+
+    /// Byte offset within the containing on-PM buffer line.
+    #[inline]
+    pub fn offset_in_buf_line(self) -> usize {
+        (self.0 % BUF_LINE_BYTES as u64) as usize
+    }
+
+    /// The address `bytes` past this one.
+    ///
+    /// Deliberately named like pointer arithmetic; `PhysAddr` does not
+    /// implement `std::ops::Add`, so there is no ambiguity at call sites.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn add(self, bytes: u64) -> PhysAddr {
+        PhysAddr::new(self.0 + bytes)
+    }
+
+    /// The cacheline address as a typed value.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.line_aligned().0)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(a: PhysAddr) -> u64 {
+        a.0
+    }
+}
+
+/// A cacheline-aligned physical address, used as the key for cache tags,
+/// eviction notices, and flush-bit matching.
+///
+/// # Examples
+///
+/// ```
+/// use silo_types::{LineAddr, PhysAddr};
+///
+/// let l = LineAddr::containing(PhysAddr::new(0x1234));
+/// assert_eq!(l.base().as_u64(), 0x1200);
+/// assert!(l.contains(PhysAddr::new(0x123f)));
+/// assert!(!l.contains(PhysAddr::new(0x1240)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// The cacheline containing `addr`.
+    #[inline]
+    pub fn containing(addr: PhysAddr) -> LineAddr {
+        addr.line()
+    }
+
+    /// The base (first byte) address of the line.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0)
+    }
+
+    /// The line index (base address divided by the line size).
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0 / LINE_BYTES as u64
+    }
+
+    /// Whether `addr` falls inside this line.
+    #[inline]
+    pub fn contains(self, addr: PhysAddr) -> bool {
+        addr.line_aligned().0 == self.0
+    }
+
+    /// Iterator over the word-aligned addresses of the line, in order.
+    pub fn words(self) -> impl Iterator<Item = PhysAddr> {
+        let base = self.0;
+        (0..LINE_BYTES / WORD_BYTES).map(move |i| PhysAddr(base + (i * WORD_BYTES) as u64))
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_alignment_rounds_down() {
+        assert_eq!(PhysAddr::new(0).word_aligned(), PhysAddr::new(0));
+        assert_eq!(PhysAddr::new(7).word_aligned(), PhysAddr::new(0));
+        assert_eq!(PhysAddr::new(8).word_aligned(), PhysAddr::new(8));
+        assert_eq!(PhysAddr::new(15).word_aligned(), PhysAddr::new(8));
+    }
+
+    #[test]
+    fn line_alignment_rounds_down() {
+        assert_eq!(PhysAddr::new(63).line_aligned(), PhysAddr::new(0));
+        assert_eq!(PhysAddr::new(64).line_aligned(), PhysAddr::new(64));
+        assert_eq!(PhysAddr::new(130).line_aligned(), PhysAddr::new(128));
+    }
+
+    #[test]
+    fn buf_line_alignment() {
+        assert_eq!(PhysAddr::new(255).buf_line_aligned(), PhysAddr::new(0));
+        assert_eq!(PhysAddr::new(256).buf_line_aligned(), PhysAddr::new(256));
+        assert_eq!(PhysAddr::new(511).buf_line_index(), 1);
+    }
+
+    #[test]
+    fn offsets_within_lines() {
+        let a = PhysAddr::new(0x1234);
+        assert_eq!(a.offset_in_line(), 0x34);
+        assert_eq!(a.offset_in_buf_line(), 0x34);
+        let b = PhysAddr::new(0x1334);
+        assert_eq!(b.offset_in_buf_line(), 0x134 % 256);
+    }
+
+    #[test]
+    fn line_contains_its_bytes_only() {
+        let l = LineAddr::containing(PhysAddr::new(128));
+        for off in 0..64u64 {
+            assert!(l.contains(PhysAddr::new(128 + off)));
+        }
+        assert!(!l.contains(PhysAddr::new(127)));
+        assert!(!l.contains(PhysAddr::new(192)));
+    }
+
+    #[test]
+    fn line_words_enumerates_eight_words() {
+        let l = LineAddr::containing(PhysAddr::new(0x40));
+        let words: Vec<_> = l.words().collect();
+        assert_eq!(words.len(), 8);
+        assert_eq!(words[0], PhysAddr::new(0x40));
+        assert_eq!(words[7], PhysAddr::new(0x78));
+        assert!(words.iter().all(|w| w.is_word_aligned()));
+    }
+
+    #[test]
+    fn alignment_predicates() {
+        assert!(PhysAddr::new(0).is_word_aligned());
+        assert!(PhysAddr::new(64).is_line_aligned());
+        assert!(!PhysAddr::new(8).is_line_aligned());
+        assert!(PhysAddr::new(8).is_word_aligned());
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    #[cfg(debug_assertions)]
+    fn rejects_addresses_beyond_48_bits() {
+        let _ = PhysAddr::new(1 << 48);
+    }
+
+    #[test]
+    fn add_advances_bytes() {
+        assert_eq!(PhysAddr::new(10).add(22), PhysAddr::new(32));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty_hex() {
+        let a = PhysAddr::new(0xabc);
+        assert_eq!(format!("{a}"), "0xabc");
+        assert_eq!(format!("{a:?}"), "PhysAddr(0xabc)");
+        assert_eq!(format!("{:x}", a), "abc");
+        let l = a.line();
+        assert_eq!(format!("{l}"), "0xa80");
+    }
+}

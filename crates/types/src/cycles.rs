@@ -1,0 +1,174 @@
+//! Simulation time, measured in cycles of the paper's 2 GHz clock.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Simulated core clock frequency in GHz (paper Table II: "8 cores, x86-64,
+/// 2 GHz").
+pub const CLOCK_GHZ: f64 = 2.0;
+
+/// A duration or timestamp in CPU cycles at [`CLOCK_GHZ`].
+///
+/// The paper specifies memory latencies in nanoseconds (Table II: PM read /
+/// write = 50 / 150 ns) and on-chip latencies in cycles (L1 = 4 cycles, log
+/// buffer = 8 cycles); [`Cycles::from_ns`] converts the former at the 2 GHz
+/// clock so 50 ns = 100 cycles and 150 ns = 300 cycles.
+///
+/// # Examples
+///
+/// ```
+/// use silo_types::Cycles;
+///
+/// assert_eq!(Cycles::from_ns(50.0), Cycles::new(100));
+/// assert_eq!(Cycles::from_ns(150.0), Cycles::new(300));
+/// assert_eq!(Cycles::new(3) + Cycles::new(4), Cycles::new(7));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycles(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Converts a nanosecond latency at the 2 GHz clock (rounding to the
+    /// nearest cycle).
+    #[inline]
+    pub fn from_ns(ns: f64) -> Self {
+        Cycles((ns * CLOCK_GHZ).round() as u64)
+    }
+
+    /// This duration in nanoseconds.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / CLOCK_GHZ
+    }
+
+    /// The later of two timestamps.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// The difference `self - other`, or zero if `other` is later
+    /// (saturating, so "time remaining" computations never underflow).
+    #[inline]
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+
+    /// Scales the duration by an integer factor.
+    #[inline]
+    pub fn scaled(self, factor: u64) -> Cycles {
+        Cycles(self.0 * factor)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`Cycles::saturating_sub`] when `rhs` may be later.
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cycles({})", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Cycles {
+        Cycles(v)
+    }
+}
+
+impl From<Cycles> for u64 {
+    fn from(c: Cycles) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_latencies_convert_exactly() {
+        assert_eq!(Cycles::from_ns(50.0).as_u64(), 100);
+        assert_eq!(Cycles::from_ns(150.0).as_u64(), 300);
+    }
+
+    #[test]
+    fn ns_round_trip() {
+        let c = Cycles::new(300);
+        assert!((c.as_ns() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut c = Cycles::new(10);
+        c += Cycles::new(5);
+        assert_eq!(c, Cycles::new(15));
+        assert_eq!(c - Cycles::new(5), Cycles::new(10));
+        assert_eq!(c.max(Cycles::new(100)), Cycles::new(100));
+        assert_eq!(Cycles::new(3).saturating_sub(Cycles::new(9)), Cycles::ZERO);
+        assert_eq!(Cycles::new(4).scaled(3), Cycles::new(12));
+    }
+
+    #[test]
+    fn sums_over_iterators() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Cycles::new(8)), "8 cyc");
+        assert_eq!(format!("{:?}", Cycles::ZERO), "Cycles(0)");
+    }
+}

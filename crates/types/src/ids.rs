@@ -1,0 +1,188 @@
+//! Thread, transaction, and core identifiers carried in log metadata.
+
+use core::fmt;
+
+/// The 8-bit thread id recorded in every log entry (paper Fig 6).
+///
+/// # Examples
+///
+/// ```
+/// use silo_types::ThreadId;
+///
+/// let t = ThreadId::new(3);
+/// assert_eq!(t.as_u8(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct ThreadId(u8);
+
+impl ThreadId {
+    /// Creates a thread id.
+    #[inline]
+    pub const fn new(raw: u8) -> Self {
+        ThreadId(raw)
+    }
+
+    /// Returns the raw 8-bit value.
+    #[inline]
+    pub const fn as_u8(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// The 16-bit transaction id recorded in every log entry (paper Fig 6).
+///
+/// The log generator "increases the value stored in a specific register as
+/// the txid" at every `Tx_begin` (paper §III-B); [`TxId::next`] models that
+/// register increment, wrapping at 16 bits like the hardware field would.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct TxId(u16);
+
+impl TxId {
+    /// Creates a transaction id.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        TxId(raw)
+    }
+
+    /// Returns the raw 16-bit value.
+    #[inline]
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+
+    /// The next transaction id (wrapping 16-bit increment, as the hardware
+    /// register would).
+    #[inline]
+    pub const fn next(self) -> TxId {
+        TxId(self.0.wrapping_add(1))
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tx{}", self.0)
+    }
+}
+
+/// The `(tid, txid)` pair: the "ID tuple" written to the log region on a
+/// crash to mark committed transactions (paper §III-G), and the key by which
+/// recovery classifies surviving logs as redo (committed) or undo
+/// (uncommitted).
+///
+/// # Examples
+///
+/// ```
+/// use silo_types::{ThreadId, TxId, TxTag};
+///
+/// let tag = TxTag::new(ThreadId::new(1), TxId::new(3));
+/// assert_eq!(format!("{tag}"), "(T1, Tx3)");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct TxTag {
+    tid: ThreadId,
+    txid: TxId,
+}
+
+impl TxTag {
+    /// Pairs a thread id with a transaction id.
+    #[inline]
+    pub const fn new(tid: ThreadId, txid: TxId) -> Self {
+        TxTag { tid, txid }
+    }
+
+    /// The thread id component.
+    #[inline]
+    pub const fn tid(self) -> ThreadId {
+        self.tid
+    }
+
+    /// The transaction id component.
+    #[inline]
+    pub const fn txid(self) -> TxId {
+        self.txid
+    }
+}
+
+impl fmt::Display for TxTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.tid, self.txid)
+    }
+}
+
+/// Index of a simulated CPU core (the paper evaluates 1–8 cores, one thread
+/// per core).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct CoreId(usize);
+
+impl CoreId {
+    /// Creates a core index.
+    #[inline]
+    pub const fn new(raw: usize) -> Self {
+        CoreId(raw)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0
+    }
+
+    /// The thread id of the (single) thread pinned to this core.
+    #[inline]
+    pub fn thread(self) -> ThreadId {
+        ThreadId::new(self.0 as u8)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txid_increments_and_wraps() {
+        assert_eq!(TxId::new(0).next(), TxId::new(1));
+        assert_eq!(TxId::new(u16::MAX).next(), TxId::new(0));
+    }
+
+    #[test]
+    fn tag_components_round_trip() {
+        let tag = TxTag::new(ThreadId::new(7), TxId::new(42));
+        assert_eq!(tag.tid(), ThreadId::new(7));
+        assert_eq!(tag.txid(), TxId::new(42));
+    }
+
+    #[test]
+    fn core_to_thread_mapping_is_identity() {
+        assert_eq!(CoreId::new(5).thread(), ThreadId::new(5));
+    }
+
+    #[test]
+    fn displays_match_paper_notation() {
+        assert_eq!(format!("{}", ThreadId::new(1)), "T1");
+        assert_eq!(format!("{}", TxId::new(3)), "Tx3");
+        assert_eq!(
+            format!("{}", TxTag::new(ThreadId::new(1), TxId::new(3))),
+            "(T1, Tx3)"
+        );
+        assert_eq!(format!("{}", CoreId::new(0)), "core0");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_tid_then_txid() {
+        let a = TxTag::new(ThreadId::new(0), TxId::new(9));
+        let b = TxTag::new(ThreadId::new(1), TxId::new(0));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,146 @@
+//! The 8-byte word: the granularity of CPU stores and Silo log data.
+
+use core::fmt;
+
+use crate::WORD_BYTES;
+
+/// One CPU word (8 bytes), the unit of old/new data in a Silo log entry.
+///
+/// The paper's log generator captures "the data change made by a CPU store
+/// instruction" (Fig 6) at word granularity; [`Word`] is that datum. It is a
+/// thin newtype over `u64` in little-endian byte order, with helpers for the
+/// byte-level splicing the on-PM buffer performs when coalescing partial
+/// overwrites (paper §III-E case 1).
+///
+/// # Examples
+///
+/// ```
+/// use silo_types::Word;
+///
+/// let w = Word::new(0x1122_3344_5566_7788);
+/// assert_eq!(w.byte(0), 0x88); // little-endian: byte 0 is the low byte
+/// assert_eq!(w.to_le_bytes()[7], 0x11);
+/// assert_eq!(Word::from_le_bytes(w.to_le_bytes()), w);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Word(u64);
+
+impl Word {
+    /// The all-zero word.
+    pub const ZERO: Word = Word(0);
+
+    /// Creates a word from its integer value.
+    #[inline]
+    pub const fn new(value: u64) -> Self {
+        Word(value)
+    }
+
+    /// Returns the integer value.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The word as little-endian bytes (the memory image).
+    #[inline]
+    pub fn to_le_bytes(self) -> [u8; WORD_BYTES] {
+        self.0.to_le_bytes()
+    }
+
+    /// Reconstructs a word from its little-endian memory image.
+    #[inline]
+    pub fn from_le_bytes(bytes: [u8; WORD_BYTES]) -> Self {
+        Word(u64::from_le_bytes(bytes))
+    }
+
+    /// Byte `i` of the little-endian image (byte 0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[inline]
+    pub fn byte(self, i: usize) -> u8 {
+        assert!(i < WORD_BYTES, "byte index out of range: {i}");
+        self.to_le_bytes()[i]
+    }
+
+    /// Number of bits that differ from `other` — the quantity a bit-level
+    /// data-comparison-write scheme (paper \[62\]) would actually program.
+    #[inline]
+    pub fn bit_diff(self, other: Word) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Word({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Word {
+    fn from(v: u64) -> Word {
+        Word(v)
+    }
+}
+
+impl From<Word> for u64 {
+    fn from(w: Word) -> u64 {
+        w.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let w = Word::new(0xdead_beef_cafe_f00d);
+        assert_eq!(Word::from_le_bytes(w.to_le_bytes()), w);
+    }
+
+    #[test]
+    fn byte_indexing_is_little_endian() {
+        let w = Word::new(0x0102_0304_0506_0708);
+        assert_eq!(w.byte(0), 0x08);
+        assert_eq!(w.byte(7), 0x01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn byte_index_out_of_range_panics() {
+        let _ = Word::ZERO.byte(8);
+    }
+
+    #[test]
+    fn bit_diff_counts_flipped_bits() {
+        assert_eq!(Word::new(0).bit_diff(Word::new(0)), 0);
+        assert_eq!(Word::new(0b1011).bit_diff(Word::new(0b0001)), 2);
+        assert_eq!(Word::new(u64::MAX).bit_diff(Word::new(0)), 64);
+    }
+
+    #[test]
+    fn conversions_and_default() {
+        assert_eq!(u64::from(Word::from(42u64)), 42);
+        assert_eq!(Word::default(), Word::ZERO);
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        assert_eq!(format!("{}", Word::new(1)), "0x0000000000000001");
+        assert!(format!("{:?}", Word::ZERO).starts_with("Word("));
+    }
+}

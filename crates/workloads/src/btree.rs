@@ -1,0 +1,829 @@
+//! Btree: random inserts into a persistent B-tree (paper Table III).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// Maximum keys per node (order-8 B-tree).
+const MAX_KEYS: usize = 7;
+/// Minimum keys in a non-root node after deletion rebalancing.
+const MIN_KEYS: usize = 3;
+/// Node layout: header word, 7 key words, 8 child/value words = 128 B.
+const NODE_BYTES: u64 = 16 * WORD_BYTES as u64;
+
+/// The B-tree micro-benchmark: each transaction inserts one random 64 B
+/// element (8-word payload plus the index update, with node splits when
+/// needed). With `delete_percent > 0`, that fraction of transactions
+/// deletes a random live key instead (full B-tree delete with borrow and
+/// merge rebalancing).
+#[derive(Clone, Debug)]
+pub struct BtreeWorkload {
+    /// Elements inserted during setup.
+    pub setup_inserts: usize,
+    /// Percent of measured transactions that delete instead of insert
+    /// (paper figures use 0: insert-only).
+    pub delete_percent: u64,
+}
+
+impl Default for BtreeWorkload {
+    fn default() -> Self {
+        BtreeWorkload {
+            setup_inserts: 128,
+            delete_percent: 0,
+        }
+    }
+}
+
+struct Btree<'a> {
+    rec: &'a mut TxRecorder,
+    heap: &'a mut PmHeap,
+    /// PM word holding the root pointer.
+    root_ptr: PhysAddr,
+}
+
+impl<'a> Btree<'a> {
+    fn header(count: usize, leaf: bool) -> u64 {
+        count as u64 | (u64::from(leaf) << 32)
+    }
+
+    fn parse(header: u64) -> (usize, bool) {
+        ((header & 0xffff_ffff) as usize, (header >> 32) & 1 != 0)
+    }
+
+    fn key_addr(node: PhysAddr, i: usize) -> PhysAddr {
+        node.add(((1 + i) * WORD_BYTES) as u64)
+    }
+
+    fn child_addr(node: PhysAddr, i: usize) -> PhysAddr {
+        node.add(((8 + i) * WORD_BYTES) as u64)
+    }
+
+    fn alloc_node(&mut self, leaf: bool) -> PhysAddr {
+        let n = self.heap.alloc_aligned(NODE_BYTES, 64);
+        self.rec.write_u64(n, Self::header(0, leaf));
+        n
+    }
+
+    fn ensure_root(&mut self) -> PhysAddr {
+        let root = self.rec.read_u64(self.root_ptr);
+        if root != 0 {
+            return PhysAddr::new(root);
+        }
+        let n = self.alloc_node(true);
+        self.rec.write_u64(self.root_ptr, n.as_u64());
+        n
+    }
+
+    /// Splits full child `ci` of `parent`; returns the promoted key.
+    fn split_child(&mut self, parent: PhysAddr, ci: usize) {
+        let child = PhysAddr::new(self.rec.read_u64(Self::child_addr(parent, ci)));
+        let (ccount, cleaf) = Self::parse(self.rec.read_u64(child));
+        debug_assert_eq!(ccount, MAX_KEYS);
+        let mid = MAX_KEYS / 2;
+        let promoted = self.rec.read_u64(Self::key_addr(child, mid));
+        let right = self.alloc_node(cleaf);
+        // Move upper keys (and children) to the new right sibling.
+        let moved = MAX_KEYS - mid - 1;
+        for i in 0..moved {
+            let k = self.rec.read_u64(Self::key_addr(child, mid + 1 + i));
+            self.rec.write_u64(Self::key_addr(right, i), k);
+        }
+        if cleaf {
+            // Leaf: value pointers travel with keys; the middle key stays
+            // in the left leaf too (simplified B-tree, middle value kept).
+            for i in 0..moved {
+                let v = self.rec.read_u64(Self::child_addr(child, mid + 1 + i));
+                self.rec.write_u64(Self::child_addr(right, i), v);
+            }
+            self.rec.write_u64(right, Self::header(moved, true));
+            self.rec.write_u64(child, Self::header(mid + 1, true));
+        } else {
+            for i in 0..=moved {
+                let c = self.rec.read_u64(Self::child_addr(child, mid + 1 + i));
+                self.rec.write_u64(Self::child_addr(right, i), c);
+            }
+            self.rec.write_u64(right, Self::header(moved, false));
+            self.rec.write_u64(child, Self::header(mid, false));
+        }
+        // Shift the parent's keys/children right of ci and link the pair.
+        let (pcount, pleaf) = Self::parse(self.rec.read_u64(parent));
+        debug_assert!(!pleaf && pcount < MAX_KEYS);
+        for i in (ci..pcount).rev() {
+            let k = self.rec.read_u64(Self::key_addr(parent, i));
+            self.rec.write_u64(Self::key_addr(parent, i + 1), k);
+            let c = self.rec.read_u64(Self::child_addr(parent, i + 1));
+            self.rec.write_u64(Self::child_addr(parent, i + 2), c);
+        }
+        self.rec.write_u64(Self::key_addr(parent, ci), promoted);
+        self.rec.write_u64(Self::child_addr(parent, ci + 1), right.as_u64());
+        self.rec.write_u64(parent, Self::header(pcount + 1, false));
+    }
+
+    /// Inserts `key -> value_ptr`, splitting full nodes on the way down.
+    fn insert(&mut self, key: u64, value_ptr: u64) {
+        let mut node = self.ensure_root();
+        let (count, _) = Self::parse(self.rec.read_u64(node));
+        if count == MAX_KEYS {
+            // Grow a new root above the full old root.
+            let old_root = node;
+            let new_root = self.alloc_node(false);
+            self.rec.write_u64(Self::child_addr(new_root, 0), old_root.as_u64());
+            self.rec.write_u64(self.root_ptr, new_root.as_u64());
+            self.split_child(new_root, 0);
+            node = new_root;
+        }
+        loop {
+            let (count, leaf) = Self::parse(self.rec.read_u64(node));
+            // Find the insertion position among the keys.
+            let mut pos = 0;
+            while pos < count && self.rec.read_u64(Self::key_addr(node, pos)) < key {
+                pos += 1;
+            }
+            if leaf {
+                // Seqlock-style dirty mark before mutating the node; the
+                // final header write clears it (merged on chip).
+                self.rec
+                    .write_u64(node, Self::header(count, true) | 1 << 40);
+                for i in (pos..count).rev() {
+                    let k = self.rec.read_u64(Self::key_addr(node, i));
+                    self.rec.write_u64(Self::key_addr(node, i + 1), k);
+                    let v = self.rec.read_u64(Self::child_addr(node, i));
+                    self.rec.write_u64(Self::child_addr(node, i + 1), v);
+                }
+                self.rec.write_u64(Self::key_addr(node, pos), key);
+                self.rec.write_u64(Self::child_addr(node, pos), value_ptr);
+                self.rec.write_u64(node, Self::header(count + 1, true));
+                return;
+            }
+            let mut child = PhysAddr::new(self.rec.read_u64(Self::child_addr(node, pos)));
+            let (ccount, _) = Self::parse(self.rec.read_u64(child));
+            if ccount == MAX_KEYS {
+                self.split_child(node, pos);
+                // Re-read the separator to pick the correct side.
+                let sep = self.rec.read_u64(Self::key_addr(node, pos));
+                let next = if key < sep { pos } else { pos + 1 };
+                child = PhysAddr::new(self.rec.read_u64(Self::child_addr(node, next)));
+            }
+            node = child;
+        }
+    }
+}
+
+impl<'a> Btree<'a> {
+    /// Finds `key`; returns its value pointer if present. Used by tests
+    /// and available to library users building read/write mixes.
+    #[allow(dead_code)]
+    fn lookup(&mut self, key: u64) -> Option<u64> {
+        let mut node = {
+            let root = self.rec.read_u64(self.root_ptr);
+            if root == 0 {
+                return None;
+            }
+            PhysAddr::new(root)
+        };
+        loop {
+            let (count, leaf) = Self::parse(self.rec.read_u64(node));
+            let mut pos = 0;
+            while pos < count && self.rec.read_u64(Self::key_addr(node, pos)) < key {
+                pos += 1;
+            }
+            if leaf {
+                return (pos < count
+                    && self.rec.read_u64(Self::key_addr(node, pos)) == key)
+                    .then(|| self.rec.read_u64(Self::child_addr(node, pos)));
+            }
+            node = PhysAddr::new(self.rec.read_u64(Self::child_addr(node, pos)));
+        }
+    }
+}
+
+impl<'a> Btree<'a> {
+    /// Overwrites the payload of `key`'s element (an OLTP-style update).
+    /// Returns whether the key was found.
+    #[allow(dead_code)]
+    fn update(&mut self, key: u64, stamp: u64) -> bool {
+        let Some(ptr) = self.lookup(key) else {
+            return false;
+        };
+        // Rewrite the element's payload words (key word untouched).
+        for w in 1..8u64 {
+            self.rec
+                .write_u64(PhysAddr::new(ptr + w * WORD_BYTES as u64), stamp ^ w);
+        }
+        true
+    }
+
+    /// In-order scan of up to `limit` keys starting at the smallest key
+    /// `>= from` (a TPC-C stock-level-style range read). Returns the keys
+    /// visited.
+    #[allow(dead_code)]
+    fn scan(&mut self, from: u64, limit: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(limit);
+        let root = self.rec.read_u64(self.root_ptr);
+        if root != 0 {
+            self.scan_node(PhysAddr::new(root), from, limit, &mut out);
+        }
+        out
+    }
+
+    fn scan_node(&mut self, node: PhysAddr, from: u64, limit: usize, out: &mut Vec<u64>) {
+        if out.len() >= limit {
+            return;
+        }
+        let (count, leaf) = Self::parse(self.rec.read_u64(node));
+        if leaf {
+            for i in 0..count {
+                if out.len() >= limit {
+                    return;
+                }
+                let k = self.rec.read_u64(Self::key_addr(node, i));
+                if k >= from {
+                    out.push(k);
+                }
+            }
+            return;
+        }
+        for i in 0..count {
+            let sep = self.rec.read_u64(Self::key_addr(node, i));
+            if sep >= from || i == count - 1 {
+                let child = self.rec.read_u64(Self::child_addr(node, i));
+                self.scan_node(PhysAddr::new(child), from, limit, out);
+            }
+            if out.len() >= limit {
+                return;
+            }
+        }
+        let last = self.rec.read_u64(Self::child_addr(node, count));
+        self.scan_node(PhysAddr::new(last), from, limit, out);
+    }
+}
+
+impl<'a> Btree<'a> {
+    /// Deletes `key` (and its value pointer) from the tree; returns whether
+    /// it was present. Full B-tree deletion with borrow/merge rebalancing;
+    /// separators follow the B+-style convention of this tree (a separator
+    /// is a copy of the maximum key of its left subtree, so equal keys
+    /// descend left).
+    #[allow(dead_code)]
+    fn delete(&mut self, key: u64) -> bool {
+        let root_raw = self.rec.read_u64(self.root_ptr);
+        if root_raw == 0 {
+            return false;
+        }
+        let root = PhysAddr::new(root_raw);
+        let found = self.delete_rec(root, key);
+        // Shrink the root when an internal root loses its last separator.
+        let (count, leaf) = Self::parse(self.rec.read_u64(root));
+        if !leaf && count == 0 {
+            let only_child = self.rec.read_u64(Self::child_addr(root, 0));
+            self.rec.write_u64(self.root_ptr, only_child);
+        } else if leaf && count == 0 {
+            self.rec.write_u64(self.root_ptr, 0);
+        }
+        found
+    }
+
+    fn delete_rec(&mut self, node: PhysAddr, key: u64) -> bool {
+        let (count, leaf) = Self::parse(self.rec.read_u64(node));
+        if leaf {
+            let mut pos = 0;
+            while pos < count && self.rec.read_u64(Self::key_addr(node, pos)) < key {
+                pos += 1;
+            }
+            if pos == count || self.rec.read_u64(Self::key_addr(node, pos)) != key {
+                return false;
+            }
+            // Shift the tail left over the removed slot.
+            for i in pos..count - 1 {
+                let k = self.rec.read_u64(Self::key_addr(node, i + 1));
+                self.rec.write_u64(Self::key_addr(node, i), k);
+                let v = self.rec.read_u64(Self::child_addr(node, i + 1));
+                self.rec.write_u64(Self::child_addr(node, i), v);
+            }
+            self.rec.write_u64(node, Self::header(count - 1, true));
+            return true;
+        }
+        // Descend (equal keys live in the left subtree).
+        let mut pos = 0;
+        while pos < count && self.rec.read_u64(Self::key_addr(node, pos)) < key {
+            pos += 1;
+        }
+        let child = PhysAddr::new(self.rec.read_u64(Self::child_addr(node, pos)));
+        let found = self.delete_rec(child, key);
+        if found {
+            let (ccount, _) = Self::parse(self.rec.read_u64(child));
+            if ccount < MIN_KEYS {
+                self.rebalance(node, pos);
+            }
+        }
+        found
+    }
+
+    /// Restores the minimum-occupancy invariant of `parent`'s child `ci`
+    /// by borrowing from a sibling or merging with one.
+    fn rebalance(&mut self, parent: PhysAddr, ci: usize) {
+        let (pcount, _) = Self::parse(self.rec.read_u64(parent));
+        let child = PhysAddr::new(self.rec.read_u64(Self::child_addr(parent, ci)));
+        let (_, cleaf) = Self::parse(self.rec.read_u64(child));
+
+        // Try the left sibling first, then the right.
+        if ci > 0 {
+            let left = PhysAddr::new(self.rec.read_u64(Self::child_addr(parent, ci - 1)));
+            let (lcount, _) = Self::parse(self.rec.read_u64(left));
+            if lcount > MIN_KEYS {
+                self.borrow_from_left(parent, ci, left, child, cleaf);
+                return;
+            }
+        }
+        if ci < pcount {
+            let right = PhysAddr::new(self.rec.read_u64(Self::child_addr(parent, ci + 1)));
+            let (rcount, _) = Self::parse(self.rec.read_u64(right));
+            if rcount > MIN_KEYS {
+                self.borrow_from_right(parent, ci, child, right, cleaf);
+                return;
+            }
+        }
+        // Merge with a sibling (into the left of the pair).
+        if ci > 0 {
+            let left = PhysAddr::new(self.rec.read_u64(Self::child_addr(parent, ci - 1)));
+            self.merge_children(parent, ci - 1, left, child, cleaf);
+        } else {
+            let right = PhysAddr::new(self.rec.read_u64(Self::child_addr(parent, ci + 1)));
+            self.merge_children(parent, ci, child, right, cleaf);
+        }
+    }
+
+    fn borrow_from_left(
+        &mut self,
+        parent: PhysAddr,
+        ci: usize,
+        left: PhysAddr,
+        child: PhysAddr,
+        leaf: bool,
+    ) {
+        let (lcount, _) = Self::parse(self.rec.read_u64(left));
+        let (ccount, _) = Self::parse(self.rec.read_u64(child));
+        // Make room at the child's front.
+        for i in (0..ccount).rev() {
+            let k = self.rec.read_u64(Self::key_addr(child, i));
+            self.rec.write_u64(Self::key_addr(child, i + 1), k);
+        }
+        let child_slots = if leaf { ccount } else { ccount + 1 };
+        for i in (0..child_slots).rev() {
+            let c = self.rec.read_u64(Self::child_addr(child, i));
+            self.rec.write_u64(Self::child_addr(child, i + 1), c);
+        }
+        if leaf {
+            // Move the left sibling's last (key, value) over.
+            let k = self.rec.read_u64(Self::key_addr(left, lcount - 1));
+            let v = self.rec.read_u64(Self::child_addr(left, lcount - 1));
+            self.rec.write_u64(Self::key_addr(child, 0), k);
+            self.rec.write_u64(Self::child_addr(child, 0), v);
+            // New separator: the left sibling's new maximum.
+            let new_sep = self.rec.read_u64(Self::key_addr(left, lcount - 2));
+            self.rec.write_u64(Self::key_addr(parent, ci - 1), new_sep);
+        } else {
+            // Rotate through the parent.
+            let sep = self.rec.read_u64(Self::key_addr(parent, ci - 1));
+            self.rec.write_u64(Self::key_addr(child, 0), sep);
+            let moved_child = self.rec.read_u64(Self::child_addr(left, lcount));
+            self.rec.write_u64(Self::child_addr(child, 0), moved_child);
+            let up = self.rec.read_u64(Self::key_addr(left, lcount - 1));
+            self.rec.write_u64(Self::key_addr(parent, ci - 1), up);
+        }
+        self.rec.write_u64(left, Self::header(lcount - 1, leaf));
+        self.rec.write_u64(child, Self::header(ccount + 1, leaf));
+    }
+
+    fn borrow_from_right(
+        &mut self,
+        parent: PhysAddr,
+        ci: usize,
+        child: PhysAddr,
+        right: PhysAddr,
+        leaf: bool,
+    ) {
+        let (rcount, _) = Self::parse(self.rec.read_u64(right));
+        let (ccount, _) = Self::parse(self.rec.read_u64(child));
+        if leaf {
+            // Move the right sibling's first (key, value) to the child's end.
+            let k = self.rec.read_u64(Self::key_addr(right, 0));
+            let v = self.rec.read_u64(Self::child_addr(right, 0));
+            self.rec.write_u64(Self::key_addr(child, ccount), k);
+            self.rec.write_u64(Self::child_addr(child, ccount), v);
+            // Separator between child and right becomes the moved key.
+            self.rec.write_u64(Self::key_addr(parent, ci), k);
+        } else {
+            let sep = self.rec.read_u64(Self::key_addr(parent, ci));
+            self.rec.write_u64(Self::key_addr(child, ccount), sep);
+            let moved_child = self.rec.read_u64(Self::child_addr(right, 0));
+            self.rec.write_u64(Self::child_addr(child, ccount + 1), moved_child);
+            let up = self.rec.read_u64(Self::key_addr(right, 0));
+            self.rec.write_u64(Self::key_addr(parent, ci), up);
+        }
+        // Compact the right sibling.
+        for i in 0..rcount - 1 {
+            let k = self.rec.read_u64(Self::key_addr(right, i + 1));
+            self.rec.write_u64(Self::key_addr(right, i), k);
+        }
+        let right_slots = if leaf { rcount - 1 } else { rcount };
+        for i in 0..right_slots {
+            let c = self.rec.read_u64(Self::child_addr(right, i + 1));
+            self.rec.write_u64(Self::child_addr(right, i), c);
+        }
+        self.rec.write_u64(right, Self::header(rcount - 1, leaf));
+        self.rec.write_u64(child, Self::header(ccount + 1, leaf));
+    }
+
+    /// Merges `parent`'s children `li` and `li + 1` into the left one and
+    /// removes the separating key from the parent.
+    fn merge_children(
+        &mut self,
+        parent: PhysAddr,
+        li: usize,
+        left: PhysAddr,
+        right: PhysAddr,
+        leaf: bool,
+    ) {
+        let (lcount, _) = Self::parse(self.rec.read_u64(left));
+        let (rcount, _) = Self::parse(self.rec.read_u64(right));
+        let mut dst = lcount;
+        if !leaf {
+            // The parent separator descends between the merged halves.
+            let sep = self.rec.read_u64(Self::key_addr(parent, li));
+            self.rec.write_u64(Self::key_addr(left, dst), sep);
+            dst += 1;
+        }
+        for i in 0..rcount {
+            let k = self.rec.read_u64(Self::key_addr(right, i));
+            self.rec.write_u64(Self::key_addr(left, dst + i), k);
+        }
+        let right_slots = if leaf { rcount } else { rcount + 1 };
+        let child_dst = if leaf { lcount } else { lcount + 1 };
+        for i in 0..right_slots {
+            let c = self.rec.read_u64(Self::child_addr(right, i));
+            self.rec.write_u64(Self::child_addr(left, child_dst + i), c);
+        }
+        self.rec.write_u64(left, Self::header(dst + rcount, leaf));
+        // Remove separator li and child li+1 from the parent.
+        let (pcount, _) = Self::parse(self.rec.read_u64(parent));
+        for i in li..pcount - 1 {
+            let k = self.rec.read_u64(Self::key_addr(parent, i + 1));
+            self.rec.write_u64(Self::key_addr(parent, i), k);
+        }
+        for i in li + 1..pcount {
+            let c = self.rec.read_u64(Self::child_addr(parent, i + 1));
+            self.rec.write_u64(Self::child_addr(parent, i), c);
+        }
+        self.rec.write_u64(parent, Self::header(pcount - 1, false));
+    }
+}
+
+impl Workload for BtreeWorkload {
+    fn name(&self) -> &'static str {
+        "Btree"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0xb7e1));
+                let mut rec = TxRecorder::new();
+                let mut heap = PmHeap::new(base + 64, CORE_REGION_BYTES - 64);
+                let root_ptr = PhysAddr::new(base);
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                let do_insert = |rec: &mut TxRecorder, heap: &mut PmHeap, key: u64| {
+                    // The 64B data element: key + 7 payload words.
+                    let elem = heap.alloc_aligned(64, 64);
+                    rec.write_u64(elem, key);
+                    for w in 1..8 {
+                        rec.write_u64(
+                            elem.add((w * WORD_BYTES) as u64),
+                            key.rotate_left(w as u32),
+                        );
+                    }
+                    let mut tree = Btree { rec, heap, root_ptr };
+                    tree.insert(key, elem.as_u64());
+                };
+
+                // Setup inserts in one transaction.
+                let mut live: Vec<u64> = Vec::new();
+                for _ in 0..self.setup_inserts {
+                    let key = rng.next_u64() >> 16;
+                    do_insert(&mut rec, &mut heap, key);
+                    live.push(key);
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    if !live.is_empty() && rng.percent(self.delete_percent) {
+                        let idx = rng.below(live.len() as u64) as usize;
+                        let key = live.swap_remove(idx);
+                        Btree { rec: &mut rec, heap: &mut heap, root_ptr }.delete(key);
+                    } else {
+                        let key = rng.next_u64() >> 16;
+                        do_insert(&mut rec, &mut heap, key);
+                        live.push(key);
+                    }
+                    rec.compute(30);
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays the generated traces into a recorder and walks the tree,
+    /// checking the B-tree ordering invariant and that every key is
+    /// findable.
+    fn check_tree(streams: &[Vec<Transaction>]) -> usize {
+        let mut rec = TxRecorder::new();
+        let mut keys = Vec::new();
+        for tx in &streams[0] {
+            for op in tx.ops() {
+                if let silo_sim::Op::Write(a, v) = op {
+                    rec.write_u64(*a, v.as_u64());
+                }
+            }
+        }
+        // In-order walk.
+        fn walk(rec: &TxRecorder, node: PhysAddr, out: &mut Vec<u64>) {
+            let (count, leaf) = Btree::parse(rec.peek_u64(node));
+            if leaf {
+                for i in 0..count {
+                    out.push(rec.peek_u64(Btree::key_addr(node, i)));
+                }
+                return;
+            }
+            // Internal keys are separator copies of leaf keys; count only
+            // leaf keys so the total equals the insert count.
+            for i in 0..count {
+                walk(rec, PhysAddr::new(rec.peek_u64(Btree::child_addr(node, i))), out);
+            }
+            walk(
+                rec,
+                PhysAddr::new(rec.peek_u64(Btree::child_addr(node, count))),
+                out,
+            );
+        }
+        let root = rec.peek_u64(PhysAddr::new(core_base(0)));
+        assert_ne!(root, 0, "tree was built");
+        walk(&rec, PhysAddr::new(root), &mut keys);
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "in-order walk must be sorted"
+        );
+        keys.len()
+    }
+
+    #[test]
+    fn tree_invariants_hold_after_many_inserts() {
+        let w = BtreeWorkload {
+            setup_inserts: 64,
+            delete_percent: 0,
+        };
+        let streams = w.generate(1, 200, 5);
+        let n = check_tree(&streams);
+        assert_eq!(n, 64 + 200);
+    }
+
+    #[test]
+    fn mixed_insert_delete_stream_stays_sorted() {
+        let w = BtreeWorkload {
+            setup_inserts: 64,
+            delete_percent: 35,
+        };
+        let streams = w.generate(1, 400, 31);
+        let n = check_tree(&streams);
+        assert!(n < 64 + 400, "deletes removed keys (live = {n})");
+        assert!(n > 100, "inserts outnumber deletes");
+    }
+
+    #[test]
+    fn insert_transactions_have_plausible_write_sets() {
+        let streams = BtreeWorkload::default().generate(1, 100, 6);
+        for tx in &streams[0][1..] {
+            let words = tx.write_set_words();
+            assert!(
+                (9..=60).contains(&words),
+                "unexpected write set: {words} words"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = BtreeWorkload::default().generate(2, 20, 9);
+        let b = BtreeWorkload::default().generate(2, 20, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn update_rewrites_payload_in_place() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let root_ptr = PhysAddr::new(0);
+        let elem = heap.alloc_aligned(64, 64);
+        rec.write_u64(elem, 77);
+        Btree { rec: &mut rec, heap: &mut heap, root_ptr }.insert(77, elem.as_u64());
+        assert!(Btree { rec: &mut rec, heap: &mut heap, root_ptr }.update(77, 0xABCD));
+        assert_eq!(rec.peek_u64(elem.add(8)), 0xABCD ^ 1);
+        assert_eq!(rec.peek_u64(elem), 77, "key word untouched");
+        assert!(!Btree { rec: &mut rec, heap: &mut heap, root_ptr }.update(78, 0));
+    }
+
+    #[test]
+    fn scan_returns_sorted_range() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let root_ptr = PhysAddr::new(0);
+        let mut keys: Vec<u64> = (0..60).map(|i| (i * 37) % 100).collect();
+        keys.dedup();
+        for &k in &keys {
+            let elem = heap.alloc_aligned(64, 64);
+            rec.write_u64(elem, k);
+            Btree { rec: &mut rec, heap: &mut heap, root_ptr }.insert(k, elem.as_u64());
+        }
+        let got = Btree { rec: &mut rec, heap: &mut heap, root_ptr }.scan(40, 10);
+        assert_eq!(got.len(), 10);
+        assert!(got.windows(2).all(|w| w[0] <= w[1]), "sorted: {got:?}");
+        assert!(got.iter().all(|&k| k >= 40), "range respected: {got:?}");
+    }
+
+    #[test]
+    fn lookup_finds_inserted_keys_and_their_elements() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let root_ptr = PhysAddr::new(0);
+        let keys = [90u64, 10, 50, 30, 70, 20, 60, 40, 80, 100, 5, 95];
+        for &k in &keys {
+            let elem = heap.alloc_aligned(64, 64);
+            rec.write_u64(elem, k);
+            let mut t = Btree { rec: &mut rec, heap: &mut heap, root_ptr };
+            t.insert(k, elem.as_u64());
+        }
+        for &k in &keys {
+            let mut t = Btree { rec: &mut rec, heap: &mut heap, root_ptr };
+            let ptr = t.lookup(k).unwrap_or_else(|| panic!("key {k} missing"));
+            assert_eq!(rec.peek_u64(PhysAddr::new(ptr)), k, "element holds its key");
+        }
+        let mut t = Btree { rec: &mut rec, heap: &mut heap, root_ptr };
+        assert_eq!(t.lookup(999), None);
+    }
+}
+
+#[cfg(test)]
+mod delete_tests {
+    use super::*;
+    use silo_types::SplitMix64;
+
+    struct Harness {
+        rec: TxRecorder,
+        heap: PmHeap,
+        root_ptr: PhysAddr,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            Harness {
+                rec: TxRecorder::new(),
+                heap: PmHeap::new(1024, 32 << 20),
+                root_ptr: PhysAddr::new(0),
+            }
+        }
+
+        fn insert(&mut self, key: u64) {
+            let elem = self.heap.alloc_aligned(64, 64);
+            self.rec.write_u64(elem, key);
+            Btree { rec: &mut self.rec, heap: &mut self.heap, root_ptr: self.root_ptr }
+                .insert(key, elem.as_u64());
+        }
+
+        fn delete(&mut self, key: u64) -> bool {
+            Btree { rec: &mut self.rec, heap: &mut self.heap, root_ptr: self.root_ptr }
+                .delete(key)
+        }
+
+        fn lookup(&mut self, key: u64) -> bool {
+            Btree { rec: &mut self.rec, heap: &mut self.heap, root_ptr: self.root_ptr }
+                .lookup(key)
+                .is_some()
+        }
+
+        /// Walks the tree checking sortedness, occupancy, and uniform leaf
+        /// depth; returns the leaf-key count.
+        fn check(&self) -> usize {
+            let root = self.rec.peek_u64(self.root_ptr);
+            if root == 0 {
+                return 0;
+            }
+            let mut keys = Vec::new();
+            let mut leaf_depths = Vec::new();
+            self.walk(PhysAddr::new(root), 0, true, &mut keys, &mut leaf_depths);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]), "unsorted walk");
+            assert!(
+                leaf_depths.windows(2).all(|w| w[0] == w[1]),
+                "leaves at unequal depths: {leaf_depths:?}"
+            );
+            keys.len()
+        }
+
+        fn walk(
+            &self,
+            node: PhysAddr,
+            depth: usize,
+            is_root: bool,
+            keys: &mut Vec<u64>,
+            leaf_depths: &mut Vec<usize>,
+        ) {
+            let (count, leaf) = Btree::parse(self.rec.peek_u64(node));
+            if !is_root {
+                assert!(count >= MIN_KEYS, "underfull node: {count} keys");
+            }
+            assert!(count <= MAX_KEYS, "overfull node: {count} keys");
+            if leaf {
+                leaf_depths.push(depth);
+                for i in 0..count {
+                    keys.push(self.rec.peek_u64(Btree::key_addr(node, i)));
+                }
+                return;
+            }
+            for i in 0..=count {
+                let child = self.rec.peek_u64(Btree::child_addr(node, i));
+                assert_ne!(child, 0, "missing child {i} of internal node");
+                self.walk(PhysAddr::new(child), depth + 1, false, keys, leaf_depths);
+            }
+        }
+    }
+
+    #[test]
+    fn random_insert_delete_preserves_btree_invariants() {
+        let mut h = Harness::new();
+        let mut rng = SplitMix64::new(77);
+        let mut live: Vec<u64> = Vec::new();
+        for round in 0..3_000u64 {
+            if live.is_empty() || rng.chance(3, 5) {
+                let key = rng.next_u64() >> 16;
+                h.insert(key);
+                live.push(key);
+            } else {
+                let idx = rng.below(live.len() as u64) as usize;
+                let key = live.swap_remove(idx);
+                assert!(h.delete(key), "round {round}: key {key} present");
+                assert!(!h.lookup(key), "round {round}: key {key} still findable");
+            }
+            if round % 131 == 0 {
+                assert_eq!(h.check(), live.len(), "round {round}");
+            }
+        }
+        // Every surviving key is still findable; then drain to empty.
+        for &key in &live {
+            assert!(h.lookup(key), "surviving key {key} lost");
+        }
+        for key in live.drain(..) {
+            assert!(h.delete(key));
+        }
+        assert_eq!(h.check(), 0);
+        assert_eq!(h.rec.peek_u64(PhysAddr::new(0)), 0, "root reset");
+    }
+
+    #[test]
+    fn delete_on_empty_tree_is_noop() {
+        let mut h = Harness::new();
+        assert!(!h.delete(1));
+    }
+
+    #[test]
+    fn delete_missing_key_is_noop() {
+        let mut h = Harness::new();
+        for k in [10u64, 20, 30] {
+            h.insert(k);
+        }
+        assert!(!h.delete(25));
+        assert_eq!(h.check(), 3);
+    }
+
+    #[test]
+    fn sequential_fill_and_drain() {
+        let mut h = Harness::new();
+        for k in 0..500u64 {
+            h.insert(k * 3);
+        }
+        assert_eq!(h.check(), 500);
+        // Drain in a different order than insertion.
+        for k in (0..500u64).rev() {
+            assert!(h.delete(k * 3), "key {}", k * 3);
+        }
+        assert_eq!(h.check(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Ctrie: crit-bit trie inserts, as in PMDK's `ctree` example (paper
+//! Fig 4).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// Internal node: crit-bit index, left child, right child, parent-tag
+/// padding (4 words).
+const INNER_WORDS: usize = 4;
+/// Leaf: key + 7 payload words (64 B element).
+const LEAF_WORDS: usize = 8;
+
+/// Pointers tag their lowest bit to distinguish leaves (1) from inner
+/// nodes (0); all allocations are ≥8-byte aligned so the bit is free.
+fn tag_leaf(addr: u64) -> u64 {
+    addr | 1
+}
+
+fn is_leaf(ptr: u64) -> bool {
+    ptr & 1 == 1
+}
+
+fn untag(ptr: u64) -> u64 {
+    ptr & !1
+}
+
+/// The crit-bit trie workload: each transaction inserts one 64 B element.
+/// Inserts walk to the closest leaf, find the differing bit, and splice a
+/// fresh inner node into the path — a small, pointer-heavy write set.
+#[derive(Clone, Debug)]
+pub struct CtrieWorkload {
+    /// Inserts during setup.
+    pub setup_inserts: usize,
+}
+
+impl Default for CtrieWorkload {
+    fn default() -> Self {
+        CtrieWorkload { setup_inserts: 64 }
+    }
+}
+
+struct Ctrie<'a> {
+    rec: &'a mut TxRecorder,
+    heap: &'a mut PmHeap,
+    root_ptr: PhysAddr,
+}
+
+impl<'a> Ctrie<'a> {
+    fn new_leaf(&mut self, key: u64) -> u64 {
+        let leaf = self.heap.alloc_aligned((LEAF_WORDS * WORD_BYTES) as u64, 64);
+        self.rec.write_u64(leaf, key);
+        for w in 1..LEAF_WORDS {
+            self.rec
+                .write_u64(leaf.add((w * WORD_BYTES) as u64), key.wrapping_mul(w as u64 + 1));
+        }
+        tag_leaf(leaf.as_u64())
+    }
+
+    fn insert(&mut self, key: u64) {
+        let root = self.rec.read_u64(self.root_ptr);
+        if root == 0 {
+            let leaf = self.new_leaf(key);
+            self.rec.write_u64(self.root_ptr, leaf);
+            return;
+        }
+        // Walk to the nearest leaf, keys decide left/right by crit bits.
+        let mut ptr = root;
+        while !is_leaf(ptr) {
+            let node = untag(ptr);
+            let bit = self.rec.read_u64(PhysAddr::new(node));
+            let side = (key >> bit) & 1;
+            ptr = self
+                .rec
+                .read_u64(PhysAddr::new(node + (1 + side) * WORD_BYTES as u64));
+        }
+        let existing_key = self.rec.read_u64(PhysAddr::new(untag(ptr)));
+        if existing_key == key {
+            // Duplicate: overwrite one payload word.
+            self.rec
+                .write_u64(PhysAddr::new(untag(ptr) + 8), key.wrapping_mul(7));
+            return;
+        }
+        // Find the highest differing bit and re-descend to the splice
+        // point.
+        let crit = 63 - (existing_key ^ key).leading_zeros() as u64;
+        let leaf = self.new_leaf(key);
+        let mut parent_slot = self.root_ptr;
+        let mut cur = self.rec.read_u64(parent_slot);
+        while !is_leaf(cur) {
+            let node = untag(cur);
+            let bit = self.rec.read_u64(PhysAddr::new(node));
+            if bit < crit {
+                break;
+            }
+            let side = (key >> bit) & 1;
+            parent_slot = PhysAddr::new(node + (1 + side) * WORD_BYTES as u64);
+            cur = self.rec.read_u64(parent_slot);
+        }
+        let inner = self.heap.alloc_aligned((INNER_WORDS * WORD_BYTES) as u64, 32);
+        self.rec.write_u64(inner, crit);
+        let side = (key >> crit) & 1;
+        self.rec.write_u64(inner.add((1 + side) * WORD_BYTES as u64), leaf);
+        self.rec.write_u64(inner.add((2 - side) * WORD_BYTES as u64), cur);
+        self.rec.write_u64(parent_slot, inner.as_u64());
+    }
+}
+
+impl Workload for CtrieWorkload {
+    fn name(&self) -> &'static str {
+        "Ctrie"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0x2468));
+                let mut rec = TxRecorder::new();
+                let mut heap = PmHeap::new(base + 64, CORE_REGION_BYTES - 64);
+                let root_ptr = PhysAddr::new(base);
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                for _ in 0..self.setup_inserts {
+                    let key = rng.below(1 << 32);
+                    Ctrie { rec: &mut rec, heap: &mut heap, root_ptr }.insert(key);
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    let key = rng.below(1 << 32);
+                    Ctrie { rec: &mut rec, heap: &mut heap, root_ptr }.insert(key);
+                    rec.compute(12);
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lookup(rec: &TxRecorder, root_ptr: PhysAddr, key: u64) -> Option<u64> {
+        let mut ptr = rec.peek_u64(root_ptr);
+        if ptr == 0 {
+            return None;
+        }
+        while !is_leaf(ptr) {
+            let node = untag(ptr);
+            let bit = rec.peek_u64(PhysAddr::new(node));
+            let side = (key >> bit) & 1;
+            ptr = rec.peek_u64(PhysAddr::new(node + (1 + side) * 8));
+        }
+        let found = rec.peek_u64(PhysAddr::new(untag(ptr)));
+        (found == key).then_some(found)
+    }
+
+    #[test]
+    fn all_inserted_keys_are_findable() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(4096, 1 << 20);
+        let root_ptr = PhysAddr::new(0);
+        let keys = [5u64, 9, 1, 0x8000_0001, 12345, 6, 7];
+        for &k in &keys {
+            Ctrie { rec: &mut rec, heap: &mut heap, root_ptr }.insert(k);
+        }
+        for &k in &keys {
+            assert_eq!(lookup(&rec, root_ptr, k), Some(k), "key {k}");
+        }
+        assert_eq!(lookup(&rec, root_ptr, 999_999), None);
+    }
+
+    #[test]
+    fn insert_write_sets_are_small() {
+        let streams = CtrieWorkload::default().generate(1, 50, 51);
+        for tx in &streams[0][1..] {
+            let w = tx.write_set_words();
+            assert!((1..=13).contains(&w), "write set {w}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            CtrieWorkload::default().generate(1, 10, 6),
+            CtrieWorkload::default().generate(1, 10, 6)
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Queue: enqueue/dequeue on a persistent linked queue (paper Table III).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// The queue micro-benchmark: each transaction enqueues one 64 B element
+/// and (once warm) dequeues one.
+///
+/// Every enqueue allocates a fresh node, so consecutive transactions touch
+/// different cachelines — the low-spatial-locality behaviour the paper
+/// calls out when explaining why LAD struggles on `Array` and `Queue`
+/// (§VI-C: "these workloads exhibit low spatial locality, causing many
+/// dirty cachelines per transaction").
+#[derive(Clone, Debug)]
+pub struct QueueWorkload {
+    /// Elements enqueued during setup (so dequeues have work immediately).
+    pub setup_elements: usize,
+}
+
+impl Default for QueueWorkload {
+    fn default() -> Self {
+        QueueWorkload { setup_elements: 32 }
+    }
+}
+
+/// Node: 8 words = next pointer + 7 payload words (64 B element).
+const NODE_WORDS: usize = 8;
+
+struct Queue {
+    /// PM words holding head and tail pointers.
+    head_ptr: PhysAddr,
+    tail_ptr: PhysAddr,
+    /// PM word holding the element count; an enqueue+dequeue transaction
+    /// writes it twice (+1 then -1), which Silo's log merging collapses to
+    /// a no-op entry.
+    size_ptr: PhysAddr,
+}
+
+impl Queue {
+    fn enqueue(&self, rec: &mut TxRecorder, heap: &mut PmHeap, value: u64) {
+        let node = heap.alloc_aligned((NODE_WORDS * WORD_BYTES) as u64, 64);
+        rec.write_u64(node, 0); // next = null
+        for w in 1..NODE_WORDS {
+            rec.write_u64(node.add((w * WORD_BYTES) as u64), value.wrapping_add(w as u64));
+        }
+        let tail = rec.read_u64(self.tail_ptr);
+        if tail == 0 {
+            rec.write_u64(self.head_ptr, node.as_u64());
+        } else {
+            rec.write_u64(PhysAddr::new(tail), node.as_u64()); // tail->next
+        }
+        rec.write_u64(self.tail_ptr, node.as_u64());
+        let size = rec.read_u64(self.size_ptr);
+        rec.write_u64(self.size_ptr, size + 1);
+    }
+
+    fn dequeue(&self, rec: &mut TxRecorder) -> Option<u64> {
+        let head = rec.read_u64(self.head_ptr);
+        if head == 0 {
+            return None;
+        }
+        let next = rec.read_u64(PhysAddr::new(head));
+        let payload = rec.read_u64(PhysAddr::new(head + WORD_BYTES as u64));
+        rec.write_u64(self.head_ptr, next);
+        if next == 0 {
+            rec.write_u64(self.tail_ptr, 0);
+        }
+        let size = rec.read_u64(self.size_ptr);
+        rec.write_u64(self.size_ptr, size - 1);
+        Some(payload)
+    }
+}
+
+impl Workload for QueueWorkload {
+    fn name(&self) -> &'static str {
+        "Queue"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0xd1b5));
+                let mut rec = TxRecorder::new();
+                let mut heap = PmHeap::new(base + 64, CORE_REGION_BYTES - 64);
+                let q = Queue {
+                    head_ptr: PhysAddr::new(base),
+                    tail_ptr: PhysAddr::new(base + WORD_BYTES as u64),
+                    size_ptr: PhysAddr::new(base + 2 * WORD_BYTES as u64),
+                };
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                for _ in 0..self.setup_elements {
+                    q.enqueue(&mut rec, &mut heap, rng.next_u64());
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    q.enqueue(&mut rec, &mut heap, rng.next_u64());
+                    let _ = q.dequeue(&mut rec);
+                    rec.compute(10);
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let q = Queue {
+            head_ptr: PhysAddr::new(0),
+            tail_ptr: PhysAddr::new(8),
+            size_ptr: PhysAddr::new(16),
+        };
+        for v in [10u64, 20, 30] {
+            q.enqueue(&mut rec, &mut heap, v);
+        }
+        assert_eq!(q.dequeue(&mut rec), Some(11)); // payload word = v + 1
+        assert_eq!(q.dequeue(&mut rec), Some(21));
+        assert_eq!(q.dequeue(&mut rec), Some(31));
+        assert_eq!(q.dequeue(&mut rec), None);
+        // Empty again: head and tail both null.
+        assert_eq!(rec.peek_u64(PhysAddr::new(0)), 0);
+        assert_eq!(rec.peek_u64(PhysAddr::new(8)), 0);
+    }
+
+    #[test]
+    fn transactions_touch_distinct_lines() {
+        let streams = QueueWorkload::default().generate(1, 10, 4);
+        let lines_per_tx: Vec<std::collections::BTreeSet<u64>> = streams[0][1..]
+            .iter()
+            .map(|tx| {
+                tx.final_writes()
+                    .iter()
+                    .map(|(a, _)| a.line_index())
+                    .collect()
+            })
+            .collect();
+        // Consecutive transactions allocate fresh nodes: their node lines
+        // differ.
+        for pair in lines_per_tx.windows(2) {
+            assert_ne!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn write_sets_are_small() {
+        let streams = QueueWorkload::default().generate(1, 20, 5);
+        for tx in &streams[0][1..] {
+            let w = tx.write_set_words();
+            assert!((10..=13).contains(&w), "unexpected write set {w}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            QueueWorkload::default().generate(1, 10, 1),
+            QueueWorkload::default().generate(1, 10, 1)
+        );
+    }
+}

@@ -1,0 +1,556 @@
+//! RBtree: random inserts into a red-black tree (paper Table III).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// Node layout (8 words = 64 B): key, meta (color), left, right, parent,
+/// and three payload words.
+const NODE_WORDS: usize = 8;
+const OFF_KEY: u64 = 0;
+const OFF_META: u64 = 8;
+const OFF_LEFT: u64 = 16;
+const OFF_RIGHT: u64 = 24;
+const OFF_PARENT: u64 = 32;
+const RED: u64 = 1;
+const BLACK: u64 = 0;
+
+/// The red-black-tree micro-benchmark: each transaction inserts one 64 B
+/// node and runs the standard recolor/rotate fixup. Fixups revisit the
+/// same parent/color words repeatedly, which exercises Silo's on-chip
+/// log merging. With `delete_percent > 0`, that fraction of transactions
+/// deletes a random live key instead (full CLRS delete with fixup).
+#[derive(Clone, Debug)]
+pub struct RbtreeWorkload {
+    /// Inserts during setup.
+    pub setup_inserts: usize,
+    /// Percent of measured transactions that delete instead of insert
+    /// (paper figures use 0: insert-only).
+    pub delete_percent: u64,
+}
+
+impl Default for RbtreeWorkload {
+    fn default() -> Self {
+        RbtreeWorkload {
+            setup_inserts: 128,
+            delete_percent: 0,
+        }
+    }
+}
+
+struct Rbt<'a> {
+    rec: &'a mut TxRecorder,
+    root_ptr: PhysAddr,
+}
+
+impl<'a> Rbt<'a> {
+    fn get(&mut self, node: u64, off: u64) -> u64 {
+        self.rec.read_u64(PhysAddr::new(node + off))
+    }
+
+    fn set(&mut self, node: u64, off: u64, v: u64) {
+        self.rec.write_u64(PhysAddr::new(node + off), v);
+    }
+
+    fn root(&mut self) -> u64 {
+        self.rec.read_u64(self.root_ptr)
+    }
+
+    fn rotate(&mut self, x: u64, left: bool) {
+        // rotate_left(x) when `left`, rotate_right(x) otherwise.
+        let (a, b) = if left {
+            (OFF_RIGHT, OFF_LEFT)
+        } else {
+            (OFF_LEFT, OFF_RIGHT)
+        };
+        let y = self.get(x, a);
+        let y_b = self.get(y, b);
+        self.set(x, a, y_b);
+        if y_b != 0 {
+            self.set(y_b, OFF_PARENT, x);
+        }
+        let xp = self.get(x, OFF_PARENT);
+        self.set(y, OFF_PARENT, xp);
+        if xp == 0 {
+            self.rec.write_u64(self.root_ptr, y);
+        } else if self.get(xp, OFF_LEFT) == x {
+            self.set(xp, OFF_LEFT, y);
+        } else {
+            self.set(xp, OFF_RIGHT, y);
+        }
+        self.set(y, b, x);
+        self.set(x, OFF_PARENT, y);
+    }
+
+    fn insert(&mut self, node: u64, key: u64) {
+        // BST insert.
+        let mut parent = 0u64;
+        let mut cur = self.root();
+        while cur != 0 {
+            parent = cur;
+            cur = if key < self.get(cur, OFF_KEY) {
+                self.get(cur, OFF_LEFT)
+            } else {
+                self.get(cur, OFF_RIGHT)
+            };
+        }
+        self.set(node, OFF_PARENT, parent);
+        self.set(node, OFF_META, RED);
+        if parent == 0 {
+            self.rec.write_u64(self.root_ptr, node);
+        } else if key < self.get(parent, OFF_KEY) {
+            self.set(parent, OFF_LEFT, node);
+        } else {
+            self.set(parent, OFF_RIGHT, node);
+        }
+        // Fixup.
+        let mut z = node;
+        loop {
+            let zp = self.get(z, OFF_PARENT);
+            if zp == 0 || self.get(zp, OFF_META) == BLACK {
+                break;
+            }
+            let zpp = self.get(zp, OFF_PARENT);
+            if zpp == 0 {
+                break;
+            }
+            let zp_is_left = self.get(zpp, OFF_LEFT) == zp;
+            let uncle = if zp_is_left {
+                self.get(zpp, OFF_RIGHT)
+            } else {
+                self.get(zpp, OFF_LEFT)
+            };
+            if uncle != 0 && self.get(uncle, OFF_META) == RED {
+                self.set(zp, OFF_META, BLACK);
+                self.set(uncle, OFF_META, BLACK);
+                self.set(zpp, OFF_META, RED);
+                z = zpp;
+                continue;
+            }
+            let z_is_left = self.get(zp, OFF_LEFT) == z;
+            if zp_is_left && !z_is_left {
+                self.rotate(zp, true);
+                z = zp;
+            } else if !zp_is_left && z_is_left {
+                self.rotate(zp, false);
+                z = zp;
+            }
+            let zp2 = self.get(z, OFF_PARENT);
+            let zpp2 = self.get(zp2, OFF_PARENT);
+            self.set(zp2, OFF_META, BLACK);
+            if zpp2 != 0 {
+                self.set(zpp2, OFF_META, RED);
+                self.rotate(zpp2, !zp_is_left);
+            }
+            break;
+        }
+        let root = self.root();
+        if self.get(root, OFF_META) != BLACK {
+            self.set(root, OFF_META, BLACK);
+        }
+    }
+
+    /// Smallest-key node in `node`'s subtree.
+    fn minimum(&mut self, mut node: u64) -> u64 {
+        loop {
+            let left = self.get(node, OFF_LEFT);
+            if left == 0 {
+                return node;
+            }
+            node = left;
+        }
+    }
+
+    /// Replaces subtree `u` with subtree `v` in `u`'s parent (v may be 0).
+    fn transplant(&mut self, u: u64, v: u64) {
+        let up = self.get(u, OFF_PARENT);
+        if up == 0 {
+            self.rec.write_u64(self.root_ptr, v);
+        } else if self.get(up, OFF_LEFT) == u {
+            self.set(up, OFF_LEFT, v);
+        } else {
+            self.set(up, OFF_RIGHT, v);
+        }
+        if v != 0 {
+            self.set(v, OFF_PARENT, up);
+        }
+    }
+
+    /// Finds the node holding `key`, if any.
+    fn find(&mut self, key: u64) -> Option<u64> {
+        let mut cur = self.root();
+        while cur != 0 {
+            let k = self.get(cur, OFF_KEY);
+            if k == key {
+                return Some(cur);
+            }
+            cur = if key < k {
+                self.get(cur, OFF_LEFT)
+            } else {
+                self.get(cur, OFF_RIGHT)
+            };
+        }
+        None
+    }
+
+    /// Deletes the node holding `key`; returns whether one was removed.
+    /// Standard CLRS delete with a (child, parent) pair standing in for
+    /// the nil sentinel during fixup.
+    fn delete(&mut self, key: u64) -> bool {
+        let Some(z) = self.find(key) else {
+            return false;
+        };
+        let mut y_color = self.get(z, OFF_META);
+        let x;
+        let xp;
+        let zl = self.get(z, OFF_LEFT);
+        let zr = self.get(z, OFF_RIGHT);
+        if zl == 0 {
+            x = zr;
+            xp = self.get(z, OFF_PARENT);
+            self.transplant(z, zr);
+        } else if zr == 0 {
+            x = zl;
+            xp = self.get(z, OFF_PARENT);
+            self.transplant(z, zl);
+        } else {
+            let y = self.minimum(zr);
+            y_color = self.get(y, OFF_META);
+            x = self.get(y, OFF_RIGHT);
+            if self.get(y, OFF_PARENT) == z {
+                xp = y;
+            } else {
+                xp = self.get(y, OFF_PARENT);
+                let yr = self.get(y, OFF_RIGHT);
+                self.transplant(y, yr);
+                let zr_now = self.get(z, OFF_RIGHT);
+                self.set(y, OFF_RIGHT, zr_now);
+                self.set(zr_now, OFF_PARENT, y);
+            }
+            self.transplant(z, y);
+            let zl_now = self.get(z, OFF_LEFT);
+            self.set(y, OFF_LEFT, zl_now);
+            self.set(zl_now, OFF_PARENT, y);
+            let zc = self.get(z, OFF_META);
+            self.set(y, OFF_META, zc);
+        }
+        if y_color == BLACK {
+            self.delete_fixup(x, xp);
+        }
+        true
+    }
+
+    fn delete_fixup(&mut self, mut x: u64, mut xp: u64) {
+        while xp != 0 && (x == 0 || self.get(x, OFF_META) == BLACK) {
+            let x_is_left = self.get(xp, OFF_LEFT) == x;
+            let (side_a, side_b) = if x_is_left {
+                (OFF_RIGHT, OFF_LEFT)
+            } else {
+                (OFF_LEFT, OFF_RIGHT)
+            };
+            let mut w = self.get(xp, side_a);
+            if w != 0 && self.get(w, OFF_META) == RED {
+                self.set(w, OFF_META, BLACK);
+                self.set(xp, OFF_META, RED);
+                self.rotate(xp, x_is_left);
+                w = self.get(xp, side_a);
+            }
+            if w == 0 {
+                // Degenerate: treat the missing sibling as black nil and
+                // move the problem up.
+                x = xp;
+                xp = self.get(xp, OFF_PARENT);
+                continue;
+            }
+            let wa = self.get(w, side_a);
+            let wb = self.get(w, side_b);
+            let wa_black = wa == 0 || self.get(wa, OFF_META) == BLACK;
+            let wb_black = wb == 0 || self.get(wb, OFF_META) == BLACK;
+            if wa_black && wb_black {
+                self.set(w, OFF_META, RED);
+                x = xp;
+                xp = self.get(xp, OFF_PARENT);
+            } else {
+                if wa_black {
+                    if wb != 0 {
+                        self.set(wb, OFF_META, BLACK);
+                    }
+                    self.set(w, OFF_META, RED);
+                    self.rotate(w, !x_is_left);
+                    w = self.get(xp, side_a);
+                }
+                let xp_color = self.get(xp, OFF_META);
+                self.set(w, OFF_META, xp_color);
+                self.set(xp, OFF_META, BLACK);
+                let wa2 = self.get(w, side_a);
+                if wa2 != 0 {
+                    self.set(wa2, OFF_META, BLACK);
+                }
+                self.rotate(xp, x_is_left);
+                // Terminate: set x to the root.
+                x = self.root();
+                xp = 0;
+            }
+        }
+        if x != 0 {
+            self.set(x, OFF_META, BLACK);
+        }
+    }
+}
+
+impl Workload for RbtreeWorkload {
+    fn name(&self) -> &'static str {
+        "RBtree"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0xe923));
+                let mut rec = TxRecorder::new();
+                let mut heap = PmHeap::new(base + 64, CORE_REGION_BYTES - 64);
+                let root_ptr = PhysAddr::new(base);
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                let do_insert = |rec: &mut TxRecorder, heap: &mut PmHeap, key: u64| {
+                    let node = heap.alloc_aligned((NODE_WORDS * WORD_BYTES) as u64, 64);
+                    rec.write_u64(node.add(OFF_KEY), key);
+                    rec.write_u64(node.add(OFF_LEFT), 0);
+                    rec.write_u64(node.add(OFF_RIGHT), 0);
+                    for w in 5..NODE_WORDS {
+                        rec.write_u64(node.add((w * WORD_BYTES) as u64), key ^ w as u64);
+                    }
+                    Rbt { rec, root_ptr }.insert(node.as_u64(), key);
+                };
+
+                let mut live: Vec<u64> = Vec::new();
+                for _ in 0..self.setup_inserts {
+                    let key = rng.next_u64() >> 8;
+                    do_insert(&mut rec, &mut heap, key);
+                    live.push(key);
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    if !live.is_empty() && rng.percent(self.delete_percent) {
+                        let idx = rng.below(live.len() as u64) as usize;
+                        let key = live.swap_remove(idx);
+                        Rbt { rec: &mut rec, root_ptr }.delete(key);
+                    } else {
+                        let key = rng.next_u64() >> 8;
+                        do_insert(&mut rec, &mut heap, key);
+                        live.push(key);
+                    }
+                    rec.compute(25);
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replay(streams: &[Vec<Transaction>]) -> TxRecorder {
+        let mut rec = TxRecorder::new();
+        for tx in &streams[0] {
+            for op in tx.ops() {
+                if let silo_sim::Op::Write(a, v) = op {
+                    rec.write_u64(*a, v.as_u64());
+                }
+            }
+        }
+        rec
+    }
+
+    /// Checks BST order and the red-black "no red child of red" and
+    /// equal-black-height invariants; returns (node count, black height).
+    fn check(rec: &TxRecorder, node: u64, lo: u64, hi: u64) -> (usize, usize) {
+        if node == 0 {
+            return (0, 1);
+        }
+        let key = rec.peek_u64(PhysAddr::new(node + OFF_KEY));
+        assert!(key >= lo && key <= hi, "BST order violated");
+        let color = rec.peek_u64(PhysAddr::new(node + OFF_META));
+        let left = rec.peek_u64(PhysAddr::new(node + OFF_LEFT));
+        let right = rec.peek_u64(PhysAddr::new(node + OFF_RIGHT));
+        if color == RED {
+            for child in [left, right] {
+                if child != 0 {
+                    assert_eq!(
+                        rec.peek_u64(PhysAddr::new(child + OFF_META)),
+                        BLACK,
+                        "red node with red child"
+                    );
+                }
+            }
+        }
+        let (ln, lb) = check(rec, left, lo, key);
+        let (rn, rb) = check(rec, right, key, hi);
+        assert_eq!(lb, rb, "black heights differ");
+        (ln + rn + 1, lb + usize::from(color == BLACK))
+    }
+
+    #[test]
+    fn red_black_invariants_hold() {
+        let w = RbtreeWorkload {
+            setup_inserts: 64,
+            delete_percent: 0,
+        };
+        let streams = w.generate(1, 300, 17);
+        let rec = replay(&streams);
+        let root = rec.peek_u64(PhysAddr::new(core_base(0)));
+        assert_ne!(root, 0);
+        assert_eq!(rec.peek_u64(PhysAddr::new(root + OFF_META)), BLACK, "root is black");
+        let (n, _) = check(&rec, root, 0, u64::MAX);
+        assert_eq!(n, 64 + 300);
+    }
+
+    #[test]
+    fn mixed_insert_delete_workload_keeps_invariants() {
+        let w = RbtreeWorkload {
+            setup_inserts: 64,
+            delete_percent: 35,
+        };
+        let streams = w.generate(1, 400, 23);
+        let rec = replay(&streams);
+        let root = rec.peek_u64(PhysAddr::new(core_base(0)));
+        assert_ne!(root, 0);
+        let (n, _) = check(&rec, root, 0, u64::MAX);
+        assert!(n < 64 + 400, "deletes removed nodes (live = {n})");
+        assert!(n > 100, "inserts outnumber deletes");
+    }
+
+    #[test]
+    fn inserts_have_moderate_write_sets() {
+        let streams = RbtreeWorkload::default().generate(1, 100, 18);
+        for tx in &streams[0][1..] {
+            let w = tx.write_set_words();
+            assert!((8..=40).contains(&w), "write set {w}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            RbtreeWorkload::default().generate(1, 15, 2),
+            RbtreeWorkload::default().generate(1, 15, 2)
+        );
+    }
+}
+
+#[cfg(test)]
+mod delete_tests {
+    use super::*;
+    use silo_types::SplitMix64;
+
+    fn check_invariants(rec: &TxRecorder, node: u64, lo: u64, hi: u64) -> (usize, usize) {
+        if node == 0 {
+            return (0, 1);
+        }
+        let key = rec.peek_u64(PhysAddr::new(node + OFF_KEY));
+        assert!(key >= lo && key <= hi, "BST order violated at {key}");
+        let color = rec.peek_u64(PhysAddr::new(node + OFF_META));
+        let left = rec.peek_u64(PhysAddr::new(node + OFF_LEFT));
+        let right = rec.peek_u64(PhysAddr::new(node + OFF_RIGHT));
+        for child in [left, right] {
+            if child != 0 {
+                assert_eq!(
+                    rec.peek_u64(PhysAddr::new(child + OFF_PARENT)),
+                    node,
+                    "parent pointer broken"
+                );
+                if color == RED {
+                    assert_eq!(
+                        rec.peek_u64(PhysAddr::new(child + OFF_META)),
+                        BLACK,
+                        "red node with red child"
+                    );
+                }
+            }
+        }
+        let (ln, lb) = check_invariants(rec, left, lo, key);
+        let (rn, rb) = check_invariants(rec, right, key, hi);
+        assert_eq!(lb, rb, "black heights differ under {key}");
+        (ln + rn + 1, lb + usize::from(color == BLACK))
+    }
+
+    fn new_node(rec: &mut TxRecorder, heap: &mut PmHeap, key: u64) -> u64 {
+        let node = heap.alloc_aligned((NODE_WORDS * WORD_BYTES) as u64, 64);
+        rec.write_u64(node.add(OFF_KEY), key);
+        rec.write_u64(node.add(OFF_LEFT), 0);
+        rec.write_u64(node.add(OFF_RIGHT), 0);
+        node.as_u64()
+    }
+
+    #[test]
+    fn random_insert_delete_preserves_invariants() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 8 << 20);
+        let root_ptr = PhysAddr::new(0);
+        let mut rng = SplitMix64::new(1234);
+        let mut live: Vec<u64> = Vec::new();
+
+        for round in 0..2_000u64 {
+            if live.is_empty() || rng.chance(3, 5) {
+                let key = rng.next_u64() >> 40;
+                let node = new_node(&mut rec, &mut heap, key);
+                Rbt { rec: &mut rec, root_ptr }.insert(node, key);
+                live.push(key);
+            } else {
+                let idx = rng.below(live.len() as u64) as usize;
+                let key = live.swap_remove(idx);
+                let removed = Rbt { rec: &mut rec, root_ptr }.delete(key);
+                assert!(removed, "round {round}: key {key} should be present");
+            }
+            if round % 97 == 0 {
+                let root = rec.peek_u64(root_ptr);
+                if root != 0 {
+                    assert_eq!(
+                        rec.peek_u64(PhysAddr::new(root + OFF_META)),
+                        BLACK,
+                        "root must be black"
+                    );
+                    assert_eq!(rec.peek_u64(PhysAddr::new(root + OFF_PARENT)), 0);
+                    let (n, _) = check_invariants(&rec, root, 0, u64::MAX);
+                    assert_eq!(n, live.len(), "round {round}: node count");
+                }
+            }
+        }
+        // Drain the remainder and verify emptiness.
+        for key in live.drain(..) {
+            assert!(Rbt { rec: &mut rec, root_ptr }.delete(key));
+        }
+        assert_eq!(rec.peek_u64(root_ptr), 0, "tree fully emptied");
+    }
+
+    #[test]
+    fn delete_missing_key_is_noop() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let root_ptr = PhysAddr::new(0);
+        assert!(!Rbt { rec: &mut rec, root_ptr }.delete(42));
+        let node = new_node(&mut rec, &mut heap, 7);
+        Rbt { rec: &mut rec, root_ptr }.insert(node, 7);
+        assert!(!Rbt { rec: &mut rec, root_ptr }.delete(42));
+        assert!(Rbt { rec: &mut rec, root_ptr }.find(7).is_some());
+    }
+
+    #[test]
+    fn delete_root_of_single_node_tree() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let root_ptr = PhysAddr::new(0);
+        let node = new_node(&mut rec, &mut heap, 5);
+        Rbt { rec: &mut rec, root_ptr }.insert(node, 5);
+        assert!(Rbt { rec: &mut rec, root_ptr }.delete(5));
+        assert_eq!(rec.peek_u64(root_ptr), 0);
+    }
+}

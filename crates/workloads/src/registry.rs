@@ -1,0 +1,112 @@
+//! Workload lookup and the per-core PM partitioning.
+
+use crate::{
+    ArrayWorkload, BankWorkload, BtreeWorkload, CtrieWorkload, HashWorkload, QueueWorkload,
+    RbtreeWorkload, RtreeWorkload, TatpWorkload, TpccWorkload, Workload, YcsbWorkload,
+};
+
+/// Bytes of private PM data region per core (64 MiB). Cores touch disjoint
+/// regions, satisfying the paper's §III-A isolation assumption.
+pub const CORE_REGION_BYTES: u64 = 64 << 20;
+
+/// Base address of `core`'s private region.
+///
+/// # Panics
+///
+/// Panics if the region would reach the log region (8 GiB boundary).
+pub(crate) fn core_base(core: usize) -> u64 {
+    let base = core as u64 * CORE_REGION_BYTES;
+    assert!(
+        base + CORE_REGION_BYTES <= 8 << 30,
+        "core {core} region exceeds the data region"
+    );
+    base
+}
+
+/// The seven benchmarks of Fig 11 / Fig 12 / Fig 13 / Fig 14 / Fig 15.
+pub fn fig11_set() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(ArrayWorkload::default()),
+        Box::new(BtreeWorkload::default()),
+        Box::new(HashWorkload::default()),
+        Box::new(QueueWorkload::default()),
+        Box::new(RbtreeWorkload::default()),
+        Box::new(TpccWorkload::default()),
+        Box::new(YcsbWorkload::default()),
+    ]
+}
+
+/// The eleven workloads of the Fig 4 write-size study.
+pub fn fig4_set() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(ArrayWorkload::default()),
+        Box::new(BtreeWorkload::default()),
+        Box::new(HashWorkload::default()),
+        Box::new(QueueWorkload::default()),
+        Box::new(RbtreeWorkload::default()),
+        Box::new(TpccWorkload::default()),
+        Box::new(YcsbWorkload::default()),
+        Box::new(RtreeWorkload::default()),
+        Box::new(CtrieWorkload::default()),
+        Box::new(TatpWorkload::default()),
+        Box::new(BankWorkload::default()),
+    ]
+}
+
+/// Looks up a workload by its figure-row name (case-insensitive).
+pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    let w: Box<dyn Workload> = match name.to_ascii_lowercase().as_str() {
+        "array" => Box::new(ArrayWorkload::default()),
+        "btree" => Box::new(BtreeWorkload::default()),
+        "hash" => Box::new(HashWorkload::default()),
+        "queue" => Box::new(QueueWorkload::default()),
+        "rbtree" => Box::new(RbtreeWorkload::default()),
+        "tpcc" => Box::new(TpccWorkload::default()),
+        "tpcc-mix" => Box::new(TpccWorkload::all_types()),
+        "ycsb" => Box::new(YcsbWorkload::default()),
+        "rtree" => Box::new(RtreeWorkload::default()),
+        "ctrie" => Box::new(CtrieWorkload::default()),
+        "tatp" => Box::new(TatpWorkload::default()),
+        "bank" => Box::new(BankWorkload::default()),
+        _ => return None,
+    };
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_sets_have_paper_cardinalities() {
+        assert_eq!(fig11_set().len(), 7);
+        assert_eq!(fig4_set().len(), 11);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for w in fig4_set() {
+            assert!(seen.insert(w.name().to_string()), "duplicate {}", w.name());
+            assert!(workload_by_name(w.name()).is_some(), "unresolvable {}", w.name());
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn core_regions_are_disjoint() {
+        assert_eq!(core_base(0), 0);
+        assert_eq!(core_base(1), 64 << 20);
+        assert!(core_base(7) + CORE_REGION_BYTES <= 8 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the data region")]
+    fn oversized_core_index_panics() {
+        core_base(1000);
+    }
+}

@@ -1,0 +1,132 @@
+//! Rtree: radix-tree inserts, as in PMDK's `rtree` example (paper Fig 4).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// Radix per level (16-ary tree over 16-bit keys: 4 levels).
+const FANOUT: u64 = 16;
+const LEVELS: u32 = 4;
+/// Leaf: key + 7 payload words (64 B element).
+const LEAF_WORDS: usize = 8;
+
+/// The PMDK radix-tree workload: each transaction inserts one 64 B element
+/// under a random 16-bit key, creating interior nodes on demand (one child
+/// pointer write per level, plus the node allocations on first descent).
+#[derive(Clone, Debug)]
+pub struct RtreeWorkload {
+    /// Inserts during setup.
+    pub setup_inserts: usize,
+}
+
+impl Default for RtreeWorkload {
+    fn default() -> Self {
+        RtreeWorkload { setup_inserts: 64 }
+    }
+}
+
+fn child_slot(node: PhysAddr, nibble: u64) -> PhysAddr {
+    node.add(nibble * WORD_BYTES as u64)
+}
+
+fn insert(rec: &mut TxRecorder, heap: &mut PmHeap, root: PhysAddr, key: u64, payload: u64) {
+    let mut node = root;
+    for level in (1..LEVELS).rev() {
+        let nibble = (key >> (4 * level)) & (FANOUT - 1);
+        let slot = child_slot(node, nibble);
+        let child = rec.read_u64(slot);
+        node = if child == 0 {
+            let fresh = heap.alloc_aligned(FANOUT * WORD_BYTES as u64, 64);
+            rec.write_u64(slot, fresh.as_u64());
+            fresh
+        } else {
+            PhysAddr::new(child)
+        };
+    }
+    // Last level points at the leaf element.
+    let slot = child_slot(node, key & (FANOUT - 1));
+    let leaf = heap.alloc_aligned((LEAF_WORDS * WORD_BYTES) as u64, 64);
+    rec.write_u64(leaf, key);
+    for w in 1..LEAF_WORDS {
+        rec.write_u64(leaf.add((w * WORD_BYTES) as u64), payload.rotate_left(w as u32));
+    }
+    rec.write_u64(slot, leaf.as_u64());
+}
+
+impl Workload for RtreeWorkload {
+    fn name(&self) -> &'static str {
+        "Rtree"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0x1357));
+                let mut rec = TxRecorder::new();
+                let root_bytes = FANOUT * WORD_BYTES as u64;
+                let mut heap = PmHeap::new(base + root_bytes, CORE_REGION_BYTES - root_bytes);
+                let root = PhysAddr::new(base);
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                for _ in 0..self.setup_inserts {
+                    insert(&mut rec, &mut heap, root, rng.below(1 << 16), rng.next_u64());
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    insert(&mut rec, &mut heap, root, rng.below(1 << 16), rng.next_u64());
+                    rec.compute(15);
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_keys_are_findable() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(4096, 1 << 20);
+        let root = PhysAddr::new(0);
+        for key in [0x1234u64, 0xffff, 0x0000, 0x1235] {
+            insert(&mut rec, &mut heap, root, key, key * 3);
+        }
+        // Walk down for 0x1234.
+        let mut node = root;
+        for level in (1..LEVELS).rev() {
+            let nibble = (0x1234u64 >> (4 * level)) & 15;
+            node = PhysAddr::new(rec.peek_u64(child_slot(node, nibble)));
+            assert_ne!(node.as_u64(), 0);
+        }
+        let leaf = rec.peek_u64(child_slot(node, 4));
+        assert_eq!(rec.peek_u64(PhysAddr::new(leaf)), 0x1234);
+    }
+
+    #[test]
+    fn path_sharing_reduces_writes_over_time() {
+        let streams = RtreeWorkload { setup_inserts: 512 }.generate(1, 50, 41);
+        // After setup most interior nodes exist: measured inserts write the
+        // leaf (8 words) + 1-3 pointer slots.
+        for tx in &streams[0][1..] {
+            let w = tx.write_set_words();
+            assert!((9..=12).contains(&w), "write set {w}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            RtreeWorkload::default().generate(1, 10, 5),
+            RtreeWorkload::default().generate(1, 10, 5)
+        );
+    }
+}

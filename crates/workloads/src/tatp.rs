@@ -1,0 +1,139 @@
+//! TATP: the telecom application transaction processing benchmark
+//! (paper Fig 4, \[21\]).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::TxRecorder;
+use crate::registry::core_base;
+use crate::Workload;
+
+/// Words per subscriber record (256 B: ids, bit/hex/byte2 fields, vlr).
+const SUBSCRIBER_WORDS: u64 = 32;
+/// Words per call-forwarding slot (4 per subscriber).
+const CF_WORDS: u64 = 4;
+
+/// TATP's update transactions over a subscriber table: the classic
+/// telecom OLTP workload with very small write sets (1–4 words per
+/// transaction), the smallest bar of the paper's Fig 4.
+///
+/// Mix (update transactions of the standard TATP blend, renormalized):
+/// 70 % `UPDATE_LOCATION` (1 word), 20 % `UPDATE_SUBSCRIBER_DATA`
+/// (2 words), 5 % `INSERT_CALL_FORWARDING` (4 words), 5 %
+/// `DELETE_CALL_FORWARDING` (1 word).
+#[derive(Clone, Debug)]
+pub struct TatpWorkload {
+    /// Subscribers per core.
+    pub subscribers: usize,
+}
+
+impl Default for TatpWorkload {
+    fn default() -> Self {
+        TatpWorkload { subscribers: 8192 }
+    }
+}
+
+impl TatpWorkload {
+    fn subscriber(base: u64, s: u64) -> PhysAddr {
+        PhysAddr::new(base + s * SUBSCRIBER_WORDS * WORD_BYTES as u64)
+    }
+
+    fn call_forwarding(&self, base: u64, s: u64, slot: u64) -> PhysAddr {
+        let cf_base = base + self.subscribers as u64 * SUBSCRIBER_WORDS * WORD_BYTES as u64;
+        PhysAddr::new(cf_base + (s * 4 + slot) * CF_WORDS * WORD_BYTES as u64)
+    }
+}
+
+impl Workload for TatpWorkload {
+    fn name(&self) -> &'static str {
+        "TATP"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0x7a7a));
+                let mut rec = TxRecorder::new();
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                // Setup: populate subscriber ids and vlr locations.
+                for s in 0..self.subscribers as u64 {
+                    let sub = Self::subscriber(base, s);
+                    rec.write_u64(sub, s + 1); // s_id
+                    rec.write_u64(sub.add(8), rng.next_u64()); // sub_nbr
+                    rec.write_u64(sub.add(16), rng.next_u64()); // vlr_location
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    let s = rng.below(self.subscribers as u64);
+                    let sub = Self::subscriber(base, s);
+                    rec.compute(20); // index probe
+                    let dice = rng.below(100);
+                    if dice < 70 {
+                        // UPDATE_LOCATION: one word.
+                        rec.read_u64(sub);
+                        rec.write_u64(sub.add(16), rng.next_u64());
+                    } else if dice < 90 {
+                        // UPDATE_SUBSCRIBER_DATA: bit field + hex field.
+                        rec.read_u64(sub);
+                        rec.write_u64(sub.add(24), rng.below(2));
+                        rec.write_u64(sub.add(32), rng.below(16));
+                    } else if dice < 95 {
+                        // INSERT_CALL_FORWARDING: a 4-word record.
+                        let cf = self.call_forwarding(base, s, rng.below(4));
+                        rec.write_u64(cf, s + 1);
+                        rec.write_u64(cf.add(8), rng.below(24)); // start_time
+                        rec.write_u64(cf.add(16), rng.below(24)); // end_time
+                        rec.write_u64(cf.add(24), rng.next_u64()); // numberx
+                    } else {
+                        // DELETE_CALL_FORWARDING: clear the record head.
+                        let cf = self.call_forwarding(base, s, rng.below(4));
+                        rec.read_u64(cf);
+                        rec.write_u64(cf, 0);
+                    }
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_sets_are_tiny() {
+        let streams = TatpWorkload::default().generate(1, 500, 61);
+        let mut max = 0;
+        let mut sum = 0;
+        for tx in &streams[0][1..] {
+            let w = tx.write_set_words();
+            assert!((1..=4).contains(&w), "write set {w}");
+            max = max.max(w);
+            sum += w;
+        }
+        assert_eq!(max, 4);
+        let avg = sum as f64 / 500.0;
+        assert!(avg < 2.0, "TATP avg write set {avg} words (smallest in Fig 4)");
+    }
+
+    #[test]
+    fn subscriber_records_do_not_collide_with_cf() {
+        let w = TatpWorkload { subscribers: 16 };
+        let last_sub = TatpWorkload::subscriber(0, 15).as_u64() + SUBSCRIBER_WORDS * 8;
+        let first_cf = w.call_forwarding(0, 0, 0).as_u64();
+        assert!(first_cf >= last_sub);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            TatpWorkload::default().generate(1, 10, 7),
+            TatpWorkload::default().generate(1, 10, 7)
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! TPCC: the TPC-C OLTP workload from Whisper (paper Table III).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// Which TPC-C transaction types to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TpccMix {
+    /// Only New-Order, the configuration of Fig 11/12 ("we run the
+    /// New-Order transaction from TPCC", §VI-A, following MorLog).
+    NewOrderOnly,
+    /// All five types with the standard TPC-C mix (45 % New-Order, 43 %
+    /// Payment, 4 % Order-Status, 4 % Delivery, 4 % Stock-Level) — used
+    /// for the log-buffer capacity study (§VI-D: "we run all the five
+    /// transaction types in TPCC").
+    AllFive,
+}
+
+/// Simplified TPC-C over flat PM tables: a district record, a stock table,
+/// a customer table, and append-only order / order-line / new-order /
+/// history tables.
+#[derive(Clone, Debug)]
+pub struct TpccWorkload {
+    /// Transaction-type mix.
+    pub mix: TpccMix,
+    /// Items in the per-core stock table.
+    pub items: usize,
+    /// Customers per core.
+    pub customers: usize,
+}
+
+impl Default for TpccWorkload {
+    fn default() -> Self {
+        TpccWorkload {
+            mix: TpccMix::NewOrderOnly,
+            items: 4096,
+            customers: 1024,
+        }
+    }
+}
+
+impl TpccWorkload {
+    /// The five-type mix variant.
+    pub fn all_types() -> Self {
+        TpccWorkload {
+            mix: TpccMix::AllFive,
+            ..TpccWorkload::default()
+        }
+    }
+}
+
+/// Words per stock record: quantity, ytd, order_cnt + 5 info words.
+const STOCK_WORDS: u64 = 8;
+/// Words per customer record: balance, ytd_payment, payment_cnt,
+/// delivery_cnt + 12 info words (128 B).
+const CUSTOMER_WORDS: u64 = 16;
+/// Words per order-line record.
+const ORDER_LINE_WORDS: usize = 5;
+/// Words per order header.
+const ORDER_WORDS: usize = 8;
+
+struct Tpcc {
+    district: PhysAddr, // next_o_id, ytd, 6 info words
+    stock: PhysAddr,
+    customer: PhysAddr,
+    items: u64,
+    customers: u64,
+}
+
+impl Tpcc {
+    fn stock_addr(&self, item: u64) -> PhysAddr {
+        self.stock.add(item * STOCK_WORDS * WORD_BYTES as u64)
+    }
+
+    fn customer_addr(&self, c: u64) -> PhysAddr {
+        self.customer.add(c * CUSTOMER_WORDS * WORD_BYTES as u64)
+    }
+
+    /// New-Order: bump the district's next_o_id, write the order header,
+    /// the new-order record, `ol_cnt` order lines, and update each line's
+    /// stock record.
+    fn new_order(&self, rec: &mut TxRecorder, heap: &mut PmHeap, rng: &mut Xoshiro256) {
+        rec.compute(60);
+        let o_id = rec.read_u64(self.district);
+        rec.write_u64(self.district, o_id + 1);
+        let ol_cnt = rng.range(2, 7);
+        let order = heap.alloc_aligned((ORDER_WORDS * WORD_BYTES) as u64, 64);
+        let c_id = rng.below(self.customers);
+        // Crash-consistency idiom: the record's status word is written
+        // twice — invalid while the record is being built, valid at the
+        // end. Hardware log merging collapses the pair.
+        let status = order.add(((ORDER_WORDS - 1) * WORD_BYTES) as u64);
+        rec.write_u64(status, 0);
+        for w in 0..ORDER_WORDS - 1 {
+            let v = match w {
+                0 => o_id,
+                1 => c_id,
+                2 => ol_cnt,
+                _ => 0x4f52_4445_5200 + w as u64, // entry-date/carrier stamps
+            };
+            rec.write_u64(order.add((w * WORD_BYTES) as u64), v);
+        }
+        // New-order record (o_id, c_id, flags).
+        let no = heap.alloc((3 * WORD_BYTES) as u64);
+        rec.write_u64(no, o_id);
+        rec.write_u64(no.add(8), c_id);
+        rec.write_u64(no.add(16), 1);
+        rec.write_u64(status, 1); // order record becomes valid last
+        for _ in 0..ol_cnt {
+            let item = rng.below(self.items);
+            let qty = rng.range(1, 11);
+            let ol = heap.alloc((ORDER_LINE_WORDS * WORD_BYTES) as u64);
+            let ol_status = ol.add(((ORDER_LINE_WORDS - 1) * WORD_BYTES) as u64);
+            rec.write_u64(ol_status, 0); // building
+            for w in 0..ORDER_LINE_WORDS - 1 {
+                let v = match w {
+                    0 => o_id,
+                    1 => item,
+                    2 => qty,
+                    3 => qty * 100, // amount
+                    _ => 0x4f4c_0000 + w as u64,
+                };
+                rec.write_u64(ol.add((w * WORD_BYTES) as u64), v);
+            }
+            rec.write_u64(ol_status, 1); // valid
+            // Stock update: quantity and ytd.
+            let s = self.stock_addr(item);
+            let sq = rec.read_u64(s);
+            let new_q = if sq >= qty + 10 { sq - qty } else { sq + 91 - qty };
+            rec.write_u64(s, new_q);
+            let ytd = rec.read_u64(s.add(8));
+            rec.write_u64(s.add(8), ytd + qty);
+        }
+    }
+
+    /// Payment: update district ytd, customer balance / ytd / count, and
+    /// append a history record.
+    fn payment(&self, rec: &mut TxRecorder, heap: &mut PmHeap, rng: &mut Xoshiro256) {
+        rec.compute(40);
+        let amount = rng.range(1, 5000);
+        let ytd = rec.read_u64(self.district.add(8));
+        rec.write_u64(self.district.add(8), ytd + amount);
+        let c = self.customer_addr(rng.below(self.customers));
+        let bal = rec.read_u64(c);
+        rec.write_u64(c, bal.wrapping_sub(amount));
+        let cytd = rec.read_u64(c.add(8));
+        rec.write_u64(c.add(8), cytd + amount);
+        let cnt = rec.read_u64(c.add(16));
+        rec.write_u64(c.add(16), cnt + 1);
+        let h = heap.alloc((4 * WORD_BYTES) as u64);
+        for w in 0..4 {
+            rec.write_u64(h.add(w * 8), amount + w);
+        }
+    }
+
+    /// Order-Status: read-only (customer + last order).
+    fn order_status(&self, rec: &mut TxRecorder, rng: &mut Xoshiro256) {
+        rec.compute(30);
+        let c = self.customer_addr(rng.below(self.customers));
+        for w in 0..4 {
+            rec.read_u64(c.add(w * 8));
+        }
+    }
+
+    /// Delivery: mark a batch of orders delivered, credit the customers.
+    fn delivery(&self, rec: &mut TxRecorder, rng: &mut Xoshiro256) {
+        rec.compute(50);
+        for _ in 0..4 {
+            let c = self.customer_addr(rng.below(self.customers));
+            let bal = rec.read_u64(c);
+            rec.write_u64(c, bal.wrapping_add(100));
+            let dcnt = rec.read_u64(c.add(24));
+            rec.write_u64(c.add(24), dcnt + 1);
+        }
+    }
+
+    /// Stock-Level: read-only scan of recent stock records.
+    fn stock_level(&self, rec: &mut TxRecorder, rng: &mut Xoshiro256) {
+        rec.compute(40);
+        for _ in 0..12 {
+            let s = self.stock_addr(rng.below(self.items));
+            rec.read_u64(s);
+        }
+    }
+}
+
+impl Workload for TpccWorkload {
+    fn name(&self) -> &'static str {
+        "TPCC"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0xf00d));
+                let mut rec = TxRecorder::new();
+                let tables = (8 + self.items as u64 * STOCK_WORDS
+                    + self.customers as u64 * CUSTOMER_WORDS)
+                    * WORD_BYTES as u64;
+                let mut heap = PmHeap::new(base + tables, CORE_REGION_BYTES - tables);
+                let t = Tpcc {
+                    district: PhysAddr::new(base),
+                    stock: PhysAddr::new(base + 8 * WORD_BYTES as u64),
+                    customer: PhysAddr::new(
+                        base + (8 + self.items as u64 * STOCK_WORDS) * WORD_BYTES as u64,
+                    ),
+                    items: self.items as u64,
+                    customers: self.customers as u64,
+                };
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                // Setup: district header and stock quantities.
+                rec.write_u64(t.district, 1); // next_o_id
+                for item in 0..self.items as u64 {
+                    rec.write_u64(t.stock_addr(item), 50 + item % 41);
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    match self.mix {
+                        TpccMix::NewOrderOnly => t.new_order(&mut rec, &mut heap, &mut rng),
+                        TpccMix::AllFive => {
+                            let dice = rng.below(100);
+                            if dice < 45 {
+                                t.new_order(&mut rec, &mut heap, &mut rng)
+                            } else if dice < 88 {
+                                t.payment(&mut rec, &mut heap, &mut rng)
+                            } else if dice < 92 {
+                                t.order_status(&mut rec, &mut rng)
+                            } else if dice < 96 {
+                                t.delivery(&mut rec, &mut rng)
+                            } else {
+                                t.stock_level(&mut rec, &mut rng)
+                            }
+                        }
+                    }
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_order_write_sets_match_fig4_scale() {
+        let streams = TpccWorkload::default().generate(1, 50, 21);
+        for tx in &streams[0][1..] {
+            let bytes = tx.write_set_bytes();
+            // 2..6 order lines: district 1 + order 8 + new-order 3 +
+            // lines*(5+2) words → 26..54 words → ~200..450 B (Fig 13's
+            // TPCC generates ~37 logs per transaction).
+            assert!((180..=480).contains(&bytes), "write set {bytes} B");
+        }
+    }
+
+    #[test]
+    fn district_counter_is_monotonic() {
+        let streams = TpccWorkload::default().generate(1, 30, 22);
+        let mut rec = TxRecorder::new();
+        for tx in &streams[0] {
+            for op in tx.ops() {
+                if let silo_sim::Op::Write(a, v) = op {
+                    rec.write_u64(*a, v.as_u64());
+                }
+            }
+        }
+        // 30 New-Order transactions after setup (which wrote 1).
+        assert_eq!(rec.peek_u64(PhysAddr::new(core_base(0))), 31);
+    }
+
+    #[test]
+    fn all_five_mix_includes_read_only_types() {
+        let streams = TpccWorkload::all_types().generate(1, 400, 23);
+        let read_only = streams[0][1..]
+            .iter()
+            .filter(|tx| tx.is_read_only())
+            .count();
+        assert!(read_only > 0, "order-status / stock-level appear in the mix");
+        // And the write sizes vary across types.
+        let sizes: std::collections::BTreeSet<usize> = streams[0][1..]
+            .iter()
+            .map(|tx| tx.write_set_words())
+            .collect();
+        assert!(sizes.len() > 3, "heterogeneous transaction types");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            TpccWorkload::default().generate(1, 10, 3),
+            TpccWorkload::default().generate(1, 10, 3)
+        );
+    }
+}

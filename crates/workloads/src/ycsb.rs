@@ -1,0 +1,153 @@
+//! YCSB: key-value workload, 20 % reads / 80 % updates (paper Table III).
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::TxRecorder;
+use crate::registry::core_base;
+use crate::Workload;
+
+/// Words per value (64 B items).
+const VALUE_WORDS: usize = 8;
+
+/// The YCSB macro-benchmark configured like MorLog (§VI-A): each
+/// transaction is one operation on a key-value store, 20 % reads and 80 %
+/// updates of whole 64 B values. Key popularity is skewed (an 80/20
+/// hot-set approximation of YCSB's zipfian), giving the temporal locality
+/// that lets Silo merge repeated updates on chip ("the results on TPCC and
+/// YCSB keep stable due to their good locality", §VI-F).
+#[derive(Clone, Debug)]
+pub struct YcsbWorkload {
+    /// Keys per core.
+    pub keys: usize,
+    /// Percent of operations that are reads (paper: 20).
+    pub read_percent: u64,
+}
+
+impl Default for YcsbWorkload {
+    fn default() -> Self {
+        YcsbWorkload {
+            keys: 4096,
+            read_percent: 20,
+        }
+    }
+}
+
+impl YcsbWorkload {
+    fn value_addr(base: u64, key: u64) -> PhysAddr {
+        PhysAddr::new(base + key * (VALUE_WORDS * WORD_BYTES) as u64)
+    }
+
+    fn pick_key(&self, rng: &mut Xoshiro256) -> u64 {
+        // 80/20 hot-set zipf approximation.
+        let n = self.keys as u64;
+        if rng.percent(80) {
+            rng.below((n / 5).max(1))
+        } else {
+            n / 5 + rng.below(n - n / 5)
+        }
+    }
+}
+
+impl Workload for YcsbWorkload {
+    fn name(&self) -> &'static str {
+        "YCSB"
+    }
+
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0xabcd));
+                let mut rec = TxRecorder::new();
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                // Setup: stamp every key's version word (whole-value loads
+                // would swamp the measured phase; updates rewrite the other
+                // fields anyway).
+                for key in 0..self.keys as u64 {
+                    rec.write_u64(Self::value_addr(base, key), key);
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    let key = self.pick_key(&mut rng);
+                    let v = Self::value_addr(base, key);
+                    rec.compute(15); // index lookup
+                    if rng.percent(self.read_percent) {
+                        for w in 0..VALUE_WORDS {
+                            rec.read_u64(v.add((w * WORD_BYTES) as u64));
+                        }
+                    } else {
+                        // Whole-value update: a fresh version stamp plus the
+                        // dependent field words. Half the fields keep their
+                        // previous contents (structured records rarely change
+                        // every field), exercising log ignorance.
+                        let version = rec.read_u64(v).wrapping_add(1);
+                        rec.write_u64(v, version);
+                        let mut checksum = version;
+                        for w in 1..VALUE_WORDS {
+                            let addr = v.add((w * WORD_BYTES) as u64);
+                            let value = if w % 2 == 0 {
+                                rec.peek_u64(addr) // unchanged field rewritten
+                            } else {
+                                version ^ (w as u64) << 32
+                            };
+                            rec.write_u64(addr, value);
+                            checksum ^= value.rotate_left(w as u32);
+                        }
+                        // Record checksum written last over its own slot
+                        // (the last field word): a same-word rewrite that
+                        // on-chip merging absorbs.
+                        rec.write_u64(
+                            v.add(((VALUE_WORDS - 1) * WORD_BYTES) as u64),
+                            checksum,
+                        );
+                    }
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_update_mix_is_20_80() {
+        let streams = YcsbWorkload::default().generate(1, 2000, 31);
+        let reads = streams[0][1..].iter().filter(|t| t.is_read_only()).count();
+        let frac = reads as f64 / 2000.0;
+        assert!((0.15..0.25).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn updates_write_whole_values() {
+        let streams = YcsbWorkload::default().generate(1, 200, 32);
+        for tx in streams[0][1..].iter().filter(|t| !t.is_read_only()) {
+            assert_eq!(tx.write_set_words(), VALUE_WORDS);
+            assert_eq!(tx.write_set_bytes(), 64);
+        }
+    }
+
+    #[test]
+    fn hot_keys_dominate() {
+        let w = YcsbWorkload::default();
+        let mut rng = Xoshiro256::seeded(1);
+        let hot = (0..10_000)
+            .filter(|_| w.pick_key(&mut rng) < w.keys as u64 / 5)
+            .count();
+        assert!(hot > 7_000, "hot-set hits: {hot}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            YcsbWorkload::default().generate(1, 10, 4),
+            YcsbWorkload::default().generate(1, 10, 4)
+        );
+    }
+}

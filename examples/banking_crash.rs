@@ -1,0 +1,57 @@
+//! Crash a banking workload mid-flight and watch Silo's selective log
+//! flushing and recovery (§III-G) restore atomic durability — the Fig 10
+//! story on a real workload.
+//!
+//! ```text
+//! cargo run --release --example banking_crash [crash-cycle]
+//! ```
+
+use silo::core::SiloScheme;
+use silo::sim::{Engine, SimConfig};
+use silo::types::Cycles;
+use silo::workloads::{BankWorkload, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let crash_at: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(25_000);
+
+    let cores = 4;
+    let config = SimConfig::table_ii(cores);
+    let workload = BankWorkload {
+        accounts: 512,
+        initial_balance: 1_000,
+    };
+
+    println!("4 cores transferring money between 512 accounts each;");
+    println!("power fails at cycle {crash_at}...\n");
+
+    let mut silo = SiloScheme::new(&config);
+    let streams = workload.generate(cores, 500, 7);
+    let out = Engine::new(&config, &mut silo).run(streams, Some(Cycles::new(crash_at)));
+    let crash = out.crash.expect("crash was injected");
+
+    println!(
+        "committed before the crash: {:>6} transactions",
+        crash.committed_txs
+    );
+    println!("in flight at the crash:     {:>6} transactions", crash.inflight_txs);
+    println!("\nrecovery:");
+    println!("  committed txs found in the log region: {}", crash.recovery.committed_txs);
+    println!("  redo words replayed:  {:>6}", crash.recovery.replayed_words);
+    println!("  undo words revoked:   {:>6}", crash.recovery.revoked_words);
+    println!("  stale logs discarded: {:>6}", crash.recovery.discarded_logs);
+
+    println!("\natomic-durability check over {} words:", crash.consistency.words_checked);
+    if crash.consistency.is_consistent() {
+        println!("  CONSISTENT — every committed transfer persisted in full,");
+        println!("  every in-flight transfer rolled back in full.");
+    } else {
+        println!("  VIOLATIONS: {:#?}", crash.consistency.violations);
+        std::process::exit(1);
+    }
+    println!(
+        "\n(Try different crash cycles — every point in the execution, including\n\
+         mid-commit, must satisfy the all-or-nothing check. The integration\n\
+         test suite sweeps hundreds of them, for all seven schemes.)"
+    );
+}

@@ -1,0 +1,61 @@
+//! A YCSB-style key-value store (paper Table III macro-benchmark) on all
+//! five logging schemes — the workload the paper's intro motivates:
+//! transactional updates of persistent key-value items.
+//!
+//! ```text
+//! cargo run --release --example kvstore_ycsb [txs-per-core] [cores]
+//! ```
+
+use silo::baselines::{BaseScheme, FwbScheme, LadScheme, MorLogScheme};
+use silo::core::SiloScheme;
+use silo::sim::{Engine, LoggingScheme, SimConfig};
+use silo::workloads::{Workload, YcsbWorkload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let txs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let cores: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let workload = YcsbWorkload::default(); // 20% reads / 80% updates
+    let config = SimConfig::table_ii(cores);
+
+    println!(
+        "YCSB (20/80 read/update, {} keys/core) x {txs} txs/core on {cores} cores\n",
+        workload.keys
+    );
+    println!(
+        "{:<8}{:>14}{:>14}{:>16}{:>14}",
+        "scheme", "tx/kcycle", "media writes", "log-region wr", "vs Base tp"
+    );
+
+    let mut base_tp = 0.0;
+    let schemes: Vec<Box<dyn LoggingScheme>> = vec![
+        Box::new(BaseScheme::new(&config)),
+        Box::new(FwbScheme::new(&config)),
+        Box::new(MorLogScheme::new(&config)),
+        Box::new(LadScheme::new(&config)),
+        Box::new(SiloScheme::new(&config)),
+    ];
+    for mut scheme in schemes {
+        let name = scheme.name();
+        let streams = workload.generate(cores, txs, 42);
+        let out = Engine::new(&config, scheme.as_mut()).run(streams, None);
+        let tp = out.stats.throughput();
+        if name == "Base" {
+            base_tp = tp;
+        }
+        println!(
+            "{:<8}{:>14.4}{:>14}{:>16}{:>13.2}x",
+            name,
+            tp,
+            out.stats.media_writes(),
+            out.stats.pm.log_region_writes,
+            tp / base_tp
+        );
+    }
+    println!(
+        "\nThe ordering mirrors the paper's Fig 11/12: Silo commits without\n\
+         waiting on any PM write and sends no log traffic, so it wins on both\n\
+         axes; the gap widens with the core count (try `... 2000 8`)."
+    );
+}

@@ -1,0 +1,110 @@
+//! API contracts: thread-safety markers and common-trait coverage of the
+//! public surface (the C-SEND-SYNC / C-COMMON-TRAITS guidelines), plus a
+//! few whole-API smoke checks that would catch accidental breaking
+//! changes.
+
+use silo::baselines::{BaseScheme, FwbScheme, LadScheme, MorLogScheme, SwLogScheme};
+use silo::cache::{CacheConfig, CacheHierarchy, HierarchyConfig};
+use silo::core::{LogBuffer, LogEntry, Record, SiloOptions, SiloScheme, ThreadLogArea};
+use silo::memctrl::{MemCtrl, MemCtrlConfig};
+use silo::pm::{Media, OnPmBuffer, PmDevice, PmDeviceConfig, WearTracker};
+use silo::sim::{Machine, SimConfig, SimStats, Transaction, TxOracle};
+use silo::types::{Cycles, LineAddr, PhysAddr, SplitMix64, ThreadId, TxId, TxTag, Word, Xoshiro256};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn value_types_are_send_and_sync() {
+    assert_send_sync::<PhysAddr>();
+    assert_send_sync::<LineAddr>();
+    assert_send_sync::<Word>();
+    assert_send_sync::<Cycles>();
+    assert_send_sync::<TxTag>();
+    assert_send_sync::<SplitMix64>();
+    assert_send_sync::<Xoshiro256>();
+}
+
+#[test]
+fn substrate_types_are_send_and_sync() {
+    assert_send_sync::<Media>();
+    assert_send_sync::<OnPmBuffer>();
+    assert_send_sync::<PmDevice>();
+    assert_send_sync::<WearTracker>();
+    assert_send_sync::<CacheHierarchy>();
+    assert_send_sync::<MemCtrl>();
+    assert_send_sync::<Machine>();
+    assert_send_sync::<TxOracle>();
+    assert_send_sync::<SimStats>();
+    assert_send_sync::<Transaction>();
+}
+
+#[test]
+fn scheme_types_are_send_and_sync() {
+    assert_send_sync::<SiloScheme>();
+    assert_send_sync::<BaseScheme>();
+    assert_send_sync::<FwbScheme>();
+    assert_send_sync::<MorLogScheme>();
+    assert_send_sync::<LadScheme>();
+    assert_send_sync::<SwLogScheme>();
+    assert_send_sync::<LogBuffer>();
+    assert_send_sync::<LogEntry>();
+    assert_send_sync::<Record>();
+    assert_send_sync::<ThreadLogArea>();
+}
+
+#[test]
+fn configs_are_cloneable_and_debuggable() {
+    fn check<T: Clone + std::fmt::Debug>(value: T) {
+        let copy = value.clone();
+        assert!(!format!("{copy:?}").is_empty());
+    }
+    check(SimConfig::table_ii(4));
+    check(MemCtrlConfig::table_ii());
+    check(HierarchyConfig::table_ii(2));
+    check(CacheConfig::new(4096, 4));
+    check(PmDeviceConfig::default());
+    check(SiloOptions::default());
+}
+
+#[test]
+fn schemes_can_run_concurrently_on_threads() {
+    // Whole simulations are independent values: they parallelize across
+    // host threads without any shared state.
+    let handles: Vec<_> = (0..4)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let config = SimConfig::table_ii(2);
+                let mut scheme = SiloScheme::new(&config);
+                let w = silo::workloads::BankWorkload {
+                    accounts: 32,
+                    initial_balance: 10,
+                };
+                use silo::workloads::Workload;
+                let streams = w.generate(2, 50, seed);
+                silo::sim::Engine::new(&config, &mut scheme)
+                    .run(streams, None)
+                    .stats
+                    .txs_committed
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("no panic"), (50 + 1) * 2);
+    }
+}
+
+#[test]
+fn ids_order_and_hash_consistently() {
+    use std::collections::HashSet;
+    let mut set = HashSet::new();
+    for tid in 0..4u8 {
+        for txid in 0..4u16 {
+            set.insert(TxTag::new(ThreadId::new(tid), TxId::new(txid)));
+        }
+    }
+    assert_eq!(set.len(), 16);
+    let mut v: Vec<_> = set.into_iter().collect();
+    v.sort();
+    assert_eq!(v[0], TxTag::new(ThreadId::new(0), TxId::new(0)));
+    assert_eq!(v[15], TxTag::new(ThreadId::new(3), TxId::new(3)));
+}

@@ -1,0 +1,137 @@
+//! The paper's Fig 10 worked example, end to end.
+//!
+//! Thread 1 (core 0) executes Tx1 {A=A1, B=B1} and Tx3 {A=A2, C=C1};
+//! thread 2 (core 1) executes Tx2 {D=D1, E=E1, F=F1, E=E2, G=G1, H=H1}.
+//! A power failure strikes while Tx2 is still running but after Tx3
+//! committed (Fig 10f). After recovery (Fig 10g), PM must be in the
+//! Fig 10h state: the committed transactions' updates persisted (A=A2,
+//! B=B1, C=C1) and the uncommitted transaction's partial updates revoked
+//! (D..H back to their initial values).
+
+use silo::core::{SiloOptions, SiloScheme};
+use silo::sim::{Engine, SimConfig, Transaction};
+use silo::types::{Cycles, PhysAddr, Word};
+
+const A: u64 = 0x1000;
+const B: u64 = 0x1040;
+const C: u64 = 0x1080;
+const D: u64 = 0x40_0000;
+const E: u64 = 0x40_0040;
+const F: u64 = 0x40_0080;
+const G: u64 = 0x40_00c0;
+const H: u64 = 0x40_0100;
+
+const A1: u64 = 0xA1;
+const A2: u64 = 0xA2;
+const B1: u64 = 0xB1;
+const C1: u64 = 0xC1;
+
+fn w(addr: u64, v: u64) -> (PhysAddr, Word) {
+    (PhysAddr::new(addr), Word::new(v))
+}
+
+fn tx(writes: &[(PhysAddr, Word)], pad: u32) -> Transaction {
+    let mut b = Transaction::builder();
+    for &(a, v) in writes {
+        b = b.write(a, v).compute(pad);
+    }
+    b.build()
+}
+
+fn run_fig10(crash_at: u64, drain_delay: u64) -> silo::sim::RunOutcome {
+    let config = SimConfig::table_ii(2);
+    let mut silo = SiloScheme::with_options(
+        &config,
+        SiloOptions {
+            ipu_drain_delay: drain_delay,
+            ..SiloOptions::default()
+        },
+    );
+    let t1 = vec![
+        tx(&[w(A, A1), w(B, B1)], 1),
+        tx(&[w(A, A2), w(C, C1)], 1),
+    ];
+    // Tx2 is one long transaction with compute padding so the crash lands
+    // while it still runs.
+    let t2 = vec![tx(
+        &[
+            w(D, 0xD1),
+            w(E, 0xE1),
+            w(F, 0xF1),
+            w(E, 0xE2), // merged on chip: oldest old E0, newest new E2
+            w(G, 0x61),
+            w(H, 0x81),
+        ],
+        400,
+    )];
+    Engine::new(&config, &mut silo).run(vec![t1, t2], Some(Cycles::new(crash_at)))
+}
+
+#[test]
+fn fig10_crash_recovers_to_fig10h_state() {
+    // Pick the crash so both of T1's transactions committed and Tx2 is
+    // in flight; the long drain delay keeps Tx3 in the
+    // committed-but-unflushed window of Fig 10f (redo flush + ID tuple).
+    let out = run_fig10(2_000, 1_000_000);
+    let crash = out.crash.as_ref().expect("crash injected");
+    assert_eq!(crash.committed_txs, 2, "Tx1 and Tx3 committed");
+    assert_eq!(crash.inflight_txs, 1, "Tx2 was in flight");
+
+    // Fig 10g: recovery replayed T1's redo logs and revoked T2's updates.
+    assert!(
+        crash.recovery.committed_txs >= 1,
+        "ID tuples identified committed transactions"
+    );
+    assert!(crash.recovery.replayed_words > 0, "redo replay happened");
+    assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
+
+    // Fig 10h: the PM data region, word by word.
+    let pm = &out.pm;
+    assert_eq!(pm.peek_word(PhysAddr::new(A)), Word::new(A2), "A at its Tx3 value");
+    assert_eq!(pm.peek_word(PhysAddr::new(B)), Word::new(B1), "B at its Tx1 value");
+    assert_eq!(pm.peek_word(PhysAddr::new(C)), Word::new(C1), "C at its Tx3 value");
+    for (name, addr) in [("D", D), ("E", E), ("F", F), ("G", G), ("H", H)] {
+        assert_eq!(
+            pm.peek_word(PhysAddr::new(addr)),
+            Word::ZERO,
+            "{name} must be revoked to its initial value"
+        );
+    }
+}
+
+#[test]
+fn fig10_merged_log_restores_oldest_value() {
+    // E is written twice in Tx2 (E1 then E2); the merged entry's undo data
+    // must be E0, so recovery restores the ORIGINAL value, not E1.
+    let out = run_fig10(2_000, 1_000_000);
+    assert_eq!(out.pm.peek_word(PhysAddr::new(E)), Word::ZERO);
+}
+
+#[test]
+fn fig10_without_crash_everything_commits() {
+    let config = SimConfig::table_ii(2);
+    let mut silo = SiloScheme::new(&config);
+    let t1 = vec![
+        tx(&[w(A, A1), w(B, B1)], 1),
+        tx(&[w(A, A2), w(C, C1)], 1),
+    ];
+    let t2 = vec![tx(&[w(D, 0xD1), w(E, 0xE1), w(E, 0xE2)], 1)];
+    let out = Engine::new(&config, &mut silo).run(vec![t1, t2], None);
+    assert_eq!(out.stats.txs_committed, 3);
+    assert_eq!(out.pm.peek_word(PhysAddr::new(A)), Word::new(A2));
+    assert_eq!(out.pm.peek_word(PhysAddr::new(E)), Word::new(0xE2));
+    assert_eq!(out.stats.pm.log_region_writes, 0, "failure-free: no log writes");
+}
+
+#[test]
+fn fig10_crash_before_any_commit_revokes_everything() {
+    let out = run_fig10(100, 64);
+    let crash = out.crash.as_ref().expect("crash injected");
+    assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
+    // Nothing may survive if nothing committed.
+    if crash.committed_txs == 0 {
+        for addr in [A, B, C, D, E, F, G, H] {
+            assert_eq!(out.pm.peek_word(PhysAddr::new(addr)), Word::ZERO);
+        }
+    }
+}
