@@ -1,9 +1,7 @@
 //! Base: per-store log + cacheline flush (paper §VI-A).
 
 use silo_core::{recover_log_region, LogEntry};
-use silo_sim::{
-    EvictAction, LoggingScheme, Machine, RecoveryReport, SchemeStats, SimConfig,
-};
+use silo_sim::{EvictAction, LoggingScheme, Machine, RecoveryReport, SchemeStats, SimConfig};
 use silo_types::{CoreId, Cycles, LineAddr, PhysAddr, TxTag, Word};
 
 use crate::common::{area_bases, write_line, write_records, CoreCursor};
@@ -26,7 +24,9 @@ impl BaseScheme {
     /// Builds the baseline for `config`'s machine.
     pub fn new(config: &SimConfig) -> Self {
         BaseScheme {
-            cores: (0..config.cores).map(|i| CoreCursor::new(config, i)).collect(),
+            cores: (0..config.cores)
+                .map(|i| CoreCursor::new(config, i))
+                .collect(),
             bases: area_bases(config),
             stats: SchemeStats::default(),
         }
@@ -166,8 +166,7 @@ mod tests {
         let cfg = SimConfig::table_ii(1);
         let mut base = BaseScheme::new(&cfg);
         let writes: Vec<(u64, u64)> = (0..32).map(|i| (i * 8, 0xAB + i)).collect();
-        let out = Engine::new(&cfg, &mut base)
-            .run(vec![vec![tx(&writes)]], Some(Cycles::new(300)));
+        let out = Engine::new(&cfg, &mut base).run(vec![vec![tx(&writes)]], Some(Cycles::new(300)));
         let crash = out.crash.expect("crash injected");
         assert_eq!(crash.committed_txs, 0);
         assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
@@ -189,11 +188,11 @@ mod tests {
         for crash_at in (0..20_000).step_by(997) {
             let cfg = SimConfig::table_ii(2);
             let mut base = BaseScheme::new(&cfg);
-            let s0: Vec<Transaction> =
-                (0..5).map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)])).collect();
+            let s0: Vec<Transaction> = (0..5)
+                .map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)]))
+                .collect();
             let s1: Vec<Transaction> = (0..5).map(|i| tx(&[(1 << 16 | (i * 8), i + 50)])).collect();
-            let out =
-                Engine::new(&cfg, &mut base).run(vec![s0, s1], Some(Cycles::new(crash_at)));
+            let out = Engine::new(&cfg, &mut base).run(vec![s0, s1], Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
             assert!(
                 crash.consistency.is_consistent(),

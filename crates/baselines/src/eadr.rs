@@ -43,7 +43,9 @@ impl EadrSwLogScheme {
     /// Builds the eADR software-logging baseline for `config`'s machine.
     pub fn new(config: &SimConfig) -> Self {
         EadrSwLogScheme {
-            cores: (0..config.cores).map(|i| CoreCursor::new(config, i)).collect(),
+            cores: (0..config.cores)
+                .map(|i| CoreCursor::new(config, i))
+                .collect(),
             bases: area_bases(config),
             stats: SchemeStats::default(),
         }
@@ -84,7 +86,10 @@ impl LoggingScheme for EadrSwLogScheme {
         // evictions").
         let entry = LogEntry::new(tag, addr.word_aligned(), old, new);
         let log_addr = self.cores[ci].area.reserve(2);
-        for (i, rec) in [entry.undo_record(), entry.redo_record()].iter().enumerate() {
+        for (i, rec) in [entry.undo_record(), entry.redo_record()]
+            .iter()
+            .enumerate()
+        {
             let rec_addr = log_addr.add((i * RECORD_BYTES) as u64);
             let acc = m.caches.access(core, rec_addr.line(), true);
             t += acc.latency;
@@ -193,10 +198,10 @@ mod tests {
         for crash_at in (100..15_000).step_by(1_313) {
             let cfg = SimConfig::table_ii(1);
             let mut scheme = EadrSwLogScheme::new(&cfg);
-            let stream: Vec<Transaction> =
-                (0..8).map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 7)])).collect();
-            let out =
-                Engine::new(&cfg, &mut scheme).run(vec![stream], Some(Cycles::new(crash_at)));
+            let stream: Vec<Transaction> = (0..8)
+                .map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 7)]))
+                .collect();
+            let out = Engine::new(&cfg, &mut scheme).run(vec![stream], Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
             assert!(
                 crash.consistency.is_consistent(),

@@ -31,7 +31,9 @@ impl FwbScheme {
     pub fn new(config: &SimConfig) -> Self {
         FwbScheme {
             last_record: vec![Cycles::ZERO; config.cores],
-            cores: (0..config.cores).map(|i| CoreCursor::new(config, i)).collect(),
+            cores: (0..config.cores)
+                .map(|i| CoreCursor::new(config, i))
+                .collect(),
             bases: area_bases(config),
             interval: config.fwb_interval_cycles,
             last_sweep: Cycles::ZERO,
@@ -199,8 +201,10 @@ mod tests {
         // Data never left the cache; without redo replay it would be lost.
         let cfg = SimConfig::table_ii(1);
         let mut fwb = FwbScheme::new(&cfg);
-        let out = Engine::new(&cfg, &mut fwb)
-            .run(vec![vec![tx(&[(0, 7), (8, 9)])]], Some(Cycles::new(1_000_000)));
+        let out = Engine::new(&cfg, &mut fwb).run(
+            vec![vec![tx(&[(0, 7), (8, 9)])]],
+            Some(Cycles::new(1_000_000)),
+        );
         let crash = out.crash.expect("crash injected");
         assert_eq!(crash.committed_txs, 1);
         assert!(crash.recovery.replayed_words >= 2);
@@ -213,10 +217,10 @@ mod tests {
             let mut cfg = SimConfig::table_ii(2);
             cfg.fwb_interval_cycles = 4_000; // sweeps interleave the crashes
             let mut fwb = FwbScheme::new(&cfg);
-            let s0: Vec<Transaction> =
-                (0..5).map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)])).collect();
-            let s1: Vec<Transaction> =
-                (0..5).map(|i| tx(&[(1 << 16 | (i * 8), i + 50)])).collect();
+            let s0: Vec<Transaction> = (0..5)
+                .map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)]))
+                .collect();
+            let s1: Vec<Transaction> = (0..5).map(|i| tx(&[(1 << 16 | (i * 8), i + 50)])).collect();
             let out = Engine::new(&cfg, &mut fwb).run(vec![s0, s1], Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
             assert!(

@@ -278,8 +278,7 @@ mod tests {
         let cfg = SimConfig::table_ii(1);
         let writes: Vec<(u64, u64)> = (0..32).map(|i| (i * 8, 0xCD + i)).collect();
         let mut lad = LadScheme::new(&cfg);
-        let out =
-            Engine::new(&cfg, &mut lad).run(vec![vec![tx(&writes)]], Some(Cycles::new(300)));
+        let out = Engine::new(&cfg, &mut lad).run(vec![vec![tx(&writes)]], Some(Cycles::new(300)));
         let crash = out.crash.expect("crash injected");
         assert_eq!(crash.committed_txs, 0);
         assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
@@ -301,10 +300,10 @@ mod tests {
         for crash_at in (0..20_000).step_by(1_531) {
             let cfg = SimConfig::table_ii(2);
             let mut lad = LadScheme::new(&cfg);
-            let s0: Vec<Transaction> =
-                (0..5).map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)])).collect();
-            let s1: Vec<Transaction> =
-                (0..5).map(|i| tx(&[(1 << 16 | (i * 8), i + 50)])).collect();
+            let s0: Vec<Transaction> = (0..5)
+                .map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)]))
+                .collect();
+            let s1: Vec<Transaction> = (0..5).map(|i| tx(&[(1 << 16 | (i * 8), i + 50)])).collect();
             let out = Engine::new(&cfg, &mut lad).run(vec![s0, s1], Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
             assert!(

@@ -86,7 +86,9 @@ impl LoggingScheme for MorLogScheme {
             // Buffer overflow: flush the oldest entries as undo+redo
             // records so the transaction can keep running.
             self.stats.overflow_events += 1;
-            let batch = self.cores[ci].buffer.take_overflow_batch(self.overflow_batch);
+            let batch = self.cores[ci]
+                .buffer
+                .take_overflow_batch(self.overflow_batch);
             let groups: Vec<Vec<Record>> = batch
                 .iter()
                 .map(|e| vec![e.undo_record(), e.redo_record()])
@@ -138,8 +140,7 @@ impl LoggingScheme for MorLogScheme {
         let n: usize = groups.iter().map(Vec::len).sum::<usize>() + 1;
         let core_state = &mut self.cores[ci];
         write_entry_records(m, &mut core_state.cursor, &groups, now);
-        let commit_admit =
-            write_records(m, &mut core_state.cursor, &[Record::id_tuple(tag)], now);
+        let commit_admit = write_records(m, &mut core_state.cursor, &[Record::id_tuple(tag)], now);
         self.stats.log_entries_written_to_pm += n as u64;
         self.stats.log_bytes_written_to_pm += (n * RECORD_BYTES) as u64;
         let done = core_state.cursor.barrier_wait(now).max(commit_admit);
@@ -236,10 +237,10 @@ mod tests {
         for crash_at in (0..20_000).step_by(1_111) {
             let cfg = SimConfig::table_ii(2);
             let mut mor = MorLogScheme::new(&cfg);
-            let s0: Vec<Transaction> =
-                (0..5).map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)])).collect();
-            let s1: Vec<Transaction> =
-                (0..5).map(|i| tx(&[(1 << 16 | (i * 8), i + 50)])).collect();
+            let s0: Vec<Transaction> = (0..5)
+                .map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 9)]))
+                .collect();
+            let s1: Vec<Transaction> = (0..5).map(|i| tx(&[(1 << 16 | (i * 8), i + 50)])).collect();
             let out = Engine::new(&cfg, &mut mor).run(vec![s0, s1], Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
             assert!(

@@ -40,7 +40,9 @@ impl SwLogScheme {
     /// Builds the software-logging baseline for `config`'s machine.
     pub fn new(config: &SimConfig) -> Self {
         SwLogScheme {
-            cores: (0..config.cores).map(|i| CoreCursor::new(config, i)).collect(),
+            cores: (0..config.cores)
+                .map(|i| CoreCursor::new(config, i))
+                .collect(),
             written_lines: vec![BTreeSet::new(); config.cores],
             // The fence waits for the MC's flush acknowledgment: one
             // memory round trip, same order as the device read latency.
@@ -120,7 +122,8 @@ impl LoggingScheme for SwLogScheme {
         let commit_admit = write_records(m, &mut self.cores[ci], &[Record::id_tuple(tag)], t);
         self.stats.log_entries_written_to_pm += 1;
         self.stats.log_bytes_written_to_pm += RECORD_BYTES as u64;
-        let done = self.cores[ci].barrier_wait(t).max(commit_admit) + Cycles::new(self.fence_cycles);
+        let done =
+            self.cores[ci].barrier_wait(t).max(commit_admit) + Cycles::new(self.fence_cycles);
         self.cores[ci].area.truncate();
         self.cores[ci].current_tag = None;
         done
@@ -185,8 +188,9 @@ mod tests {
         for crash_at in (100..15_000).step_by(1_733) {
             let cfg = SimConfig::table_ii(1);
             let mut sw = SwLogScheme::new(&cfg);
-            let stream: Vec<Transaction> =
-                (0..8).map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 7)])).collect();
+            let stream: Vec<Transaction> = (0..8)
+                .map(|i| tx(&[(i * 8, i + 1), (512 + i * 8, i + 7)]))
+                .collect();
             let out = Engine::new(&cfg, &mut sw).run(vec![stream], Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
             assert!(

@@ -31,7 +31,11 @@ fn bench_force_writeback(c: &mut Criterion) {
             || {
                 let mut h = CacheHierarchy::new(HierarchyConfig::table_ii(1));
                 for i in 0..1024u64 {
-                    h.access(CoreId::new(0), LineAddr::containing(PhysAddr::new(i * 64)), true);
+                    h.access(
+                        CoreId::new(0),
+                        LineAddr::containing(PhysAddr::new(i * 64)),
+                        true,
+                    );
                 }
                 h
             },
@@ -43,5 +47,10 @@ fn bench_force_writeback(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_l1_hits, bench_random_stream, bench_force_writeback);
+criterion_group!(
+    benches,
+    bench_l1_hits,
+    bench_random_stream,
+    bench_force_writeback
+);
 criterion_main!(benches);

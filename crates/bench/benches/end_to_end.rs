@@ -19,7 +19,9 @@ fn bench_schemes_end_to_end(c: &mut Criterion) {
                 b.iter(|| {
                     let mut scheme = make_scheme(name, &config);
                     let streams = workload.generate(2, 100, 42);
-                    Engine::new(&config, scheme.as_mut()).run(streams, None).stats
+                    Engine::new(&config, scheme.as_mut())
+                        .run(streams, None)
+                        .stats
                 })
             },
         );

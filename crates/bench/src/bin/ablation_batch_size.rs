@@ -1,74 +1,7 @@
-//! Ablation: the overflow batch size of §III-F. The paper batches
-//! `N = floor(S/18) = 14` undo entries per overflow flush so a batch fills
-//! one on-PM buffer line; this sweep compares N = 1, 4, 14 on
-//! overflow-heavy (batched) transactions.
-//!
-//! Usage: `ablation_batch_size [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with, Batched};
-use silo_core::{SiloOptions, SiloScheme};
-use silo_sim::SimConfig;
-use silo_workloads::{workload_by_name, HashWorkload};
+//! Shim: runs the `ablation_batch_size` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 2_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores / 4).max(1);
-
-    println!("Ablation: overflow batch size (Silo, 8 cores, 4x-batched transactions)");
-    println!(
-        "{:<10}{:>7}{:>14}{:>13}{:>12}",
-        "workload", "batch", "overflows/tx", "media/tx", "throughput"
-    );
-    for name in ["Hash", "TPCC"] {
-        let _ = workload_by_name(name).expect("benchmark");
-        for batch in [1usize, 4, 14] {
-            let config = SimConfig::table_ii(cores);
-            let make = || {
-                Box::new(SiloScheme::with_options(
-                    &config,
-                    SiloOptions {
-                        overflow_batch_override: Some(batch),
-                        // Coalescing off isolates the batching effect: with
-                        // the on-PM buffer active, sequential overflow
-                        // records coalesce regardless of batch size (see
-                        // DESIGN.md ablation notes).
-                        onpm_coalescing: false,
-                        ..SiloOptions::default()
-                    },
-                )) as Box<dyn silo_sim::LoggingScheme>
-            };
-            let stats = match name {
-                "Hash" => run_delta_with(
-                    &config,
-                    make,
-                    &Batched::new(HashWorkload::default(), 4),
-                    txs_per_core,
-                    seed,
-                ),
-                _ => run_delta_with(
-                    &config,
-                    make,
-                    &Batched::new(
-                        silo_workloads::TpccWorkload::default(),
-                        4,
-                    ),
-                    txs_per_core,
-                    seed,
-                ),
-            };
-            let s = stats.scheme_stats;
-            println!(
-                "{:<10}{:>7}{:>14.2}{:>13.2}{:>12.4}",
-                name,
-                batch,
-                s.overflow_events as f64 / s.transactions as f64,
-                stats.media_writes() as f64 / s.transactions as f64,
-                stats.throughput()
-            );
-        }
-    }
-    println!("(§III-F: larger batches fit whole on-PM buffer lines, cutting amplification)");
+    silo_bench::run_legacy("ablation_batch_size");
 }

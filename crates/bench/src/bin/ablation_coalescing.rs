@@ -1,58 +1,7 @@
-//! Ablation: the on-PM buffer write-coalescing scheme (§III-E). Silo with
-//! coalescing on vs off (writes program the media directly), showing the
-//! write-amplification the coalescing buffer removes.
-//!
-//! Usage: `ablation_coalescing [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with};
-use silo_core::{SiloOptions, SiloScheme};
-use silo_sim::SimConfig;
-use silo_workloads::workload_by_name;
+//! Shim: runs the `ablation_coalescing` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 2_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-
-    println!("Ablation: on-PM buffer coalescing (Silo, 8 cores)");
-    println!(
-        "{:<10}{:>14}{:>14}{:>9}{:>14}{:>14}",
-        "workload", "media/tx on", "media/tx off", "ratio", "tp on", "tp off"
-    );
-    for name in ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"] {
-        let w = workload_by_name(name).expect("benchmark");
-        let config = SimConfig::table_ii(cores);
-        let on = run_delta_with(
-            &config,
-            || Box::new(SiloScheme::new(&config)),
-            &w,
-            txs_per_core,
-            seed,
-        );
-        let off = run_delta_with(
-            &config,
-            || {
-                Box::new(SiloScheme::with_options(
-                    &config,
-                    SiloOptions { onpm_coalescing: false, ..SiloOptions::default() },
-                ))
-            },
-            &w,
-            txs_per_core,
-            seed,
-        );
-        let m_on = on.media_writes() as f64 / on.txs_committed as f64;
-        let m_off = off.media_writes() as f64 / off.txs_committed as f64;
-        println!(
-            "{:<10}{:>14.2}{:>14.2}{:>9.2}{:>14.4}{:>14.4}",
-            name,
-            m_on,
-            m_off,
-            m_off / m_on,
-            on.throughput(),
-            off.throughput()
-        );
-    }
+    silo_bench::run_legacy("ablation_coalescing");
 }

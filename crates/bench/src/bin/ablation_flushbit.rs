@@ -1,64 +1,7 @@
-//! Ablation: the flush-bit (§III-D). When a dirty cacheline is evicted
-//! mid-transaction, it already carries the logged words to PM; the
-//! flush-bit stops Silo from writing them again at commit. The effect only
-//! shows under eviction pressure, so this study shrinks the hierarchy.
-//!
-//! Usage: `ablation_flushbit [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with, Batched};
-use silo_cache::CacheConfig;
-use silo_core::{SiloOptions, SiloScheme};
-use silo_sim::SimConfig;
-use silo_types::Cycles;
-use silo_workloads::workload_by_name;
-
-fn tiny_hierarchy(cores: usize) -> SimConfig {
-    let mut c = SimConfig::table_ii(cores);
-    c.hierarchy.l1 = CacheConfig::new(2 * 1024, 2);
-    c.hierarchy.l1_latency = Cycles::new(4);
-    c.hierarchy.l2 = CacheConfig::new(4 * 1024, 2);
-    c.hierarchy.l3 = CacheConfig::new(8 * 1024, 4);
-    c
-}
+//! Shim: runs the `ablation_flushbit` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 2_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores / 16).max(1);
-
-    println!("Ablation: flush-bit under eviction pressure");
-    println!("(Silo, 8 cores, 8KB LLC, 16x-batched transactions)");
-    println!(
-        "{:<10}{:>12}{:>13}{:>13}{:>14}",
-        "workload", "variant", "flushbits/tx", "IPU/tx", "accepted/tx"
-    );
-    for name in ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"] {
-        let w = Batched::new(workload_by_name(name).expect("benchmark"), 16);
-        for (vname, fb) in [("on", true), ("off", false)] {
-            let config = tiny_hierarchy(cores);
-            let stats = run_delta_with(
-                &config,
-                || {
-                    Box::new(SiloScheme::with_options(
-                        &config,
-                        SiloOptions { flush_bit: fb, ..SiloOptions::default() },
-                    ))
-                },
-                &w,
-                txs_per_core,
-                seed,
-            );
-            let s = stats.scheme_stats;
-            println!(
-                "{:<10}{:>12}{:>13.2}{:>13.2}{:>14.2}",
-                name,
-                vname,
-                s.flush_bits_set as f64 / s.transactions as f64,
-                s.inplace_update_words as f64 / s.transactions as f64,
-                stats.pm.accepted_writes as f64 / s.transactions as f64,
-            );
-        }
-    }
+    silo_bench::run_legacy("ablation_flushbit");
 }

@@ -1,60 +1,7 @@
-//! Ablation: the contribution of log ignorance and log merging (§III-C)
-//! to Silo's on-chip footprint and PM traffic. Four variants per
-//! benchmark: the full design, ignorance off, merging off, both off.
-//!
-//! Usage: `ablation_log_reduction [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with};
-use silo_core::{SiloOptions, SiloScheme};
-use silo_sim::SimConfig;
-use silo_workloads::workload_by_name;
+//! Shim: runs the `ablation_log_reduction` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 2_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-
-    let variants: [(&str, SiloOptions); 4] = [
-        ("full", SiloOptions::default()),
-        ("no-ignore", SiloOptions { log_ignorance: false, ..SiloOptions::default() }),
-        ("no-merge", SiloOptions { log_merging: false, ..SiloOptions::default() }),
-        (
-            "neither",
-            SiloOptions {
-                log_ignorance: false,
-                log_merging: false,
-                ..SiloOptions::default()
-            },
-        ),
-    ];
-
-    println!("Ablation: log reduction mechanisms (Silo, 8 cores)");
-    println!(
-        "{:<10}{:>11}{:>13}{:>13}{:>12}",
-        "workload", "variant", "remaining/tx", "overflows/tx", "media/tx"
-    );
-    for name in ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"] {
-        let w = workload_by_name(name).expect("benchmark");
-        for (vname, opts) in variants {
-            let config = SimConfig::table_ii(cores);
-            let stats = run_delta_with(
-                &config,
-                || Box::new(SiloScheme::with_options(&config, opts)),
-                &w,
-                txs_per_core,
-                seed,
-            );
-            let s = stats.scheme_stats;
-            println!(
-                "{:<10}{:>11}{:>13.1}{:>13.3}{:>12.2}",
-                name,
-                vname,
-                s.avg_remaining_per_tx(),
-                s.overflow_events as f64 / s.transactions as f64,
-                stats.media_writes() as f64 / s.transactions as f64,
-            );
-        }
-    }
+    silo_bench::run_legacy("ablation_log_reduction");
 }

@@ -1,48 +1,7 @@
-//! Quick-look comparison utility: one table of absolute and normalized
-//! throughput and write traffic for chosen workloads, schemes, and core
-//! count. Not a paper figure — a debugging/exploration tool.
-//!
-//! ```text
-//! compare [--txs N] [--cores C] [--seed S] [--bench Name[,Name...]]
-//! ```
-
-use silo_bench::{arg_usize, run_one_delta, SCHEMES};
-use silo_workloads::workload_by_name;
+//! Shim: runs the `compare` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 200);
-    let cores = arg_usize(&args, "--cores", 8);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let benches: Vec<String> = args
-        .iter()
-        .position(|a| a == "--bench")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.split(',').map(str::to_string).collect())
-        .unwrap_or_else(|| vec!["Hash".into(), "TPCC".into(), "YCSB".into()]);
-
-    for name in &benches {
-        let Some(w) = workload_by_name(name) else {
-            eprintln!("unknown workload {name}; known: Array Btree Hash Queue RBtree TPCC YCSB Rtree Ctrie TATP Bank");
-            std::process::exit(1);
-        };
-        println!("== {name} ({cores} cores, {txs} txs/core, steady state) ==");
-        let mut base_tp = 0.0;
-        let mut base_wr = 0.0;
-        for s in SCHEMES {
-            let stats = run_one_delta(s, w.as_ref(), cores, txs, seed);
-            let tp = stats.throughput();
-            let wr = stats.media_writes() as f64;
-            if s == "Base" {
-                base_tp = tp;
-                base_wr = wr;
-            }
-            println!(
-                "  {s:<7} tp {tp:>9.4} ({:>5.2}x)   media {wr:>9.0} ({:>5.2} of Base)   overflows {:>6}",
-                tp / base_tp,
-                wr / base_wr,
-                stats.scheme_stats.overflow_events,
-            );
-        }
-    }
+    silo_bench::run_legacy("compare");
 }

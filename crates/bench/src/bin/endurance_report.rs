@@ -1,62 +1,7 @@
-//! Endurance study (extension beyond the paper's figures): per-scheme PM
-//! wear and lifetime estimates, quantifying §I's motivation that log
-//! writes "exacerbate the write endurance of PM and hence shorten the PM
-//! lifetime".
-//!
-//! For each scheme the report shows media programs, the hottest line's
-//! wear, wear imbalance (max/mean), and the extrapolated device lifetime
-//! assuming 10^8-cycle PCM cells and the workload running continuously.
-//!
-//! Usage: `endurance_report [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, make_scheme, SCHEMES};
-use silo_pm::PCM_CELL_ENDURANCE;
-use silo_sim::{Engine, SimConfig};
-use silo_types::CLOCK_GHZ;
-use silo_workloads::{workload_by_name, Workload};
+//! Shim: runs the `endurance` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 2_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-
-    println!("Endurance: PM wear by scheme (8 cores, {} txs, 1e8-cycle PCM cells)", txs);
-    for bench in ["Hash", "TPCC", "YCSB"] {
-        println!("\n== {bench} ==");
-        println!(
-            "{:<8}{:>12}{:>12}{:>12}{:>18}{:>16}",
-            "scheme", "programs", "max wear", "imbalance", "hottest line", "lifetime"
-        );
-        let w = workload_by_name(bench).expect("benchmark");
-        let mut base_life = 0.0;
-        for s in SCHEMES {
-            let config = SimConfig::table_ii(cores);
-            let mut scheme = make_scheme(s, &config);
-            let streams = w.generate(cores, txs_per_core, seed);
-            let out = Engine::new(&config, scheme.as_mut()).run(streams, None);
-            let wear = out.pm.wear();
-            let elapsed_s = out.stats.sim_cycles.as_u64() as f64 / (CLOCK_GHZ * 1e9);
-            let life = wear
-                .lifetime_estimate(elapsed_s, PCM_CELL_ENDURANCE)
-                .unwrap_or(f64::INFINITY);
-            if s == "Base" {
-                base_life = life;
-            }
-            let hottest = wear.hottest_lines(1).first().map(|&(l, c)| (l, c)).unwrap_or((0, 0));
-            println!(
-                "{:<8}{:>12}{:>12}{:>12.2}{:>12}:{:<6}{:>9.1} d ({:>5.1}x)",
-                s,
-                wear.total_programs(),
-                wear.max_wear(),
-                wear.wear_imbalance(),
-                hottest.0,
-                hottest.1,
-                life / 86_400.0,
-                life / base_life,
-            );
-        }
-    }
-    println!("\n(lifetime = cell endurance / hottest-line program rate, continuous load)");
+    silo_bench::run_legacy("endurance_report");
 }

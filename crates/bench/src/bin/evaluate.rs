@@ -1,0 +1,114 @@
+//! The unified evaluation driver: runs any registered experiment (or all
+//! of them) across parallel workers and writes one JSON report per
+//! experiment.
+//!
+//! ```text
+//! evaluate <experiment|all|list> [--txs N] [--seed S] [--jobs J] [--json-dir D]
+//!          [--cores C] [--bench Name[,Name...]]
+//! evaluate check <report.json>
+//! ```
+//!
+//! Experiments resolve by registry name (`fig11`) or legacy binary name
+//! (`fig11_write_traffic`); the text output is byte-identical to the
+//! pre-framework serial binaries at any `--jobs`. Reports land in
+//! `target/reports/` unless `--json-dir` says otherwise; progress lines go
+//! to stderr so stdout stays comparable.
+
+use std::path::Path;
+
+use silo_bench::{
+    arg_string, arg_u64, arg_usize, default_jobs, registry, run_experiment, write_report,
+    ExpParams, ExperimentSpec,
+};
+use silo_types::JsonValue;
+
+const USAGE: &str = "\
+usage: evaluate <experiment|all|list> [--txs N] [--seed S] [--jobs J] [--json-dir D]
+                [--cores C] [--bench Name[,Name...]]
+       evaluate check <report.json>
+
+Run `evaluate list` for the registered experiments.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1).map(String::as_str) else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    match cmd {
+        "-h" | "--help" => println!("{USAGE}"),
+        "list" => {
+            for spec in registry::all() {
+                println!("{:<24}{}", spec.name, spec.description);
+            }
+        }
+        "check" => check(args.get(2).map(String::as_str)),
+        "all" => {
+            for spec in registry::all() {
+                run(&spec, &args);
+            }
+        }
+        name => match registry::find(name) {
+            Some(spec) => run(&spec, &args),
+            None => {
+                eprintln!("error: unknown experiment {name:?}; run `evaluate list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn run(spec: &ExperimentSpec, args: &[String]) {
+    let mut params = ExpParams::defaults(spec);
+    params.txs = arg_usize(args, "--txs", params.txs);
+    params.seed = arg_u64(args, "--seed", params.seed);
+    params.cores = arg_usize(args, "--cores", params.cores);
+    if let Some(list) = arg_string(args, "--bench") {
+        params.benches = list.split(',').map(str::to_string).collect();
+    }
+    let jobs = arg_usize(args, "--jobs", default_jobs());
+    let dir = arg_string(args, "--json-dir").unwrap_or_else(|| "target/reports".to_string());
+
+    let start = std::time::Instant::now();
+    let run = run_experiment(spec, &params, jobs);
+    print!("{}", run.text);
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    match write_report(&run, Path::new(&dir), jobs, wall_ms) {
+        Ok(path) => eprintln!(
+            "[{}] done in {:.0} ms ({} jobs), report {}",
+            spec.name,
+            wall_ms,
+            jobs,
+            path.display()
+        ),
+        Err(err) => {
+            eprintln!("error: writing report for {}: {err}", spec.name);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn check(path: Option<&str>) {
+    let Some(path) = path else {
+        eprintln!("usage: evaluate check <report.json>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|err| {
+        eprintln!("error: reading {path}: {err}");
+        std::process::exit(1);
+    });
+    let v = JsonValue::parse(&text).unwrap_or_else(|err| {
+        eprintln!("error: {path} is not well-formed JSON: {err}");
+        std::process::exit(1);
+    });
+    let name = v
+        .get("experiment")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("?");
+    let cells = v
+        .get("cells")
+        .and_then(JsonValue::as_array)
+        .map(<[_]>::len)
+        .unwrap_or(0);
+    println!("{path}: ok (experiment {name}, {cells} cells)");
+}

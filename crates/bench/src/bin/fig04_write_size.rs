@@ -1,47 +1,7 @@
-//! Fig 4: the write size (bytes) of one transaction across eleven
-//! workloads — the observation motivating the small on-chip log buffer
-//! (§II-E: "the write size is generally less than 0.5 KB per
-//! transaction").
-//!
-//! Usage: `fig04_write_size [--txs N] [--seed S]`.
-
-use silo_bench::arg_usize;
-use silo_workloads::fig4_set;
+//! Shim: runs the `fig04` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 2_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-
-    println!("Fig 4: write size (B) per transaction");
-    println!("{:<10}{:>10}{:>10}{:>10}", "workload", "avg B", "max B", "avg words");
-    let mut grand_total = 0.0;
-    let mut n_workloads = 0;
-    for w in fig4_set() {
-        let streams = w.generate(1, txs, seed);
-        // Skip the setup transaction; measure the workload's own txs.
-        let measured = &streams[0][1..];
-        let (mut total, mut max, mut words) = (0usize, 0usize, 0usize);
-        for tx in measured {
-            let b = tx.write_set_bytes();
-            total += b;
-            max = max.max(b);
-            words += tx.write_set_words();
-        }
-        let avg = total as f64 / measured.len() as f64;
-        grand_total += avg;
-        n_workloads += 1;
-        println!(
-            "{:<10}{:>10.1}{:>10}{:>10.1}",
-            w.name(),
-            avg,
-            max,
-            words as f64 / measured.len() as f64
-        );
-    }
-    println!(
-        "{:<10}{:>10.1}   (paper: generally < 512 B per transaction)",
-        "Average",
-        grand_total / n_workloads as f64
-    );
+    silo_bench::run_legacy("fig04_write_size");
 }

@@ -1,34 +1,7 @@
-//! Fig 12: normalized transaction throughput, five schemes × seven
-//! benchmarks × {1, 2, 4, 8} cores, normalized to `Base` per core count.
-//!
-//! Usage: `fig12_throughput [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, print_normalized, run_one_delta, FIG11_BENCHMARKS, SCHEMES};
-use silo_workloads::workload_by_name;
+//! Shim: runs the `fig12` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let total_txs = arg_usize(&args, "--txs", 10_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-
-    println!("Fig 12: transaction throughput, normalized to Base");
-    for &cores in &[1usize, 2, 4, 8] {
-        let txs_per_core = (total_txs / cores).max(1);
-        let mut rows = Vec::new();
-        for bench in FIG11_BENCHMARKS {
-            let w = workload_by_name(bench).expect("fig12 benchmark");
-            let row: Vec<f64> = SCHEMES
-                .iter()
-                .map(|s| run_one_delta(s, w.as_ref(), cores, txs_per_core, seed).throughput())
-                .collect();
-            rows.push(row);
-        }
-        print_normalized(
-            &format!("({cores} core{})", if cores == 1 { "" } else { "s" }),
-            &FIG11_BENCHMARKS.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-            &SCHEMES,
-            &rows,
-            0,
-        );
-    }
+    silo_bench::run_legacy("fig12_throughput");
 }

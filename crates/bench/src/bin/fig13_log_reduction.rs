@@ -1,60 +1,7 @@
-//! Fig 13: the number of total and remaining on-chip log entries per
-//! transaction under Silo's log ignorance and merging (§III-C), which
-//! sizes the 20-entry log buffer (§VI-D).
-//!
-//! TPCC runs all five transaction types here, as the paper does for the
-//! capacity study. Usage: `fig13_log_reduction [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with};
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
-use silo_workloads::{workload_by_name, Workload};
+//! Shim: runs the `fig13` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 10_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-
-    println!("Fig 13: on-chip log entries per transaction (Silo, 8 cores)");
-    println!(
-        "{:<10}{:>8}{:>11}{:>9}{:>9}{:>11}",
-        "workload", "total", "remaining", "ignored", "merged", "reduction"
-    );
-    let names = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC-mix", "YCSB"];
-    let (mut sum_total, mut sum_remaining, mut sum_reduction) = (0.0, 0.0, 0.0);
-    for name in names {
-        let w: Box<dyn Workload> = workload_by_name(name).expect("fig13 benchmark");
-        let config = SimConfig::table_ii(cores);
-        let stats = run_delta_with(
-            &config,
-            || Box::new(SiloScheme::new(&config)),
-            &w,
-            txs_per_core,
-            seed,
-        );
-        let s = stats.scheme_stats;
-        let total = s.avg_generated_per_tx();
-        let remaining = s.avg_remaining_per_tx();
-        sum_total += total;
-        sum_remaining += remaining;
-        sum_reduction += s.reduction_ratio();
-        println!(
-            "{:<10}{:>8.1}{:>11.1}{:>9.1}{:>9.1}{:>10.1}%",
-            name,
-            total,
-            remaining,
-            s.log_entries_ignored as f64 / s.transactions as f64,
-            s.log_entries_merged as f64 / s.transactions as f64,
-            100.0 * s.reduction_ratio()
-        );
-    }
-    println!(
-        "{:<10}{:>8.1}{:>11.1}{:>28.1}%   (paper: 64.3% average reduction; Hash max 20 remaining)",
-        "Average",
-        sum_total / names.len() as f64,
-        sum_remaining / names.len() as f64,
-        100.0 * sum_reduction / names.len() as f64
-    );
+    silo_bench::run_legacy("fig13_log_reduction");
 }

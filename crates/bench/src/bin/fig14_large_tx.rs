@@ -1,100 +1,7 @@
-//! Fig 14: Silo's behaviour on large transactions whose write sets are
-//! 1–16× the log-buffer size (§VI-F): (a) normalized throughput, (b)
-//! normalized PM write traffic, both relative to the 1× configuration of
-//! the same benchmark.
-//!
-//! Larger write sets are built by batching k of a workload's transactions
-//! into one (the write-set multiplier); throughput is measured per inner
-//! operation so the batching itself does not distort the metric.
-//!
-//! Usage: `fig14_large_tx [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_with_scheme, Batched};
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
-use silo_workloads::{workload_by_name, Workload};
-
-const MULTS: [usize; 5] = [1, 2, 4, 8, 16];
+//! Shim: runs the `fig14` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 4_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-
-    let names = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
-    let mut tp: Vec<Vec<f64>> = Vec::new();
-    let mut wr: Vec<Vec<f64>> = Vec::new();
-    let mut overflow_note = String::new();
-
-    for name in names {
-        let mut tp_row = Vec::new();
-        let mut wr_row = Vec::new();
-        for &mult in &MULTS {
-            let w: Box<dyn Workload> = workload_by_name(name).expect("fig14 benchmark");
-            // Baseline group size: enough inner txs that the 1x write set
-            // roughly fills the 20-entry buffer.
-            let probe = w.generate(1, 50, seed);
-            let avg_words: f64 = probe[0][1..]
-                .iter()
-                .map(|t| t.write_set_words())
-                .sum::<usize>() as f64
-                / (probe[0].len() - 1) as f64;
-            let group_1x = ((20.0 / avg_words).ceil() as usize).max(1);
-            let group = group_1x * mult;
-            let inner_per_core = (txs / cores).max(group);
-            let outer = inner_per_core / group;
-
-            let config = SimConfig::table_ii(cores);
-            let mut silo = SiloScheme::new(&config);
-            let streams = Batched::new(
-                workload_by_name(name).expect("fig14 benchmark"),
-                group,
-            )
-            .generate(cores, outer, seed);
-            let stats = run_with_scheme(&mut silo, &config, streams);
-            // Per inner-operation throughput.
-            let ops = stats.txs_committed * group as u64;
-            tp_row.push(ops as f64 / stats.sim_cycles.as_u64() as f64);
-            wr_row.push(stats.media_writes() as f64 / ops as f64);
-            if mult == 16 {
-                overflow_note.push_str(&format!(
-                    " {name}:{}",
-                    stats.scheme_stats.overflow_events
-                ));
-            }
-        }
-        tp.push(tp_row);
-        wr.push(wr_row);
-    }
-
-    println!("Fig 14a: normalized throughput vs write-set size (Silo, 8 cores)");
-    print_rows(&names, &tp);
-    println!("\nFig 14b: normalized PM write traffic vs write-set size");
-    print_rows(&names, &wr);
-    println!("\noverflow events at 16x:{overflow_note}");
-    println!("(paper: throughput -7.4% on average at 16x; write traffic up to 1.9x)");
-}
-
-fn print_rows(names: &[&str], rows: &[Vec<f64>]) {
-    print!("{:<10}", "");
-    for m in MULTS {
-        print!("{:>8}", format!("{m}x"));
-    }
-    println!();
-    let mut avg = vec![0.0; MULTS.len()];
-    for (name, row) in names.iter().zip(rows) {
-        print!("{name:<10}");
-        for (i, v) in row.iter().enumerate() {
-            let norm = v / row[0];
-            avg[i] += norm;
-            print!("{norm:>8.3}");
-        }
-        println!();
-    }
-    print!("{:<10}", "Average");
-    for a in &avg {
-        print!("{:>8.3}", a / names.len() as f64);
-    }
-    println!();
+    silo_bench::run_legacy("fig14_large_tx");
 }

@@ -1,48 +1,7 @@
-//! Fig 15: transaction throughput sensitivity to the log-buffer access
-//! latency, swept from 8 to 128 cycles (§VI-G). The buffer sits off the
-//! critical path, so throughput should stay nearly flat (paper: −3.3 % at
-//! 128 cycles vs 8).
-//!
-//! Usage: `fig15_buffer_latency [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_with_scheme};
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
-use silo_types::Cycles;
-use silo_workloads::workload_by_name;
+//! Shim: runs the `fig15` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 4_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-    let latencies: Vec<u64> = (1..=16).map(|i| i * 8).collect();
-
-    println!("Fig 15: normalized throughput vs log-buffer latency (Silo, 8 cores)");
-    print!("{:<10}", "latency");
-    for l in &latencies {
-        print!("{l:>7}");
-    }
-    println!();
-
-    let names = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
-    for name in names {
-        let w = workload_by_name(name).expect("fig15 benchmark");
-        let mut row = Vec::new();
-        for &lat in &latencies {
-            let mut config = SimConfig::table_ii(cores);
-            config.log_buffer_latency = Cycles::new(lat);
-            let mut silo = SiloScheme::new(&config);
-            let streams = w.generate(cores, txs_per_core, seed);
-            let stats = run_with_scheme(&mut silo, &config, streams);
-            row.push(stats.throughput());
-        }
-        print!("{name:<10}");
-        for v in &row {
-            print!("{:>7.3}", v / row[0]);
-        }
-        println!();
-    }
-    println!("(each row normalized to its own 8-cycle value; paper: -3.3% at 128 cycles)");
+    silo_bench::run_legacy("fig15_buffer_latency");
 }

@@ -1,55 +1,7 @@
-//! Motivation study (paper §II-B, Fig 1): software logging versus
-//! hardware logging. The paper cites software WAL costing "up to 70%"
-//! of transaction throughput because clwb + sfence per log entry sit on
-//! the critical path; hardware logging overlaps them with execution.
-//!
-//! Usage: `motivation_sw_logging [--txs N] [--seed S]`.
-
-use silo_baselines::{EadrSwLogScheme, SwLogScheme};
-use silo_bench::{arg_usize, run_delta_with, run_one_delta};
-use silo_sim::SimConfig;
-use silo_workloads::workload_by_name;
+//! Shim: runs the `motivation` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 2_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 1usize; // the motivation is per-thread critical-path cost
-
-    println!("Motivation (Fig 1 / §II-B, §II-C): software vs hardware logging, 1 core");
-    println!(
-        "{:<10}{:>12}{:>12}{:>12}{:>12}{:>12}",
-        "workload", "SwLog tp", "eADR-sw tp", "Base tp", "Silo tp", "sw loss"
-    );
-    for name in ["Hash", "Queue", "TPCC", "Bank"] {
-        let w = workload_by_name(name).expect("benchmark");
-        let config = SimConfig::table_ii(cores);
-        let sw = run_delta_with(
-            &config,
-            || Box::new(SwLogScheme::new(&config)),
-            &w,
-            txs,
-            seed,
-        );
-        let eadr = run_delta_with(
-            &config,
-            || Box::new(EadrSwLogScheme::new(&config)),
-            &w,
-            txs,
-            seed,
-        );
-        let hw = run_one_delta("Base", w.as_ref(), cores, txs, seed);
-        let silo = run_one_delta("Silo", w.as_ref(), cores, txs, seed);
-        println!(
-            "{:<10}{:>12.4}{:>12.4}{:>12.4}{:>12.4}{:>11.1}%",
-            name,
-            sw.throughput(),
-            eadr.throughput(),
-            hw.throughput(),
-            silo.throughput(),
-            100.0 * (1.0 - sw.throughput() / hw.throughput()),
-        );
-    }
-    println!("(paper: software logging decreases throughput by up to 70% [28];");
-    println!(" eADR removes the fences but log appends still pollute the cache, §II-C)");
+    silo_bench::run_legacy("motivation_sw_logging");
 }

@@ -1,51 +1,7 @@
-//! Study (§VI-D): sizing the per-core log buffer. The paper picks 20
-//! entries because Hash's surviving footprint peaks there (Fig 13); this
-//! sweep shows what smaller and larger buffers cost — overflow rate,
-//! log-region traffic, and throughput.
-//!
-//! Usage: `study_buffer_capacity [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with};
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
-use silo_workloads::workload_by_name;
+//! Shim: runs the `study_buffer_capacity` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 4_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-
-    println!("Log-buffer capacity study (Silo, 8 cores)");
-    println!(
-        "{:<10}{:>9}{:>14}{:>13}{:>13}{:>12}",
-        "workload", "entries", "overflows/tx", "log wr/tx", "media/tx", "throughput"
-    );
-    for name in ["Hash", "TPCC", "YCSB"] {
-        let w = workload_by_name(name).expect("benchmark");
-        for entries in [5usize, 10, 20, 40, 80] {
-            let mut config = SimConfig::table_ii(cores);
-            config.log_buffer_entries = entries;
-            let stats = run_delta_with(
-                &config,
-                || Box::new(SiloScheme::new(&config)),
-                &w,
-                txs_per_core,
-                seed,
-            );
-            let s = stats.scheme_stats;
-            let n = s.transactions as f64;
-            println!(
-                "{:<10}{:>9}{:>14.2}{:>13.2}{:>13.2}{:>12.4}",
-                name,
-                entries,
-                s.overflow_events as f64 / n,
-                s.log_entries_written_to_pm as f64 / n,
-                stats.media_writes() as f64 / n,
-                stats.throughput()
-            );
-        }
-    }
-    println!("(paper: 20 entries cover the max surviving footprint, Fig 13 / Table I)");
+    silo_bench::run_legacy("study_buffer_capacity");
 }

@@ -1,48 +1,7 @@
-//! Study (paper §III-D "Multiple MCs"): Silo with 1, 2, and 4 memory
-//! controllers. The paper argues Silo needs no cross-MC coordination —
-//! each transaction's logs and in-place updates target its core's home
-//! controller — so adding controllers should scale throughput without any
-//! scheme change. The baselines interleave demand traffic only.
-//!
-//! Usage: `study_multi_mc [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with};
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
-use silo_workloads::workload_by_name;
+//! Shim: runs the `study_multi_mc` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 4_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-
-    println!("Multi-MC study (Silo, 8 cores): throughput vs controller count");
-    println!("{:<10}{:>10}{:>10}{:>10}{:>14}", "workload", "1 MC", "2 MCs", "4 MCs", "4-MC speedup");
-    for name in ["Hash", "Queue", "TPCC", "YCSB"] {
-        let w = workload_by_name(name).expect("benchmark");
-        let mut row = Vec::new();
-        for mcs in [1usize, 2, 4] {
-            let mut config = SimConfig::table_ii(cores);
-            config.num_mcs = mcs;
-            let stats = run_delta_with(
-                &config,
-                || Box::new(SiloScheme::new(&config)),
-                &w,
-                txs_per_core,
-                seed,
-            );
-            row.push(stats.throughput());
-        }
-        println!(
-            "{:<10}{:>10.4}{:>10.4}{:>10.4}{:>13.2}x",
-            name,
-            row[0],
-            row[1],
-            row[2],
-            row[2] / row[0]
-        );
-    }
-    println!("(no coordination between controllers: per-transaction MC affinity, §III-D)");
+    silo_bench::run_legacy("study_multi_mc");
 }

@@ -1,48 +1,7 @@
-//! Study (§III-E): sizing the on-PM write-coalescing buffer. Larger
-//! buffers widen the coalescing window for Silo's word-granular new-data
-//! writes, cutting media programs.
-//!
-//! Usage: `study_onpm_buffer [--txs N] [--seed S]`.
-
-use silo_bench::{arg_usize, run_delta_with};
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
-use silo_workloads::workload_by_name;
+//! Shim: runs the `study_onpm_buffer` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 4_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 8usize;
-    let txs_per_core = (txs / cores).max(1);
-
-    println!("On-PM buffer capacity study (Silo, 8 cores)");
-    println!(
-        "{:<10}{:>8}{:>13}{:>15}{:>14}",
-        "workload", "lines", "media/tx", "coalesced/tx", "forced drains"
-    );
-    for name in ["Hash", "Queue", "TPCC", "YCSB"] {
-        let w = workload_by_name(name).expect("benchmark");
-        for lines in [4usize, 16, 64, 256] {
-            let mut config = SimConfig::table_ii(cores);
-            config.onpm_buffer_lines = lines;
-            let stats = run_delta_with(
-                &config,
-                || Box::new(SiloScheme::new(&config)),
-                &w,
-                txs_per_core,
-                seed,
-            );
-            let n = stats.txs_committed as f64;
-            println!(
-                "{:<10}{:>8}{:>13.2}{:>15.2}{:>14}",
-                name,
-                lines,
-                stats.media_writes() as f64 / n,
-                stats.pm.coalesced_hits as f64 / n,
-                stats.pm.buffer_forced_drains
-            );
-        }
-    }
-    println!("(64 lines = a 16 KB buffer, the Optane XPBuffer scale this model defaults to)");
+    silo_bench::run_legacy("study_onpm_buffer");
 }

@@ -1,54 +1,7 @@
-//! Study (extension): recovery cost after crashes at varying points.
-//!
-//! For each crash cycle, reports what the §III-G selective flush left in
-//! the log region and a modelled recovery latency (sequential record scan
-//! at the PM read latency plus replay/revoke writes at the PM write
-//! latency) — the quantity a mean-time-to-recovery analysis would use.
-//!
-//! Usage: `study_recovery [--txs N] [--seed S]`.
-
-use silo_bench::arg_usize;
-use silo_core::SiloScheme;
-use silo_sim::{Engine, SimConfig};
-use silo_types::{Cycles, CLOCK_GHZ};
-use silo_workloads::{workload_by_name, Workload};
+//! Shim: runs the `study_recovery` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let txs = arg_usize(&args, "--txs", 1_000);
-    let seed = arg_usize(&args, "--seed", 42) as u64;
-    let cores = 4usize;
-
-    println!("Recovery study (Silo, 4 cores, TPCC)");
-    println!(
-        "{:<12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>14}",
-        "crash cycle", "committed", "in-flight", "scanned", "replayed", "revoked", "recovery (us)"
-    );
-    let w = workload_by_name("TPCC").expect("tpcc");
-    for crash_at in [1_000u64, 5_000, 20_000, 80_000, 320_000, 1_280_000] {
-        let config = SimConfig::table_ii(cores);
-        let mut silo = SiloScheme::new(&config);
-        let streams = w.generate(cores, txs / cores, seed);
-        let out = Engine::new(&config, &mut silo).run(streams, Some(Cycles::new(crash_at)));
-        let crash = out.crash.expect("crash injected");
-        assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
-        let r = crash.recovery;
-        // Model: one PM read per scanned record, one PM write per applied
-        // word (word writes coalesce ~4:1 into media lines on average).
-        let read_cyc = config.memctrl.read_cycles * r.scanned_records;
-        let write_cyc =
-            config.memctrl.media_write_cycles * (r.replayed_words + r.revoked_words) / 4;
-        let us = (read_cyc + write_cyc) as f64 / (CLOCK_GHZ * 1000.0);
-        println!(
-            "{:<12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>14.2}",
-            crash_at,
-            crash.committed_txs,
-            crash.inflight_txs,
-            r.scanned_records,
-            r.replayed_words,
-            r.revoked_words,
-            us
-        );
-    }
-    println!("(recovery scales with surviving log records, not with PM size or history)");
+    silo_bench::run_legacy("study_recovery");
 }

@@ -1,33 +1,7 @@
-//! Table I: the hardware overhead of Silo in the processor.
-
-use silo_core::HwOverhead;
+//! Shim: runs the `table1` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let hw = HwOverhead::paper(8);
-    println!("Table I: hardware overhead of Silo");
-    println!("{:<22}{:<20}Size", "Component", "Type");
-    println!(
-        "{:<22}{:<20}{} entries, {} B per core",
-        "Log buffer", "SRAM", hw.entries_per_core, hw.log_buffer_bytes_per_core
-    );
-    println!(
-        "{:<22}{:<20}{} comparators per log buffer",
-        "64-bit comparators", "CMOS cells", hw.comparators_per_core
-    );
-    println!(
-        "{:<22}{:<20}{:.3e} mm^3 per log buffer (Li thin-film)",
-        "Battery",
-        "Lithium thin-film",
-        hw.battery_volume_mm3(silo_core::LI_ENERGY_DENSITY_WH_PER_CM3) / hw.cores as f64
-    );
-    println!(
-        "{:<22}{:<20}{} B per core",
-        "Log head and tail", "Flip-flops", hw.head_tail_bytes_per_core
-    );
-    println!(
-        "\ntotals for {} cores: {} B battery-backed SRAM, {:.1} uJ crash-flush energy",
-        hw.cores,
-        hw.total_flush_bytes(),
-        hw.flush_energy_uj()
-    );
+    silo_bench::run_legacy("table1_hw_overhead");
 }

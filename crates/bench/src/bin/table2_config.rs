@@ -1,54 +1,7 @@
-//! Table II: the simulated system configuration actually used by every
-//! run in this repository (printed from the live config structs so the
-//! table can never drift from the code).
-
-use silo_sim::SimConfig;
+//! Shim: runs the `table2` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let c = SimConfig::table_ii(8);
-    println!("Table II: configurations of the simulated system");
-    println!("Processor");
-    println!("  Cores              {} cores, x86-64 model, 2 GHz", c.cores);
-    println!(
-        "  L1 D Cache         private, 64B per line, {}KB, 8-way, {} cycles",
-        c.hierarchy.l1.size_bytes / 1024,
-        c.hierarchy.l1_latency.as_u64()
-    );
-    println!(
-        "  L2 Cache           private, 64B per line, {}KB, 8-way, {} cycles",
-        c.hierarchy.l2.size_bytes / 1024,
-        c.hierarchy.l2_latency.as_u64()
-    );
-    println!(
-        "  L3 Cache           shared, 64B per line, {}MB, 16-way, {} cycles",
-        c.hierarchy.l3.size_bytes / (1024 * 1024),
-        c.hierarchy.l3_latency.as_u64()
-    );
-    println!(
-        "  Memory Controller  FRFCFS, {}-entry WPQ in ADR domain, {} banks",
-        c.memctrl.wpq_entries, c.memctrl.banks
-    );
-    println!(
-        "  Log Buffer         {} entries (680B) per core, FIFO, {} cycles, battery backed",
-        c.log_buffer_entries,
-        c.log_buffer_latency.as_u64()
-    );
-    println!("Persistent Memory");
-    println!("  Capacity           16GB phase-change memory (modelled sparsely)");
-    println!(
-        "  Latency            read / write: {} / {} ns ({} / {} cycles)",
-        c.memctrl.read_cycles / 2,
-        c.memctrl.media_write_cycles / 2,
-        c.memctrl.read_cycles,
-        c.memctrl.media_write_cycles
-    );
-    println!(
-        "  On-PM buffer       {} lines x 256B, write coalescing (Silo path)",
-        c.onpm_buffer_lines
-    );
-    println!(
-        "  Log region         starts at {} GiB, {} MiB per thread",
-        c.log_region_start >> 30,
-        c.thread_log_area_bytes >> 20
-    );
+    silo_bench::run_legacy("table2_config");
 }

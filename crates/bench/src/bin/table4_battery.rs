@@ -1,51 +1,7 @@
-//! Table IV: battery requirements of eADR, BBB, and Silo for 8 cores —
-//! flush size, flush energy, and supercapacitor / lithium thin-film
-//! volume and area.
-
-use silo_core::{
-    HwOverhead, CAP_ENERGY_DENSITY_WH_PER_CM3, FLUSH_ENERGY_NJ_PER_BYTE,
-    LI_ENERGY_DENSITY_WH_PER_CM3,
-};
-
-struct Row {
-    name: &'static str,
-    flush_kb: f64,
-}
+//! Shim: runs the `table4` experiment through the unified
+//! framework (`silo_bench::registry`). Same flags, byte-identical
+//! output; `--jobs` and `--json-dir` now also work.
 
 fn main() {
-    let silo = HwOverhead::paper(8);
-    // eADR flushes the dirty blocks (45%) of the whole 10,496 KB cache
-    // hierarchy of Table II; BBB flushes 8 cores x 32 x 64B buffers.
-    let rows = [
-        Row { name: "eADR", flush_kb: 10_496.0 },
-        Row { name: "BBB", flush_kb: 16.0 },
-        Row { name: "Silo", flush_kb: silo.total_flush_bytes() as f64 / 1024.0 },
-    ];
-    println!("Table IV: battery requirements (8 cores)");
-    println!(
-        "{:<8}{:>12}{:>14}{:>22}{:>22}",
-        "", "Flush (KB)", "Energy (uJ)", "Cap (mm^3; mm^2)", "Li (mm^3; mm^2)"
-    );
-    for r in rows {
-        let flush_bytes = if r.name == "eADR" {
-            r.flush_kb * 1024.0 * 0.45 // dirty fraction
-        } else {
-            r.flush_kb * 1024.0
-        };
-        let energy_uj = flush_bytes * FLUSH_ENERGY_NJ_PER_BYTE / 1000.0;
-        let vol = |density: f64| energy_uj / 3.6e9 / density * 1000.0;
-        let cap_v = vol(CAP_ENERGY_DENSITY_WH_PER_CM3);
-        let li_v = vol(LI_ENERGY_DENSITY_WH_PER_CM3);
-        println!(
-            "{:<8}{:>12.4}{:>14.1}{:>11.3};{:>10.3}{:>11.4};{:>10.4}",
-            r.name,
-            r.flush_kb,
-            energy_uj,
-            cap_v,
-            cap_v.powf(2.0 / 3.0),
-            li_v,
-            li_v.powf(2.0 / 3.0),
-        );
-    }
-    println!("(paper: eADR 54,377 uJ / Cap 151 mm^3; BBB 194 uJ; Silo 62 uJ / Cap 0.17 mm^3)");
+    silo_bench::run_legacy("table4_battery");
 }

@@ -1,0 +1,96 @@
+//! Quick-look comparison utility: one table of absolute and normalized
+//! throughput and write traffic for chosen workloads, schemes, and core
+//! count. Not a paper figure — a debugging/exploration tool. The only
+//! experiment that consumes the `--cores` and `--bench` parameters.
+
+use std::fmt::Write as _;
+
+use silo_types::JsonValue;
+use silo_workloads::workload_by_name;
+
+use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::{run_one_delta, SCHEMES};
+
+fn build(p: &ExpParams) -> Vec<Cell> {
+    let (txs, cores, seed) = (p.txs, p.cores, p.seed);
+    let mut cells = Vec::new();
+    for name in &p.benches {
+        if workload_by_name(name).is_none() {
+            eprintln!(
+                "unknown workload {name}; known: Array Btree Hash Queue RBtree TPCC YCSB Rtree Ctrie TATP Bank"
+            );
+            std::process::exit(1);
+        }
+        for s in SCHEMES {
+            let name = name.clone();
+            cells.push(Cell::new(CellLabel::swc(s, &name, cores), move || {
+                let w = workload_by_name(&name).expect("validated above");
+                CellOutcome::from_stats(run_one_delta(s, w.as_ref(), cores, txs, seed))
+            }));
+        }
+    }
+    cells
+}
+
+fn render(p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -> JsonValue {
+    let (txs, cores) = (p.txs, p.cores);
+    let mut taken = Taken::new(cells);
+    let mut groups = Vec::new();
+    for name in &p.benches {
+        writeln!(
+            out,
+            "== {name} ({cores} cores, {txs} txs/core, steady state) =="
+        )
+        .unwrap();
+        let mut base_tp = 0.0;
+        let mut base_wr = 0.0;
+        let mut rows = Vec::new();
+        for s in SCHEMES {
+            let stats = taken.next_stats();
+            let tp = stats.throughput();
+            let wr = stats.media_writes() as f64;
+            if s == "Base" {
+                base_tp = tp;
+                base_wr = wr;
+            }
+            writeln!(
+                out,
+                "  {s:<7} tp {tp:>9.4} ({:>5.2}x)   media {wr:>9.0} ({:>5.2} of Base)   overflows {:>6}",
+                tp / base_tp,
+                wr / base_wr,
+                stats.scheme_stats.overflow_events,
+            )
+            .unwrap();
+            rows.push(
+                JsonValue::object()
+                    .field("scheme", s)
+                    .field("throughput", tp)
+                    .field("tp_vs_base", tp / base_tp)
+                    .field("media_writes", wr)
+                    .field("media_vs_base", wr / base_wr)
+                    .build(),
+            );
+        }
+        groups.push(
+            JsonValue::object()
+                .field("workload", name.as_str())
+                .field("rows", JsonValue::Arr(rows))
+                .build(),
+        );
+    }
+    JsonValue::object()
+        .field("cores", p.cores)
+        .field("workloads", JsonValue::Arr(groups))
+        .build()
+}
+
+/// The registered spec.
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "compare",
+        legacy_bin: "compare",
+        description: "quick-look scheme comparison on chosen workloads/cores (debug utility)",
+        default_txs: 200,
+        kind: ExpKind::Custom { build, render },
+    }
+}

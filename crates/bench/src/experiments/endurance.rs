@@ -1,0 +1,133 @@
+//! Endurance study (extension beyond the paper's figures): per-scheme PM
+//! wear and lifetime estimates, quantifying §I's motivation that log
+//! writes "exacerbate the write endurance of PM and hence shorten the PM
+//! lifetime".
+//!
+//! The wear ledger lives on the engine output, not on `SimStats`, so each
+//! cell extracts the wear-derived numbers inside its closure and carries
+//! them as named metrics.
+
+use std::fmt::Write as _;
+
+use silo_pm::PCM_CELL_ENDURANCE;
+use silo_sim::{Engine, SimConfig};
+use silo_types::CLOCK_GHZ;
+use silo_workloads::workload_by_name;
+
+use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::{make_scheme, SCHEMES};
+use silo_types::JsonValue;
+
+const BENCHES: [&str; 3] = ["Hash", "TPCC", "YCSB"];
+const CORES: usize = 8;
+
+fn build(p: &ExpParams) -> Vec<Cell> {
+    let txs_per_core = (p.txs / CORES).max(1);
+    let seed = p.seed;
+    let mut cells = Vec::new();
+    for bench in BENCHES {
+        for s in SCHEMES {
+            cells.push(Cell::new(CellLabel::swc(s, bench, CORES), move || {
+                let w = workload_by_name(bench).expect("benchmark");
+                let config = SimConfig::table_ii(CORES);
+                let mut scheme = make_scheme(s, &config);
+                let streams = w.generate(CORES, txs_per_core, seed);
+                let out = Engine::new(&config, scheme.as_mut()).run(streams, None);
+                let wear = out.pm.wear();
+                let elapsed_s = out.stats.sim_cycles.as_u64() as f64 / (CLOCK_GHZ * 1e9);
+                let life = wear
+                    .lifetime_estimate(elapsed_s, PCM_CELL_ENDURANCE)
+                    .unwrap_or(f64::INFINITY);
+                let hottest = wear
+                    .hottest_lines(1)
+                    .first()
+                    .map(|&(l, c)| (l, c))
+                    .unwrap_or((0, 0));
+                CellOutcome::from_stats(out.stats)
+                    .with_value("programs", wear.total_programs() as f64)
+                    .with_value("max_wear", wear.max_wear() as f64)
+                    .with_value("imbalance", wear.wear_imbalance())
+                    .with_value("hot_line", hottest.0 as f64)
+                    .with_value("hot_count", hottest.1 as f64)
+                    .with_value("life", life)
+            }));
+        }
+    }
+    cells
+}
+
+fn render(p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -> JsonValue {
+    let mut taken = Taken::new(cells);
+    writeln!(
+        out,
+        "Endurance: PM wear by scheme (8 cores, {} txs, 1e8-cycle PCM cells)",
+        p.txs
+    )
+    .unwrap();
+    let mut benches_json = Vec::new();
+    for bench in BENCHES {
+        writeln!(out, "\n== {bench} ==").unwrap();
+        writeln!(
+            out,
+            "{:<8}{:>12}{:>12}{:>12}{:>18}{:>16}",
+            "scheme", "programs", "max wear", "imbalance", "hottest line", "lifetime"
+        )
+        .unwrap();
+        let mut base_life = 0.0;
+        let mut rows = Vec::new();
+        for s in SCHEMES {
+            let c = taken.next();
+            let life = c.value("life");
+            if s == "Base" {
+                base_life = life;
+            }
+            writeln!(
+                out,
+                "{:<8}{:>12}{:>12}{:>12.2}{:>12}:{:<6}{:>9.1} d ({:>5.1}x)",
+                s,
+                c.value("programs") as u64,
+                c.value("max_wear") as u64,
+                c.value("imbalance"),
+                c.value("hot_line") as u64,
+                c.value("hot_count") as u64,
+                life / 86_400.0,
+                life / base_life,
+            )
+            .unwrap();
+            rows.push(
+                JsonValue::object()
+                    .field("scheme", s)
+                    .field("programs", c.value("programs"))
+                    .field("imbalance", c.value("imbalance"))
+                    .field("lifetime_days", life / 86_400.0)
+                    .field("lifetime_vs_base", life / base_life)
+                    .build(),
+            );
+        }
+        benches_json.push(
+            JsonValue::object()
+                .field("workload", bench)
+                .field("rows", JsonValue::Arr(rows))
+                .build(),
+        );
+    }
+    writeln!(
+        out,
+        "\n(lifetime = cell endurance / hottest-line program rate, continuous load)"
+    )
+    .unwrap();
+    JsonValue::object()
+        .field("benchmarks", JsonValue::Arr(benches_json))
+        .build()
+}
+
+/// The registered spec.
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "endurance",
+        legacy_bin: "endurance_report",
+        description: "PM wear and lifetime estimates per scheme (endurance extension)",
+        default_txs: 2_000,
+        kind: ExpKind::Custom { build, render },
+    }
+}

@@ -1,0 +1,97 @@
+//! Fig 4: the write size (bytes) of one transaction across eleven
+//! workloads — the observation motivating the small on-chip log buffer
+//! (§II-E).
+
+use std::fmt::Write as _;
+
+use silo_types::JsonValue;
+use silo_workloads::{fig4_set, workload_by_name};
+
+use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+
+fn build(p: &ExpParams) -> Vec<Cell> {
+    let (txs, seed) = (p.txs, p.seed);
+    fig4_set()
+        .into_iter()
+        .map(|w| {
+            let name = w.name();
+            Cell::new(
+                CellLabel {
+                    workload: name.to_string(),
+                    ..CellLabel::default()
+                },
+                move || {
+                    let w = workload_by_name(name).expect("fig4 workload");
+                    let streams = w.generate(1, txs, seed);
+                    // Skip the setup transaction; measure the workload's own txs.
+                    let measured = &streams[0][1..];
+                    let (mut total, mut max, mut words) = (0usize, 0usize, 0usize);
+                    for tx in measured {
+                        let b = tx.write_set_bytes();
+                        total += b;
+                        max = max.max(b);
+                        words += tx.write_set_words();
+                    }
+                    CellOutcome::default()
+                        .with_value("avg_b", total as f64 / measured.len() as f64)
+                        .with_value("max_b", max as f64)
+                        .with_value("avg_words", words as f64 / measured.len() as f64)
+                },
+            )
+        })
+        .collect()
+}
+
+fn render(_p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -> JsonValue {
+    let mut taken = Taken::new(cells);
+    writeln!(out, "Fig 4: write size (B) per transaction").unwrap();
+    writeln!(
+        out,
+        "{:<10}{:>10}{:>10}{:>10}",
+        "workload", "avg B", "max B", "avg words"
+    )
+    .unwrap();
+    let mut grand_total = 0.0;
+    let mut rows = Vec::new();
+    for (label, _) in cells {
+        let c = taken.next();
+        let (avg, max, avg_words) = (c.value("avg_b"), c.value("max_b"), c.value("avg_words"));
+        grand_total += avg;
+        writeln!(
+            out,
+            "{:<10}{:>10.1}{:>10}{:>10.1}",
+            label.workload, avg, max as usize, avg_words
+        )
+        .unwrap();
+        rows.push(
+            JsonValue::object()
+                .field("workload", label.workload.as_str())
+                .field("avg_bytes", avg)
+                .field("max_bytes", max)
+                .field("avg_words", avg_words)
+                .build(),
+        );
+    }
+    writeln!(
+        out,
+        "{:<10}{:>10.1}   (paper: generally < 512 B per transaction)",
+        "Average",
+        grand_total / cells.len() as f64
+    )
+    .unwrap();
+    JsonValue::object()
+        .field("rows", JsonValue::Arr(rows))
+        .field("avg_bytes_overall", grand_total / cells.len() as f64)
+        .build()
+}
+
+/// The registered spec.
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig04",
+        legacy_bin: "fig04_write_size",
+        description: "write size per transaction across eleven workloads (motivation for the small log buffer)",
+        default_txs: 2_000,
+        kind: ExpKind::Custom { build, render },
+    }
+}

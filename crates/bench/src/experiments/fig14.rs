@@ -1,0 +1,164 @@
+//! Fig 14: Silo's behaviour on large transactions whose write sets are
+//! 1–16× the log-buffer size (§VI-F): (a) normalized throughput, (b)
+//! normalized PM write traffic, both relative to the 1× configuration of
+//! the same benchmark.
+//!
+//! Larger write sets are built by batching k of a workload's transactions
+//! into one (the write-set multiplier); throughput is measured per inner
+//! operation so the batching itself does not distort the metric.
+
+use std::fmt::Write as _;
+
+use silo_core::SiloScheme;
+use silo_sim::SimConfig;
+use silo_types::JsonValue;
+use silo_workloads::{workload_by_name, Workload};
+
+use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::{run_with_scheme, Batched};
+
+const MULTS: [usize; 5] = [1, 2, 4, 8, 16];
+const NAMES: [&str; 7] = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
+const CORES: usize = 8;
+
+fn build(p: &ExpParams) -> Vec<Cell> {
+    let (txs, seed) = (p.txs, p.seed);
+    let mut cells = Vec::new();
+    for name in NAMES {
+        for mult in MULTS {
+            cells.push(Cell::new(
+                CellLabel::swc("Silo", name, CORES).with_param(format!("mult={mult}")),
+                move || {
+                    let w: Box<dyn Workload> = workload_by_name(name).expect("fig14 benchmark");
+                    // Baseline group size: enough inner txs that the 1x write set
+                    // roughly fills the 20-entry buffer.
+                    let probe = w.generate(1, 50, seed);
+                    let avg_words: f64 = probe[0][1..]
+                        .iter()
+                        .map(|t| t.write_set_words())
+                        .sum::<usize>() as f64
+                        / (probe[0].len() - 1) as f64;
+                    let group_1x = ((20.0 / avg_words).ceil() as usize).max(1);
+                    let group = group_1x * mult;
+                    let inner_per_core = (txs / CORES).max(group);
+                    let outer = inner_per_core / group;
+
+                    let config = SimConfig::table_ii(CORES);
+                    let mut silo = SiloScheme::new(&config);
+                    let streams =
+                        Batched::new(workload_by_name(name).expect("fig14 benchmark"), group)
+                            .generate(CORES, outer, seed);
+                    let stats = run_with_scheme(&mut silo, &config, streams);
+                    // Per inner-operation throughput.
+                    let ops = stats.txs_committed * group as u64;
+                    let overflow = stats.scheme_stats.overflow_events;
+                    CellOutcome::from_stats(stats.clone())
+                        .with_value("tp", ops as f64 / stats.sim_cycles.as_u64() as f64)
+                        .with_value("wr", stats.media_writes() as f64 / ops as f64)
+                        .with_value("overflow", overflow as f64)
+                },
+            ));
+        }
+    }
+    cells
+}
+
+fn render(_p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -> JsonValue {
+    let mut taken = Taken::new(cells);
+    let mut tp: Vec<Vec<f64>> = Vec::new();
+    let mut wr: Vec<Vec<f64>> = Vec::new();
+    let mut overflow_note = String::new();
+    for name in NAMES {
+        let mut tp_row = Vec::new();
+        let mut wr_row = Vec::new();
+        for mult in MULTS {
+            let c = taken.next();
+            tp_row.push(c.value("tp"));
+            wr_row.push(c.value("wr"));
+            if mult == 16 {
+                overflow_note.push_str(&format!(" {name}:{}", c.value("overflow") as u64));
+            }
+        }
+        tp.push(tp_row);
+        wr.push(wr_row);
+    }
+
+    writeln!(
+        out,
+        "Fig 14a: normalized throughput vs write-set size (Silo, 8 cores)"
+    )
+    .unwrap();
+    write_rows(out, &NAMES, &tp);
+    writeln!(
+        out,
+        "\nFig 14b: normalized PM write traffic vs write-set size"
+    )
+    .unwrap();
+    write_rows(out, &NAMES, &wr);
+    writeln!(out, "\noverflow events at 16x:{overflow_note}").unwrap();
+    writeln!(
+        out,
+        "(paper: throughput -7.4% on average at 16x; write traffic up to 1.9x)"
+    )
+    .unwrap();
+
+    let matrix = |rows: &[Vec<f64>]| {
+        JsonValue::Arr(
+            NAMES
+                .iter()
+                .zip(rows)
+                .map(|(name, row)| {
+                    JsonValue::object()
+                        .field("workload", *name)
+                        .field(
+                            "normalized",
+                            JsonValue::array(row.iter().map(|v| v / row[0])),
+                        )
+                        .build()
+                })
+                .collect(),
+        )
+    };
+    JsonValue::object()
+        .field(
+            "multipliers",
+            JsonValue::array(MULTS.iter().map(|&m| m as u64)),
+        )
+        .field("throughput", matrix(&tp))
+        .field("write_traffic", matrix(&wr))
+        .build()
+}
+
+fn write_rows(out: &mut String, names: &[&str], rows: &[Vec<f64>]) {
+    write!(out, "{:<10}", "").unwrap();
+    for m in MULTS {
+        write!(out, "{:>8}", format!("{m}x")).unwrap();
+    }
+    writeln!(out).unwrap();
+    let mut avg = vec![0.0; MULTS.len()];
+    for (name, row) in names.iter().zip(rows) {
+        write!(out, "{name:<10}").unwrap();
+        for (i, v) in row.iter().enumerate() {
+            let norm = v / row[0];
+            avg[i] += norm;
+            write!(out, "{norm:>8.3}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    write!(out, "{:<10}", "Average").unwrap();
+    for a in &avg {
+        write!(out, "{:>8.3}", a / names.len() as f64).unwrap();
+    }
+    writeln!(out).unwrap();
+}
+
+/// The registered spec.
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig14",
+        legacy_bin: "fig14_large_tx",
+        description: "Silo on large transactions: throughput and write traffic vs 1-16x write-set multipliers",
+        default_txs: 4_000,
+        kind: ExpKind::Custom { build, render },
+    }
+}

@@ -1,0 +1,98 @@
+//! Fig 15: transaction throughput sensitivity to the log-buffer access
+//! latency, swept from 8 to 128 cycles (§VI-G). The buffer sits off the
+//! critical path, so throughput should stay nearly flat.
+
+use std::fmt::Write as _;
+
+use silo_core::SiloScheme;
+use silo_sim::SimConfig;
+use silo_types::{Cycles, JsonValue};
+use silo_workloads::workload_by_name;
+
+use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::run_with_scheme;
+
+const NAMES: [&str; 7] = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
+const CORES: usize = 8;
+
+fn latencies() -> Vec<u64> {
+    (1..=16).map(|i| i * 8).collect()
+}
+
+fn build(p: &ExpParams) -> Vec<Cell> {
+    let txs_per_core = (p.txs / CORES).max(1);
+    let seed = p.seed;
+    let mut cells = Vec::new();
+    for name in NAMES {
+        for lat in latencies() {
+            cells.push(Cell::new(
+                CellLabel::swc("Silo", name, CORES).with_param(format!("latency={lat}")),
+                move || {
+                    let w = workload_by_name(name).expect("fig15 benchmark");
+                    let mut config = SimConfig::table_ii(CORES);
+                    config.log_buffer_latency = Cycles::new(lat);
+                    let mut silo = SiloScheme::new(&config);
+                    let streams = w.generate(CORES, txs_per_core, seed);
+                    let stats = run_with_scheme(&mut silo, &config, streams);
+                    let tp = stats.throughput();
+                    CellOutcome::from_stats(stats).with_value("tp", tp)
+                },
+            ));
+        }
+    }
+    cells
+}
+
+fn render(_p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -> JsonValue {
+    let lats = latencies();
+    let mut taken = Taken::new(cells);
+    writeln!(
+        out,
+        "Fig 15: normalized throughput vs log-buffer latency (Silo, 8 cores)"
+    )
+    .unwrap();
+    write!(out, "{:<10}", "latency").unwrap();
+    for l in &lats {
+        write!(out, "{l:>7}").unwrap();
+    }
+    writeln!(out).unwrap();
+
+    let mut rows = Vec::new();
+    for name in NAMES {
+        let row: Vec<f64> = lats.iter().map(|_| taken.next().value("tp")).collect();
+        write!(out, "{name:<10}").unwrap();
+        for v in &row {
+            write!(out, "{:>7.3}", v / row[0]).unwrap();
+        }
+        writeln!(out).unwrap();
+        rows.push(
+            JsonValue::object()
+                .field("workload", name)
+                .field(
+                    "normalized",
+                    JsonValue::array(row.iter().map(|v| v / row[0])),
+                )
+                .build(),
+        );
+    }
+    writeln!(
+        out,
+        "(each row normalized to its own 8-cycle value; paper: -3.3% at 128 cycles)"
+    )
+    .unwrap();
+    JsonValue::object()
+        .field("latencies", JsonValue::array(lats.iter().copied()))
+        .field("rows", JsonValue::Arr(rows))
+        .build()
+}
+
+/// The registered spec.
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "fig15",
+        legacy_bin: "fig15_buffer_latency",
+        description: "throughput sensitivity to log-buffer access latency (8-128 cycles)",
+        default_txs: 4_000,
+        kind: ExpKind::Custom { build, render },
+    }
+}

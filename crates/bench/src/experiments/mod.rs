@@ -1,0 +1,21 @@
+//! The registered experiments: every figure, table, ablation, and study
+//! of the paper's evaluation, one spec per legacy binary.
+//!
+//! Each module exposes `spec()` (or several, for grouped modules). The
+//! build functions enumerate cells in exactly the order the pre-framework
+//! serial binaries executed their simulations, and the render functions
+//! reproduce those binaries' output byte for byte — `evaluate fig11` and
+//! the `fig11_write_traffic` shim print identical tables.
+
+pub mod ablations;
+pub mod compare;
+pub mod endurance;
+pub mod fig04;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod motivation;
+pub mod studies;
+pub mod tables;

@@ -1,0 +1,409 @@
+//! The four parameter/behaviour studies: log-buffer capacity (§VI-D),
+//! multiple memory controllers (§III-D), on-PM buffer capacity (§III-E),
+//! and recovery cost after crashes at varying points (§III-G).
+
+use std::fmt::Write as _;
+
+use silo_core::SiloScheme;
+use silo_sim::{Engine, SimConfig};
+use silo_types::{Cycles, JsonValue, CLOCK_GHZ};
+use silo_workloads::workload_by_name;
+
+use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::run_delta_with;
+
+const CORES: usize = 8;
+
+// ----------------------------------------------------------- buffer capacity
+
+const CAP_BENCHES: [&str; 3] = ["Hash", "TPCC", "YCSB"];
+const CAPACITIES: [usize; 5] = [5, 10, 20, 40, 80];
+
+fn build_buffer_capacity(p: &ExpParams) -> Vec<Cell> {
+    let txs_per_core = (p.txs / CORES).max(1);
+    let seed = p.seed;
+    let mut cells = Vec::new();
+    for name in CAP_BENCHES {
+        for entries in CAPACITIES {
+            cells.push(Cell::new(
+                CellLabel::swc("Silo", name, CORES).with_param(format!("entries={entries}")),
+                move || {
+                    let w = workload_by_name(name).expect("benchmark");
+                    let mut config = SimConfig::table_ii(CORES);
+                    config.log_buffer_entries = entries;
+                    CellOutcome::from_stats(run_delta_with(
+                        &config,
+                        || Box::new(SiloScheme::new(&config)),
+                        &w,
+                        txs_per_core,
+                        seed,
+                    ))
+                },
+            ));
+        }
+    }
+    cells
+}
+
+fn render_buffer_capacity(
+    _p: &ExpParams,
+    cells: &[(CellLabel, CellOutcome)],
+    out: &mut String,
+) -> JsonValue {
+    let mut taken = Taken::new(cells);
+    writeln!(out, "Log-buffer capacity study (Silo, 8 cores)").unwrap();
+    writeln!(
+        out,
+        "{:<10}{:>9}{:>14}{:>13}{:>13}{:>12}",
+        "workload", "entries", "overflows/tx", "log wr/tx", "media/tx", "throughput"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for name in CAP_BENCHES {
+        for entries in CAPACITIES {
+            let stats = taken.next_stats();
+            let s = &stats.scheme_stats;
+            let n = s.transactions as f64;
+            writeln!(
+                out,
+                "{:<10}{:>9}{:>14.2}{:>13.2}{:>13.2}{:>12.4}",
+                name,
+                entries,
+                s.overflow_events as f64 / n,
+                s.log_entries_written_to_pm as f64 / n,
+                stats.media_writes() as f64 / n,
+                stats.throughput()
+            )
+            .unwrap();
+            rows.push(
+                JsonValue::object()
+                    .field("workload", name)
+                    .field("entries", entries)
+                    .field("overflows_per_tx", s.overflow_events as f64 / n)
+                    .field("media_per_tx", stats.media_writes() as f64 / n)
+                    .field("throughput", stats.throughput())
+                    .build(),
+            );
+        }
+    }
+    writeln!(
+        out,
+        "(paper: 20 entries cover the max surviving footprint, Fig 13 / Table I)"
+    )
+    .unwrap();
+    JsonValue::object()
+        .field("rows", JsonValue::Arr(rows))
+        .build()
+}
+
+/// Log-buffer capacity study spec.
+pub fn buffer_capacity() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "study_buffer_capacity",
+        legacy_bin: "study_buffer_capacity",
+        description: "per-core log buffer sized 5-80 entries: overflow rate, traffic, throughput",
+        default_txs: 4_000,
+        kind: ExpKind::Custom {
+            build: build_buffer_capacity,
+            render: render_buffer_capacity,
+        },
+    }
+}
+
+// ------------------------------------------------------------------ multi-MC
+
+const MC_BENCHES: [&str; 4] = ["Hash", "Queue", "TPCC", "YCSB"];
+const MC_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn build_multi_mc(p: &ExpParams) -> Vec<Cell> {
+    let txs_per_core = (p.txs / CORES).max(1);
+    let seed = p.seed;
+    let mut cells = Vec::new();
+    for name in MC_BENCHES {
+        for mcs in MC_COUNTS {
+            cells.push(Cell::new(
+                CellLabel::swc("Silo", name, CORES).with_param(format!("mcs={mcs}")),
+                move || {
+                    let w = workload_by_name(name).expect("benchmark");
+                    let mut config = SimConfig::table_ii(CORES);
+                    config.num_mcs = mcs;
+                    CellOutcome::from_stats(run_delta_with(
+                        &config,
+                        || Box::new(SiloScheme::new(&config)),
+                        &w,
+                        txs_per_core,
+                        seed,
+                    ))
+                },
+            ));
+        }
+    }
+    cells
+}
+
+fn render_multi_mc(
+    _p: &ExpParams,
+    cells: &[(CellLabel, CellOutcome)],
+    out: &mut String,
+) -> JsonValue {
+    let mut taken = Taken::new(cells);
+    writeln!(
+        out,
+        "Multi-MC study (Silo, 8 cores): throughput vs controller count"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10}{:>10}{:>10}{:>10}{:>14}",
+        "workload", "1 MC", "2 MCs", "4 MCs", "4-MC speedup"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for name in MC_BENCHES {
+        let row: Vec<f64> = MC_COUNTS
+            .iter()
+            .map(|_| taken.next_stats().throughput())
+            .collect();
+        writeln!(
+            out,
+            "{:<10}{:>10.4}{:>10.4}{:>10.4}{:>13.2}x",
+            name,
+            row[0],
+            row[1],
+            row[2],
+            row[2] / row[0]
+        )
+        .unwrap();
+        rows.push(
+            JsonValue::object()
+                .field("workload", name)
+                .field("throughput", JsonValue::array(row.iter().copied()))
+                .field("speedup_4mc", row[2] / row[0])
+                .build(),
+        );
+    }
+    writeln!(
+        out,
+        "(no coordination between controllers: per-transaction MC affinity, §III-D)"
+    )
+    .unwrap();
+    JsonValue::object()
+        .field(
+            "mc_counts",
+            JsonValue::array(MC_COUNTS.iter().map(|&m| m as u64)),
+        )
+        .field("rows", JsonValue::Arr(rows))
+        .build()
+}
+
+/// Multi-MC study spec.
+pub fn multi_mc() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "study_multi_mc",
+        legacy_bin: "study_multi_mc",
+        description: "Silo with 1/2/4 memory controllers: scaling without cross-MC coordination",
+        default_txs: 4_000,
+        kind: ExpKind::Custom {
+            build: build_multi_mc,
+            render: render_multi_mc,
+        },
+    }
+}
+
+// --------------------------------------------------------------- on-PM buffer
+
+const ONPM_BENCHES: [&str; 4] = ["Hash", "Queue", "TPCC", "YCSB"];
+const ONPM_LINES: [usize; 4] = [4, 16, 64, 256];
+
+fn build_onpm_buffer(p: &ExpParams) -> Vec<Cell> {
+    let txs_per_core = (p.txs / CORES).max(1);
+    let seed = p.seed;
+    let mut cells = Vec::new();
+    for name in ONPM_BENCHES {
+        for lines in ONPM_LINES {
+            cells.push(Cell::new(
+                CellLabel::swc("Silo", name, CORES).with_param(format!("lines={lines}")),
+                move || {
+                    let w = workload_by_name(name).expect("benchmark");
+                    let mut config = SimConfig::table_ii(CORES);
+                    config.onpm_buffer_lines = lines;
+                    CellOutcome::from_stats(run_delta_with(
+                        &config,
+                        || Box::new(SiloScheme::new(&config)),
+                        &w,
+                        txs_per_core,
+                        seed,
+                    ))
+                },
+            ));
+        }
+    }
+    cells
+}
+
+fn render_onpm_buffer(
+    _p: &ExpParams,
+    cells: &[(CellLabel, CellOutcome)],
+    out: &mut String,
+) -> JsonValue {
+    let mut taken = Taken::new(cells);
+    writeln!(out, "On-PM buffer capacity study (Silo, 8 cores)").unwrap();
+    writeln!(
+        out,
+        "{:<10}{:>8}{:>13}{:>15}{:>14}",
+        "workload", "lines", "media/tx", "coalesced/tx", "forced drains"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for name in ONPM_BENCHES {
+        for lines in ONPM_LINES {
+            let stats = taken.next_stats();
+            let n = stats.txs_committed as f64;
+            writeln!(
+                out,
+                "{:<10}{:>8}{:>13.2}{:>15.2}{:>14}",
+                name,
+                lines,
+                stats.media_writes() as f64 / n,
+                stats.pm.coalesced_hits as f64 / n,
+                stats.pm.buffer_forced_drains
+            )
+            .unwrap();
+            rows.push(
+                JsonValue::object()
+                    .field("workload", name)
+                    .field("lines", lines)
+                    .field("media_per_tx", stats.media_writes() as f64 / n)
+                    .field("coalesced_per_tx", stats.pm.coalesced_hits as f64 / n)
+                    .build(),
+            );
+        }
+    }
+    writeln!(
+        out,
+        "(64 lines = a 16 KB buffer, the Optane XPBuffer scale this model defaults to)"
+    )
+    .unwrap();
+    JsonValue::object()
+        .field("rows", JsonValue::Arr(rows))
+        .build()
+}
+
+/// On-PM buffer capacity study spec.
+pub fn onpm_buffer() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "study_onpm_buffer",
+        legacy_bin: "study_onpm_buffer",
+        description: "on-PM coalescing buffer sized 4-256 lines: media programs and drains",
+        default_txs: 4_000,
+        kind: ExpKind::Custom {
+            build: build_onpm_buffer,
+            render: render_onpm_buffer,
+        },
+    }
+}
+
+// ------------------------------------------------------------------- recovery
+
+const CRASH_CYCLES: [u64; 6] = [1_000, 5_000, 20_000, 80_000, 320_000, 1_280_000];
+const RECOVERY_CORES: usize = 4;
+
+fn build_recovery(p: &ExpParams) -> Vec<Cell> {
+    let (txs, seed) = (p.txs, p.seed);
+    CRASH_CYCLES
+        .iter()
+        .map(|&crash_at| {
+            Cell::new(
+                CellLabel::swc("Silo", "TPCC", RECOVERY_CORES)
+                    .with_param(format!("crash_at={crash_at}")),
+                move || {
+                    let w = workload_by_name("TPCC").expect("tpcc");
+                    let config = SimConfig::table_ii(RECOVERY_CORES);
+                    let mut silo = SiloScheme::new(&config);
+                    let streams = w.generate(RECOVERY_CORES, txs / RECOVERY_CORES, seed);
+                    let out =
+                        Engine::new(&config, &mut silo).run(streams, Some(Cycles::new(crash_at)));
+                    let crash = out.crash.expect("crash injected");
+                    assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
+                    let r = crash.recovery;
+                    // Model: one PM read per scanned record, one PM write per
+                    // applied word (word writes coalesce ~4:1 into media lines
+                    // on average).
+                    let read_cyc = config.memctrl.read_cycles * r.scanned_records;
+                    let write_cyc = config.memctrl.media_write_cycles
+                        * (r.replayed_words + r.revoked_words)
+                        / 4;
+                    let us = (read_cyc + write_cyc) as f64 / (CLOCK_GHZ * 1000.0);
+                    CellOutcome::from_stats(out.stats)
+                        .with_value("committed", crash.committed_txs as f64)
+                        .with_value("inflight", crash.inflight_txs as f64)
+                        .with_value("scanned", r.scanned_records as f64)
+                        .with_value("replayed", r.replayed_words as f64)
+                        .with_value("revoked", r.revoked_words as f64)
+                        .with_value("us", us)
+                },
+            )
+        })
+        .collect()
+}
+
+fn render_recovery(
+    _p: &ExpParams,
+    cells: &[(CellLabel, CellOutcome)],
+    out: &mut String,
+) -> JsonValue {
+    let mut taken = Taken::new(cells);
+    writeln!(out, "Recovery study (Silo, 4 cores, TPCC)").unwrap();
+    writeln!(
+        out,
+        "{:<12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>14}",
+        "crash cycle", "committed", "in-flight", "scanned", "replayed", "revoked", "recovery (us)"
+    )
+    .unwrap();
+    let mut rows = Vec::new();
+    for crash_at in CRASH_CYCLES {
+        let c = taken.next();
+        writeln!(
+            out,
+            "{:<12}{:>10}{:>10}{:>10}{:>10}{:>10}{:>14.2}",
+            crash_at,
+            c.value("committed") as u64,
+            c.value("inflight") as u64,
+            c.value("scanned") as u64,
+            c.value("replayed") as u64,
+            c.value("revoked") as u64,
+            c.value("us")
+        )
+        .unwrap();
+        rows.push(
+            JsonValue::object()
+                .field("crash_cycle", crash_at)
+                .field("committed", c.value("committed"))
+                .field("scanned", c.value("scanned"))
+                .field("recovery_us", c.value("us"))
+                .build(),
+        );
+    }
+    writeln!(
+        out,
+        "(recovery scales with surviving log records, not with PM size or history)"
+    )
+    .unwrap();
+    JsonValue::object()
+        .field("rows", JsonValue::Arr(rows))
+        .build()
+}
+
+/// Recovery study spec.
+pub fn recovery() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "study_recovery",
+        legacy_bin: "study_recovery",
+        description: "recovery cost after crashes at varying cycles (selective-flush survivors)",
+        default_txs: 1_000,
+        kind: ExpKind::Custom {
+            build: build_recovery,
+            render: render_recovery,
+        },
+    }
+}

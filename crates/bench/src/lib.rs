@@ -1,13 +1,30 @@
-//! Shared harness for the figure/table generators and Criterion benches.
+//! Shared harness and experiment framework for the evaluation binaries.
 //!
-//! Every evaluation binary in `src/bin/` builds on [`run_one`]: construct
-//! the Table II machine, instantiate a scheme by name, generate a
-//! workload's per-core transaction streams, run the engine, and return the
-//! statistics. Figures normalize exactly as the paper does (to `Base`, or
-//! to a reference configuration).
+//! Every experiment in this repository is an [`exp::ExperimentSpec`] in the
+//! [`registry`]: a declarative description of the simulation grid plus a
+//! render function reproducing the paper's tables. The [`runner`] fans the
+//! independent grid cells across worker threads, [`report`] persists JSON
+//! reports, and the `evaluate` binary (plus the per-figure shims under
+//! `src/bin/`) drives it all through [`run_legacy`].
+//!
+//! The simulation primitives build on [`run_one`]: construct the Table II
+//! machine, instantiate a scheme by name, generate a workload's per-core
+//! transaction streams, run the engine, and return the statistics. Figures
+//! normalize exactly as the paper does (to `Base`, or to a reference
+//! configuration).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod exp;
+pub mod experiments;
+pub mod registry;
+pub mod report;
+pub mod runner;
+
+pub use exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, GridSpec};
+pub use report::{run_experiment, write_report, ExperimentRun};
+pub use runner::{default_jobs, run_cells};
 
 use silo_baselines::{BaseScheme, FwbScheme, LadScheme, MorLogScheme};
 use silo_core::{SiloOptions, SiloScheme};
@@ -70,7 +87,11 @@ pub fn run_one_delta(
     seed: u64,
 ) -> SimStats {
     let config = SimConfig::table_ii(cores);
-    let short = run_streams(scheme_name, &config, workload.generate(cores, txs_per_core, seed));
+    let short = run_streams(
+        scheme_name,
+        &config,
+        workload.generate(cores, txs_per_core, seed),
+    );
     let long = run_streams(
         scheme_name,
         &config,
@@ -90,7 +111,11 @@ pub fn run_delta_with(
     seed: u64,
 ) -> SimStats {
     let mut s1 = factory();
-    let short = run_with_scheme(s1.as_mut(), config, workload.generate(config.cores, txs_per_core, seed));
+    let short = run_with_scheme(
+        s1.as_mut(),
+        config,
+        workload.generate(config.cores, txs_per_core, seed),
+    );
     let mut s2 = factory();
     let long = run_with_scheme(
         s2.as_mut(),
@@ -107,7 +132,9 @@ pub fn run_streams(
     streams: Vec<Vec<Transaction>>,
 ) -> SimStats {
     let mut scheme = make_scheme(scheme_name, config);
-    Engine::new(config, scheme.as_mut()).run(streams, None).stats
+    Engine::new(config, scheme.as_mut())
+        .run(streams, None)
+        .stats
 }
 
 /// Runs pre-generated streams under an explicit scheme instance.
@@ -119,8 +146,49 @@ pub fn run_with_scheme(
     Engine::new(config, scheme).run(streams, None).stats
 }
 
-/// Prints a normalized table: one row per benchmark, one column per
+/// Renders a normalized table: one row per benchmark, one column per
 /// scheme, each cell `value[bench][scheme] / value[bench][reference]`.
+///
+/// An empty benchmark list renders the title and header only — no
+/// `Average` row, so no 0/0 `NaN` cells.
+pub fn format_normalized(
+    title: &str,
+    benches: &[String],
+    schemes: &[&str],
+    values: &[Vec<f64>],
+    reference: usize,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "\n{title}").unwrap();
+    write!(out, "{:<10}", "").unwrap();
+    for s in schemes {
+        write!(out, "{s:>9}").unwrap();
+    }
+    writeln!(out).unwrap();
+    if benches.is_empty() {
+        return out;
+    }
+    let mut sums = vec![0.0; schemes.len()];
+    for (b, row) in benches.iter().zip(values) {
+        write!(out, "{b:<10}").unwrap();
+        let norm = row[reference];
+        for (i, v) in row.iter().enumerate() {
+            let x = if norm == 0.0 { 0.0 } else { v / norm };
+            sums[i] += x;
+            write!(out, "{x:>9.3}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    write!(out, "{:<10}", "Average").unwrap();
+    for s in &sums {
+        write!(out, "{:>9.3}", s / benches.len() as f64).unwrap();
+    }
+    writeln!(out).unwrap();
+    out
+}
+
+/// Prints [`format_normalized`] to stdout.
 pub fn print_normalized(
     title: &str,
     benches: &[String],
@@ -128,28 +196,10 @@ pub fn print_normalized(
     values: &[Vec<f64>],
     reference: usize,
 ) {
-    println!("\n{title}");
-    print!("{:<10}", "");
-    for s in schemes {
-        print!("{s:>9}");
-    }
-    println!();
-    let mut sums = vec![0.0; schemes.len()];
-    for (b, row) in benches.iter().zip(values) {
-        print!("{b:<10}");
-        let norm = row[reference];
-        for (i, v) in row.iter().enumerate() {
-            let x = if norm == 0.0 { 0.0 } else { v / norm };
-            sums[i] += x;
-            print!("{x:>9.3}");
-        }
-        println!();
-    }
-    print!("{:<10}", "Average");
-    for s in &sums {
-        print!("{:>9.3}", s / benches.len() as f64);
-    }
-    println!();
+    print!(
+        "{}",
+        format_normalized(title, benches, schemes, values, reference)
+    );
 }
 
 #[cfg(test)]
@@ -207,12 +257,7 @@ impl<W: Workload> Workload for Batched<W> {
         self.inner.name()
     }
 
-    fn generate(
-        &self,
-        cores: usize,
-        txs_per_core: usize,
-        seed: u64,
-    ) -> Vec<Vec<Transaction>> {
+    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         let raw = self.inner.generate(cores, txs_per_core * self.group, seed);
         raw.into_iter()
             .map(|stream| {
@@ -241,14 +286,99 @@ impl<W: Workload> Workload for Batched<W> {
     }
 }
 
-/// Parses `--txs N` style overrides from a binary's argument list; returns
-/// `default` when absent.
+/// Parses a `--flag value` override from an argument list.
+///
+/// Returns `Ok(None)` when the flag is absent, `Ok(Some(v))` on a
+/// well-formed value, and `Err` with a user-facing message when the flag
+/// is present but the value is missing or malformed. Malformed overrides
+/// must never be silently replaced by the default — an experiment would
+/// quietly run with the wrong parameters.
+pub fn try_arg<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("{flag} expects a value"));
+    };
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("invalid value {raw:?} for {flag}"))
+}
+
+fn arg_or_exit<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    match try_arg(args, flag) {
+        Ok(Some(v)) => v,
+        Ok(None) => default,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--txs N` style overrides; returns `default` when the flag is
+/// absent and exits with an error message on a malformed value.
 pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    arg_or_exit(args, flag, default)
+}
+
+/// Parses `--seed S` style `u64` overrides; returns `default` when the
+/// flag is absent and exits with an error message on a malformed value.
+pub fn arg_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    arg_or_exit(args, flag, default)
+}
+
+/// Parses a `--flag value` string override; `None` when absent, fatal
+/// when the value is missing.
+pub fn arg_string(args: &[String], flag: &str) -> Option<String> {
+    match try_arg::<String>(args, flag) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Drives one experiment spec from a parsed command line: applies the
+/// `--txs/--seed/--cores/--bench/--jobs` overrides, runs the cells across
+/// the workers, prints the rendered text (byte-identical to the serial
+/// legacy binary), and, when `--json-dir` names a directory, writes the
+/// JSON report there.
+pub fn run_cli(spec: &ExperimentSpec, args: &[String]) {
+    let mut params = ExpParams::defaults(spec);
+    params.txs = arg_usize(args, "--txs", params.txs);
+    params.seed = arg_u64(args, "--seed", params.seed);
+    params.cores = arg_usize(args, "--cores", params.cores);
+    if let Some(list) = arg_string(args, "--bench") {
+        params.benches = list.split(',').map(str::to_string).collect();
+    }
+    let jobs = arg_usize(args, "--jobs", default_jobs());
+    let start = std::time::Instant::now();
+    let run = run_experiment(spec, &params, jobs);
+    print!("{}", run.text);
+    if let Some(dir) = arg_string(args, "--json-dir") {
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        match write_report(&run, std::path::Path::new(&dir), jobs, wall_ms) {
+            Ok(path) => eprintln!("report: {}", path.display()),
+            Err(err) => {
+                eprintln!("error: writing report to {dir}: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Entry point of the legacy shim binaries under `src/bin/`: resolves the
+/// binary's own name through the registry and runs it with the process
+/// arguments. Output is byte-identical to the pre-framework binary.
+pub fn run_legacy(legacy_bin: &str) {
+    let spec = registry::find(legacy_bin).unwrap_or_else(|| {
+        eprintln!("error: {legacy_bin} is not in the experiment registry");
+        std::process::exit(2);
+    });
+    let args: Vec<String> = std::env::args().collect();
+    run_cli(&spec, &args);
 }
 
 #[cfg(test)]
@@ -268,10 +398,58 @@ mod batched_tests {
         assert!(batched[0][1].store_count() >= 3 * plain[0][1].store_count());
     }
 
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> = ["bin", "--txs", "500"].iter().map(|s| s.to_string()).collect();
+        let args = argv(&["bin", "--txs", "500", "--seed", "9"]);
         assert_eq!(arg_usize(&args, "--txs", 100), 500);
         assert_eq!(arg_usize(&args, "--cores", 8), 8);
+        assert_eq!(arg_u64(&args, "--seed", 42), 9);
+        assert_eq!(arg_u64(&args, "--other", 42), 42);
+    }
+
+    #[test]
+    fn malformed_arg_values_are_errors_not_defaults() {
+        let args = argv(&["bin", "--txs", "5oo"]);
+        let err = try_arg::<usize>(&args, "--txs").unwrap_err();
+        assert!(err.contains("--txs"), "message names the flag: {err}");
+        assert!(err.contains("5oo"), "message shows the bad value: {err}");
+        // A flag at the end of the line is missing its value.
+        let args = argv(&["bin", "--seed"]);
+        let err = try_arg::<u64>(&args, "--seed").unwrap_err();
+        assert!(err.contains("expects a value"), "{err}");
+        // Negative numbers don't parse as unsigned overrides.
+        let args = argv(&["bin", "--seed", "-1"]);
+        assert!(try_arg::<u64>(&args, "--seed").is_err());
+    }
+
+    #[test]
+    fn well_formed_and_absent_args_round_trip() {
+        let args = argv(&["bin", "--txs", "500"]);
+        assert_eq!(try_arg::<usize>(&args, "--txs").unwrap(), Some(500));
+        assert_eq!(try_arg::<usize>(&args, "--cores").unwrap(), None);
+        assert_eq!(arg_string(&args, "--bench"), None);
+    }
+
+    #[test]
+    fn empty_benchmark_list_renders_without_nan() {
+        let out = format_normalized("(0 cores)", &[], &["Base", "Silo"], &[], 0);
+        assert!(out.contains("(0 cores)"));
+        assert!(out.contains("Base"));
+        assert!(!out.contains("NaN"), "no 0/0 Average row: {out:?}");
+        assert!(!out.contains("Average"));
+    }
+
+    #[test]
+    fn format_and_print_normalized_agree_on_populated_tables() {
+        let benches = vec!["Hash".to_string(), "TPCC".to_string()];
+        let values = vec![vec![10.0, 5.0], vec![8.0, 2.0]];
+        let out = format_normalized("(2 cores)", &benches, &["Base", "Silo"], &values, 0);
+        assert!(out.contains("Hash          1.000    0.500"));
+        assert!(out.contains("Average       1.000    0.375"));
+        assert!(out.ends_with('\n'));
     }
 }

@@ -1,0 +1,92 @@
+//! The experiment registry: every figure, table, ablation, and study,
+//! resolvable by registry name (`fig11`) or legacy binary name
+//! (`fig11_write_traffic`).
+
+use crate::exp::ExperimentSpec;
+use crate::experiments::{
+    ablations, compare, endurance, fig04, fig11, fig12, fig13, fig14, fig15, motivation, studies,
+    tables,
+};
+
+/// Every registered experiment, in the order `evaluate all` runs them:
+/// figures, tables, ablations, studies, then the utilities.
+pub fn all() -> Vec<ExperimentSpec> {
+    vec![
+        fig04::spec(),
+        fig11::spec(),
+        fig12::spec(),
+        fig13::spec(),
+        fig14::spec(),
+        fig15::spec(),
+        tables::table1(),
+        tables::table2(),
+        tables::table4(),
+        ablations::batch_size(),
+        ablations::coalescing(),
+        ablations::flushbit(),
+        ablations::log_reduction(),
+        studies::buffer_capacity(),
+        studies::multi_mc(),
+        studies::onpm_buffer(),
+        studies::recovery(),
+        motivation::spec(),
+        endurance::spec(),
+        compare::spec(),
+    ]
+}
+
+/// Resolves a spec by registry name or legacy binary name,
+/// case-insensitively.
+pub fn find(name: &str) -> Option<ExperimentSpec> {
+    all()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name) || s.legacy_bin.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_twenty_unique_experiments() {
+        let specs = all();
+        assert_eq!(specs.len(), 20);
+        let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "registry names must be unique");
+        let mut bins: Vec<&str> = specs.iter().map(|s| s.legacy_bin).collect();
+        bins.sort_unstable();
+        bins.dedup();
+        assert_eq!(bins.len(), 20, "legacy binary names must be unique");
+    }
+
+    #[test]
+    fn every_legacy_binary_resolves() {
+        // The shims under src/bin/ each resolve themselves through the
+        // registry by file name; a rename on either side must fail here.
+        let bin_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/src/bin");
+        let mut found = 0;
+        for entry in std::fs::read_dir(bin_dir).expect("src/bin exists") {
+            let name = entry.expect("entry").file_name();
+            let name = name.to_str().expect("utf-8 file name");
+            let Some(stem) = name.strip_suffix(".rs") else {
+                continue;
+            };
+            if stem == "evaluate" {
+                continue;
+            }
+            assert!(find(stem).is_some(), "binary {stem} is not in the registry");
+            found += 1;
+        }
+        assert_eq!(found, 20, "expected 20 legacy binaries under src/bin");
+    }
+
+    #[test]
+    fn find_matches_spec_name_and_is_case_insensitive() {
+        assert_eq!(find("fig11").expect("by name").name, "fig11");
+        assert_eq!(find("fig11_write_traffic").expect("by bin").name, "fig11");
+        assert_eq!(find("FIG11").expect("case-insensitive").name, "fig11");
+        assert!(find("nonexistent").is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! The parallel cell runner.
+//!
+//! An experiment's cells are independent simulations, so the runner fans
+//! them out across `std::thread::scope` workers pulling from a shared
+//! atomic cursor (no dependencies, no channels) and slots every outcome
+//! back at its cell index. Output is therefore byte-identical to a serial
+//! run regardless of worker count or scheduling: rendering only ever sees
+//! the in-order slice.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::exp::{Cell, CellLabel, CellOutcome};
+
+/// A cell's work closure, parked in the queue until a worker claims it.
+type QueuedCell = Box<dyn FnOnce() -> CellOutcome + Send>;
+
+/// The machine's available parallelism (the `--jobs` default).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs every cell and returns `(label, outcome)` pairs in cell order.
+///
+/// `jobs <= 1` runs serially on the calling thread; any larger value
+/// spawns `min(jobs, cells.len())` scoped workers. A panic inside a cell
+/// propagates to the caller either way.
+pub fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<(CellLabel, CellOutcome)> {
+    let (labels, work): (Vec<CellLabel>, Vec<_>) =
+        cells.into_iter().map(|c| (c.label, c.run)).unzip();
+
+    let outcomes: Vec<CellOutcome> = if jobs <= 1 || work.len() <= 1 {
+        work.into_iter().map(|run| run()).collect()
+    } else {
+        let workers = jobs.min(work.len());
+        let slots: Vec<Mutex<Option<CellOutcome>>> =
+            work.iter().map(|_| Mutex::new(None)).collect();
+        let queue: Vec<Mutex<Option<QueuedCell>>> =
+            work.into_iter().map(|run| Mutex::new(Some(run))).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = queue.get(i) else { break };
+                    let run = slot.lock().unwrap().take().expect("cell taken once");
+                    let outcome = run();
+                    *slots[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("worker filled every slot"))
+            .collect()
+    };
+
+    labels.into_iter().zip(outcomes).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exp::CellLabel;
+
+    fn counting_cells(n: usize) -> Vec<Cell> {
+        (0..n)
+            .map(|i| {
+                Cell::new(
+                    CellLabel::default().with_param(format!("i={i}")),
+                    move || {
+                        // Unequal work so parallel completion order scrambles.
+                        let spin = (n - i) * 1000;
+                        let mut acc = 0u64;
+                        for k in 0..spin {
+                            acc = acc.wrapping_add(k as u64);
+                        }
+                        CellOutcome::default()
+                            .with_value("i", i as f64)
+                            .with_value("spin", (acc % 2) as f64)
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_slot_back_in_cell_order() {
+        for jobs in [1, 2, 8] {
+            let done = run_cells(counting_cells(17), jobs);
+            assert_eq!(done.len(), 17);
+            for (i, (label, outcome)) in done.iter().enumerate() {
+                assert_eq!(label.param, format!("i={i}"), "jobs={jobs}");
+                assert_eq!(outcome.value("i"), i as f64, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversubscribed_jobs_are_capped() {
+        let done = run_cells(counting_cells(3), 64);
+        assert_eq!(done.len(), 3);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        assert!(run_cells(Vec::new(), 8).is_empty());
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

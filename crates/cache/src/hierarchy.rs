@@ -81,6 +81,24 @@ pub struct HierarchyStats {
     pub pm_writebacks: u64,
 }
 
+impl HierarchyStats {
+    /// The counters as a JSON object (experiment reports).
+    pub fn to_json(&self) -> silo_types::JsonValue {
+        let level = |(hits, misses): (u64, u64)| {
+            silo_types::JsonValue::object()
+                .field("hits", hits)
+                .field("misses", misses)
+                .build()
+        };
+        silo_types::JsonValue::object()
+            .field("l1", level(self.l1))
+            .field("l2", level(self.l2))
+            .field("l3", level(self.l3))
+            .field("pm_writebacks", self.pm_writebacks)
+            .build()
+    }
+}
+
 impl std::ops::Sub for HierarchyStats {
     type Output = HierarchyStats;
 

@@ -124,15 +124,14 @@ impl SetAssocCache {
         let set_idx = self.set_of(line);
         let ways = &mut self.sets[set_idx];
 
-        if let Some(way) = ways
-            .iter_mut()
-            .flatten()
-            .find(|w| w.tag == line.index())
-        {
+        if let Some(way) = ways.iter_mut().flatten().find(|w| w.tag == line.index()) {
             way.lru = tick;
             way.dirty |= is_write;
             self.hits += 1;
-            return AccessOutcome { hit: true, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
         }
 
         self.misses += 1;
@@ -151,9 +150,7 @@ impl SetAssocCache {
                 self.dirty_evictions += 1;
             }
             Evicted {
-                line: LineAddr::containing(silo_types::PhysAddr::new(
-                    w.tag * LINE_BYTES as u64,
-                )),
+                line: LineAddr::containing(silo_types::PhysAddr::new(w.tag * LINE_BYTES as u64)),
                 dirty: w.dirty,
             }
         });
@@ -162,7 +159,10 @@ impl SetAssocCache {
             dirty: is_write,
             lru: tick,
         });
-        AccessOutcome { hit: false, evicted }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Installs `line` without counting a demand hit or miss — the path a
@@ -193,9 +193,7 @@ impl SetAssocCache {
                 self.dirty_evictions += 1;
             }
             Evicted {
-                line: LineAddr::containing(silo_types::PhysAddr::new(
-                    w.tag * LINE_BYTES as u64,
-                )),
+                line: LineAddr::containing(silo_types::PhysAddr::new(w.tag * LINE_BYTES as u64)),
                 dirty: w.dirty,
             }
         });
@@ -467,7 +465,7 @@ mod tests {
         c.access(line(0), false);
         c.access(line(2), false);
         c.probe(line(0)); // must NOT refresh line 0
-        // LRU is line 0 (probe didn't touch it): it is the victim.
+                          // LRU is line 0 (probe didn't touch it): it is the victim.
         let ev = c.access(line(4), false).evicted.expect("eviction");
         assert_eq!(ev.line, line(0));
     }

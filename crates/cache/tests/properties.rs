@@ -1,6 +1,8 @@
 //! Property tests: cache structure invariants under random access
 //! streams.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use silo_cache::{CacheConfig, CacheHierarchy, HierarchyConfig, SetAssocCache};
 use silo_types::{CoreId, Cycles, LineAddr, PhysAddr};

@@ -2,9 +2,9 @@
 
 use std::collections::VecDeque;
 
-use silo_types::{LineAddr, PhysAddr, TxTag};
 #[cfg(test)]
 use silo_types::Word;
+use silo_types::{LineAddr, PhysAddr, TxTag};
 
 use crate::LogEntry;
 
@@ -190,7 +190,12 @@ mod tests {
     }
 
     fn entry(txid: u16, addr: u64, old: u64, new: u64) -> LogEntry {
-        LogEntry::new(tag(txid), PhysAddr::new(addr), Word::new(old), Word::new(new))
+        LogEntry::new(
+            tag(txid),
+            PhysAddr::new(addr),
+            Word::new(old),
+            Word::new(new),
+        )
     }
 
     #[test]

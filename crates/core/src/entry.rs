@@ -52,7 +52,10 @@ impl LogEntry {
     /// Panics if `addr` is not word-aligned — the log generator always
     /// records word-granular store addresses.
     pub fn new(tag: TxTag, addr: PhysAddr, old: Word, new: Word) -> Self {
-        assert!(addr.is_word_aligned(), "log data address must be word-aligned");
+        assert!(
+            addr.is_word_aligned(),
+            "log data address must be word-aligned"
+        );
         LogEntry {
             tag,
             addr,

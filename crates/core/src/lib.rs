@@ -55,7 +55,10 @@ mod scheme;
 
 pub use buffer::{InsertOutcome, LogBuffer};
 pub use entry::{LogEntry, Record, RecordKind, RECORD_BYTES, UNDO_ENTRY_BYTES};
-pub use hw::{HwOverhead, CAP_ENERGY_DENSITY_WH_PER_CM3, FLUSH_ENERGY_NJ_PER_BYTE, LI_ENERGY_DENSITY_WH_PER_CM3};
+pub use hw::{
+    HwOverhead, CAP_ENERGY_DENSITY_WH_PER_CM3, FLUSH_ENERGY_NJ_PER_BYTE,
+    LI_ENERGY_DENSITY_WH_PER_CM3,
+};
 pub use recovery::recover as recover_log_region;
 pub use region::{AreaHeader, ThreadLogArea, AREA_HEADER_BYTES};
 pub use scheme::{SiloOptions, SiloScheme};

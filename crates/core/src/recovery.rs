@@ -120,7 +120,11 @@ mod tests {
         write_area(
             &mut pm,
             BASE,
-            &[redo(t, 0x100, 0xA2), redo(t, 0x108, 0xC1), Record::id_tuple(t)],
+            &[
+                redo(t, 0x100, 0xA2),
+                redo(t, 0x108, 0xC1),
+                Record::id_tuple(t),
+            ],
         );
         let report = recover(&mut pm, &[PhysAddr::new(BASE)]);
         assert_eq!(report.committed_txs, 1);
@@ -173,7 +177,7 @@ mod tests {
             &mut pm,
             BASE,
             &[
-                undo(t, 0x400, 1, true), // original value 1 (overflowed first)
+                undo(t, 0x400, 1, true),  // original value 1 (overflowed first)
                 undo(t, 0x400, 2, false), // later store saw 2
             ],
         );

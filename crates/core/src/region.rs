@@ -84,9 +84,7 @@ impl ThreadLogArea {
     /// Panics if the area is exhausted (16 MiB holds ~930 k records; a
     /// transaction that overflows that is outside the design envelope).
     pub fn reserve(&mut self, records: usize) -> PhysAddr {
-        let addr = self
-            .base
-            .add(AREA_HEADER_BYTES as u64 + self.tail);
+        let addr = self.base.add(AREA_HEADER_BYTES as u64 + self.tail);
         let bytes = (records * RECORD_BYTES) as u64;
         assert!(
             addr.as_u64() + bytes <= self.end.as_u64(),

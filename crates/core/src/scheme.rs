@@ -176,7 +176,11 @@ impl SiloScheme {
 
     /// Entries queued behind the in-place-update drain on `core`.
     fn backlog_entries(&self, ci: usize) -> usize {
-        self.cores[ci].pending_ipu.iter().map(|p| p.entries.len()).sum()
+        self.cores[ci]
+            .pending_ipu
+            .iter()
+            .map(|p| p.entries.len())
+            .sum()
     }
 
     /// Whether `core`'s home WPQ can take more background traffic at
@@ -233,7 +237,9 @@ impl SiloScheme {
     /// the log generator and thus the store stream.
     fn handle_overflow(&mut self, m: &mut Machine, core: usize, now: Cycles) -> Cycles {
         self.stats.overflow_events += 1;
-        let batch = self.cores[core].buffer.take_overflow_batch(self.overflow_batch);
+        let batch = self.cores[core]
+            .buffer
+            .take_overflow_batch(self.overflow_batch);
         debug_assert!(!batch.is_empty());
         // Batched, address-adjacent undo records: one buffer-line-sized
         // write to the log region.
@@ -450,7 +456,10 @@ impl LoggingScheme for SiloScheme {
     }
 }
 
-const _: () = assert!(silo_types::WORD_BYTES == 8, "the log data field is one 64-bit word");
+const _: () = assert!(
+    silo_types::WORD_BYTES == 8,
+    "the log data field is one 64-bit word"
+);
 
 #[cfg(test)]
 mod tests {
@@ -539,12 +548,12 @@ mod tests {
         let mut silo = SiloScheme::new(&cfg);
         // Big transaction; crash while it runs.
         let writes: Vec<(u64, u64)> = (0..40).map(|i| (i * 8, 0xBEEF + i)).collect();
-        let out = Engine::new(&cfg, &mut silo).run(
-            vec![vec![tx(&writes)]],
-            Some(Cycles::new(400)),
-        );
+        let out = Engine::new(&cfg, &mut silo).run(vec![vec![tx(&writes)]], Some(Cycles::new(400)));
         let crash = out.crash.expect("crash injected");
-        assert_eq!(crash.committed_txs, 0, "tx must still be in flight at the crash");
+        assert_eq!(
+            crash.committed_txs, 0,
+            "tx must still be in flight at the crash"
+        );
         assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
     }
 
@@ -583,8 +592,7 @@ mod tests {
             let s1: Vec<Transaction> = (0..6)
                 .map(|i| tx(&[(1 << 20 | (i * 8), i + 100)]))
                 .collect();
-            let out = Engine::new(&cfg, &mut silo)
-                .run(vec![s0, s1], Some(Cycles::new(crash_at)));
+            let out = Engine::new(&cfg, &mut silo).run(vec![s0, s1], Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
             assert!(
                 crash.consistency.is_consistent(),
@@ -669,8 +677,7 @@ mod battery_tests {
         let per_core_records = cfg.log_buffer_entries as u64
             + 64 // ipu_queue_entries default
             + 64; // one ID tuple per pending transaction, overestimated
-        let budget_bytes =
-            cores as u64 * (per_core_records * crate::RECORD_BYTES as u64 + 8);
+        let budget_bytes = cores as u64 * (per_core_records * crate::RECORD_BYTES as u64 + 8);
         assert!(
             out.stats.scheme_stats.log_bytes_written_to_pm <= budget_bytes,
             "crash flush {} B exceeds battery budget {} B",

@@ -1,6 +1,8 @@
 //! Property tests: log-buffer merge invariants, record codec, and
 //! recovery correctness on randomly generated log regions.
 
+#![cfg(feature = "proptest")]
+
 use std::collections::HashMap;
 
 use proptest::prelude::*;

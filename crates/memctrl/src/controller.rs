@@ -100,6 +100,19 @@ pub struct MemCtrlStats {
     pub max_occupancy: usize,
 }
 
+impl MemCtrlStats {
+    /// The counters as a JSON object (experiment reports).
+    pub fn to_json(&self) -> silo_types::JsonValue {
+        silo_types::JsonValue::object()
+            .field("writes", self.writes)
+            .field("reads", self.reads)
+            .field("stall_cycles", self.stall_cycles)
+            .field("busy_cycles", self.busy_cycles)
+            .field("max_occupancy", self.max_occupancy)
+            .build()
+    }
+}
+
 /// The memory controller: a 64-entry ADR write pending queue drained by a
 /// single FIFO server at the media's aggregate bandwidth.
 ///

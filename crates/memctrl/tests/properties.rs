@@ -1,5 +1,7 @@
 //! Property tests: queueing-model invariants of the memory controller.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use silo_memctrl::{MemCtrl, MemCtrlConfig};
 use silo_types::Cycles;

@@ -315,7 +315,7 @@ mod tests {
         let mut pm = PmDevice::new(PmDeviceConfig::default());
         pm.write(PhysAddr::new(0), &[1u8; 8]); // staged
         pm.write_through(PhysAddr::new(0), &[2u8; 8]); // bypass
-        // Read must see the write-through bytes, not the stale staged copy.
+                                                       // Read must see the write-through bytes, not the stale staged copy.
         assert_eq!(pm.read(PhysAddr::new(0), 8), vec![2u8; 8]);
         pm.flush_all();
         assert_eq!(pm.read(PhysAddr::new(0), 8), vec![2u8; 8]);

@@ -292,7 +292,10 @@ mod tests {
         let (mut media, mut buf) = setup();
         media.write_masked(PhysAddr::new(0), &[1, 2, 3, 4], 0);
         buf.write(PhysAddr::new(1), &[9, 9], &mut media);
-        assert_eq!(buf.read_through(PhysAddr::new(0), 4, &media), vec![1, 9, 9, 4]);
+        assert_eq!(
+            buf.read_through(PhysAddr::new(0), 4, &media),
+            vec![1, 9, 9, 4]
+        );
     }
 
     #[test]

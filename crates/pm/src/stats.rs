@@ -48,6 +48,25 @@ pub struct PmStats {
     pub reads: u64,
 }
 
+impl PmStats {
+    /// The counters as a JSON object (experiment reports).
+    pub fn to_json(&self) -> silo_types::JsonValue {
+        silo_types::JsonValue::object()
+            .field("accepted_writes", self.accepted_writes)
+            .field("accepted_bytes", self.accepted_bytes)
+            .field("data_region_writes", self.data_region_writes)
+            .field("log_region_writes", self.log_region_writes)
+            .field("media_line_writes", self.media_line_writes)
+            .field("media_bits_programmed", self.media_bits_programmed)
+            .field("dcw_suppressed", self.dcw_suppressed)
+            .field("coalesced_hits", self.coalesced_hits)
+            .field("buffer_fills", self.buffer_fills)
+            .field("buffer_forced_drains", self.buffer_forced_drains)
+            .field("reads", self.reads)
+            .build()
+    }
+}
+
 impl Sub for PmStats {
     type Output = PmStats;
 

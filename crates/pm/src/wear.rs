@@ -154,9 +154,13 @@ mod tests {
             w.record_program(0);
         }
         // 100 programs/s on the hottest line, 10^8 endurance -> 10^6 s.
-        let life = w.lifetime_estimate(1.0, PCM_CELL_ENDURANCE).expect("writes happened");
+        let life = w
+            .lifetime_estimate(1.0, PCM_CELL_ENDURANCE)
+            .expect("writes happened");
         assert!((life - 1e6).abs() / 1e6 < 1e-9);
-        let slower = w.lifetime_estimate(10.0, PCM_CELL_ENDURANCE).expect("writes happened");
+        let slower = w
+            .lifetime_estimate(10.0, PCM_CELL_ENDURANCE)
+            .expect("writes happened");
         assert!((slower - 1e7).abs() / 1e7 < 1e-9);
     }
 }

@@ -1,5 +1,7 @@
 //! Property tests: the PM device against a flat-memory oracle.
 
+#![cfg(feature = "proptest")]
+
 use std::collections::HashMap;
 
 use proptest::prelude::*;

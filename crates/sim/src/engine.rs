@@ -4,11 +4,11 @@ use std::collections::HashMap;
 
 use silo_types::{CoreId, Cycles, PhysAddr, TxId, TxTag, Word};
 
+use crate::schemes::EvictAction;
 use crate::{
     ConsistencyReport, LoggingScheme, Machine, Op, RecoveryReport, SimConfig, SimStats,
     Transaction, TxOracle, TxRecord,
 };
-use crate::schemes::EvictAction;
 
 /// The result of a crash-injected run.
 #[derive(Clone, Debug)]
@@ -152,11 +152,7 @@ impl<'a> Engine<'a> {
             self.scheme.on_tick(&mut self.machine, now);
         }
 
-        let sim_cycles = cores
-            .iter()
-            .map(|c| c.time)
-            .max()
-            .unwrap_or(Cycles::ZERO);
+        let sim_cycles = cores.iter().map(|c| c.time).max().unwrap_or(Cycles::ZERO);
 
         let crash = match crash_at {
             Some(crash_cycle) => Some(self.crash_sequence(&mut cores, crash_cycle)),
@@ -258,14 +254,9 @@ impl<'a> Engine<'a> {
                 let old = self.machine.shadow.load(addr, &self.machine.pm);
                 self.machine.shadow.store(addr, new);
                 core.cur_writes.insert(addr.word_aligned().as_u64(), new);
-                core.time = self.machine.shadow_store_hook(
-                    self.scheme,
-                    core.id,
-                    addr,
-                    old,
-                    new,
-                    core.time,
-                );
+                core.time =
+                    self.machine
+                        .shadow_store_hook(self.scheme, core.id, addr, old, new, core.time);
             }
         }
     }
@@ -344,7 +335,11 @@ mod tests {
     #[test]
     fn single_core_commits_all_transactions() {
         let cfg = SimConfig::table_ii(1);
-        let txs = vec![tx_writing(&[(0, 1)]), tx_writing(&[(8, 2)]), tx_writing(&[(16, 3)])];
+        let txs = vec![
+            tx_writing(&[(0, 1)]),
+            tx_writing(&[(8, 2)]),
+            tx_writing(&[(16, 3)]),
+        ];
         let mut scheme = NullScheme::default();
         let out = Engine::new(&cfg, &mut scheme).run(vec![txs], None);
         assert_eq!(out.stats.txs_committed, 3);
@@ -381,7 +376,10 @@ mod tests {
         let streams = || {
             vec![
                 vec![tx_writing(&[(0, 1), (64, 2)]), tx_writing(&[(128, 3)])],
-                vec![tx_writing(&[(4096, 4)]), tx_writing(&[(8192, 5), (8200, 6)])],
+                vec![
+                    tx_writing(&[(4096, 4)]),
+                    tx_writing(&[(8192, 5), (8200, 6)]),
+                ],
             ]
         };
         let mut s1 = NullScheme::default();
@@ -424,7 +422,11 @@ mod tests {
         assert_eq!(out.stats.per_core[0].txs_committed, 2);
         assert_eq!(out.stats.per_core[1].txs_committed, 1);
         assert_eq!(
-            out.stats.per_core.iter().map(|c| c.txs_committed).sum::<u64>(),
+            out.stats
+                .per_core
+                .iter()
+                .map(|c| c.txs_committed)
+                .sum::<u64>(),
             out.stats.txs_committed
         );
         assert!(out.stats.fairness().expect("both cores ran") >= 1.0);
@@ -438,7 +440,10 @@ mod tests {
         let out = Engine::new(&cfg, &mut scheme).run(vec![txs], Some(Cycles::ZERO));
         assert_eq!(out.stats.txs_committed, 0);
         let crash = out.crash.expect("crash requested");
-        assert!(crash.consistency.is_consistent(), "nothing ran, PM all-zero");
+        assert!(
+            crash.consistency.is_consistent(),
+            "nothing ran, PM all-zero"
+        );
     }
 
     #[test]
@@ -477,9 +482,7 @@ mod tests {
         cfg.hierarchy.l1 = silo_cache::CacheConfig::new(2 * 64, 1);
         cfg.hierarchy.l2 = silo_cache::CacheConfig::new(2 * 64, 1);
         cfg.hierarchy.l3 = silo_cache::CacheConfig::new(4 * 64, 1);
-        let txs: Vec<Transaction> = (0..64)
-            .map(|i| tx_writing(&[(i * 64, i + 1)]))
-            .collect();
+        let txs: Vec<Transaction> = (0..64).map(|i| tx_writing(&[(i * 64, i + 1)])).collect();
         let mut scheme = NullScheme::default();
         let out = Engine::new(&cfg, &mut scheme).run(vec![txs], None);
         assert!(out.stats.cache.pm_writebacks > 0);

@@ -53,6 +53,7 @@ mod engine;
 mod machine;
 mod ops;
 mod oracle;
+mod report;
 pub mod schemes;
 mod stats;
 

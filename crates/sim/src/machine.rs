@@ -182,14 +182,15 @@ impl Machine {
     /// its completion time.
     pub fn pm_read_at(&mut self, now: Cycles, addr: PhysAddr) -> Cycles {
         let mc = self.mc_for_addr(addr);
-        self.mcs[mc].read(now)
+        self.pm_read_via(mc, now)
     }
 
-    /// Issues a PM read at `now` via MC 0 (kept for scheme paths that have
-    /// no address at hand; equivalent to [`Machine::pm_read_at`] with one
-    /// controller configured).
-    pub fn pm_read(&mut self, now: Cycles) -> Cycles {
-        self.mcs[0].read(now)
+    /// Issues a PM read at `now` via an explicit controller — the path for
+    /// scheme code with no demand address at hand (log-region scans,
+    /// commit-time metadata reads), which must name its core's
+    /// [`Machine::home_mc`] instead of silently serializing on MC 0.
+    pub fn pm_read_via(&mut self, mc: usize, now: Cycles) -> Cycles {
+        self.mcs[mc].read(now)
     }
 
     /// The architectural bytes of `line` (helper over the shadow).
@@ -288,6 +289,25 @@ mod tests {
         assert_eq!(m.home_mc(silo_types::CoreId::new(0)), 0);
         assert_eq!(m.home_mc(silo_types::CoreId::new(1)), 1);
         assert_eq!(m.home_mc(silo_types::CoreId::new(2)), 0);
+    }
+
+    #[test]
+    fn address_less_reads_route_via_explicit_mc() {
+        let mut cfg = SimConfig::table_ii(2);
+        cfg.num_mcs = 2;
+        let mut m = Machine::new(&cfg);
+        let home = m.home_mc(silo_types::CoreId::new(1));
+        assert_eq!(home, 1);
+        m.pm_read_via(home, Cycles::ZERO);
+        assert_eq!(
+            m.mcs[0].stats().reads,
+            0,
+            "MC 0 must not absorb core 1's reads"
+        );
+        assert_eq!(m.mcs[1].stats().reads, 1);
+        // The addressed path picks the interleaved controller.
+        m.pm_read_at(Cycles::ZERO, PhysAddr::new(64));
+        assert_eq!(m.mcs[1].stats().reads, 2);
     }
 
     #[test]

@@ -54,10 +54,7 @@ impl Transaction {
     pub fn new(ops: Vec<Op>) -> Self {
         for op in &ops {
             if let Op::Write(addr, _) = op {
-                assert!(
-                    addr.is_word_aligned(),
-                    "store to unaligned address {addr}"
-                );
+                assert!(addr.is_word_aligned(), "store to unaligned address {addr}");
             }
         }
         Transaction { ops }
@@ -204,7 +201,10 @@ mod tests {
 
     #[test]
     fn read_only_detection() {
-        let tx = Transaction::builder().read(PhysAddr::new(0)).compute(1).build();
+        let tx = Transaction::builder()
+            .read(PhysAddr::new(0))
+            .compute(1)
+            .build();
         assert!(tx.is_read_only());
         assert_eq!(tx.write_set_bytes(), 0);
     }

@@ -101,7 +101,11 @@ impl TxOracle {
             self.uncommitted_txs += 1;
             for (addr, _) in record.writes {
                 let key = addr.word_aligned().as_u64();
-                let rollback = self.committed_state.get(&key).copied().unwrap_or(Word::ZERO);
+                let rollback = self
+                    .committed_state
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(Word::ZERO);
                 self.uncommitted_touched.insert(key, rollback);
             }
         }
@@ -110,10 +114,12 @@ impl TxOracle {
     /// The value atomic durability requires at `addr` after recovery.
     pub fn expected_value(&self, addr: PhysAddr) -> Word {
         let key = addr.word_aligned().as_u64();
-        self.committed_state
-            .get(&key)
-            .copied()
-            .unwrap_or_else(|| self.uncommitted_touched.get(&key).copied().unwrap_or(Word::ZERO))
+        self.committed_state.get(&key).copied().unwrap_or_else(|| {
+            self.uncommitted_touched
+                .get(&key)
+                .copied()
+                .unwrap_or(Word::ZERO)
+        })
     }
 
     /// Checks the PM image against the expected state.
@@ -188,7 +194,10 @@ mod tests {
         let pm = PmDevice::new(PmDeviceConfig::default());
         let report = oracle.verify(&pm);
         assert!(!report.is_consistent());
-        assert_eq!(report.violations[0].kind, "committed write lost or corrupted");
+        assert_eq!(
+            report.violations[0].kind,
+            "committed write lost or corrupted"
+        );
 
         let mut pm2 = PmDevice::new(PmDeviceConfig::default());
         pm2.write_word(PhysAddr::new(0), Word::new(7));

@@ -1,0 +1,154 @@
+//! JSON views of simulation results (the experiment-report surface).
+//!
+//! The benchmark framework persists every run's raw statistics to
+//! `target/reports/<experiment>.json` so performance trends can be tracked
+//! across commits. Everything here builds on the dependency-free
+//! [`JsonValue`] from `silo-types` — the crates-io registry is unreachable
+//! in this build environment, so there is no serde.
+
+use silo_types::JsonValue;
+
+use crate::{SchemeStats, SimConfig, SimStats};
+
+impl SchemeStats {
+    /// The counters as a JSON object (experiment reports).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("log_entries_generated", self.log_entries_generated)
+            .field("log_entries_ignored", self.log_entries_ignored)
+            .field("log_entries_merged", self.log_entries_merged)
+            .field("log_entries_remaining", self.log_entries_remaining)
+            .field("log_entries_written_to_pm", self.log_entries_written_to_pm)
+            .field("log_bytes_written_to_pm", self.log_bytes_written_to_pm)
+            .field("overflow_events", self.overflow_events)
+            .field("flush_bits_set", self.flush_bits_set)
+            .field("inplace_update_words", self.inplace_update_words)
+            .field("transactions", self.transactions)
+            .build()
+    }
+}
+
+impl SimStats {
+    /// The full run snapshot as a JSON object: headline metrics, then the
+    /// raw counters of every component.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("scheme", self.scheme)
+            .field("cores", self.cores)
+            .field("sim_cycles", self.sim_cycles.as_u64())
+            .field("txs_committed", self.txs_committed)
+            .field("throughput", self.throughput())
+            .field("media_writes", self.media_writes())
+            .field(
+                "per_core",
+                JsonValue::Arr(
+                    self.per_core
+                        .iter()
+                        .map(|c| {
+                            JsonValue::object()
+                                .field("cycles", c.cycles.as_u64())
+                                .field("txs_committed", c.txs_committed)
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .field("pm", self.pm.to_json())
+            .field("mc", self.mc.to_json())
+            .field("cache", self.cache.to_json())
+            .field("scheme_stats", self.scheme_stats.to_json())
+            .build()
+    }
+}
+
+impl SimConfig {
+    /// A compact one-line fingerprint of every simulation parameter, so a
+    /// report records exactly which machine produced it and two reports
+    /// are comparable iff their fingerprints match.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "cores={} l1={}B/{}w/{}c l2={}B/{}w/{}c l3={}B/{}w/{}c \
+             wpq={} banks={} rd={}c wr={}c onpm={}l logbuf={}e/{}c \
+             ack={} fwb={} lad={} issue={} mcs={} logbase={:#x} logarea={:#x}",
+            self.cores,
+            self.hierarchy.l1.size_bytes,
+            self.hierarchy.l1.ways,
+            self.hierarchy.l1_latency.as_u64(),
+            self.hierarchy.l2.size_bytes,
+            self.hierarchy.l2.ways,
+            self.hierarchy.l2_latency.as_u64(),
+            self.hierarchy.l3.size_bytes,
+            self.hierarchy.l3.ways,
+            self.hierarchy.l3_latency.as_u64(),
+            self.memctrl.wpq_entries,
+            self.memctrl.banks,
+            self.memctrl.read_cycles,
+            self.memctrl.media_write_cycles,
+            self.onpm_buffer_lines,
+            self.log_buffer_entries,
+            self.log_buffer_latency.as_u64(),
+            self.commit_ack_cycles,
+            self.fwb_interval_cycles,
+            self.lad_mc_buffer_lines,
+            self.op_issue_cycles,
+            self.num_mcs,
+            self.log_region_start,
+            self.thread_log_area_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, Transaction};
+    use silo_types::{PhysAddr, Word};
+
+    fn small_run() -> SimStats {
+        let cfg = SimConfig::table_ii(2);
+        let streams: Vec<Vec<Transaction>> = (0..2)
+            .map(|c| {
+                vec![Transaction::builder()
+                    .write(PhysAddr::new(c * 4096), Word::new(c + 1))
+                    .build()]
+            })
+            .collect();
+        let mut scheme = crate::schemes::NullScheme::default();
+        Engine::new(&cfg, &mut scheme).run(streams, None).stats
+    }
+
+    #[test]
+    fn sim_stats_json_is_parseable_and_complete() {
+        let stats = small_run();
+        let v = JsonValue::parse(&stats.to_json().to_string()).expect("valid JSON");
+        assert_eq!(v.get("cores").and_then(JsonValue::as_f64), Some(2.0));
+        assert_eq!(
+            v.get("txs_committed").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        for key in ["pm", "mc", "cache", "scheme_stats"] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            v.get("per_core")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("media_writes").and_then(JsonValue::as_f64),
+            Some(stats.media_writes() as f64)
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = SimConfig::table_ii(8);
+        let mut b = SimConfig::table_ii(8);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.num_mcs = 4;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let c = SimConfig::table_ii(4);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+}

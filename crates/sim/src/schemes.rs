@@ -107,8 +107,7 @@ impl Add for SchemeStats {
             log_entries_ignored: self.log_entries_ignored + r.log_entries_ignored,
             log_entries_merged: self.log_entries_merged + r.log_entries_merged,
             log_entries_remaining: self.log_entries_remaining + r.log_entries_remaining,
-            log_entries_written_to_pm: self.log_entries_written_to_pm
-                + r.log_entries_written_to_pm,
+            log_entries_written_to_pm: self.log_entries_written_to_pm + r.log_entries_written_to_pm,
             log_bytes_written_to_pm: self.log_bytes_written_to_pm + r.log_bytes_written_to_pm,
             overflow_events: self.overflow_events + r.overflow_events,
             flush_bits_set: self.flush_bits_set + r.flush_bits_set,
@@ -127,8 +126,7 @@ impl std::ops::Sub for SchemeStats {
             log_entries_ignored: self.log_entries_ignored - r.log_entries_ignored,
             log_entries_merged: self.log_entries_merged - r.log_entries_merged,
             log_entries_remaining: self.log_entries_remaining - r.log_entries_remaining,
-            log_entries_written_to_pm: self.log_entries_written_to_pm
-                - r.log_entries_written_to_pm,
+            log_entries_written_to_pm: self.log_entries_written_to_pm - r.log_entries_written_to_pm,
             log_bytes_written_to_pm: self.log_bytes_written_to_pm - r.log_bytes_written_to_pm,
             overflow_events: self.overflow_events - r.overflow_events,
             flush_bits_set: self.flush_bits_set - r.flush_bits_set,
@@ -337,15 +335,28 @@ mod tests {
         let mut m = Machine::new(&crate::SimConfig::table_ii(1));
         let mut s = NullScheme::default();
         let t0 = Cycles::new(10);
-        assert_eq!(s.on_tx_begin(&mut m, CoreId::new(0), TxTag::default(), t0), t0);
         assert_eq!(
-            s.on_store(&mut m, CoreId::new(0), PhysAddr::new(0), Word::ZERO, Word::new(1), t0),
+            s.on_tx_begin(&mut m, CoreId::new(0), TxTag::default(), t0),
+            t0
+        );
+        assert_eq!(
+            s.on_store(
+                &mut m,
+                CoreId::new(0),
+                PhysAddr::new(0),
+                Word::ZERO,
+                Word::new(1),
+                t0
+            ),
             t0
         );
         let (act, t) = s.on_evict(&mut m, CoreId::new(0), LineAddr::default(), t0);
         assert_eq!(act, EvictAction::WriteBack);
         assert_eq!(t, t0);
-        assert_eq!(s.on_tx_end(&mut m, CoreId::new(0), TxTag::default(), t0), t0);
+        assert_eq!(
+            s.on_tx_end(&mut m, CoreId::new(0), TxTag::default(), t0),
+            t0
+        );
         assert_eq!(s.stats().transactions, 1);
         assert!(!s.coalesces_pm_writes());
         assert_eq!(s.name(), "Null");

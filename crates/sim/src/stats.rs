@@ -143,8 +143,14 @@ mod tests {
             scheme: "Test",
             cores: 2,
             per_core: vec![
-                CoreStats { cycles: Cycles::new(2000), txs_committed: 6 },
-                CoreStats { cycles: Cycles::new(1500), txs_committed: 4 },
+                CoreStats {
+                    cycles: Cycles::new(2000),
+                    txs_committed: 6,
+                },
+                CoreStats {
+                    cycles: Cycles::new(1500),
+                    txs_committed: 4,
+                },
             ],
             sim_cycles: Cycles::new(2000),
             txs_committed: 10,

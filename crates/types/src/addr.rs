@@ -50,7 +50,10 @@ impl PhysAddr {
     /// Debug-panics if `raw` does not fit in the 48-bit hardware field.
     #[inline]
     pub fn new(raw: u64) -> Self {
-        debug_assert!(raw < (1 << 48), "physical address exceeds 48 bits: {raw:#x}");
+        debug_assert!(
+            raw < (1 << 48),
+            "physical address exceeds 48 bits: {raw:#x}"
+        );
         PhysAddr(raw)
     }
 

@@ -33,11 +33,13 @@
 mod addr;
 mod cycles;
 mod ids;
+pub mod json;
 mod rng;
 mod word;
 
 pub use addr::{LineAddr, PhysAddr, BUF_LINE_BYTES, LINE_BYTES, WORD_BYTES};
 pub use cycles::{Cycles, CLOCK_GHZ};
 pub use ids::{CoreId, ThreadId, TxId, TxTag};
+pub use json::{JsonObject, JsonValue};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use word::Word;

@@ -107,7 +107,11 @@ mod tests {
             .map(|a| rec.peek_u64(BankWorkload::account(core_base(0), a)))
             .fold(0, |acc, b| acc.wrapping_add(b));
         assert_eq!(total, 64 * 500);
-        assert_eq!(rec.peek_u64(PhysAddr::new(core_base(0))), 300, "audit count");
+        assert_eq!(
+            rec.peek_u64(PhysAddr::new(core_base(0))),
+            300,
+            "audit count"
+        );
     }
 
     #[test]

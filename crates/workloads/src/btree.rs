@@ -118,7 +118,8 @@ impl<'a> Btree<'a> {
             self.rec.write_u64(Self::child_addr(parent, i + 2), c);
         }
         self.rec.write_u64(Self::key_addr(parent, ci), promoted);
-        self.rec.write_u64(Self::child_addr(parent, ci + 1), right.as_u64());
+        self.rec
+            .write_u64(Self::child_addr(parent, ci + 1), right.as_u64());
         self.rec.write_u64(parent, Self::header(pcount + 1, false));
     }
 
@@ -130,7 +131,8 @@ impl<'a> Btree<'a> {
             // Grow a new root above the full old root.
             let old_root = node;
             let new_root = self.alloc_node(false);
-            self.rec.write_u64(Self::child_addr(new_root, 0), old_root.as_u64());
+            self.rec
+                .write_u64(Self::child_addr(new_root, 0), old_root.as_u64());
             self.rec.write_u64(self.root_ptr, new_root.as_u64());
             self.split_child(new_root, 0);
             node = new_root;
@@ -191,8 +193,7 @@ impl<'a> Btree<'a> {
                 pos += 1;
             }
             if leaf {
-                return (pos < count
-                    && self.rec.read_u64(Self::key_addr(node, pos)) == key)
+                return (pos < count && self.rec.read_u64(Self::key_addr(node, pos)) == key)
                     .then(|| self.rec.read_u64(Self::child_addr(node, pos)));
             }
             node = PhysAddr::new(self.rec.read_u64(Self::child_addr(node, pos)));
@@ -420,7 +421,8 @@ impl<'a> Btree<'a> {
             let sep = self.rec.read_u64(Self::key_addr(parent, ci));
             self.rec.write_u64(Self::key_addr(child, ccount), sep);
             let moved_child = self.rec.read_u64(Self::child_addr(right, 0));
-            self.rec.write_u64(Self::child_addr(child, ccount + 1), moved_child);
+            self.rec
+                .write_u64(Self::child_addr(child, ccount + 1), moved_child);
             let up = self.rec.read_u64(Self::key_addr(right, 0));
             self.rec.write_u64(Self::key_addr(parent, ci), up);
         }
@@ -502,12 +504,13 @@ impl Workload for BtreeWorkload {
                     let elem = heap.alloc_aligned(64, 64);
                     rec.write_u64(elem, key);
                     for w in 1..8 {
-                        rec.write_u64(
-                            elem.add((w * WORD_BYTES) as u64),
-                            key.rotate_left(w as u32),
-                        );
+                        rec.write_u64(elem.add((w * WORD_BYTES) as u64), key.rotate_left(w as u32));
                     }
-                    let mut tree = Btree { rec, heap, root_ptr };
+                    let mut tree = Btree {
+                        rec,
+                        heap,
+                        root_ptr,
+                    };
                     tree.insert(key, elem.as_u64());
                 };
 
@@ -524,7 +527,12 @@ impl Workload for BtreeWorkload {
                     if !live.is_empty() && rng.percent(self.delete_percent) {
                         let idx = rng.below(live.len() as u64) as usize;
                         let key = live.swap_remove(idx);
-                        Btree { rec: &mut rec, heap: &mut heap, root_ptr }.delete(key);
+                        Btree {
+                            rec: &mut rec,
+                            heap: &mut heap,
+                            root_ptr,
+                        }
+                        .delete(key);
                     } else {
                         let key = rng.next_u64() >> 16;
                         do_insert(&mut rec, &mut heap, key);
@@ -568,7 +576,11 @@ mod tests {
             // Internal keys are separator copies of leaf keys; count only
             // leaf keys so the total equals the insert count.
             for i in 0..count {
-                walk(rec, PhysAddr::new(rec.peek_u64(Btree::child_addr(node, i))), out);
+                walk(
+                    rec,
+                    PhysAddr::new(rec.peek_u64(Btree::child_addr(node, i))),
+                    out,
+                );
             }
             walk(
                 rec,
@@ -635,11 +647,26 @@ mod tests {
         let root_ptr = PhysAddr::new(0);
         let elem = heap.alloc_aligned(64, 64);
         rec.write_u64(elem, 77);
-        Btree { rec: &mut rec, heap: &mut heap, root_ptr }.insert(77, elem.as_u64());
-        assert!(Btree { rec: &mut rec, heap: &mut heap, root_ptr }.update(77, 0xABCD));
+        Btree {
+            rec: &mut rec,
+            heap: &mut heap,
+            root_ptr,
+        }
+        .insert(77, elem.as_u64());
+        assert!(Btree {
+            rec: &mut rec,
+            heap: &mut heap,
+            root_ptr
+        }
+        .update(77, 0xABCD));
         assert_eq!(rec.peek_u64(elem.add(8)), 0xABCD ^ 1);
         assert_eq!(rec.peek_u64(elem), 77, "key word untouched");
-        assert!(!Btree { rec: &mut rec, heap: &mut heap, root_ptr }.update(78, 0));
+        assert!(!Btree {
+            rec: &mut rec,
+            heap: &mut heap,
+            root_ptr
+        }
+        .update(78, 0));
     }
 
     #[test]
@@ -652,9 +679,19 @@ mod tests {
         for &k in &keys {
             let elem = heap.alloc_aligned(64, 64);
             rec.write_u64(elem, k);
-            Btree { rec: &mut rec, heap: &mut heap, root_ptr }.insert(k, elem.as_u64());
+            Btree {
+                rec: &mut rec,
+                heap: &mut heap,
+                root_ptr,
+            }
+            .insert(k, elem.as_u64());
         }
-        let got = Btree { rec: &mut rec, heap: &mut heap, root_ptr }.scan(40, 10);
+        let got = Btree {
+            rec: &mut rec,
+            heap: &mut heap,
+            root_ptr,
+        }
+        .scan(40, 10);
         assert_eq!(got.len(), 10);
         assert!(got.windows(2).all(|w| w[0] <= w[1]), "sorted: {got:?}");
         assert!(got.iter().all(|&k| k >= 40), "range respected: {got:?}");
@@ -669,15 +706,27 @@ mod tests {
         for &k in &keys {
             let elem = heap.alloc_aligned(64, 64);
             rec.write_u64(elem, k);
-            let mut t = Btree { rec: &mut rec, heap: &mut heap, root_ptr };
+            let mut t = Btree {
+                rec: &mut rec,
+                heap: &mut heap,
+                root_ptr,
+            };
             t.insert(k, elem.as_u64());
         }
         for &k in &keys {
-            let mut t = Btree { rec: &mut rec, heap: &mut heap, root_ptr };
+            let mut t = Btree {
+                rec: &mut rec,
+                heap: &mut heap,
+                root_ptr,
+            };
             let ptr = t.lookup(k).unwrap_or_else(|| panic!("key {k} missing"));
             assert_eq!(rec.peek_u64(PhysAddr::new(ptr)), k, "element holds its key");
         }
-        let mut t = Btree { rec: &mut rec, heap: &mut heap, root_ptr };
+        let mut t = Btree {
+            rec: &mut rec,
+            heap: &mut heap,
+            root_ptr,
+        };
         assert_eq!(t.lookup(999), None);
     }
 }
@@ -705,19 +754,31 @@ mod delete_tests {
         fn insert(&mut self, key: u64) {
             let elem = self.heap.alloc_aligned(64, 64);
             self.rec.write_u64(elem, key);
-            Btree { rec: &mut self.rec, heap: &mut self.heap, root_ptr: self.root_ptr }
-                .insert(key, elem.as_u64());
+            Btree {
+                rec: &mut self.rec,
+                heap: &mut self.heap,
+                root_ptr: self.root_ptr,
+            }
+            .insert(key, elem.as_u64());
         }
 
         fn delete(&mut self, key: u64) -> bool {
-            Btree { rec: &mut self.rec, heap: &mut self.heap, root_ptr: self.root_ptr }
-                .delete(key)
+            Btree {
+                rec: &mut self.rec,
+                heap: &mut self.heap,
+                root_ptr: self.root_ptr,
+            }
+            .delete(key)
         }
 
         fn lookup(&mut self, key: u64) -> bool {
-            Btree { rec: &mut self.rec, heap: &mut self.heap, root_ptr: self.root_ptr }
-                .lookup(key)
-                .is_some()
+            Btree {
+                rec: &mut self.rec,
+                heap: &mut self.heap,
+                root_ptr: self.root_ptr,
+            }
+            .lookup(key)
+            .is_some()
         }
 
         /// Walks the tree checking sortedness, occupancy, and uniform leaf

@@ -51,11 +51,15 @@ struct Ctrie<'a> {
 
 impl<'a> Ctrie<'a> {
     fn new_leaf(&mut self, key: u64) -> u64 {
-        let leaf = self.heap.alloc_aligned((LEAF_WORDS * WORD_BYTES) as u64, 64);
+        let leaf = self
+            .heap
+            .alloc_aligned((LEAF_WORDS * WORD_BYTES) as u64, 64);
         self.rec.write_u64(leaf, key);
         for w in 1..LEAF_WORDS {
-            self.rec
-                .write_u64(leaf.add((w * WORD_BYTES) as u64), key.wrapping_mul(w as u64 + 1));
+            self.rec.write_u64(
+                leaf.add((w * WORD_BYTES) as u64),
+                key.wrapping_mul(w as u64 + 1),
+            );
         }
         tag_leaf(leaf.as_u64())
     }
@@ -100,11 +104,15 @@ impl<'a> Ctrie<'a> {
             parent_slot = PhysAddr::new(node + (1 + side) * WORD_BYTES as u64);
             cur = self.rec.read_u64(parent_slot);
         }
-        let inner = self.heap.alloc_aligned((INNER_WORDS * WORD_BYTES) as u64, 32);
+        let inner = self
+            .heap
+            .alloc_aligned((INNER_WORDS * WORD_BYTES) as u64, 32);
         self.rec.write_u64(inner, crit);
         let side = (key >> crit) & 1;
-        self.rec.write_u64(inner.add((1 + side) * WORD_BYTES as u64), leaf);
-        self.rec.write_u64(inner.add((2 - side) * WORD_BYTES as u64), cur);
+        self.rec
+            .write_u64(inner.add((1 + side) * WORD_BYTES as u64), leaf);
+        self.rec
+            .write_u64(inner.add((2 - side) * WORD_BYTES as u64), cur);
         self.rec.write_u64(parent_slot, inner.as_u64());
     }
 }
@@ -126,13 +134,23 @@ impl Workload for CtrieWorkload {
 
                 for _ in 0..self.setup_inserts {
                     let key = rng.below(1 << 32);
-                    Ctrie { rec: &mut rec, heap: &mut heap, root_ptr }.insert(key);
+                    Ctrie {
+                        rec: &mut rec,
+                        heap: &mut heap,
+                        root_ptr,
+                    }
+                    .insert(key);
                 }
                 txs.push(rec.finish_tx());
 
                 for _ in 0..txs_per_core {
                     let key = rng.below(1 << 32);
-                    Ctrie { rec: &mut rec, heap: &mut heap, root_ptr }.insert(key);
+                    Ctrie {
+                        rec: &mut rec,
+                        heap: &mut heap,
+                        root_ptr,
+                    }
+                    .insert(key);
                     rec.compute(12);
                     txs.push(rec.finish_tx());
                 }
@@ -168,7 +186,12 @@ mod tests {
         let root_ptr = PhysAddr::new(0);
         let keys = [5u64, 9, 1, 0x8000_0001, 12345, 6, 7];
         for &k in &keys {
-            Ctrie { rec: &mut rec, heap: &mut heap, root_ptr }.insert(k);
+            Ctrie {
+                rec: &mut rec,
+                heap: &mut heap,
+                root_ptr,
+            }
+            .insert(k);
         }
         for &k in &keys {
             assert_eq!(lookup(&rec, root_ptr, k), Some(k), "key {k}");

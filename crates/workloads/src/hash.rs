@@ -53,13 +53,7 @@ impl Default for HashWorkload {
 }
 
 impl HashWorkload {
-    fn insert(
-        &self,
-        rec: &mut TxRecorder,
-        heap: &mut PmHeap,
-        bucket_base: PhysAddr,
-        key: u64,
-    ) {
+    fn insert(&self, rec: &mut TxRecorder, heap: &mut PmHeap, bucket_base: PhysAddr, key: u64) {
         let bucket = (key % self.buckets as u64) as usize;
         let head_addr = bucket_base.add((bucket * WORD_BYTES) as u64);
         rec.compute(8); // hash computation
@@ -83,12 +77,7 @@ impl HashWorkload {
     }
 
     /// Chases the chain for `key`; returns the node address if present.
-    fn lookup(
-        &self,
-        rec: &mut TxRecorder,
-        bucket_base: PhysAddr,
-        key: u64,
-    ) -> Option<PhysAddr> {
+    fn lookup(&self, rec: &mut TxRecorder, bucket_base: PhysAddr, key: u64) -> Option<PhysAddr> {
         let bucket = (key % self.buckets as u64) as usize;
         rec.compute(8);
         let mut node = rec.read_u64(bucket_base.add((bucket * WORD_BYTES) as u64));
@@ -196,7 +185,10 @@ mod tests {
                 .count();
             // The chain's next pointer is also zero when the bucket was
             // empty, so allow one extra.
-            assert!((ZERO_PAD_WORDS..=ZERO_PAD_WORDS + 1).contains(&zeros), "{zeros}");
+            assert!(
+                (ZERO_PAD_WORDS..=ZERO_PAD_WORDS + 1).contains(&zeros),
+                "{zeros}"
+            );
         }
     }
 
@@ -266,7 +258,11 @@ mod tests {
                 node = rec.peek_u64(PhysAddr::new(node + 8));
             }
         }
-        assert_eq!(chained, rec.peek_u64(base.add(8 * 8)), "counter matches chains");
+        assert_eq!(
+            chained,
+            rec.peek_u64(base.add(8 * 8)),
+            "counter matches chains"
+        );
         // Mixed mode contains read-only (lookup) transactions.
         let read_only = streams[0][1..].iter().filter(|t| t.is_read_only()).count();
         assert!(read_only > 0, "lookups appear in the mix");

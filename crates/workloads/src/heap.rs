@@ -38,7 +38,11 @@ impl PmHeap {
     /// Panics if the region is empty or `base` is not word-aligned.
     pub fn new(base: u64, size: u64) -> Self {
         assert!(size > 0, "empty heap region");
-        assert_eq!(base % WORD_BYTES as u64, 0, "heap base must be word-aligned");
+        assert_eq!(
+            base % WORD_BYTES as u64,
+            0,
+            "heap base must be word-aligned"
+        );
         PmHeap {
             cursor: base,
             end: base + size,

@@ -45,7 +45,10 @@ impl Queue {
         let node = heap.alloc_aligned((NODE_WORDS * WORD_BYTES) as u64, 64);
         rec.write_u64(node, 0); // next = null
         for w in 1..NODE_WORDS {
-            rec.write_u64(node.add((w * WORD_BYTES) as u64), value.wrapping_add(w as u64));
+            rec.write_u64(
+                node.add((w * WORD_BYTES) as u64),
+                value.wrapping_add(w as u64),
+            );
         }
         let tail = rec.read_u64(self.tail_ptr);
         if tail == 0 {

@@ -339,7 +339,11 @@ impl Workload for RbtreeWorkload {
                     if !live.is_empty() && rng.percent(self.delete_percent) {
                         let idx = rng.below(live.len() as u64) as usize;
                         let key = live.swap_remove(idx);
-                        Rbt { rec: &mut rec, root_ptr }.delete(key);
+                        Rbt {
+                            rec: &mut rec,
+                            root_ptr,
+                        }
+                        .delete(key);
                     } else {
                         let key = rng.next_u64() >> 8;
                         do_insert(&mut rec, &mut heap, key);
@@ -408,7 +412,11 @@ mod tests {
         let rec = replay(&streams);
         let root = rec.peek_u64(PhysAddr::new(core_base(0)));
         assert_ne!(root, 0);
-        assert_eq!(rec.peek_u64(PhysAddr::new(root + OFF_META)), BLACK, "root is black");
+        assert_eq!(
+            rec.peek_u64(PhysAddr::new(root + OFF_META)),
+            BLACK,
+            "root is black"
+        );
         let (n, _) = check(&rec, root, 0, u64::MAX);
         assert_eq!(n, 64 + 300);
     }
@@ -502,12 +510,20 @@ mod delete_tests {
             if live.is_empty() || rng.chance(3, 5) {
                 let key = rng.next_u64() >> 40;
                 let node = new_node(&mut rec, &mut heap, key);
-                Rbt { rec: &mut rec, root_ptr }.insert(node, key);
+                Rbt {
+                    rec: &mut rec,
+                    root_ptr,
+                }
+                .insert(node, key);
                 live.push(key);
             } else {
                 let idx = rng.below(live.len() as u64) as usize;
                 let key = live.swap_remove(idx);
-                let removed = Rbt { rec: &mut rec, root_ptr }.delete(key);
+                let removed = Rbt {
+                    rec: &mut rec,
+                    root_ptr,
+                }
+                .delete(key);
                 assert!(removed, "round {round}: key {key} should be present");
             }
             if round % 97 == 0 {
@@ -526,7 +542,11 @@ mod delete_tests {
         }
         // Drain the remainder and verify emptiness.
         for key in live.drain(..) {
-            assert!(Rbt { rec: &mut rec, root_ptr }.delete(key));
+            assert!(Rbt {
+                rec: &mut rec,
+                root_ptr
+            }
+            .delete(key));
         }
         assert_eq!(rec.peek_u64(root_ptr), 0, "tree fully emptied");
     }
@@ -536,11 +556,28 @@ mod delete_tests {
         let mut rec = TxRecorder::new();
         let mut heap = PmHeap::new(1024, 1 << 20);
         let root_ptr = PhysAddr::new(0);
-        assert!(!Rbt { rec: &mut rec, root_ptr }.delete(42));
+        assert!(!Rbt {
+            rec: &mut rec,
+            root_ptr
+        }
+        .delete(42));
         let node = new_node(&mut rec, &mut heap, 7);
-        Rbt { rec: &mut rec, root_ptr }.insert(node, 7);
-        assert!(!Rbt { rec: &mut rec, root_ptr }.delete(42));
-        assert!(Rbt { rec: &mut rec, root_ptr }.find(7).is_some());
+        Rbt {
+            rec: &mut rec,
+            root_ptr,
+        }
+        .insert(node, 7);
+        assert!(!Rbt {
+            rec: &mut rec,
+            root_ptr
+        }
+        .delete(42));
+        assert!(Rbt {
+            rec: &mut rec,
+            root_ptr
+        }
+        .find(7)
+        .is_some());
     }
 
     #[test]
@@ -549,8 +586,16 @@ mod delete_tests {
         let mut heap = PmHeap::new(1024, 1 << 20);
         let root_ptr = PhysAddr::new(0);
         let node = new_node(&mut rec, &mut heap, 5);
-        Rbt { rec: &mut rec, root_ptr }.insert(node, 5);
-        assert!(Rbt { rec: &mut rec, root_ptr }.delete(5));
+        Rbt {
+            rec: &mut rec,
+            root_ptr,
+        }
+        .insert(node, 5);
+        assert!(Rbt {
+            rec: &mut rec,
+            root_ptr
+        }
+        .delete(5));
         assert_eq!(rec.peek_u64(root_ptr), 0);
     }
 }

@@ -88,7 +88,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for w in fig4_set() {
             assert!(seen.insert(w.name().to_string()), "duplicate {}", w.name());
-            assert!(workload_by_name(w.name()).is_some(), "unresolvable {}", w.name());
+            assert!(
+                workload_by_name(w.name()).is_some(),
+                "unresolvable {}",
+                w.name()
+            );
         }
     }
 

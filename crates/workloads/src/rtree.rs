@@ -51,7 +51,10 @@ fn insert(rec: &mut TxRecorder, heap: &mut PmHeap, root: PhysAddr, key: u64, pay
     let leaf = heap.alloc_aligned((LEAF_WORDS * WORD_BYTES) as u64, 64);
     rec.write_u64(leaf, key);
     for w in 1..LEAF_WORDS {
-        rec.write_u64(leaf.add((w * WORD_BYTES) as u64), payload.rotate_left(w as u32));
+        rec.write_u64(
+            leaf.add((w * WORD_BYTES) as u64),
+            payload.rotate_left(w as u32),
+        );
     }
     rec.write_u64(slot, leaf.as_u64());
 }
@@ -73,12 +76,24 @@ impl Workload for RtreeWorkload {
                 let mut txs = Vec::with_capacity(txs_per_core + 1);
 
                 for _ in 0..self.setup_inserts {
-                    insert(&mut rec, &mut heap, root, rng.below(1 << 16), rng.next_u64());
+                    insert(
+                        &mut rec,
+                        &mut heap,
+                        root,
+                        rng.below(1 << 16),
+                        rng.next_u64(),
+                    );
                 }
                 txs.push(rec.finish_tx());
 
                 for _ in 0..txs_per_core {
-                    insert(&mut rec, &mut heap, root, rng.below(1 << 16), rng.next_u64());
+                    insert(
+                        &mut rec,
+                        &mut heap,
+                        root,
+                        rng.below(1 << 16),
+                        rng.next_u64(),
+                    );
                     rec.compute(15);
                     txs.push(rec.finish_tx());
                 }

@@ -118,7 +118,10 @@ mod tests {
         }
         assert_eq!(max, 4);
         let avg = sum as f64 / 500.0;
-        assert!(avg < 2.0, "TATP avg write set {avg} words (smallest in Fig 4)");
+        assert!(
+            avg < 2.0,
+            "TATP avg write set {avg} words (smallest in Fig 4)"
+        );
     }
 
     #[test]

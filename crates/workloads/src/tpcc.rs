@@ -127,10 +127,14 @@ impl Tpcc {
                 rec.write_u64(ol.add((w * WORD_BYTES) as u64), v);
             }
             rec.write_u64(ol_status, 1); // valid
-            // Stock update: quantity and ytd.
+                                         // Stock update: quantity and ytd.
             let s = self.stock_addr(item);
             let sq = rec.read_u64(s);
-            let new_q = if sq >= qty + 10 { sq - qty } else { sq + 91 - qty };
+            let new_q = if sq >= qty + 10 {
+                sq - qty
+            } else {
+                sq + 91 - qty
+            };
             rec.write_u64(s, new_q);
             let ytd = rec.read_u64(s.add(8));
             rec.write_u64(s.add(8), ytd + qty);
@@ -199,9 +203,9 @@ impl Workload for TpccWorkload {
                 let base = core_base(core);
                 let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0xf00d));
                 let mut rec = TxRecorder::new();
-                let tables = (8 + self.items as u64 * STOCK_WORDS
-                    + self.customers as u64 * CUSTOMER_WORDS)
-                    * WORD_BYTES as u64;
+                let tables =
+                    (8 + self.items as u64 * STOCK_WORDS + self.customers as u64 * CUSTOMER_WORDS)
+                        * WORD_BYTES as u64;
                 let mut heap = PmHeap::new(base + tables, CORE_REGION_BYTES - tables);
                 let t = Tpcc {
                     district: PhysAddr::new(base),
@@ -285,7 +289,10 @@ mod tests {
             .iter()
             .filter(|tx| tx.is_read_only())
             .count();
-        assert!(read_only > 0, "order-status / stock-level appear in the mix");
+        assert!(
+            read_only > 0,
+            "order-status / stock-level appear in the mix"
+        );
         // And the write sizes vary across types.
         let sizes: std::collections::BTreeSet<usize> = streams[0][1..]
             .iter()

@@ -99,10 +99,7 @@ impl Workload for YcsbWorkload {
                         // Record checksum written last over its own slot
                         // (the last field word): a same-word rewrite that
                         // on-chip merging absorbs.
-                        rec.write_u64(
-                            v.add(((VALUE_WORDS - 1) * WORD_BYTES) as u64),
-                            checksum,
-                        );
+                        rec.write_u64(v.add(((VALUE_WORDS - 1) * WORD_BYTES) as u64), checksum);
                     }
                     txs.push(rec.finish_tx());
                 }

@@ -34,14 +34,32 @@ fn main() {
         "committed before the crash: {:>6} transactions",
         crash.committed_txs
     );
-    println!("in flight at the crash:     {:>6} transactions", crash.inflight_txs);
+    println!(
+        "in flight at the crash:     {:>6} transactions",
+        crash.inflight_txs
+    );
     println!("\nrecovery:");
-    println!("  committed txs found in the log region: {}", crash.recovery.committed_txs);
-    println!("  redo words replayed:  {:>6}", crash.recovery.replayed_words);
-    println!("  undo words revoked:   {:>6}", crash.recovery.revoked_words);
-    println!("  stale logs discarded: {:>6}", crash.recovery.discarded_logs);
+    println!(
+        "  committed txs found in the log region: {}",
+        crash.recovery.committed_txs
+    );
+    println!(
+        "  redo words replayed:  {:>6}",
+        crash.recovery.replayed_words
+    );
+    println!(
+        "  undo words revoked:   {:>6}",
+        crash.recovery.revoked_words
+    );
+    println!(
+        "  stale logs discarded: {:>6}",
+        crash.recovery.discarded_logs
+    );
 
-    println!("\natomic-durability check over {} words:", crash.consistency.words_checked);
+    println!(
+        "\natomic-durability check over {} words:",
+        crash.consistency.words_checked
+    );
     if crash.consistency.is_consistent() {
         println!("  CONSISTENT — every committed transfer persisted in full,");
         println!("  every in-flight transfer rolled back in full.");

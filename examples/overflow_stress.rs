@@ -25,7 +25,10 @@ fn main() {
     let config = SimConfig::table_ii(1);
 
     println!("write sets of 1x..16x the 20-entry log buffer, no crash:");
-    println!("{:>6}{:>14}{:>12}{:>16}", "mult", "overflows", "log wr", "committed");
+    println!(
+        "{:>6}{:>14}{:>12}{:>16}",
+        "mult", "overflows", "log wr", "committed"
+    );
     for mult in [1u64, 2, 4, 8, 16] {
         let mut silo = SiloScheme::new(&config);
         let txs: Vec<Transaction> = (0..20)
@@ -54,15 +57,15 @@ fn main() {
     println!(
         "  revoked {} words ({} from overflowed undo batches already in PM)",
         crash.recovery.revoked_words,
-        crash
-            .recovery
-            .revoked_words
-            .saturating_sub(20)
+        crash.recovery.revoked_words.saturating_sub(20)
     );
     assert!(
         crash.consistency.is_consistent(),
         "atomicity violated: {:?}",
         crash.consistency.violations
     );
-    println!("  consistency check over {} words: CONSISTENT", crash.consistency.words_checked);
+    println!(
+        "  consistency check over {} words: CONSISTENT",
+        crash.consistency.words_checked
+    );
 }

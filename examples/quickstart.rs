@@ -40,7 +40,10 @@ fn main() {
 
     println!("running 3 transactions on 2 cores under Silo and Base...\n");
     for (name, mut scheme) in [
-        ("Silo", Box::new(SiloScheme::new(&config)) as Box<dyn LoggingScheme>),
+        (
+            "Silo",
+            Box::new(SiloScheme::new(&config)) as Box<dyn LoggingScheme>,
+        ),
         ("Base", Box::new(BaseScheme::new(&config))),
     ] {
         let out = Engine::new(&config, scheme.as_mut()).run(streams(), None);

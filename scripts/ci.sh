@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, and smoke-test the experiment
+# framework. Everything here must pass with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --release --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "== evaluate smoke test =="
+smoke_dir="target/reports-ci-smoke"
+rm -rf "$smoke_dir"
+./target/release/evaluate fig11 --txs 200 --jobs 2 --json-dir "$smoke_dir" > /dev/null
+report="$smoke_dir/fig11.json"
+[ -f "$report" ] || { echo "FAIL: $report was not written" >&2; exit 1; }
+./target/release/evaluate check "$report"
+rm -rf "$smoke_dir"
+
+echo "CI OK"

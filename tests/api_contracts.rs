@@ -9,7 +9,9 @@ use silo::core::{LogBuffer, LogEntry, Record, SiloOptions, SiloScheme, ThreadLog
 use silo::memctrl::{MemCtrl, MemCtrlConfig};
 use silo::pm::{Media, OnPmBuffer, PmDevice, PmDeviceConfig, WearTracker};
 use silo::sim::{Machine, SimConfig, SimStats, Transaction, TxOracle};
-use silo::types::{Cycles, LineAddr, PhysAddr, SplitMix64, ThreadId, TxId, TxTag, Word, Xoshiro256};
+use silo::types::{
+    Cycles, LineAddr, PhysAddr, SplitMix64, ThreadId, TxId, TxTag, Word, Xoshiro256,
+};
 
 fn assert_send_sync<T: Send + Sync>() {}
 

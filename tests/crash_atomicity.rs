@@ -53,7 +53,11 @@ fn all_schemes_survive_crash_sweep_on_bank() {
                 .fold(0, |acc, b| acc.wrapping_add(b));
             // Only check core 0's region (core 1's uses its own base).
             if crash.committed_txs > 0 {
-                assert_eq!(total, 128 * 500, "[{name}] money not conserved at {crash_at}");
+                assert_eq!(
+                    total,
+                    128 * 500,
+                    "[{name}] money not conserved at {crash_at}"
+                );
             }
         }
     }

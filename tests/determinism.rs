@@ -17,7 +17,9 @@ fn run(scheme_idx: usize, seed: u64) -> SimStats {
     };
     let w = workload_by_name("TPCC").expect("tpcc");
     let streams = w.generate(4, 60, seed);
-    Engine::new(&config, scheme.as_mut()).run(streams, None).stats
+    Engine::new(&config, scheme.as_mut())
+        .run(streams, None)
+        .stats
 }
 
 #[test]
@@ -55,8 +57,7 @@ fn crash_runs_are_deterministic_too() {
             let mut scheme = SiloScheme::new(&config);
             let w = workload_by_name("Btree").expect("btree");
             let streams = w.generate(2, 50, 5);
-            let out =
-                Engine::new(&config, &mut scheme).run(streams, Some(Cycles::new(9_999)));
+            let out = Engine::new(&config, &mut scheme).run(streams, Some(Cycles::new(9_999)));
             let crash = out.crash.expect("crash injected");
             (
                 crash.committed_txs,

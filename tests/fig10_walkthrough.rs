@@ -47,10 +47,7 @@ fn run_fig10(crash_at: u64, drain_delay: u64) -> silo::sim::RunOutcome {
             ..SiloOptions::default()
         },
     );
-    let t1 = vec![
-        tx(&[w(A, A1), w(B, B1)], 1),
-        tx(&[w(A, A2), w(C, C1)], 1),
-    ];
+    let t1 = vec![tx(&[w(A, A1), w(B, B1)], 1), tx(&[w(A, A2), w(C, C1)], 1)];
     // Tx2 is one long transaction with compute padding so the crash lands
     // while it still runs.
     let t2 = vec![tx(
@@ -87,9 +84,21 @@ fn fig10_crash_recovers_to_fig10h_state() {
 
     // Fig 10h: the PM data region, word by word.
     let pm = &out.pm;
-    assert_eq!(pm.peek_word(PhysAddr::new(A)), Word::new(A2), "A at its Tx3 value");
-    assert_eq!(pm.peek_word(PhysAddr::new(B)), Word::new(B1), "B at its Tx1 value");
-    assert_eq!(pm.peek_word(PhysAddr::new(C)), Word::new(C1), "C at its Tx3 value");
+    assert_eq!(
+        pm.peek_word(PhysAddr::new(A)),
+        Word::new(A2),
+        "A at its Tx3 value"
+    );
+    assert_eq!(
+        pm.peek_word(PhysAddr::new(B)),
+        Word::new(B1),
+        "B at its Tx1 value"
+    );
+    assert_eq!(
+        pm.peek_word(PhysAddr::new(C)),
+        Word::new(C1),
+        "C at its Tx3 value"
+    );
     for (name, addr) in [("D", D), ("E", E), ("F", F), ("G", G), ("H", H)] {
         assert_eq!(
             pm.peek_word(PhysAddr::new(addr)),
@@ -111,16 +120,16 @@ fn fig10_merged_log_restores_oldest_value() {
 fn fig10_without_crash_everything_commits() {
     let config = SimConfig::table_ii(2);
     let mut silo = SiloScheme::new(&config);
-    let t1 = vec![
-        tx(&[w(A, A1), w(B, B1)], 1),
-        tx(&[w(A, A2), w(C, C1)], 1),
-    ];
+    let t1 = vec![tx(&[w(A, A1), w(B, B1)], 1), tx(&[w(A, A2), w(C, C1)], 1)];
     let t2 = vec![tx(&[w(D, 0xD1), w(E, 0xE1), w(E, 0xE2)], 1)];
     let out = Engine::new(&config, &mut silo).run(vec![t1, t2], None);
     assert_eq!(out.stats.txs_committed, 3);
     assert_eq!(out.pm.peek_word(PhysAddr::new(A)), Word::new(A2));
     assert_eq!(out.pm.peek_word(PhysAddr::new(E)), Word::new(0xE2));
-    assert_eq!(out.stats.pm.log_region_writes, 0, "failure-free: no log writes");
+    assert_eq!(
+        out.stats.pm.log_region_writes, 0,
+        "failure-free: no log writes"
+    );
 }
 
 #[test]

@@ -20,7 +20,9 @@ fn run_raw(scheme_name: &str, bench: &str, cores: usize, txs: usize) -> SimStats
     };
     let w = workload_by_name(bench).expect("benchmark exists");
     let streams = w.generate(cores, txs, 42);
-    Engine::new(&config, scheme.as_mut()).run(streams, None).stats
+    Engine::new(&config, scheme.as_mut())
+        .run(streams, None)
+        .stats
 }
 
 /// Steady-state measurement: run N and 2N transactions of the same
@@ -121,7 +123,10 @@ fn silo_writes_no_logs_in_failure_free_runs() {
         let mut scheme = SiloScheme::new(&config);
         let streams = w.generate(1, 100, 21);
         let out = Engine::new(&config, &mut scheme).run(streams, None);
-        assert_eq!(out.stats.scheme_stats.overflow_events, 0, "[{name}] no overflow");
+        assert_eq!(
+            out.stats.scheme_stats.overflow_events, 0,
+            "[{name}] no overflow"
+        );
         assert_eq!(
             out.stats.pm.log_region_writes, 0,
             "[{name}] the common case must write zero log bytes"

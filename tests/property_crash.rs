@@ -5,8 +5,12 @@
 //! write pattern and wherever the power fails, the recovered PM image is
 //! all-or-nothing per transaction.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
-use silo::baselines::{BaseScheme, EadrSwLogScheme, FwbScheme, LadScheme, MorLogScheme, SwLogScheme};
+use silo::baselines::{
+    BaseScheme, EadrSwLogScheme, FwbScheme, LadScheme, MorLogScheme, SwLogScheme,
+};
 use silo::core::{SiloOptions, SiloScheme};
 use silo::sim::{Engine, LoggingScheme, SimConfig, Transaction};
 use silo::types::{Cycles, PhysAddr, Word};
@@ -49,8 +53,8 @@ fn check_scheme(
     let config = SimConfig::table_ii(spec.len());
     let mut scheme = make(&config);
     let name = scheme.name();
-    let out = Engine::new(&config, scheme.as_mut())
-        .run(build_streams(spec), Some(Cycles::new(crash_at)));
+    let out =
+        Engine::new(&config, scheme.as_mut()).run(build_streams(spec), Some(Cycles::new(crash_at)));
     let crash = out.crash.expect("crash injected");
     prop_assert!(
         crash.consistency.is_consistent(),

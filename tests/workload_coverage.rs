@@ -157,5 +157,9 @@ fn multi_mc_silo_is_consistent_and_scales() {
     let streams = w.generate(4, 150, 7);
     let out = Engine::new(&config, &mut scheme).run(streams, Some(Cycles::new(60_000)));
     let crash = out.crash.expect("crash injected");
-    assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency.violations);
+    assert!(
+        crash.consistency.is_consistent(),
+        "{:?}",
+        crash.consistency.violations
+    );
 }
