@@ -100,6 +100,12 @@ impl LoggingScheme for BaseScheme {
         self.stats.log_bytes_written_to_pm += silo_core::RECORD_BYTES as u64;
         // ...and commit waits for every persist of the transaction.
         let done = self.cores[ci].barrier_wait(now).max(commit_admit);
+        if m.pm.power_tripped() {
+            // Power failed inside the commit sequence: the core died
+            // before the truncation, so the crash header still bounds
+            // the records recovery needs.
+            return done;
+        }
         // Data is durably in PM: the logs are truncated (register reset).
         self.cores[ci].area.truncate();
         self.cores[ci].current_tag = None;

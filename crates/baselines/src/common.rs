@@ -53,7 +53,14 @@ pub(crate) fn write_records(
     for r in records {
         bytes.extend_from_slice(&r.encode());
     }
+    let dropped = m.pm.dropped();
     let adm = m.pm_write_through(now, addr, &bytes);
+    if m.pm.dropped() != dropped {
+        // Power failed at this write: the device never received the
+        // records, so the reservation must not survive into the crash
+        // header (it would bound stale bytes of earlier transactions).
+        cursor.area.rewind(records.len());
+    }
     cursor.cover(adm.admit);
     adm.admit
 }

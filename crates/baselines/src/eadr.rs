@@ -86,6 +86,7 @@ impl LoggingScheme for EadrSwLogScheme {
         // evictions").
         let entry = LogEntry::new(tag, addr.word_aligned(), old, new);
         let log_addr = self.cores[ci].area.reserve(2);
+        let mut lost = 0;
         for (i, rec) in [entry.undo_record(), entry.redo_record()]
             .iter()
             .enumerate()
@@ -96,11 +97,20 @@ impl LoggingScheme for EadrSwLogScheme {
             // Persist the record's bytes logically (the cache IS the
             // persistence domain under eADR, so the record is durable from
             // this point on).
+            let dropped = m.pm.dropped();
             m.pm.write(rec_addr, &rec.encode());
+            if m.pm.dropped() != dropped {
+                lost += 1;
+            }
             for wb in acc.pm_writebacks {
                 let adm = m.writeback_line(t, wb, false);
                 t = t.max(adm.admit);
             }
+        }
+        if lost > 0 {
+            // Power failed at the record writes: the tail must not cover
+            // bytes the device never received.
+            self.cores[ci].area.rewind(lost);
         }
         self.stats.log_entries_written_to_pm += 2;
         self.stats.log_bytes_written_to_pm += (2 * RECORD_BYTES) as u64;
@@ -124,13 +134,22 @@ impl LoggingScheme for EadrSwLogScheme {
         let rec_addr = self.cores[ci].area.reserve(1);
         let acc = m.caches.access(core, rec_addr.line(), true);
         let mut t = now + acc.latency;
+        let dropped = m.pm.dropped();
         m.pm.write(rec_addr, &Record::id_tuple(tag).encode());
+        if m.pm.dropped() != dropped {
+            self.cores[ci].area.rewind(1);
+        }
         for wb in acc.pm_writebacks {
             let adm = m.writeback_line(t, wb, false);
             t = t.max(adm.admit);
         }
         self.stats.log_entries_written_to_pm += 1;
         self.stats.log_bytes_written_to_pm += RECORD_BYTES as u64;
+        if m.pm.power_tripped() {
+            // Power failed inside the commit sequence: the dead core
+            // never cleared its transaction register.
+            return t;
+        }
         self.cores[ci].current_tag = None;
         t
     }

@@ -111,6 +111,11 @@ impl LoggingScheme for FwbScheme {
         self.stats.log_entries_written_to_pm += 1;
         self.stats.log_bytes_written_to_pm += RECORD_BYTES as u64;
         let done = self.cores[ci].barrier_wait(now).max(commit_admit);
+        if m.pm.power_tripped() {
+            // Power failed inside the commit sequence: the dead core
+            // never cleared its transaction register.
+            return done;
+        }
         self.cores[ci].current_tag = None;
         done
     }
@@ -133,6 +138,11 @@ impl LoggingScheme for FwbScheme {
         // ...after which every log covering a *finished* transaction is
         // truncatable. Areas with an in-flight transaction keep their undo
         // information (its partial data just persisted!).
+        if m.pm.power_tripped() {
+            // Power failed mid-sweep: some write-backs were dropped, so
+            // the redo records they would have made obsolete must stay.
+            return;
+        }
         for c in &mut self.cores {
             if c.current_tag.is_none() {
                 c.area.truncate();

@@ -17,6 +17,11 @@ struct LadCore {
     /// Lines evicted mid-transaction and absorbed into the persistent MC
     /// buffer (discarded wholesale if the transaction never commits).
     absorbed: HashSet<LineAddr>,
+    /// Pre-Prepare images of lines drained during the current commit.
+    /// Until the Commit message, the MC buffer still tags these lines
+    /// with the transaction; a power failure invalidates the tags, so
+    /// the media must revert to these images (paper §V).
+    prepared: Vec<(LineAddr, Vec<u8>)>,
 }
 
 /// LAD: no logs in the common case. Updated cachelines evicted
@@ -54,6 +59,7 @@ impl LadScheme {
                     cursor: CoreCursor::new(config, i),
                     written_lines: HashSet::new(),
                     absorbed: HashSet::new(),
+                    prepared: Vec::new(),
                 })
                 .collect(),
             bases: area_bases(config),
@@ -91,6 +97,7 @@ impl LoggingScheme for LadScheme {
     fn on_tx_begin(&mut self, _m: &mut Machine, core: CoreId, tag: TxTag, now: Cycles) -> Cycles {
         let c = &mut self.cores[core.as_usize()];
         debug_assert!(c.written_lines.is_empty() && c.absorbed.is_empty());
+        debug_assert!(c.prepared.is_empty());
         c.cursor.current_tag = Some(tag);
         c.cursor.persist_barrier = now;
         now
@@ -196,6 +203,11 @@ impl LoggingScheme for LadScheme {
                 m.caches.flush_line(core, line);
                 t += self.flush_chain;
             }
+            // The MC buffer tags the prepared line with this transaction
+            // until Commit; keep the pre-image so a power failure can
+            // discard the tagged write (`on_crash`).
+            let pre = m.pm.peek(line.base(), silo_types::LINE_BYTES);
+            self.cores[ci].prepared.push((line, pre));
             let image = m.line_image(line);
             let adm = m.pm_write_through(t, line.base(), &image);
             self.cores[ci].cursor.cover(adm.admit);
@@ -204,18 +216,35 @@ impl LoggingScheme for LadScheme {
         }
         // Commit phase: only messages.
         let done = self.cores[ci].cursor.barrier_wait(t) + Cycles::new(self.commit_msg_cycles);
+        if m.pm.power_tripped() {
+            // Power failed inside Prepare/Commit: the Commit message was
+            // never sent, so the MC buffer's tags still cover the
+            // `prepared` images for `on_crash` to discard, and the slow-
+            // mode undo records stay bounded by the crash header.
+            return done;
+        }
         // Slow-mode undo logs are obsolete once the transaction commits.
         self.cores[ci].cursor.area.truncate();
         self.cores[ci].cursor.current_tag = None;
         self.cores[ci].written_lines.clear();
         self.cores[ci].absorbed.clear();
+        self.cores[ci].prepared.clear();
         done
     }
 
     fn on_crash(&mut self, m: &mut Machine) {
         // Uncommitted absorbed lines are discarded with the MC buffer
         // tags; slow-mode undo records need their headers for recovery.
+        // Lines drained during an interrupted Prepare are still tagged
+        // with the uncommitted transaction, so the power failure reverts
+        // them to their pre-Prepare images (paper §V).
         for c in &mut self.cores {
+            if c.cursor.current_tag.is_some() {
+                for (line, pre) in c.prepared.drain(..) {
+                    m.pm.discard_to(line.base(), &pre);
+                }
+            }
+            c.prepared.clear();
             c.cursor.area.write_crash_header(&mut m.pm);
             c.cursor.current_tag = None;
             c.written_lines.clear();
@@ -229,6 +258,7 @@ impl LoggingScheme for LadScheme {
         let report = recover_log_region(&mut m.pm, &self.bases);
         for c in &mut self.cores {
             c.cursor.area.truncate();
+            c.prepared.clear();
         }
         report
     }

@@ -122,13 +122,15 @@ impl LoggingScheme for MorLogScheme {
         let ci = core.as_usize();
         self.stats.transactions += 1;
         self.stats.log_entries_remaining += self.cores[ci].buffer.len() as u64;
-        let entries = self.cores[ci].buffer.drain_all();
         // Morphable record selection: each entry is one hardware log write
         // (its undo half, plus the redo half only while the data line is
         // still dirty on chip — otherwise the redo write is eliminated,
-        // the "morphable" saving).
-        let groups: Vec<Vec<Record>> = entries
-            .iter()
+        // the "morphable" saving). The ADR buffer keeps the entries until
+        // the commit sequence finishes: a power failure mid-way must
+        // still find them for `on_crash`'s undo flush.
+        let groups: Vec<Vec<Record>> = self.cores[ci]
+            .buffer
+            .entries()
             .map(|e| {
                 if m.caches.line_dirty(core, e.addr().line()) {
                     vec![e.undo_record(), e.redo_record()]
@@ -144,6 +146,14 @@ impl LoggingScheme for MorLogScheme {
         self.stats.log_entries_written_to_pm += n as u64;
         self.stats.log_bytes_written_to_pm += (n * RECORD_BYTES) as u64;
         let done = core_state.cursor.barrier_wait(now).max(commit_admit);
+        if m.pm.power_tripped() {
+            // Power failed inside the commit sequence: the ADR log buffer
+            // still holds the entries for `on_crash`'s undo flush, and
+            // the dead core never ran the post-commit cleanup.
+            return done;
+        }
+        let core_state = &mut self.cores[ci];
+        core_state.buffer.drain_all();
         core_state.cursor.current_tag = None;
         done
     }

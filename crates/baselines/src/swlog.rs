@@ -124,6 +124,13 @@ impl LoggingScheme for SwLogScheme {
         self.stats.log_bytes_written_to_pm += RECORD_BYTES as u64;
         let done =
             self.cores[ci].barrier_wait(t).max(commit_admit) + Cycles::new(self.fence_cycles);
+        if m.pm.power_tripped() {
+            // Power failed inside the commit sequence: the core died
+            // before the post-commit truncation, so the crash header
+            // still bounds the undo records recovery needs to revoke
+            // (or, if the ID tuple landed, the redo records to replay).
+            return done;
+        }
         self.cores[ci].area.truncate();
         self.cores[ci].current_tag = None;
         done

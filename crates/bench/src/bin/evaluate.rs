@@ -66,7 +66,12 @@ fn run(spec: &ExperimentSpec, args: &[String]) {
     if let Some(list) = arg_string(args, "--bench") {
         params.benches = list.split(',').map(str::to_string).collect();
     }
+    params.extra = args.to_vec();
     let jobs = arg_usize(args, "--jobs", default_jobs());
+    if jobs == 0 {
+        eprintln!("error: --jobs must be at least 1");
+        std::process::exit(2);
+    }
     let dir = arg_string(args, "--json-dir").unwrap_or_else(|| "target/reports".to_string());
 
     let start = std::time::Instant::now();

@@ -30,8 +30,12 @@ pub struct ExpParams {
     pub seed: u64,
     /// Core count override (used by `compare` only).
     pub cores: usize,
-    /// Workload selection (used by `compare` only).
+    /// Workload selection (used by `compare` and `crashfuzz`).
     pub benches: Vec<String>,
+    /// The raw command line, for experiments with flags beyond the common
+    /// set (`crashfuzz`'s fault-model selection). Empty by default;
+    /// experiments parse it with [`try_arg`](crate::try_arg).
+    pub extra: Vec<String>,
 }
 
 impl ExpParams {
@@ -43,6 +47,7 @@ impl ExpParams {
             seed: 42,
             cores: 8,
             benches: vec!["Hash".into(), "TPCC".into(), "YCSB".into()],
+            extra: Vec::new(),
         }
     }
 }

@@ -1,0 +1,495 @@
+//! `crashfuzz`: differential crash-surface fuzzing across every scheme.
+//!
+//! For each scheme × workload × fault model, the experiment measures a
+//! clean run's durability-event total, then injects power failures at
+//! evenly spaced crash points and has the [`silo_sim::TxOracle`] verify
+//! every recovered image. Three fault models cover the crash surface:
+//!
+//! * `op-boundary` — the legacy cycle-sampled trigger (cores halt at an
+//!   op boundary once their clock passes the cut);
+//! * `torn-line` — event-indexed trigger with the in-flight 256 B media
+//!   line program torn to a prefix of its bytes;
+//! * `battery` — event-indexed trigger with a bounded residual-energy
+//!   budget for the post-crash ADR drain (paper Table IV).
+//!
+//! On top of the per-run oracle verdict, recovered images are compared
+//! *differentially*: any two runs of the same workload that crashed at
+//! the same per-core progress (committed-transaction counts) must agree
+//! on every word the workload ever writes, whichever scheme and fault
+//! produced them. A violation is shrunk to a minimal deterministic
+//! `(stream, crash point, fault)` triple and printed as a runnable
+//! `evaluate crashfuzz ... --point N` command.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use silo_sim::{CrashPlan, Engine, FaultModel, SimConfig, Transaction};
+use silo_types::{Cycles, JsonValue, PhysAddr};
+use silo_workloads::workload_by_name;
+
+use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec};
+use crate::{arg_string, arg_u64, arg_usize, make_scheme, ALL_SCHEMES};
+
+/// Two cores keep the sweep cheap while still exercising cross-core
+/// interleaving at the shared memory controller.
+const CORES: usize = 2;
+/// Crash points per cell in sweep mode.
+const POINTS: u64 = 4;
+/// Default residual-energy budget: ample — it covers the whole on-PM
+/// buffer plus the crash records, so a correct scheme must not violate.
+const DEFAULT_BATTERY_BYTES: u64 = 64 * 1024;
+/// Default torn-line prefix: a quarter of a 256 B line survives.
+const DEFAULT_TORN_KEEP: usize = 64;
+/// Shrink search widths.
+const SHRINK_SCAN: u64 = 16;
+const EARLIEST_SCAN: u64 = 64;
+
+/// One fault model of the sweep, with its parameters resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Fault {
+    /// Cycle-sampled crash at an op boundary, perfect ADR drain.
+    OpBoundary,
+    /// Event-indexed crash; the in-flight line program keeps `keep` bytes.
+    TornLine(usize),
+    /// Event-indexed crash; the ADR drain persists at most `bytes` bytes.
+    Battery(u64),
+}
+
+impl Fault {
+    fn name(self) -> &'static str {
+        match self {
+            Fault::OpBoundary => "op-boundary",
+            Fault::TornLine(_) => "torn-line",
+            Fault::Battery(_) => "battery",
+        }
+    }
+
+    fn describe(self) -> String {
+        match self {
+            Fault::OpBoundary => "op-boundary".to_string(),
+            Fault::TornLine(keep) => format!("torn-line(keep={keep})"),
+            Fault::Battery(bytes) => format!("battery({bytes} B)"),
+        }
+    }
+
+    fn plan(self, point: u64) -> CrashPlan {
+        match self {
+            Fault::OpBoundary => CrashPlan::at_cycle(Cycles::new(point)),
+            Fault::TornLine(keep) => {
+                CrashPlan::at_event(point).with_fault(FaultModel::torn_line(keep))
+            }
+            Fault::Battery(bytes) => {
+                CrashPlan::at_event(point).with_fault(FaultModel::bounded_battery(bytes))
+            }
+        }
+    }
+
+    /// The extra repro flags beyond `--fault <name>`.
+    fn repro_flags(self) -> String {
+        match self {
+            Fault::OpBoundary => String::new(),
+            Fault::TornLine(keep) => format!(" --torn-keep {keep}"),
+            Fault::Battery(bytes) => format!(" --battery-bytes {bytes}"),
+        }
+    }
+}
+
+/// The sweep configuration parsed from the experiment's extra flags.
+struct Config {
+    schemes: Vec<String>,
+    faults: Vec<Fault>,
+    point: Option<u64>,
+}
+
+fn parse_config(p: &ExpParams) -> Config {
+    let battery = arg_u64(&p.extra, "--battery-bytes", DEFAULT_BATTERY_BYTES);
+    let torn = arg_usize(&p.extra, "--torn-keep", DEFAULT_TORN_KEEP);
+    let faults = match arg_string(&p.extra, "--fault").as_deref() {
+        None => vec![
+            Fault::OpBoundary,
+            Fault::TornLine(torn),
+            Fault::Battery(battery),
+        ],
+        Some("op-boundary") => vec![Fault::OpBoundary],
+        Some("torn-line") => vec![Fault::TornLine(torn)],
+        Some("battery") => vec![Fault::Battery(battery)],
+        Some(other) => {
+            eprintln!(
+                "error: unknown fault model {other:?} \
+                 (expected op-boundary, torn-line, or battery)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let schemes = match arg_string(&p.extra, "--scheme") {
+        None => ALL_SCHEMES.iter().map(|s| s.to_string()).collect(),
+        Some(list) => {
+            let schemes: Vec<String> = list.split(',').map(str::to_string).collect();
+            for s in &schemes {
+                if !ALL_SCHEMES.contains(&s.as_str()) {
+                    eprintln!("error: unknown scheme {s:?} (see ALL_SCHEMES)");
+                    std::process::exit(2);
+                }
+            }
+            schemes
+        }
+    };
+    let point = match crate::try_arg::<u64>(&p.extra, "--point") {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    Config {
+        schemes,
+        faults,
+        point,
+    }
+}
+
+/// Every distinct word address the workload writes, across setup and
+/// measured transactions — the footprint the differential digest covers.
+fn write_footprint(streams: &[Vec<Transaction>]) -> Vec<PhysAddr> {
+    let mut addrs: Vec<u64> = streams
+        .iter()
+        .flatten()
+        .flat_map(|tx| tx.ops())
+        .filter_map(|op| match op {
+            silo_sim::Op::Write(a, _) => Some(a.as_u64()),
+            _ => None,
+        })
+        .collect();
+    addrs.sort_unstable();
+    addrs.dedup();
+    addrs.into_iter().map(PhysAddr::new).collect()
+}
+
+/// 64-bit FNV-1a, folded to 32 bits so it survives an `f64` cell value.
+fn fnv_fold(chunks: impl IntoIterator<Item = u64>) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in chunks {
+        for b in c.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    ((h >> 32) ^ h) as u32
+}
+
+/// What one crash run produced, condensed for the cell's value list.
+struct PointResult {
+    point: u64,
+    violations: u64,
+    ambiguous: u64,
+    /// Exact per-core committed counts, packed: `c0 * 1e6 + c1`.
+    progress: f64,
+    digest: u32,
+}
+
+fn run_point(
+    scheme: &str,
+    config: &SimConfig,
+    streams: &[Vec<Transaction>],
+    footprint: &[PhysAddr],
+    fault: Fault,
+    point: u64,
+) -> PointResult {
+    let mut s = make_scheme(scheme, config);
+    let out =
+        Engine::new(config, s.as_mut()).run_with_plan(streams.to_vec(), Some(fault.plan(point)));
+    let crash = out.crash.expect("crash injected");
+    let progress = out
+        .stats
+        .per_core
+        .iter()
+        .fold(0.0, |acc, c| acc * 1e6 + c.txs_committed as f64);
+    let digest = fnv_fold(
+        footprint
+            .iter()
+            .flat_map(|&a| [a.as_u64(), out.pm.peek_word(a).as_u64()]),
+    );
+    PointResult {
+        point,
+        violations: crash.consistency.violations.len() as u64,
+        ambiguous: crash.ambiguous_txs,
+        progress,
+        digest,
+    }
+}
+
+/// Evenly spaced interior points: `(total * (2i + 1)) / (2 * k)`.
+fn spaced(total: u64, k: u64) -> Vec<u64> {
+    (0..k).map(|i| (total * (2 * i + 1)) / (2 * k)).collect()
+}
+
+/// The crash-point axis length for `fault` on a clean run: cycles for the
+/// op-boundary trigger, durability events for the event-indexed ones.
+fn axis_total(fault: Fault, clean: &silo_sim::RunOutcome) -> u64 {
+    match fault {
+        Fault::OpBoundary => clean.stats.sim_cycles.as_u64(),
+        _ => clean.pm.events().total(),
+    }
+}
+
+/// Shrinks a violating `(txs_per_core, point)` pair: halve the stream
+/// while a bounded re-scan still violates, then scan for the earliest
+/// violating point at the final length.
+fn shrink(
+    scheme: &str,
+    workload: &str,
+    config: &SimConfig,
+    fault: Fault,
+    seed: u64,
+    mut txs_per_core: usize,
+    mut point: u64,
+) -> (usize, u64) {
+    let w = workload_by_name(workload).expect("benchmark");
+    let rescan = |txs: usize| -> Option<u64> {
+        let streams = w.generate(CORES, txs, seed);
+        let footprint = write_footprint(&streams);
+        let mut s = make_scheme(scheme, config);
+        let clean = Engine::new(config, s.as_mut()).run(streams.clone(), None);
+        spaced(axis_total(fault, &clean), SHRINK_SCAN)
+            .into_iter()
+            .find(|&n| run_point(scheme, config, &streams, &footprint, fault, n).violations > 0)
+    };
+    while txs_per_core > 1 {
+        match rescan(txs_per_core / 2) {
+            Some(n) => {
+                txs_per_core /= 2;
+                point = n;
+            }
+            None => break,
+        }
+    }
+    // Earliest violating point at the final stream length.
+    let streams = w.generate(CORES, txs_per_core, seed);
+    let footprint = write_footprint(&streams);
+    let mut candidates = spaced(point, EARLIEST_SCAN);
+    candidates.dedup();
+    for n in candidates {
+        if run_point(scheme, config, &streams, &footprint, fault, n).violations > 0 {
+            return (txs_per_core, n);
+        }
+    }
+    (txs_per_core, point)
+}
+
+fn build(p: &ExpParams) -> Vec<Cell> {
+    let cfg = parse_config(p);
+    let txs_per_core = (p.txs / CORES).max(1);
+    let seed = p.seed;
+    let mut cells = Vec::new();
+    for bench in &p.benches {
+        if workload_by_name(bench).is_none() {
+            eprintln!("error: unknown benchmark {bench:?}");
+            std::process::exit(2);
+        }
+        for scheme in &cfg.schemes {
+            for &fault in &cfg.faults {
+                let (bench, scheme) = (bench.clone(), scheme.clone());
+                let fixed_point = cfg.point;
+                cells.push(Cell::new(
+                    CellLabel::swc(&scheme, &bench, CORES)
+                        .with_param(format!("fault={}", fault.describe())),
+                    move || {
+                        let w = workload_by_name(&bench).expect("checked above");
+                        let config = SimConfig::table_ii(CORES);
+                        let streams = w.generate(CORES, txs_per_core, seed);
+                        let footprint = write_footprint(&streams);
+                        let mut s = make_scheme(&scheme, &config);
+                        let clean = Engine::new(&config, s.as_mut()).run(streams.clone(), None);
+                        let points = match fixed_point {
+                            Some(n) => vec![n],
+                            None => spaced(axis_total(fault, &clean), POINTS),
+                        };
+                        let mut out = CellOutcome::from_stats(clean.stats)
+                            .with_value("points", points.len() as f64);
+                        let mut worst: Option<u64> = None;
+                        for (j, &n) in points.iter().enumerate() {
+                            let r = run_point(&scheme, &config, &streams, &footprint, fault, n);
+                            if r.violations > 0 && worst.is_none() {
+                                worst = Some(r.point);
+                            }
+                            out = out
+                                .with_value(&format!("p{j}_at"), r.point as f64)
+                                .with_value(&format!("p{j}_viol"), r.violations as f64)
+                                .with_value(&format!("p{j}_amb"), r.ambiguous as f64)
+                                .with_value(&format!("p{j}_prog"), r.progress)
+                                .with_value(&format!("p{j}_dig"), r.digest as f64);
+                        }
+                        if let Some(first_bad) = worst {
+                            let (t, n) = shrink(
+                                &scheme,
+                                &bench,
+                                &config,
+                                fault,
+                                seed,
+                                txs_per_core,
+                                first_bad,
+                            );
+                            out = out
+                                .with_value("shrunk_txs", (t * CORES) as f64)
+                                .with_value("shrunk_point", n as f64);
+                        }
+                        out
+                    },
+                ));
+            }
+        }
+    }
+    cells
+}
+
+fn render(p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -> JsonValue {
+    let cfg = parse_config(p);
+    let txs_per_core = (p.txs / CORES).max(1);
+    writeln!(out, "Crash-surface fuzzing (differential, {CORES} cores)").unwrap();
+    writeln!(
+        out,
+        "{} txs/core, seed {}, faults: {}",
+        txs_per_core,
+        p.seed,
+        cfg.faults
+            .iter()
+            .map(|f| f.describe())
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<12}{:<8}{:<22}{:>7}{:>12}{:>11}",
+        "scheme", "bench", "fault", "points", "violations", "ambiguous"
+    )
+    .unwrap();
+
+    let mut total_runs = 0u64;
+    let mut total_violations = 0u64;
+    let mut rows = Vec::new();
+    let mut repros = Vec::new();
+    // progress -> (digest, "scheme/bench/fault@point") per workload.
+    let mut groups: HashMap<(String, u64), (u32, String)> = HashMap::new();
+    let mut divergences = Vec::new();
+
+    for (label, outcome) in cells {
+        let points = outcome.value("points") as usize;
+        let (mut viols, mut ambig) = (0u64, 0u64);
+        for j in 0..points {
+            total_runs += 1;
+            let v = outcome.value(&format!("p{j}_viol")) as u64;
+            let amb = outcome.value(&format!("p{j}_amb")) as u64;
+            viols += v;
+            ambig += amb;
+            // Differential compare: equal progress on the same workload
+            // must mean an identical recovered footprint — across schemes
+            // and fault models alike. Commit-racing (ambiguous) runs are
+            // legitimately bimodal, so they stay out.
+            if amb == 0 && v == 0 {
+                let prog = outcome.value(&format!("p{j}_prog")) as u64;
+                let dig = outcome.value(&format!("p{j}_dig")) as u32;
+                let at = outcome.value(&format!("p{j}_at")) as u64;
+                let who = format!("{}/{}/{}@{at}", label.scheme, label.workload, label.param);
+                match groups.entry((label.workload.clone(), prog)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((dig, who));
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let (d0, who0) = e.get();
+                        if *d0 != dig {
+                            divergences
+                                .push(format!("{who} disagrees with {who0} at progress {prog}"));
+                        }
+                    }
+                }
+            }
+        }
+        total_violations += viols;
+        writeln!(
+            out,
+            "{:<12}{:<8}{:<22}{:>7}{:>12}{:>11}",
+            label.scheme,
+            label.workload,
+            label.param.trim_start_matches("fault="),
+            points,
+            viols,
+            ambig
+        )
+        .unwrap();
+        let fault = cfg
+            .faults
+            .iter()
+            .find(|f| label.param == format!("fault={}", f.describe()))
+            .copied()
+            .expect("cell fault is one of the configured models");
+        let mut row = JsonValue::object()
+            .field("scheme", label.scheme.as_str())
+            .field("workload", label.workload.as_str())
+            .field("fault", fault.name())
+            .field("points", points as f64)
+            .field("violations", viols as f64)
+            .field("ambiguous", ambig as f64);
+        if viols > 0 {
+            let txs = outcome.value("shrunk_txs") as u64;
+            let point = outcome.value("shrunk_point") as u64;
+            let repro = format!(
+                "evaluate crashfuzz --scheme {} --bench {} --txs {txs} --seed {} \
+                 --fault {}{} --point {point}",
+                label.scheme,
+                label.workload,
+                p.seed,
+                fault.name(),
+                fault.repro_flags()
+            );
+            repros.push((label, repro.clone()));
+            row = row.field("repro", repro.as_str());
+        }
+        rows.push(row.build());
+    }
+
+    for d in &divergences {
+        writeln!(out, "DIVERGENCE: {d}").unwrap();
+    }
+    writeln!(
+        out,
+        "differential: {} progress groups compared, {} divergences",
+        groups.len(),
+        divergences.len()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "total: {total_violations} violations across {total_runs} crash runs"
+    )
+    .unwrap();
+    for (label, repro) in &repros {
+        writeln!(
+            out,
+            "VIOLATION {} / {} / {}",
+            label.scheme,
+            label.workload,
+            label.param.trim_start_matches("fault=")
+        )
+        .unwrap();
+        writeln!(out, "  minimal repro: {repro}").unwrap();
+    }
+
+    JsonValue::object()
+        .field("total_violations", total_violations as f64)
+        .field("crash_runs", total_runs as f64)
+        .field("divergences", divergences.len() as f64)
+        .field("rows", JsonValue::Arr(rows))
+        .build()
+}
+
+/// The `crashfuzz` spec.
+pub fn spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "crashfuzz",
+        legacy_bin: "crashfuzz",
+        description: "differential crash-surface fuzzing: schemes x faults x crash points",
+        default_txs: 48,
+        kind: ExpKind::Custom { build, render },
+    }
+}

@@ -9,6 +9,7 @@
 
 pub mod ablations;
 pub mod compare;
+pub mod crashfuzz;
 pub mod endurance;
 pub mod fig04;
 pub mod fig11;

@@ -26,13 +26,27 @@ pub use exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, 
 pub use report::{run_experiment, write_report, ExperimentRun};
 pub use runner::{default_jobs, run_cells};
 
-use silo_baselines::{BaseScheme, FwbScheme, LadScheme, MorLogScheme};
+use silo_baselines::{
+    BaseScheme, EadrSwLogScheme, FwbScheme, LadScheme, MorLogScheme, SwLogScheme,
+};
 use silo_core::{SiloOptions, SiloScheme};
 use silo_sim::{Engine, LoggingScheme, SimConfig, SimStats, Transaction};
 use silo_workloads::Workload;
 
 /// The evaluated designs, in the paper's legend order.
 pub const SCHEMES: [&str; 5] = ["Base", "FWB", "MorLog", "LAD", "Silo"];
+
+/// Every implemented scheme, including the software baselines that the
+/// figure legends omit. This is the crash-fuzzing sweep set.
+pub const ALL_SCHEMES: [&str; 7] = [
+    "Base",
+    "FWB",
+    "MorLog",
+    "LAD",
+    "SwLog",
+    "eADR-SwLog",
+    "Silo",
+];
 
 /// The figure benchmarks, in the paper's x-axis order.
 pub const FIG11_BENCHMARKS: [&str; 7] =
@@ -49,6 +63,8 @@ pub fn make_scheme(name: &str, config: &SimConfig) -> Box<dyn LoggingScheme> {
         "FWB" => Box::new(FwbScheme::new(config)),
         "MorLog" => Box::new(MorLogScheme::new(config)),
         "LAD" => Box::new(LadScheme::new(config)),
+        "SwLog" => Box::new(SwLogScheme::new(config)),
+        "eADR-SwLog" => Box::new(EadrSwLogScheme::new(config)),
         "Silo" => Box::new(SiloScheme::new(config)),
         other => panic!("unknown scheme {other}"),
     }
@@ -210,9 +226,10 @@ mod tests {
     #[test]
     fn all_schemes_instantiate() {
         let cfg = SimConfig::table_ii(2);
-        for s in SCHEMES {
+        for s in ALL_SCHEMES {
             assert_eq!(make_scheme(s, &cfg).name(), s);
         }
+        assert!(SCHEMES.iter().all(|s| ALL_SCHEMES.contains(s)));
     }
 
     #[test]
@@ -353,7 +370,12 @@ pub fn run_cli(spec: &ExperimentSpec, args: &[String]) {
     if let Some(list) = arg_string(args, "--bench") {
         params.benches = list.split(',').map(str::to_string).collect();
     }
+    params.extra = args.to_vec();
     let jobs = arg_usize(args, "--jobs", default_jobs());
+    if jobs == 0 {
+        eprintln!("error: --jobs must be at least 1");
+        std::process::exit(2);
+    }
     let start = std::time::Instant::now();
     let run = run_experiment(spec, &params, jobs);
     print!("{}", run.text);

@@ -1,0 +1,41 @@
+//! CLI contract tests for the `evaluate` driver binary.
+
+use std::process::Command;
+
+fn evaluate() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_evaluate"))
+}
+
+#[test]
+fn jobs_zero_is_rejected_with_exit_2() {
+    let out = evaluate()
+        .args(["fig11", "--jobs", "0"])
+        .output()
+        .expect("run evaluate");
+    assert_eq!(out.status.code(), Some(2), "--jobs 0 must be usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--jobs"),
+        "error names the flag: {stderr:?}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "no experiment output before the check"
+    );
+}
+
+#[test]
+fn unknown_experiment_is_rejected_with_exit_2() {
+    let out = evaluate().arg("no_such_experiment").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no_such_experiment"), "{stderr:?}");
+}
+
+#[test]
+fn list_includes_crashfuzz() {
+    let out = evaluate().arg("list").output().expect("run");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("crashfuzz"), "{stdout:?}");
+}

@@ -102,12 +102,17 @@ impl HierarchyStats {
 impl std::ops::Sub for HierarchyStats {
     type Output = HierarchyStats;
 
+    /// Saturating per-field difference: delta pairs are only approximately
+    /// nested (workload streams need not be prefix-extensive), so each
+    /// counter saturates at zero rather than panicking on underflow.
     fn sub(self, r: HierarchyStats) -> HierarchyStats {
+        let level =
+            |a: (u64, u64), b: (u64, u64)| (a.0.saturating_sub(b.0), a.1.saturating_sub(b.1));
         HierarchyStats {
-            l1: (self.l1.0 - r.l1.0, self.l1.1 - r.l1.1),
-            l2: (self.l2.0 - r.l2.0, self.l2.1 - r.l2.1),
-            l3: (self.l3.0 - r.l3.0, self.l3.1 - r.l3.1),
-            pm_writebacks: self.pm_writebacks - r.pm_writebacks,
+            l1: level(self.l1, r.l1),
+            l2: level(self.l2, r.l2),
+            l3: level(self.l3, r.l3),
+            pm_writebacks: self.pm_writebacks.saturating_sub(r.pm_writebacks),
         }
     }
 }

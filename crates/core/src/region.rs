@@ -99,6 +99,17 @@ impl ThreadLogArea {
         self.tail = 0;
     }
 
+    /// Rolls back the latest reservation of `records` records: the write
+    /// behind it was dropped at power failure, so the tail must not cover
+    /// bytes the device never received — a crash header bounding them
+    /// would expose stale records of earlier, truncated transactions to
+    /// the recovery scan.
+    pub fn rewind(&mut self, records: usize) {
+        let bytes = (records * RECORD_BYTES) as u64;
+        debug_assert!(self.tail >= bytes, "rewind past the area base");
+        self.tail = self.tail.saturating_sub(bytes);
+    }
+
     /// Records currently reserved.
     pub fn used_records(&self) -> usize {
         self.tail as usize / RECORD_BYTES

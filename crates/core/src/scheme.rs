@@ -199,6 +199,12 @@ impl SiloScheme {
     fn drain_ready_ipu(&mut self, m: &mut Machine, now: Cycles, force: bool) {
         for ci in 0..self.cores.len() {
             loop {
+                if m.pm.power_tripped() {
+                    // Power failed: further in-place writes would drop
+                    // silently. The pending queue is battery-backed, so
+                    // whatever stays in it reaches PM via `on_crash`.
+                    return;
+                }
                 let ready = matches!(
                     self.cores[ci].pending_ipu.front(),
                     Some(p) if force || p.ready <= now
@@ -214,8 +220,10 @@ impl SiloScheme {
                     .pop_front()
                     .expect("front checked above");
                 while let Some(e) = pending.entries.first().copied() {
-                    if !force && !Self::wpq_has_room(m, ci, now) {
-                        // Put the unfinished remainder back and defer.
+                    if m.pm.power_tripped() || (!force && !Self::wpq_has_room(m, ci, now)) {
+                        // Put the unfinished remainder back and defer
+                        // (to a later hook, or to `on_crash`'s redo
+                        // flush if power just failed).
                         self.cores[ci].pending_ipu.push_front(pending);
                         return;
                     }
@@ -259,7 +267,14 @@ impl SiloScheme {
         self.stats.log_bytes_written_to_pm += bytes.len() as u64;
         // Flushing overflowed logs and adding new logs proceed in parallel
         // (§III-F); only WPQ admission back-pressure reaches the core.
+        let dropped = m.pm.dropped();
         let mut t = self.pm_write(m, core, now, addr, &bytes);
+        if m.pm.dropped() != dropped {
+            // Power failed at the batch write: the tail must not cover
+            // bytes the device never received — a crash header bounding
+            // them would expose stale records to the recovery scan.
+            self.cores[core].area.rewind(bytes.len() / RECORD_BYTES);
+        }
         for (waddr, word) in data_words {
             t = t.max(self.pm_write(m, core, t, waddr, &word.to_le_bytes()));
             self.stats.inplace_update_words += 1;
@@ -345,6 +360,13 @@ impl LoggingScheme for SiloScheme {
     fn on_tx_end(&mut self, m: &mut Machine, core: CoreId, tag: TxTag, now: Cycles) -> Cycles {
         self.drain_ready_ipu(m, now, false);
         let ci = core.as_usize();
+        if m.pm.power_tripped() {
+            // Power failed while the controller drained earlier commits:
+            // this transaction's commit never reached the controller. Its
+            // entries stay in the (battery-backed) log buffer, whose undo
+            // halves `on_crash` flushes for recovery to revoke.
+            return now;
+        }
         self.stats.transactions += 1;
         self.stats.log_entries_remaining += self.cores[ci].buffer.len() as u64;
         // Commit: the log generator notifies the log controller and waits
@@ -363,12 +385,16 @@ impl LoggingScheme for SiloScheme {
         // starved it past capacity, this commit stalls while the
         // controller force-drains the oldest entries (rare-case
         // back-pressure; the common case never enters this loop).
-        while self.backlog_entries(ci) > self.options.ipu_queue_entries {
+        while !m.pm.power_tripped() && self.backlog_entries(ci) > self.options.ipu_queue_entries {
             let mut pending = self.cores[ci]
                 .pending_ipu
                 .pop_front()
                 .expect("backlog positive implies a pending item");
-            for e in pending.entries.drain(..) {
+            while let Some(e) = pending.entries.first().copied() {
+                if m.pm.power_tripped() {
+                    break; // the remainder goes back for `on_crash`
+                }
+                pending.entries.remove(0);
                 if e.flush_bit() {
                     continue;
                 }
@@ -381,6 +407,18 @@ impl LoggingScheme for SiloScheme {
                 ));
                 self.stats.inplace_update_words += 1;
             }
+            if !pending.entries.is_empty() {
+                // Power failed mid-drain: the battery-backed queue keeps
+                // the remainder so `on_crash` flushes its redo + ID tuple.
+                self.cores[ci].pending_ipu.push_front(pending);
+                break;
+            }
+        }
+        if m.pm.power_tripped() {
+            // Power failed after the commit reached the controller: the
+            // pending queue (battery-backed) carries the commit to PM via
+            // `on_crash`; the dead core never ran the register reset.
+            return commit_time;
         }
         // Overflowed logs are deleted after commit (§III-F): register reset.
         self.cores[ci].area.truncate();

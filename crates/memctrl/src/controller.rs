@@ -241,12 +241,18 @@ impl std::ops::Add for MemCtrlStats {
 impl std::ops::Sub for MemCtrlStats {
     type Output = MemCtrlStats;
 
+    /// Saturating per-field difference. Delta pairs (an N-transaction run
+    /// subtracted from a 2N-transaction run) are only approximately
+    /// nested: workload generators are not required to produce
+    /// prefix-extensive streams, so a transient counter such as WPQ stall
+    /// cycles can be *smaller* in the longer run. Saturating at zero keeps
+    /// the warmup-stripping heuristic total instead of panicking.
     fn sub(self, r: MemCtrlStats) -> MemCtrlStats {
         MemCtrlStats {
-            writes: self.writes - r.writes,
-            reads: self.reads - r.reads,
-            stall_cycles: self.stall_cycles - r.stall_cycles,
-            busy_cycles: self.busy_cycles - r.busy_cycles,
+            writes: self.writes.saturating_sub(r.writes),
+            reads: self.reads.saturating_sub(r.reads),
+            stall_cycles: self.stall_cycles.saturating_sub(r.stall_cycles),
+            busy_cycles: self.busy_cycles.saturating_sub(r.busy_cycles),
             max_occupancy: self.max_occupancy.max(r.max_occupancy),
         }
     }

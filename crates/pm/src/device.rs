@@ -2,7 +2,10 @@
 
 use silo_types::{PhysAddr, Word, WORD_BYTES};
 
-use crate::{Media, OnPmBuffer, PmStats, DEFAULT_BUFFER_LINES};
+use crate::{
+    DrainReport, EventCounters, EventKind, FaultModel, Media, OnPmBuffer, PmStats,
+    DEFAULT_BUFFER_LINES,
+};
 
 /// Configuration of a [`PmDevice`].
 ///
@@ -33,6 +36,21 @@ impl Default for PmDeviceConfig {
             log_region_start: None,
         }
     }
+}
+
+/// The device's power state across the crash sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Power {
+    /// Normal operation: writes stage with capacity pressure, durability
+    /// events count toward an armed crash point.
+    On,
+    /// Post-power-loss, on residual energy: staged writes are unbounded
+    /// (charged once at the final drain), write-through bytes charge the
+    /// budget immediately.
+    Battery,
+    /// Recovery: every accepted write is one `RecoveryStep` event, so a
+    /// sweep can re-crash mid-recovery.
+    Recovery,
 }
 
 /// The simulated PM DIMM: [`OnPmBuffer`] staging in front of [`Media`],
@@ -66,6 +84,20 @@ pub struct PmDevice {
     data_region_writes: u64,
     log_region_writes: u64,
     reads: u64,
+    power: Power,
+    /// Power has failed and no budget remains: writes silently drop.
+    tripped: bool,
+    /// Trip power when the total event count reaches this value.
+    crash_at_event: Option<u64>,
+    events: EventCounters,
+    /// Residual-energy bytes left while `power == Battery`.
+    battery_remaining: u64,
+    /// Torn-line fault armed for the final drain.
+    torn_keep: Option<usize>,
+    /// Trip power when `events.recovery_steps` reaches this value.
+    recovery_trip_at: Option<u64>,
+    dropped_writes: u64,
+    dropped_bytes: u64,
 }
 
 impl PmDevice {
@@ -80,18 +112,69 @@ impl PmDevice {
             data_region_writes: 0,
             log_region_writes: 0,
             reads: 0,
+            power: Power::On,
+            tripped: false,
+            crash_at_event: None,
+            events: EventCounters::default(),
+            battery_remaining: u64::MAX,
+            torn_keep: None,
+            recovery_trip_at: None,
+            dropped_writes: 0,
+            dropped_bytes: 0,
         }
     }
 
-    /// Accepts a write of arbitrary size into the on-PM buffer.
-    pub fn write(&mut self, addr: PhysAddr, bytes: &[u8]) {
+    fn count_accepted(&mut self, addr: PhysAddr, len: usize) {
         self.accepted_writes += 1;
-        self.accepted_bytes += bytes.len() as u64;
+        self.accepted_bytes += len as u64;
         match self.config.log_region_start {
             Some(start) if addr.as_u64() >= start => self.log_region_writes += 1,
             _ => self.data_region_writes += 1,
         }
-        self.buffer.write(addr, bytes, &mut self.media);
+    }
+
+    fn count_dropped(&mut self, len: usize) {
+        self.dropped_writes += 1;
+        self.dropped_bytes += len as u64;
+    }
+
+    fn is_log_addr(&self, addr: PhysAddr) -> bool {
+        matches!(self.config.log_region_start, Some(start) if addr.as_u64() >= start)
+    }
+
+    /// Accepts a write of arbitrary size into the on-PM buffer.
+    pub fn write(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        if self.tripped {
+            self.count_dropped(bytes.len());
+            return;
+        }
+        match self.power {
+            Power::On => {
+                // A log-region write is a log-buffer drain event; power may
+                // fail just before it lands.
+                if self.is_log_addr(addr) && self.note_event(EventKind::LogDrain) {
+                    self.count_dropped(bytes.len());
+                    return;
+                }
+                self.count_accepted(addr, bytes.len());
+                let before = self.media.line_writes();
+                self.buffer.write(addr, bytes, &mut self.media);
+                for _ in before..self.media.line_writes() {
+                    self.note_event(EventKind::LineProgram);
+                }
+            }
+            Power::Battery => {
+                // Residual energy: stage without capacity drains; the
+                // budget is charged once, at `battery_drain`.
+                self.count_accepted(addr, bytes.len());
+                self.buffer.stage_unbounded(addr, bytes);
+            }
+            Power::Recovery => {
+                self.count_accepted(addr, bytes.len());
+                self.buffer.write(addr, bytes, &mut self.media);
+                self.note_event(EventKind::RecoveryStep);
+            }
+        }
     }
 
     /// Accepts a write that **bypasses** the coalescing buffer and programs
@@ -103,12 +186,52 @@ impl PmDevice {
     ///
     /// Returns the number of media line programs actually performed.
     pub fn write_through(&mut self, addr: PhysAddr, bytes: &[u8]) -> u64 {
-        self.accepted_writes += 1;
-        self.accepted_bytes += bytes.len() as u64;
-        match self.config.log_region_start {
-            Some(start) if addr.as_u64() >= start => self.log_region_writes += 1,
-            _ => self.data_region_writes += 1,
+        if self.tripped {
+            self.count_dropped(bytes.len());
+            return 0;
         }
+        match self.power {
+            Power::On => {
+                if self.is_log_addr(addr) && self.note_event(EventKind::LogDrain) {
+                    self.count_dropped(bytes.len());
+                    return 0;
+                }
+                self.count_accepted(addr, bytes.len());
+                let n = self.write_through_raw(addr, bytes);
+                for _ in 0..n {
+                    self.note_event(EventKind::LineProgram);
+                }
+                n
+            }
+            Power::Battery => {
+                // Bypass writes program the media immediately, so they
+                // charge the residual-energy budget as they happen.
+                let keep = (self.battery_remaining.min(bytes.len() as u64)) as usize;
+                self.battery_remaining -= keep as u64;
+                if keep > 0 {
+                    self.count_accepted(addr, keep);
+                }
+                if keep < bytes.len() {
+                    self.count_dropped(bytes.len() - keep);
+                    self.tripped = true;
+                }
+                if keep == 0 {
+                    return 0;
+                }
+                self.write_through_raw(addr, &bytes[..keep])
+            }
+            Power::Recovery => {
+                self.count_accepted(addr, bytes.len());
+                let n = self.write_through_raw(addr, bytes);
+                self.note_event(EventKind::RecoveryStep);
+                n
+            }
+        }
+    }
+
+    /// The uncounted bypass path: patches staged copies and programs the
+    /// media, split at buffer-line boundaries.
+    fn write_through_raw(&mut self, addr: PhysAddr, bytes: &[u8]) -> u64 {
         self.buffer.patch_if_staged(addr, bytes);
         let before = self.media.line_writes();
         let mut cur = addr.as_u64();
@@ -192,6 +315,114 @@ impl PmDevice {
     /// [`WearTracker`](crate::WearTracker)).
     pub fn wear(&self) -> &crate::WearTracker {
         self.media.wear()
+    }
+
+    /// Arms an event-indexed crash point: power trips when the total
+    /// durability-event count reaches `n`. The N-th event is the last to
+    /// complete; everything after it drops. `n = 0` trips immediately —
+    /// power fails before anything runs.
+    pub fn arm_crash_at_event(&mut self, n: u64) {
+        self.crash_at_event = Some(n);
+        if n <= self.events.total() {
+            self.tripped = true;
+        }
+    }
+
+    /// Counts one durability event while power is on, returning whether
+    /// the device is (now) tripped. Events are not counted on battery or
+    /// once tripped; recovery counts only its own `RecoveryStep`s.
+    pub fn note_event(&mut self, kind: EventKind) -> bool {
+        if self.tripped {
+            return true;
+        }
+        match (self.power, kind) {
+            (Power::On, k) if k != EventKind::RecoveryStep => {
+                self.events.bump(k);
+                if self.crash_at_event == Some(self.events.total()) {
+                    self.tripped = true;
+                }
+            }
+            (Power::Recovery, EventKind::RecoveryStep) => {
+                self.events.bump(kind);
+                if self.recovery_trip_at == Some(self.events.recovery_steps) {
+                    self.tripped = true;
+                }
+            }
+            _ => {}
+        }
+        self.tripped
+    }
+
+    /// The durability events counted so far.
+    pub fn events(&self) -> EventCounters {
+        self.events
+    }
+
+    /// Whether power has failed: subsequent writes drop silently.
+    pub fn power_tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Writes (and bytes) silently dropped after power failure.
+    pub fn dropped(&self) -> (u64, u64) {
+        (self.dropped_writes, self.dropped_bytes)
+    }
+
+    /// Crash-time discard of an uncommitted persistence-domain buffer
+    /// entry: reverts the logical contents at `addr` to `bytes`, the
+    /// image from before the discarded write. This models controllers
+    /// that tag buffered lines with a transaction (LAD's MC buffer,
+    /// paper §V) — power failure invalidates the tags, so writes the
+    /// simulator already performed eagerly on the media were never
+    /// architecturally valid. A bookkeeping rollback, not a new program:
+    /// no events, no traffic counters, no fault-model budget.
+    pub fn discard_to(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        self.buffer.patch_if_staged(addr, bytes);
+        self.media.revert(addr, bytes);
+    }
+
+    /// Switches to residual-energy operation after power loss: staged
+    /// writes become unbounded (charged at [`battery_drain`]
+    /// (Self::battery_drain)), bypass writes charge `fault`'s byte budget
+    /// immediately, and the armed crash point no longer fires.
+    pub fn begin_battery(&mut self, fault: &FaultModel) {
+        self.power = Power::Battery;
+        self.tripped = false;
+        self.battery_remaining = fault.battery_budget_bytes.unwrap_or(u64::MAX);
+        self.torn_keep = fault.torn_line_keep_bytes;
+    }
+
+    /// The final ADR drain on residual energy: pushes staged lines to the
+    /// media within the remaining budget (applying any armed torn-line
+    /// fault), then the device goes dark — every later write drops until
+    /// [`begin_recovery`](Self::begin_recovery).
+    pub fn battery_drain(&mut self) -> DrainReport {
+        let report =
+            self.buffer
+                .crash_drain(&mut self.media, self.battery_remaining, self.torn_keep);
+        self.battery_remaining = 0;
+        self.torn_keep = None;
+        self.tripped = true;
+        report
+    }
+
+    /// Restores power for recovery. Each accepted write counts one
+    /// `RecoveryStep` event; if `crash_after_steps` is set, power trips
+    /// again right after that many steps — the double-crash fault.
+    pub fn begin_recovery(&mut self, crash_after_steps: Option<u64>) {
+        self.power = Power::Recovery;
+        self.tripped = false;
+        self.recovery_trip_at = crash_after_steps.map(|n| self.events.recovery_steps + n);
+    }
+
+    /// Ends recovery: normal powered operation resumes, with the crash
+    /// point disarmed.
+    pub fn end_recovery(&mut self) {
+        self.power = Power::On;
+        self.tripped = false;
+        self.crash_at_event = None;
+        self.recovery_trip_at = None;
+        self.battery_remaining = u64::MAX;
     }
 }
 
@@ -339,6 +570,100 @@ mod tests {
         assert_eq!(pm.wear().total_programs(), 3);
         assert_eq!(pm.wear().max_wear(), 2);
         assert_eq!(pm.wear().lines_touched(), 2);
+    }
+
+    #[test]
+    fn events_count_and_trip_at_armed_point() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.arm_crash_at_event(2);
+        assert!(!pm.note_event(EventKind::Store));
+        assert!(pm.note_event(EventKind::WpqAdmit), "second event trips");
+        assert!(pm.power_tripped());
+        // Tripped: no further counting, writes drop.
+        assert!(pm.note_event(EventKind::Store));
+        assert_eq!(pm.events().total(), 2);
+        pm.write(PhysAddr::new(0), &[1; 8]);
+        assert_eq!(pm.dropped(), (1, 8));
+        assert_eq!(pm.peek(PhysAddr::new(0), 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn log_region_writes_count_log_drain_events() {
+        let mut pm = PmDevice::new(PmDeviceConfig {
+            log_region_start: Some(1 << 20),
+            ..PmDeviceConfig::default()
+        });
+        pm.write(PhysAddr::new(0), &[1; 8]);
+        pm.write(PhysAddr::new(1 << 20), &[1; 8]);
+        pm.write_through(PhysAddr::new((1 << 20) + 256), &[1; 8]);
+        let e = pm.events();
+        assert_eq!(e.log_drains, 2);
+        assert!(e.line_programs >= 1, "write_through programs the media");
+    }
+
+    #[test]
+    fn battery_charges_bypass_writes_and_drains_staged() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write(PhysAddr::new(0), &[7; 8]); // staged pre-crash
+        pm.begin_battery(&FaultModel::bounded_battery(16));
+        pm.write_through(PhysAddr::new(256), &[8; 8]); // charges 8 bytes
+        pm.write(PhysAddr::new(512), &[9; 8]); // staged, charged at drain
+        let report = pm.battery_drain();
+        // 8 bytes of budget left for 16 staged bytes: oldest line drains.
+        assert_eq!(report.drained_lines, 1);
+        assert_eq!(report.discarded_lines, 1);
+        assert!(pm.power_tripped());
+        assert_eq!(pm.peek(PhysAddr::new(0), 8), vec![7; 8]);
+        assert_eq!(pm.peek(PhysAddr::new(256), 8), vec![8; 8]);
+        assert_eq!(pm.peek(PhysAddr::new(512), 8), vec![0; 8], "lost");
+    }
+
+    #[test]
+    fn battery_exhaustion_drops_bypass_suffix() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.begin_battery(&FaultModel::bounded_battery(4));
+        let n = pm.write_through(PhysAddr::new(0), &[5; 8]);
+        assert!(n >= 1, "the first 4 bytes still program");
+        assert!(pm.power_tripped());
+        assert_eq!(pm.peek(PhysAddr::new(0), 8), vec![5, 5, 5, 5, 0, 0, 0, 0]);
+        pm.write_through(PhysAddr::new(64), &[6; 8]);
+        assert_eq!(pm.peek(PhysAddr::new(64), 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn recovery_steps_count_and_double_crash_trips() {
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.begin_battery(&FaultModel::perfect_adr());
+        pm.battery_drain();
+        pm.begin_recovery(Some(2));
+        pm.write(PhysAddr::new(0), &[1; 8]);
+        pm.write(PhysAddr::new(8), &[2; 8]);
+        assert!(pm.power_tripped(), "second recovery step trips");
+        pm.write(PhysAddr::new(16), &[3; 8]);
+        assert_eq!(pm.events().recovery_steps, 2);
+        // The first two steps persisted (they are staged in ADR); the
+        // third dropped.
+        assert_eq!(pm.peek(PhysAddr::new(8), 8), vec![2; 8]);
+        assert_eq!(pm.peek(PhysAddr::new(16), 8), vec![0; 8]);
+        pm.end_recovery();
+        assert!(!pm.power_tripped());
+        pm.write(PhysAddr::new(16), &[3; 8]);
+        assert_eq!(pm.peek(PhysAddr::new(16), 8), vec![3; 8]);
+    }
+
+    #[test]
+    fn clean_operation_is_unaffected_by_event_counting() {
+        let mut a = PmDevice::new(PmDeviceConfig::default());
+        let mut b = PmDevice::new(PmDeviceConfig::default());
+        b.note_event(EventKind::Store);
+        b.note_event(EventKind::WpqAdmit);
+        for pm in [&mut a, &mut b] {
+            pm.write(PhysAddr::new(0), &[1; 64]);
+            pm.write_through(PhysAddr::new(256), &[2; 8]);
+            pm.flush_all();
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.peek(PhysAddr::new(0), 64), b.peek(PhysAddr::new(0), 64));
     }
 
     #[test]

@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 
 mod device;
+mod fault;
 mod media;
 mod onpm_buffer;
 mod stats;
 mod wear;
 
 pub use device::{PmDevice, PmDeviceConfig};
+pub use fault::{DrainReport, EventCounters, EventKind, FaultModel};
 pub use media::Media;
 pub use onpm_buffer::{OnPmBuffer, DEFAULT_BUFFER_LINES};
 pub use stats::PmStats;

@@ -139,6 +139,30 @@ impl Media {
         true
     }
 
+    /// Reverts stored bytes without a program cycle: the crash-time
+    /// rollback of writes whose persistence-domain tags were invalidated
+    /// (e.g. LAD's MC buffer discarding an uncommitted transaction's
+    /// prepared lines). Counts no line write, no programmed bits, no wear:
+    /// the cells were already programmed once when the write was modeled
+    /// eagerly; this only corrects which image is architecturally valid.
+    /// May cross buffer-line boundaries.
+    pub fn revert(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        let mut cur = addr.as_u64();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (cur % BUF_LINE_BYTES as u64) as usize;
+            let chunk = rest.len().min(BUF_LINE_BYTES - off);
+            let idx = cur / BUF_LINE_BYTES as u64;
+            let line = self
+                .lines
+                .entry(idx)
+                .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
+            line[off..off + chunk].copy_from_slice(&rest[..chunk]);
+            cur += chunk as u64;
+            rest = &rest[chunk..];
+        }
+    }
+
     /// Reads `len` bytes starting at `addr`. Unprogrammed media reads as
     /// zero. Reads may cross buffer-line boundaries.
     pub fn read(&self, addr: PhysAddr, len: usize) -> Vec<u8> {

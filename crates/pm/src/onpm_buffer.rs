@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use silo_types::{PhysAddr, BUF_LINE_BYTES};
 
-use crate::Media;
+use crate::{DrainReport, Media};
 
 /// Default number of 256 B lines in the on-PM buffer.
 ///
@@ -155,6 +155,88 @@ impl OnPmBuffer {
         debug_assert!(self.lines.is_empty());
     }
 
+    /// Stages `bytes` without enforcing capacity — no forced media drains.
+    /// This is the battery-powered write path: after power loss the
+    /// scheme's `on_crash` records land in the ADR domain first and are
+    /// charged against the residual-energy budget once, when
+    /// [`crash_drain`](Self::crash_drain) pushes them to the media.
+    pub fn stage_unbounded(&mut self, addr: PhysAddr, bytes: &[u8]) {
+        let mut cur = addr.as_u64();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (cur % BUF_LINE_BYTES as u64) as usize;
+            let chunk = rest.len().min(BUF_LINE_BYTES - off);
+            let idx = cur / BUF_LINE_BYTES as u64;
+            let staged = self.lines.entry(idx).or_insert_with(|| {
+                self.fifo.push_back(idx);
+                Staged::new()
+            });
+            staged.data[off..off + chunk].copy_from_slice(&rest[..chunk]);
+            staged.valid[off..off + chunk].fill(true);
+            cur += chunk as u64;
+            rest = &rest[chunk..];
+        }
+    }
+
+    /// The post-crash ADR drain under a [`FaultModel`](crate::FaultModel):
+    /// drains staged lines FIFO-oldest-first, charging each line's valid
+    /// bytes against the residual-energy `budget`. The line on which the
+    /// budget dies persists a torn prefix; every younger staged line is
+    /// lost. If `torn_keep` is set, the program that was in flight at the
+    /// instant of power loss (the FIFO head) first tears to its leading
+    /// `torn_keep` valid bytes — the ADR copy survives, so a sufficient
+    /// budget re-programs it in full.
+    ///
+    /// The buffer is empty afterwards regardless of what persisted.
+    pub fn crash_drain(
+        &mut self,
+        media: &mut Media,
+        budget: u64,
+        torn_keep: Option<usize>,
+    ) -> DrainReport {
+        let mut report = DrainReport::default();
+        if let Some(keep) = torn_keep {
+            if let Some(head) = self.fifo.front() {
+                let staged = &self.lines[head];
+                let valid_count = staged.valid.iter().filter(|&&v| v).count();
+                if valid_count > keep {
+                    let mask = truncate_mask(&staged.valid, keep);
+                    let base = PhysAddr::new(head * BUF_LINE_BYTES as u64);
+                    media.program_line(base, &staged.data, &mask);
+                    report.torn_lines += 1;
+                }
+            }
+        }
+        let mut remaining = budget;
+        while let Some(idx) = self.fifo.pop_front() {
+            let staged = self
+                .lines
+                .remove(&idx)
+                .expect("fifo entries always have a staged line");
+            let valid_count = staged.valid.iter().filter(|&&v| v).count() as u64;
+            let base = PhysAddr::new(idx * BUF_LINE_BYTES as u64);
+            if valid_count <= remaining {
+                media.program_line(base, &staged.data, &staged.valid);
+                remaining -= valid_count;
+                report.drained_lines += 1;
+                report.drained_bytes += valid_count;
+            } else if remaining > 0 {
+                // The budget dies mid-program: a torn partial line.
+                let mask = truncate_mask(&staged.valid, remaining as usize);
+                media.program_line(base, &staged.data, &mask);
+                report.torn_lines += 1;
+                report.drained_bytes += remaining;
+                report.discarded_bytes += valid_count - remaining;
+                remaining = 0;
+            } else {
+                report.discarded_lines += 1;
+                report.discarded_bytes += valid_count;
+            }
+        }
+        debug_assert!(self.lines.is_empty());
+        report
+    }
+
     /// Reads `len` bytes at `addr`, with staged bytes overriding the media —
     /// the DIMM-internal read path sees buffered data.
     pub fn read_through(&self, addr: PhysAddr, len: usize, media: &Media) -> Vec<u8> {
@@ -215,6 +297,23 @@ impl OnPmBuffer {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+}
+
+/// A copy of `valid` keeping only the first `keep` set bytes — the
+/// persisted prefix of a torn line program.
+fn truncate_mask(valid: &[bool; BUF_LINE_BYTES], keep: usize) -> [bool; BUF_LINE_BYTES] {
+    let mut mask = *valid;
+    let mut kept = 0;
+    for m in mask.iter_mut() {
+        if *m {
+            if kept < keep {
+                kept += 1;
+            } else {
+                *m = false;
+            }
+        }
+    }
+    mask
 }
 
 #[cfg(test)]
@@ -320,6 +419,87 @@ mod tests {
     #[should_panic(expected = "at least one line")]
     fn zero_capacity_rejected() {
         let _ = OnPmBuffer::new(0);
+    }
+
+    #[test]
+    fn stage_unbounded_ignores_capacity() {
+        let (mut media, mut buf) = setup();
+        for i in 0..8u64 {
+            buf.stage_unbounded(PhysAddr::new(i * 256), &[i as u8 + 1; 8]);
+        }
+        assert_eq!(buf.occupancy(), 8, "no capacity drains");
+        assert_eq!(media.line_writes(), 0);
+        buf.flush_all(&mut media);
+        assert_eq!(media.line_writes(), 8);
+        assert_eq!(media.read(PhysAddr::new(7 * 256), 1), vec![8]);
+    }
+
+    #[test]
+    fn crash_drain_with_ample_budget_equals_flush() {
+        let (mut media, mut buf) = setup();
+        buf.write(PhysAddr::new(0), &[1; 8], &mut media);
+        buf.write(PhysAddr::new(256), &[2; 8], &mut media);
+        let report = buf.crash_drain(&mut media, u64::MAX, None);
+        assert_eq!(report.drained_lines, 2);
+        assert_eq!(report.drained_bytes, 16);
+        assert_eq!(report.torn_lines, 0);
+        assert_eq!(report.discarded_lines, 0);
+        assert_eq!(buf.occupancy(), 0);
+        assert_eq!(media.read(PhysAddr::new(256), 8), vec![2; 8]);
+    }
+
+    #[test]
+    fn crash_drain_budget_discards_younger_lines() {
+        let (mut media, mut buf) = setup();
+        buf.write(PhysAddr::new(0), &[1; 8], &mut media);
+        buf.write(PhysAddr::new(256), &[2; 8], &mut media);
+        buf.write(PhysAddr::new(512), &[3; 8], &mut media);
+        // 8-byte budget: oldest line drains, the rest is lost.
+        let report = buf.crash_drain(&mut media, 8, None);
+        assert_eq!(report.drained_lines, 1);
+        assert_eq!(report.discarded_lines, 2);
+        assert_eq!(report.discarded_bytes, 16);
+        assert_eq!(buf.occupancy(), 0);
+        assert_eq!(media.read(PhysAddr::new(0), 8), vec![1; 8]);
+        assert_eq!(media.read(PhysAddr::new(256), 8), vec![0; 8], "lost");
+    }
+
+    #[test]
+    fn crash_drain_partial_budget_tears_a_line() {
+        let (mut media, mut buf) = setup();
+        buf.write(PhysAddr::new(0), &[7; 16], &mut media);
+        let report = buf.crash_drain(&mut media, 5, None);
+        assert_eq!(report.torn_lines, 1);
+        assert_eq!(report.drained_bytes, 5);
+        assert_eq!(report.discarded_bytes, 11);
+        assert_eq!(media.read(PhysAddr::new(0), 16), {
+            let mut v = vec![7u8; 5];
+            v.extend_from_slice(&[0; 11]);
+            v
+        });
+    }
+
+    #[test]
+    fn torn_head_is_repaired_by_a_full_drain() {
+        let (mut media, mut buf) = setup();
+        buf.write(PhysAddr::new(0), &[9; 64], &mut media);
+        // The in-flight program tears to 4 bytes, but the ADR copy
+        // survives and the unlimited budget re-programs it in full.
+        let report = buf.crash_drain(&mut media, u64::MAX, Some(4));
+        assert_eq!(report.torn_lines, 1);
+        assert_eq!(report.drained_lines, 1);
+        assert_eq!(media.read(PhysAddr::new(0), 64), vec![9; 64]);
+    }
+
+    #[test]
+    fn torn_head_with_zero_budget_loses_the_suffix() {
+        let (mut media, mut buf) = setup();
+        buf.write(PhysAddr::new(0), &[9; 64], &mut media);
+        let report = buf.crash_drain(&mut media, 0, Some(4));
+        assert_eq!(report.torn_lines, 1);
+        assert_eq!(report.discarded_lines, 1);
+        assert_eq!(media.read(PhysAddr::new(0), 4), vec![9; 4]);
+        assert_eq!(media.read(PhysAddr::new(4), 60), vec![0; 60]);
     }
 
     #[test]

@@ -70,19 +70,28 @@ impl PmStats {
 impl Sub for PmStats {
     type Output = PmStats;
 
+    /// Saturating per-field difference: delta pairs are only approximately
+    /// nested (workload streams need not be prefix-extensive), so each
+    /// counter saturates at zero rather than panicking on underflow.
     fn sub(self, rhs: PmStats) -> PmStats {
         PmStats {
-            accepted_writes: self.accepted_writes - rhs.accepted_writes,
-            accepted_bytes: self.accepted_bytes - rhs.accepted_bytes,
-            data_region_writes: self.data_region_writes - rhs.data_region_writes,
-            log_region_writes: self.log_region_writes - rhs.log_region_writes,
-            media_line_writes: self.media_line_writes - rhs.media_line_writes,
-            media_bits_programmed: self.media_bits_programmed - rhs.media_bits_programmed,
-            dcw_suppressed: self.dcw_suppressed - rhs.dcw_suppressed,
-            coalesced_hits: self.coalesced_hits - rhs.coalesced_hits,
-            buffer_fills: self.buffer_fills - rhs.buffer_fills,
-            buffer_forced_drains: self.buffer_forced_drains - rhs.buffer_forced_drains,
-            reads: self.reads - rhs.reads,
+            accepted_writes: self.accepted_writes.saturating_sub(rhs.accepted_writes),
+            accepted_bytes: self.accepted_bytes.saturating_sub(rhs.accepted_bytes),
+            data_region_writes: self
+                .data_region_writes
+                .saturating_sub(rhs.data_region_writes),
+            log_region_writes: self.log_region_writes.saturating_sub(rhs.log_region_writes),
+            media_line_writes: self.media_line_writes.saturating_sub(rhs.media_line_writes),
+            media_bits_programmed: self
+                .media_bits_programmed
+                .saturating_sub(rhs.media_bits_programmed),
+            dcw_suppressed: self.dcw_suppressed.saturating_sub(rhs.dcw_suppressed),
+            coalesced_hits: self.coalesced_hits.saturating_sub(rhs.coalesced_hits),
+            buffer_fills: self.buffer_fills.saturating_sub(rhs.buffer_fills),
+            buffer_forced_drains: self
+                .buffer_forced_drains
+                .saturating_sub(rhs.buffer_forced_drains),
+            reads: self.reads.saturating_sub(rhs.reads),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
 use silo_types::{CoreId, Cycles, PhysAddr, TxId, TxTag, Word};
 
 use crate::schemes::EvictAction;
@@ -10,12 +11,71 @@ use crate::{
     Transaction, TxOracle, TxRecord,
 };
 
+/// When a [`CrashPlan`] cuts power.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashTrigger {
+    /// Power fails at this cycle; cores halt at the preceding op boundary.
+    /// This is the legacy sampled trigger: two adjacent cycles usually
+    /// land on the same op boundary.
+    Cycle(Cycles),
+    /// Power fails at the N-th durability event (store, log drain, WPQ
+    /// admission, media line program). Every N is a distinct machine
+    /// state, so a sweep over N enumerates the crash surface densely.
+    Event(u64),
+}
+
+/// A full crash scenario: when power fails, what the ADR domain manages to
+/// persist afterwards, and whether recovery itself is re-crashed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// When to cut power.
+    pub trigger: CrashTrigger,
+    /// What the post-crash drain is allowed to persist.
+    pub fault: FaultModel,
+    /// If set, power fails again after this many recovery-step writes —
+    /// the double-crash scenario. Recovery must be idempotent.
+    pub recovery_crash_at: Option<u64>,
+}
+
+impl CrashPlan {
+    /// A perfect-ADR crash at cycle `c` (the legacy crash model).
+    pub fn at_cycle(c: Cycles) -> Self {
+        CrashPlan {
+            trigger: CrashTrigger::Cycle(c),
+            fault: FaultModel::perfect_adr(),
+            recovery_crash_at: None,
+        }
+    }
+
+    /// A perfect-ADR crash at the N-th durability event.
+    pub fn at_event(n: u64) -> Self {
+        CrashPlan {
+            trigger: CrashTrigger::Event(n),
+            fault: FaultModel::perfect_adr(),
+            recovery_crash_at: None,
+        }
+    }
+
+    /// Replaces the fault model.
+    pub fn with_fault(mut self, fault: FaultModel) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Adds a second power failure after `steps` recovery writes.
+    pub fn with_recovery_crash(mut self, steps: u64) -> Self {
+        self.recovery_crash_at = Some(steps);
+        self
+    }
+}
+
 /// The result of a crash-injected run.
 #[derive(Clone, Debug)]
 pub struct CrashOutcome {
     /// The cycle at which power failed.
     pub crash_at: Cycles,
-    /// What the scheme's recovery did.
+    /// What the scheme's recovery did (the second pass, on a double
+    /// crash).
     pub recovery: RecoveryReport,
     /// The oracle's verdict on the recovered PM image.
     pub consistency: ConsistencyReport,
@@ -23,6 +83,15 @@ pub struct CrashOutcome {
     pub committed_txs: u64,
     /// Transactions in flight (uncommitted) at the crash.
     pub inflight_txs: u64,
+    /// Transactions whose commit raced the power failure (either outcome
+    /// is legal, checked atomically by the oracle).
+    pub ambiguous_txs: u64,
+    /// Durability events counted up to the instant of power loss.
+    pub events_at_crash: EventCounters,
+    /// What the battery-backed ADR drain persisted.
+    pub drain: DrainReport,
+    /// Whether a second power failure interrupted recovery.
+    pub double_crash: bool,
 }
 
 /// Everything a run returns.
@@ -103,14 +172,35 @@ impl<'a> Engine<'a> {
     }
 
     /// Runs `streams[i]` on core `i`. With `crash_at = Some(c)`, power
-    /// fails at cycle `c`: cores halt at the preceding op boundary, the
-    /// crash/recovery sequence executes, and the outcome carries the
-    /// oracle's consistency verdict.
+    /// fails at cycle `c` with a perfect ADR drain — shorthand for
+    /// [`run_with_plan`](Self::run_with_plan) with
+    /// [`CrashPlan::at_cycle`].
     ///
     /// # Panics
     ///
     /// Panics if `streams.len()` differs from the configured core count.
-    pub fn run(mut self, streams: Vec<Vec<Transaction>>, crash_at: Option<Cycles>) -> RunOutcome {
+    pub fn run(self, streams: Vec<Vec<Transaction>>, crash_at: Option<Cycles>) -> RunOutcome {
+        self.run_with_plan(streams, crash_at.map(CrashPlan::at_cycle))
+    }
+
+    /// Runs `streams[i]` on core `i`, optionally crashing per `plan`:
+    /// power fails at the planned trigger, the ADR drain persists what the
+    /// plan's fault model allows, the scheme recovers (possibly re-crashed
+    /// mid-recovery), and the outcome carries the oracle's verdict on the
+    /// recovered image.
+    ///
+    /// On crash runs, traffic statistics freeze at the instant of power
+    /// loss and [`RunOutcome::pm`] is snapshotted right after the oracle
+    /// verdict — the image the oracle certified is the image returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len()` differs from the configured core count.
+    pub fn run_with_plan(
+        mut self,
+        streams: Vec<Vec<Transaction>>,
+        plan: Option<CrashPlan>,
+    ) -> RunOutcome {
         assert_eq!(
             streams.len(),
             self.machine.config.cores,
@@ -133,6 +223,14 @@ impl<'a> Engine<'a> {
             })
             .collect();
 
+        if let Some(CrashPlan {
+            trigger: CrashTrigger::Event(n),
+            ..
+        }) = plan
+        {
+            self.machine.pm.arm_crash_at_event(n);
+        }
+
         loop {
             // Pick the unfinished core with the smallest clock.
             let next = cores
@@ -142,10 +240,14 @@ impl<'a> Engine<'a> {
                 .min_by_key(|(i, c)| (c.time, *i))
                 .map(|(i, _)| i);
             let Some(ci) = next else { break };
-            if let Some(crash) = crash_at {
-                if cores[ci].time >= crash {
+            match plan.map(|p| p.trigger) {
+                Some(CrashTrigger::Cycle(crash)) if cores[ci].time >= crash => {
                     break; // power failed before this core's next op
                 }
+                Some(CrashTrigger::Event(_)) if self.machine.pm.power_tripped() => {
+                    break; // the armed event count was reached
+                }
+                _ => {}
             }
             self.step(&mut cores[ci]);
             let now = cores[ci].time;
@@ -154,18 +256,27 @@ impl<'a> Engine<'a> {
 
         let sim_cycles = cores.iter().map(|c| c.time).max().unwrap_or(Cycles::ZERO);
 
-        let crash = match crash_at {
-            Some(crash_cycle) => Some(self.crash_sequence(&mut cores, crash_cycle)),
+        let (crash, pm_stats, pm_image) = match plan {
+            Some(plan) => {
+                let crash_cycle = match plan.trigger {
+                    CrashTrigger::Cycle(c) => c,
+                    CrashTrigger::Event(_) => sim_cycles,
+                };
+                let (outcome, pm_stats, pm_image) =
+                    self.crash_sequence(&mut cores, &plan, crash_cycle);
+                (Some(outcome), pm_stats, pm_image)
+            }
             None => {
                 // Clean end of run: let the scheme finish lazy background
-                // work (e.g. Silo's post-commit data-region updates).
+                // work (e.g. Silo's post-commit data-region updates), then
+                // drain the ADR on-PM buffer so traffic stats cover all
+                // writes.
                 self.scheme.on_run_end(&mut self.machine, sim_cycles);
-                None
+                self.machine.pm.flush_all();
+                (None, self.machine.pm.stats(), self.machine.pm.clone())
             }
         };
 
-        // Drain the ADR on-PM buffer so traffic stats cover all writes.
-        self.machine.pm.flush_all();
         let stats = SimStats {
             scheme: self.scheme.name(),
             cores: cores.len(),
@@ -178,7 +289,7 @@ impl<'a> Engine<'a> {
                 .collect(),
             sim_cycles,
             txs_committed: cores.iter().map(|c| c.committed).sum(),
-            pm: self.machine.pm.stats(),
+            pm: pm_stats,
             mc: self.machine.mc_stats_total(),
             cache: self.machine.caches.stats(),
             scheme_stats: self.scheme.stats(),
@@ -186,7 +297,7 @@ impl<'a> Engine<'a> {
         RunOutcome {
             stats,
             crash,
-            pm: self.machine.pm.clone(),
+            pm: pm_image,
         }
     }
 
@@ -220,6 +331,15 @@ impl<'a> Engine<'a> {
                     core.time =
                         self.scheme
                             .on_tx_end(&mut self.machine, core.id, core.tag, core.time);
+                    if self.machine.pm.power_tripped() {
+                        // Power died inside the commit sequence: whether
+                        // the scheme persisted the commit marker before
+                        // the cut is its own business. Either outcome is
+                        // legal — atomically.
+                        self.oracle.observe_ambiguous(core.record(false));
+                        core.phase = Phase::Done;
+                        return;
+                    }
                     self.oracle.observe(core.record(true));
                     core.committed += 1;
                     core.tx_idx += 1;
@@ -244,6 +364,7 @@ impl<'a> Engine<'a> {
                 self.handle_evictions(core, &acc.pm_writebacks);
             }
             Op::Write(addr, new) => {
+                self.machine.pm.note_event(EventKind::Store);
                 let acc = self.machine.caches.access(core.id, addr.line(), true);
                 core.time += issue + acc.latency;
                 if acc.filled_from_memory {
@@ -277,7 +398,15 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn crash_sequence(&mut self, cores: &mut [CoreRun], crash_at: Cycles) -> CrashOutcome {
+    /// The full crash/recovery sequence. Returns the outcome together
+    /// with the traffic-counter snapshot taken at the instant of power
+    /// loss and the PM image exactly as the oracle verified it.
+    fn crash_sequence(
+        &mut self,
+        cores: &mut [CoreRun],
+        plan: &CrashPlan,
+        crash_at: Cycles,
+    ) -> (CrashOutcome, silo_pm::PmStats, silo_pm::PmDevice) {
         let mut inflight = 0;
         for core in cores.iter_mut() {
             if core.phase == Phase::InTx {
@@ -289,17 +418,47 @@ impl<'a> Engine<'a> {
         // Volatile state dies with the power.
         self.machine.caches.invalidate_all();
         self.machine.shadow.clear();
-        // Battery-backed flush, then recovery.
+        // Traffic counters freeze at the instant of power loss: the
+        // battery drain and recovery are not part of the run's traffic.
+        let pm_stats = self.machine.pm.stats();
+        let events_at_crash = self.machine.pm.events();
+        // Battery-backed flush under the plan's fault model, then the
+        // final ADR drain on residual energy.
+        self.machine.pm.begin_battery(&plan.fault);
         self.scheme.on_crash(&mut self.machine);
-        let recovery = self.scheme.recover(&mut self.machine);
+        let drain = self.machine.pm.battery_drain();
+        // Power restored: recover, possibly re-crashed mid-way.
+        self.machine.pm.begin_recovery(plan.recovery_crash_at);
+        let mut recovery = self.scheme.recover(&mut self.machine);
+        let mut double_crash = false;
+        if self.machine.pm.power_tripped() {
+            // Power failed again inside recovery. The scheme's
+            // battery-backed structures were consumed by the first
+            // `on_crash` (re-flushing would write an empty crash header
+            // over the intact one), so only the ADR buffer drains before
+            // the second — this time uninterrupted — recovery.
+            double_crash = true;
+            self.machine.pm.begin_battery(&FaultModel::perfect_adr());
+            let _ = self.machine.pm.battery_drain();
+            self.machine.pm.begin_recovery(None);
+            recovery = self.scheme.recover(&mut self.machine);
+        }
+        self.machine.pm.end_recovery();
         let consistency = self.oracle.verify(&self.machine.pm);
-        CrashOutcome {
+        let outcome = CrashOutcome {
             crash_at,
             recovery,
             consistency,
             committed_txs: self.oracle.tx_counts().0,
             inflight_txs: inflight,
-        }
+            ambiguous_txs: self.oracle.ambiguous_txs(),
+            events_at_crash,
+            drain,
+            double_crash,
+        };
+        // `RunOutcome::pm` is cloned here, immediately after the verdict:
+        // the image the oracle certified is the image callers see.
+        (outcome, pm_stats, self.machine.pm.clone())
     }
 }
 
@@ -471,6 +630,248 @@ mod tests {
         let out = Engine::new(&cfg, &mut scheme).run(vec![vec![tx]], None);
         // L1+L2+L3 lookups (44) + PM read (100) + issue cycles.
         assert!(out.stats.sim_cycles >= Cycles::new(144));
+    }
+
+    /// A minimal scheme for crash-path tests: optionally bypass-writes a
+    /// marker at commit (so commits produce durability events), stages
+    /// `crash_bytes` at `crash_addr` in `on_crash`, and replays a fixed
+    /// word in `recover`.
+    struct ProbeScheme {
+        commit_addr: Option<PhysAddr>,
+        crash_addr: PhysAddr,
+        crash_bytes: usize,
+        recover_words: Vec<(PhysAddr, Word)>,
+        recover_calls: u64,
+    }
+
+    impl ProbeScheme {
+        fn quiet() -> Self {
+            ProbeScheme {
+                commit_addr: None,
+                crash_addr: PhysAddr::new(1 << 16),
+                crash_bytes: 0,
+                recover_words: Vec::new(),
+                recover_calls: 0,
+            }
+        }
+    }
+
+    impl LoggingScheme for ProbeScheme {
+        fn name(&self) -> &'static str {
+            "Probe"
+        }
+        fn on_tx_begin(
+            &mut self,
+            _m: &mut Machine,
+            _core: CoreId,
+            _tag: TxTag,
+            now: Cycles,
+        ) -> Cycles {
+            now
+        }
+        fn on_store(
+            &mut self,
+            _m: &mut Machine,
+            _core: CoreId,
+            _addr: PhysAddr,
+            _old: Word,
+            _new: Word,
+            now: Cycles,
+        ) -> Cycles {
+            now
+        }
+        fn on_evict(
+            &mut self,
+            _m: &mut Machine,
+            _core: CoreId,
+            _line: silo_types::LineAddr,
+            now: Cycles,
+        ) -> (EvictAction, Cycles) {
+            (EvictAction::WriteBack, now)
+        }
+        fn on_tx_end(
+            &mut self,
+            m: &mut Machine,
+            _core: CoreId,
+            _tag: TxTag,
+            now: Cycles,
+        ) -> Cycles {
+            if let Some(addr) = self.commit_addr {
+                m.pm_write_through(now, addr, &[0xCC; 8]);
+            }
+            now
+        }
+        fn on_crash(&mut self, m: &mut Machine) {
+            if self.crash_bytes > 0 {
+                m.pm.write(self.crash_addr, &vec![0xAB; self.crash_bytes]);
+            }
+        }
+        fn recover(&mut self, m: &mut Machine) -> crate::RecoveryReport {
+            self.recover_calls += 1;
+            for &(addr, w) in &self.recover_words.clone() {
+                m.pm.write(addr, &w.to_le_bytes());
+            }
+            crate::RecoveryReport::default()
+        }
+        fn stats(&self) -> crate::SchemeStats {
+            crate::SchemeStats::default()
+        }
+    }
+
+    #[test]
+    fn crash_run_stats_freeze_at_power_loss() {
+        // The headline regression: `on_crash` traffic (the battery drain)
+        // must not count toward the run's traffic statistics, but it must
+        // be present in the returned (oracle-verified) image.
+        let cfg = SimConfig::table_ii(1);
+        let mut scheme = ProbeScheme::quiet();
+        scheme.crash_bytes = 64;
+        let crash_addr = scheme.crash_addr;
+        let out = Engine::new(&cfg, &mut scheme).run(
+            vec![vec![tx_writing(&[(0, 7)])]],
+            Some(Cycles::new(1_000_000)),
+        );
+        assert!(out.crash.is_some());
+        // The run itself issued no PM writes (the tiny store stays
+        // cached); the 64-byte on_crash write landed after the freeze.
+        assert_eq!(out.stats.pm.accepted_writes, 0);
+        assert_eq!(out.stats.pm.accepted_bytes, 0);
+        // ...but the image the oracle verified carries it.
+        assert_eq!(out.pm.peek(crash_addr, 64), vec![0xAB; 64]);
+        assert!(
+            out.pm.stats().accepted_writes > out.stats.pm.accepted_writes,
+            "returned device counted the post-crash write"
+        );
+    }
+
+    #[test]
+    fn clean_run_traffic_still_includes_final_drain() {
+        // Clean runs keep the old behavior: flush_all before stats.
+        let cfg = SimConfig::table_ii(1);
+        let mut scheme = ProbeScheme::quiet();
+        scheme.commit_addr = Some(PhysAddr::new(1 << 18));
+        let out = Engine::new(&cfg, &mut scheme).run(vec![vec![tx_writing(&[(0, 7)])]], None);
+        assert!(out.crash.is_none());
+        assert_eq!(out.stats.pm, out.pm.stats(), "snapshot == device counters");
+        assert!(out.stats.pm.accepted_writes > 0);
+    }
+
+    #[test]
+    fn event_indexed_crash_trips_at_exact_event() {
+        let cfg = SimConfig::table_ii(1);
+        let streams = || vec![(0..20).map(|i| tx_writing(&[(i * 64, i + 1)])).collect()];
+        let mut clean_scheme = ProbeScheme::quiet();
+        clean_scheme.commit_addr = Some(PhysAddr::new(1 << 18));
+        let clean = Engine::new(&cfg, &mut clean_scheme).run(streams(), None);
+        let total = clean.pm.events().total();
+        assert!(total > 20, "stores + commit writes produce events");
+
+        let mut committed_at = Vec::new();
+        for n in [1, total / 3, total / 2, total - 1] {
+            let mut scheme = ProbeScheme::quiet();
+            scheme.commit_addr = Some(PhysAddr::new(1 << 18));
+            let out = Engine::new(&cfg, &mut scheme)
+                .run_with_plan(streams(), Some(CrashPlan::at_event(n)));
+            let crash = out.crash.expect("crash injected");
+            assert_eq!(
+                crash.events_at_crash.total(),
+                n,
+                "power fails exactly at event {n}"
+            );
+            committed_at.push(crash.committed_txs);
+        }
+        assert!(
+            committed_at.windows(2).all(|w| w[0] <= w[1]),
+            "later crash points commit at least as much: {committed_at:?}"
+        );
+    }
+
+    #[test]
+    fn event_crash_runs_are_deterministic() {
+        let cfg = SimConfig::table_ii(2);
+        let streams = || {
+            vec![
+                vec![tx_writing(&[(0, 1), (64, 2)]), tx_writing(&[(128, 3)])],
+                vec![tx_writing(&[(4096, 4)]), tx_writing(&[(8192, 5)])],
+            ]
+        };
+        let run = || {
+            let mut s = ProbeScheme::quiet();
+            s.commit_addr = Some(PhysAddr::new(1 << 18));
+            Engine::new(&cfg, &mut s).run_with_plan(streams(), Some(CrashPlan::at_event(5)))
+        };
+        let (a, b) = (run(), run());
+        let (ca, cb) = (a.crash.unwrap(), b.crash.unwrap());
+        assert_eq!(ca.events_at_crash, cb.events_at_crash);
+        assert_eq!(ca.committed_txs, cb.committed_txs);
+        assert_eq!(a.stats.pm, b.stats.pm);
+    }
+
+    #[test]
+    fn commit_racing_power_failure_is_ambiguous_not_committed() {
+        // Sweep the first few events; with a scheme that bypass-writes at
+        // commit, some crash point lands inside `on_tx_end`.
+        let cfg = SimConfig::table_ii(1);
+        let mut saw_ambiguous = false;
+        for n in 1..=8 {
+            let mut scheme = ProbeScheme::quiet();
+            scheme.commit_addr = Some(PhysAddr::new(1 << 18));
+            let out = Engine::new(&cfg, &mut scheme).run_with_plan(
+                vec![vec![tx_writing(&[(0, 7)])]],
+                Some(CrashPlan::at_event(n)),
+            );
+            let crash = out.crash.expect("crash injected");
+            if crash.ambiguous_txs > 0 {
+                saw_ambiguous = true;
+                assert_eq!(crash.committed_txs, 0, "ambiguous != committed");
+                assert_eq!(crash.inflight_txs, 0, "ambiguous != inflight");
+            }
+        }
+        assert!(saw_ambiguous, "some event index lands inside the commit");
+    }
+
+    #[test]
+    fn double_crash_reruns_recovery_idempotently() {
+        let cfg = SimConfig::table_ii(1);
+        let mut scheme = ProbeScheme::quiet();
+        scheme.recover_words = vec![
+            (PhysAddr::new(1 << 16), Word::new(11)),
+            (PhysAddr::new((1 << 16) + 8), Word::new(22)),
+            (PhysAddr::new((1 << 16) + 16), Word::new(33)),
+        ];
+        let plan = CrashPlan::at_cycle(Cycles::new(1_000_000)).with_recovery_crash(1);
+        let out = Engine::new(&cfg, &mut scheme)
+            .run_with_plan(vec![vec![tx_writing(&[(0, 7)])]], Some(plan));
+        let crash = out.crash.expect("crash injected");
+        assert!(crash.double_crash, "recovery was re-crashed");
+        assert_eq!(scheme.recover_calls, 2, "recovery ran twice");
+        // The second, uninterrupted recovery applied all three words.
+        assert_eq!(out.pm.peek_word(PhysAddr::new(1 << 16)), Word::new(11));
+        assert_eq!(
+            out.pm.peek_word(PhysAddr::new((1 << 16) + 16)),
+            Word::new(33)
+        );
+    }
+
+    #[test]
+    fn bounded_battery_discards_staged_commits() {
+        // A committed transaction whose data sits in the on-PM buffer is
+        // lost when the residual-energy budget cannot drain it — the
+        // oracle must catch the violation.
+        let cfg = SimConfig::table_ii(1);
+        let mut scheme = ProbeScheme::quiet();
+        scheme.crash_bytes = 256; // staged ahead of nothing else
+        let plan =
+            CrashPlan::at_cycle(Cycles::new(1_000_000)).with_fault(FaultModel::bounded_battery(0));
+        let out = Engine::new(&cfg, &mut scheme)
+            .run_with_plan(vec![vec![tx_writing(&[(0, 7)])]], Some(plan));
+        let crash = out.crash.expect("crash injected");
+        assert!(crash.drain.discarded_lines > 0 || crash.drain.discarded_bytes > 0);
+        assert_eq!(
+            out.pm.peek(scheme.crash_addr, 8),
+            vec![0; 8],
+            "zero budget persists nothing from on_crash"
+        );
     }
 
     #[test]

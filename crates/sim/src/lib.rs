@@ -21,13 +21,23 @@
 //!
 //! # Crash model
 //!
-//! [`Engine::run`] optionally injects a power failure at a given cycle:
-//! cores halt at the preceding op boundary, volatile state (caches,
-//! architectural register/cache view) is discarded, the scheme's
-//! battery-backed `on_crash` flush runs, then `recover` rebuilds the data
-//! region. A [`TxOracle`] built during execution checks the recovered PM
-//! image for **atomic durability**: every committed transaction fully
-//! applied, every uncommitted transaction fully absent.
+//! [`Engine::run_with_plan`] injects a power failure per a [`CrashPlan`]:
+//! either at a sampled cycle (cores halt at the preceding op boundary) or
+//! at the N-th **durability event** — store, log-buffer drain, WPQ
+//! admission, media line program — which enumerates the crash surface
+//! densely instead of sampling it. At the cut, volatile state (caches,
+//! architectural shadow) is discarded and the scheme's battery-backed
+//! `on_crash` flush runs under the plan's [`FaultModel`]: the residual
+//! energy budget bounds how many bytes the ADR drain persists, and an
+//! in-flight line program may tear. `recover` then rebuilds the data
+//! region — optionally re-crashed after N recovery writes (the
+//! double-crash scenario, which recovery must survive idempotently). A
+//! [`TxOracle`] built during execution checks the recovered PM image for
+//! **atomic durability**: every committed transaction fully applied,
+//! every uncommitted transaction fully absent, and a commit that raced
+//! the power cut applied all-or-nothing. On crash runs the traffic
+//! counters freeze at the instant of power loss and [`RunOutcome::pm`] is
+//! snapshotted immediately after the oracle's verdict.
 //!
 //! # Examples
 //!
@@ -58,9 +68,13 @@ pub mod schemes;
 mod stats;
 
 pub use config::SimConfig;
-pub use engine::{Engine, RunOutcome};
+pub use engine::{CrashOutcome, CrashPlan, CrashTrigger, Engine, RunOutcome};
 pub use machine::{Machine, ShadowMem};
 pub use ops::{Op, Transaction, TransactionBuilder};
 pub use oracle::{ConsistencyReport, TxOracle, TxRecord, Violation};
 pub use schemes::{EvictAction, LoggingScheme, RecoveryReport, SchemeStats};
 pub use stats::{CoreStats, SimStats};
+
+// Re-exported so scheme crates and tests can build [`CrashPlan`]s without
+// depending on `silo-pm` directly.
+pub use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};

@@ -153,6 +153,7 @@ impl Machine {
         addr: PhysAddr,
         bytes: &[u8],
     ) -> Admission {
+        self.pm.note_event(silo_pm::EventKind::WpqAdmit);
         let fills_before = self.pm.stats().buffer_fills;
         self.pm.write(addr, bytes);
         let fills = self.pm.stats().buffer_fills - fills_before;
@@ -174,6 +175,7 @@ impl Machine {
         addr: PhysAddr,
         bytes: &[u8],
     ) -> Admission {
+        self.pm.note_event(silo_pm::EventKind::WpqAdmit);
         let programs = self.pm.write_through(addr, bytes);
         self.mcs[mc].enqueue_write(now, bytes.len() as u64, programs)
     }

@@ -6,7 +6,7 @@
 //! *all* writes of committed transactions present, *no* writes of
 //! uncommitted transactions surviving.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use silo_pm::PmDevice;
 use silo_types::{PhysAddr, TxTag, Word};
@@ -83,9 +83,14 @@ pub struct TxOracle {
     /// Words touched by uncommitted transactions, with the value they must
     /// roll back to.
     uncommitted_touched: HashMap<u64, Word>,
+    /// Write sets of transactions whose commit raced the power failure:
+    /// `(word key, rollback value, new value)` per write. Either outcome
+    /// is legal, but it must be all-or-nothing per transaction.
+    ambiguous_groups: Vec<Vec<(u64, Word, Word)>>,
     /// Totals for reporting.
     committed_txs: u64,
     uncommitted_txs: u64,
+    ambiguous_txs: u64,
 }
 
 impl TxOracle {
@@ -111,6 +116,29 @@ impl TxOracle {
         }
     }
 
+    /// Records a transaction whose `Tx_end` raced the power failure: the
+    /// scheme may legally have persisted its commit or not, but the
+    /// recovered image must reflect one outcome *atomically*. The record's
+    /// writes are checked as a group by [`verify`](Self::verify) and
+    /// excluded from the unambiguous-state checks.
+    pub fn observe_ambiguous(&mut self, record: TxRecord) {
+        self.ambiguous_txs += 1;
+        let group = record
+            .writes
+            .iter()
+            .map(|&(addr, new)| {
+                let key = addr.word_aligned().as_u64();
+                let rollback = self
+                    .committed_state
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(Word::ZERO);
+                (key, rollback, new)
+            })
+            .collect();
+        self.ambiguous_groups.push(group);
+    }
+
     /// The value atomic durability requires at `addr` after recovery.
     pub fn expected_value(&self, addr: PhysAddr) -> Word {
         let key = addr.word_aligned().as_u64();
@@ -122,12 +150,24 @@ impl TxOracle {
         })
     }
 
-    /// Checks the PM image against the expected state.
+    /// Checks the PM image against the expected state. Words written by an
+    /// ambiguous transaction (see [`observe_ambiguous`]
+    /// (Self::observe_ambiguous)) are checked per group — all-new or
+    /// all-rollback — instead of against a single expected value.
     pub fn verify(&self, pm: &PmDevice) -> ConsistencyReport {
+        let ambiguous_keys: HashSet<u64> = self
+            .ambiguous_groups
+            .iter()
+            .flatten()
+            .map(|&(key, _, _)| key)
+            .collect();
         let mut report = ConsistencyReport::default();
         let mut keys: Vec<&u64> = self.committed_state.keys().collect();
         keys.sort();
         for &key in keys {
+            if ambiguous_keys.contains(&key) {
+                continue; // group-checked below
+            }
             let addr = PhysAddr::new(key);
             let expected = self.committed_state[&key];
             let actual = pm.peek_word(addr);
@@ -144,7 +184,7 @@ impl TxOracle {
         let mut ukeys: Vec<&u64> = self.uncommitted_touched.keys().collect();
         ukeys.sort();
         for &key in ukeys {
-            if self.committed_state.contains_key(&key) {
+            if self.committed_state.contains_key(&key) || ambiguous_keys.contains(&key) {
                 continue; // already checked against the committed value
             }
             let addr = PhysAddr::new(key);
@@ -160,12 +200,47 @@ impl TxOracle {
                 });
             }
         }
+        for group in &self.ambiguous_groups {
+            let mut all_new = true;
+            let mut all_old = true;
+            for &(key, rollback, new) in group {
+                let actual = pm.peek_word(PhysAddr::new(key));
+                report.words_checked += 1;
+                if actual != new {
+                    all_new = false;
+                }
+                if actual != rollback {
+                    all_old = false;
+                }
+            }
+            if !all_new && !all_old {
+                // Torn: flag every word that did not make it to the new
+                // value (at least one exists, since `all_new` is false).
+                for &(key, _, new) in group {
+                    let addr = PhysAddr::new(key);
+                    let actual = pm.peek_word(addr);
+                    if actual != new {
+                        report.violations.push(Violation {
+                            addr,
+                            expected: new,
+                            actual,
+                            kind: "ambiguous commit applied partially (torn commit)",
+                        });
+                    }
+                }
+            }
+        }
         report
     }
 
     /// `(committed, uncommitted)` transaction counts observed.
     pub fn tx_counts(&self) -> (u64, u64) {
         (self.committed_txs, self.uncommitted_txs)
+    }
+
+    /// Transactions whose commit raced the power failure.
+    pub fn ambiguous_txs(&self) -> u64 {
+        self.ambiguous_txs
     }
 }
 
@@ -263,5 +338,67 @@ mod tests {
     fn expected_value_of_untouched_word_is_zero() {
         let oracle = TxOracle::default();
         assert_eq!(oracle.expected_value(PhysAddr::new(12345 * 8)), Word::ZERO);
+    }
+
+    fn ambiguous_two_words(oracle: &mut TxOracle) {
+        oracle.observe(committed(0, 3));
+        oracle.observe_ambiguous(TxRecord {
+            tag: tag(0, 2),
+            writes: vec![
+                (PhysAddr::new(0), Word::new(9)),
+                (PhysAddr::new(8), Word::new(10)),
+            ],
+            committed: false,
+        });
+    }
+
+    #[test]
+    fn ambiguous_commit_accepts_both_outcomes() {
+        let mut oracle = TxOracle::default();
+        ambiguous_two_words(&mut oracle);
+        assert_eq!(oracle.ambiguous_txs(), 1);
+
+        // Fully rolled back: word 0 = last committed (3), word 8 = zero.
+        let mut old = PmDevice::new(PmDeviceConfig::default());
+        old.write_word(PhysAddr::new(0), Word::new(3));
+        assert!(oracle.verify(&old).is_consistent());
+
+        // Fully applied.
+        let mut new = PmDevice::new(PmDeviceConfig::default());
+        new.write_word(PhysAddr::new(0), Word::new(9));
+        new.write_word(PhysAddr::new(8), Word::new(10));
+        assert!(oracle.verify(&new).is_consistent());
+    }
+
+    #[test]
+    fn ambiguous_commit_rejects_torn_mix() {
+        let mut oracle = TxOracle::default();
+        ambiguous_two_words(&mut oracle);
+        // Word 0 applied, word 8 rolled back: torn.
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write_word(PhysAddr::new(0), Word::new(9));
+        let report = oracle.verify(&pm);
+        assert!(!report.is_consistent());
+        assert!(report.violations[0].kind.contains("torn commit"));
+    }
+
+    #[test]
+    fn ambiguous_keys_are_excluded_from_plain_checks() {
+        let mut oracle = TxOracle::default();
+        ambiguous_two_words(&mut oracle);
+        // Word 0 holds the ambiguous-new value: the committed-state check
+        // (which expects 3) must not fire.
+        let mut pm = PmDevice::new(PmDeviceConfig::default());
+        pm.write_word(PhysAddr::new(0), Word::new(9));
+        pm.write_word(PhysAddr::new(8), Word::new(10));
+        let report = oracle.verify(&pm);
+        assert!(
+            report
+                .violations
+                .iter()
+                .all(|v| !v.kind.contains("committed write")),
+            "{:?}",
+            report.violations
+        );
     }
 }

@@ -120,18 +120,33 @@ impl Add for SchemeStats {
 impl std::ops::Sub for SchemeStats {
     type Output = SchemeStats;
 
+    /// Saturating per-field difference: delta pairs are only approximately
+    /// nested (workload streams need not be prefix-extensive), so each
+    /// counter saturates at zero rather than panicking on underflow.
     fn sub(self, r: SchemeStats) -> SchemeStats {
         SchemeStats {
-            log_entries_generated: self.log_entries_generated - r.log_entries_generated,
-            log_entries_ignored: self.log_entries_ignored - r.log_entries_ignored,
-            log_entries_merged: self.log_entries_merged - r.log_entries_merged,
-            log_entries_remaining: self.log_entries_remaining - r.log_entries_remaining,
-            log_entries_written_to_pm: self.log_entries_written_to_pm - r.log_entries_written_to_pm,
-            log_bytes_written_to_pm: self.log_bytes_written_to_pm - r.log_bytes_written_to_pm,
-            overflow_events: self.overflow_events - r.overflow_events,
-            flush_bits_set: self.flush_bits_set - r.flush_bits_set,
-            inplace_update_words: self.inplace_update_words - r.inplace_update_words,
-            transactions: self.transactions - r.transactions,
+            log_entries_generated: self
+                .log_entries_generated
+                .saturating_sub(r.log_entries_generated),
+            log_entries_ignored: self
+                .log_entries_ignored
+                .saturating_sub(r.log_entries_ignored),
+            log_entries_merged: self.log_entries_merged.saturating_sub(r.log_entries_merged),
+            log_entries_remaining: self
+                .log_entries_remaining
+                .saturating_sub(r.log_entries_remaining),
+            log_entries_written_to_pm: self
+                .log_entries_written_to_pm
+                .saturating_sub(r.log_entries_written_to_pm),
+            log_bytes_written_to_pm: self
+                .log_bytes_written_to_pm
+                .saturating_sub(r.log_bytes_written_to_pm),
+            overflow_events: self.overflow_events.saturating_sub(r.overflow_events),
+            flush_bits_set: self.flush_bits_set.saturating_sub(r.flush_bits_set),
+            inplace_update_words: self
+                .inplace_update_words
+                .saturating_sub(r.inplace_update_words),
+            transactions: self.transactions.saturating_sub(r.transactions),
         }
     }
 }

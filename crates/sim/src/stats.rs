@@ -102,8 +102,8 @@ impl SimStats {
             scheme: self.scheme,
             cores: self.cores,
             per_core: Vec::new(),
-            sim_cycles: self.sim_cycles - earlier.sim_cycles,
-            txs_committed: self.txs_committed - earlier.txs_committed,
+            sim_cycles: self.sim_cycles.saturating_sub(earlier.sim_cycles),
+            txs_committed: self.txs_committed.saturating_sub(earlier.txs_committed),
             pm: self.pm - earlier.pm,
             mc: self.mc - earlier.mc,
             cache: self.cache - earlier.cache,

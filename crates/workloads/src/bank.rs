@@ -35,6 +35,13 @@ impl BankWorkload {
         // +1 word: the audit counter sits at the region base.
         PhysAddr::new(base + (1 + a * ACCOUNT_WORDS) * WORD_BYTES as u64)
     }
+
+    /// The physical address of `account`'s balance word in `core`'s
+    /// region (the update stamp is the following word). Exported so crash
+    /// tests can audit recovered balances without duplicating the layout.
+    pub fn account_addr(&self, core: usize, account: u64) -> PhysAddr {
+        Self::account(core_base(core), account)
+    }
 }
 
 impl Workload for BankWorkload {
@@ -104,7 +111,7 @@ mod tests {
             }
         }
         let total: u64 = (0..64u64)
-            .map(|a| rec.peek_u64(BankWorkload::account(core_base(0), a)))
+            .map(|a| rec.peek_u64(w.account_addr(0, a)))
             .fold(0, |acc, b| acc.wrapping_add(b));
         assert_eq!(total, 64 * 500);
         assert_eq!(

@@ -5,7 +5,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release =="
-cargo build --release --workspace
+cargo build --release --workspace --all-targets
 
 echo "== cargo test =="
 cargo test -q --release --workspace
@@ -24,5 +24,18 @@ report="$smoke_dir/fig11.json"
 [ -f "$report" ] || { echo "FAIL: $report was not written" >&2; exit 1; }
 ./target/release/evaluate check "$report"
 rm -rf "$smoke_dir"
+
+echo "== crashfuzz smoke test =="
+# Clean sweep: every scheme must recover consistently under all three
+# fault models at event-indexed crash points.
+clean=$(./target/release/evaluate crashfuzz --txs 16 --bench Hash --jobs 2)
+echo "$clean" | grep -q "^total: 0 violations" \
+  || { echo "FAIL: crashfuzz found violations in a correct scheme" >&2; exit 1; }
+# Injected violation: an undersized battery must be caught, shrunk, and
+# reported as a runnable repro command.
+broken=$(./target/release/evaluate crashfuzz --txs 16 --bench Hash \
+  --scheme Silo --fault battery --battery-bytes 64 --jobs 2)
+echo "$broken" | grep -q "minimal repro: evaluate crashfuzz" \
+  || { echo "FAIL: crashfuzz missed the injected battery violation" >&2; exit 1; }
 
 echo "CI OK"

@@ -5,12 +5,20 @@
 //! banking workload adds a semantic check on top: money is conserved
 //! across any crash, because every transfer either fully applies or fully
 //! rolls back.
+//!
+//! Two crash surfaces are swept: the legacy cycle-sampled triggers (power
+//! fails at an op boundary once a core's clock passes the cut) and the
+//! event-indexed triggers (power fails at the N-th durability event —
+//! store, log drain, WPQ admission, line program — which lands *inside*
+//! commit protocols instead of between transactions).
 
-use silo::baselines::{BaseScheme, FwbScheme, LadScheme, MorLogScheme};
+use silo::baselines::{
+    BaseScheme, EadrSwLogScheme, FwbScheme, LadScheme, MorLogScheme, SwLogScheme,
+};
 use silo::core::SiloScheme;
-use silo::sim::{Engine, LoggingScheme, SimConfig};
-use silo::types::{Cycles, PhysAddr};
-use silo::workloads::{BankWorkload, HashWorkload, QueueWorkload, Workload};
+use silo::sim::{CrashPlan, Engine, FaultModel, LoggingScheme, SimConfig};
+use silo::types::Cycles;
+use silo::workloads::{workload_by_name, BankWorkload, HashWorkload, QueueWorkload, Workload};
 
 fn schemes(config: &SimConfig) -> Vec<Box<dyn LoggingScheme>> {
     vec![
@@ -18,6 +26,8 @@ fn schemes(config: &SimConfig) -> Vec<Box<dyn LoggingScheme>> {
         Box::new(FwbScheme::new(config)),
         Box::new(MorLogScheme::new(config)),
         Box::new(LadScheme::new(config)),
+        Box::new(SwLogScheme::new(config)),
+        Box::new(EadrSwLogScheme::new(config)),
         Box::new(SiloScheme::new(config)),
     ]
 }
@@ -44,14 +54,10 @@ fn all_schemes_survive_crash_sweep_on_bank() {
             );
             // Money conservation: every account balance word as recovered.
             // Accounts written by no committed tx read as their setup value.
-            let total: u64 = (0..128u64)
-                .map(|a| {
-                    out.pm
-                        .peek_word(PhysAddr::new((1 + a * 2) * 8)) // core 0's region base is 0
-                        .as_u64()
-                })
-                .fold(0, |acc, b| acc.wrapping_add(b));
             // Only check core 0's region (core 1's uses its own base).
+            let total: u64 = (0..128u64)
+                .map(|a| out.pm.peek_word(workload.account_addr(0, a)).as_u64())
+                .fold(0, |acc, b| acc.wrapping_add(b));
             if crash.committed_txs > 0 {
                 assert_eq!(
                     total,
@@ -109,38 +115,147 @@ fn all_schemes_survive_crash_sweep_on_queue() {
     }
 }
 
+/// Event-indexed sweep: for each scheme × workload, measure the clean
+/// run's durability-event total, then crash at a handful of evenly spaced
+/// event indices. Unlike the cycle sweeps above, these cuts land in the
+/// middle of log drains and commit-marker writes.
 #[test]
-fn silo_redo_window_crashes_are_consistent() {
-    // Stress the §III-G case-2 window specifically: huge drain delay means
-    // every crash after a commit lands in the committed-but-unflushed
-    // state and must recover via redo replay.
-    use silo::core::SiloOptions;
+fn all_schemes_survive_event_indexed_crashes_on_btree_tpcc_ycsb() {
+    let cores = 2;
+    let txs_per_core = 24;
+    const POINTS: u64 = 4;
+    for bench in ["Btree", "TPCC", "YCSB"] {
+        let workload = workload_by_name(bench).expect("benchmark");
+        let config = SimConfig::table_ii(cores);
+        for clean_scheme in schemes(&config) {
+            let name = clean_scheme.name();
+            let mut clean_scheme = clean_scheme;
+            let clean = Engine::new(&config, clean_scheme.as_mut())
+                .run(workload.generate(cores, txs_per_core, 23), None);
+            let total = clean.pm.events().total();
+            assert!(total > POINTS, "[{name}/{bench}] too few events: {total}");
+            for i in 0..POINTS {
+                // Evenly spaced interior points: (2i+1)/(2K) of the run.
+                let n = (total * (2 * i + 1)) / (2 * POINTS);
+                let mut scheme = schemes(&config)
+                    .into_iter()
+                    .find(|s| s.name() == name)
+                    .expect("same scheme");
+                let out = Engine::new(&config, scheme.as_mut()).run_with_plan(
+                    workload.generate(cores, txs_per_core, 23),
+                    Some(CrashPlan::at_event(n)),
+                );
+                let crash = out.crash.expect("crash injected");
+                assert_eq!(crash.events_at_crash.total(), n, "[{name}/{bench}]");
+                assert!(
+                    crash.consistency.is_consistent(),
+                    "[{name}/{bench}] crash at event {n}: {:?}",
+                    crash.consistency.violations
+                );
+            }
+        }
+    }
+}
+
+/// Double crash: power fails again after the first recovery write. The
+/// second recovery pass must be idempotent — same consistent image.
+#[test]
+fn silo_and_lad_survive_a_crash_during_recovery() {
+    let workload = BankWorkload {
+        accounts: 64,
+        initial_balance: 200,
+    };
+    let config = SimConfig::table_ii(1);
+    type SchemeMaker<'a> = Box<dyn Fn() -> Box<dyn LoggingScheme> + 'a>;
+    let makers: Vec<(&str, SchemeMaker)> = vec![
+        ("Silo", Box::new(|| Box::new(SiloScheme::new(&config)))),
+        ("LAD", Box::new(|| Box::new(LadScheme::new(&config)))),
+    ];
+    for (name, make) in makers {
+        let mut saw_double_crash = false;
+        for crash_at in (1_000..20_000).step_by(3_777) {
+            for recovery_steps in [1, 2, 5] {
+                let mut scheme = make();
+                let plan =
+                    CrashPlan::at_cycle(Cycles::new(crash_at)).with_recovery_crash(recovery_steps);
+                let out = Engine::new(&config, scheme.as_mut())
+                    .run_with_plan(workload.generate(1, 80, 29), Some(plan));
+                let crash = out.crash.expect("crash injected");
+                saw_double_crash |= crash.double_crash;
+                assert!(
+                    crash.consistency.is_consistent(),
+                    "[{name}] crash at {crash_at}, re-crash after {recovery_steps} \
+                     recovery writes: {:?}",
+                    crash.consistency.violations
+                );
+            }
+        }
+        assert!(
+            saw_double_crash,
+            "[{name}] sweep never hit a mid-recovery re-crash"
+        );
+    }
+}
+
+/// Fault models: torn line programs and a generously sized battery must
+/// both recover consistently (the ADR copy of a torn line survives, and
+/// the budget covers the full staged working set).
+#[test]
+fn silo_survives_torn_lines_and_bounded_battery_crashes() {
+    let workload = HashWorkload {
+        buckets: 64,
+        setup_inserts: 8,
+        ..HashWorkload::default()
+    };
+    let config = SimConfig::table_ii(2);
+    for fault in [
+        FaultModel::torn_line(64),
+        FaultModel::bounded_battery(64 * 1024),
+        FaultModel::torn_line(16).with_battery_budget(64 * 1024),
+    ] {
+        for n in [40u64, 400, 4_000] {
+            let mut scheme = SiloScheme::new(&config);
+            let out = Engine::new(&config, &mut scheme).run_with_plan(
+                workload.generate(2, 40, 31),
+                Some(CrashPlan::at_event(n).with_fault(fault)),
+            );
+            let crash = out.crash.expect("crash injected");
+            assert!(
+                crash.consistency.is_consistent(),
+                "crash at event {n} under {fault:?}: {:?}",
+                crash.consistency.violations
+            );
+        }
+    }
+}
+
+/// Regression: the image the oracle certified is the image the run
+/// returns, and crash-run traffic counters freeze at power loss — the
+/// post-crash drain and recovery traffic must not leak into them.
+#[test]
+fn crash_outcome_image_and_stats_are_the_verified_snapshot() {
     let workload = BankWorkload {
         accounts: 64,
         initial_balance: 100,
     };
-    for crash_at in (1_000..20_000).step_by(777) {
-        let config = SimConfig::table_ii(1);
-        let mut scheme = SiloScheme::with_options(
-            &config,
-            SiloOptions {
-                ipu_drain_delay: 50_000_000,
-                ..SiloOptions::default()
-            },
-        );
-        let streams = workload.generate(1, 100, 19);
-        let out = Engine::new(&config, &mut scheme).run(streams, Some(Cycles::new(crash_at)));
-        let crash = out.crash.expect("crash injected");
-        assert!(
-            crash.consistency.is_consistent(),
-            "crash at {crash_at}: {:?}",
-            crash.consistency.violations
-        );
-        if crash.committed_txs > 1 {
-            assert!(
-                crash.recovery.replayed_words > 0,
-                "crash at {crash_at} should exercise redo replay"
-            );
-        }
-    }
+    let config = SimConfig::table_ii(1);
+    let mut scheme = SiloScheme::new(&config);
+    let out = Engine::new(&config, &mut scheme)
+        .run(workload.generate(1, 60, 37), Some(Cycles::new(9_000)));
+    let crash = out.crash.expect("crash injected");
+    assert!(crash.consistency.is_consistent());
+    // The returned device accumulated the crash-sequence traffic (drain,
+    // recovery); the run's stats stopped counting at the power cut.
+    let final_stats = out.pm.stats();
+    assert!(
+        final_stats.accepted_writes > out.stats.pm.accepted_writes,
+        "recovery traffic should be visible on the device ({} vs {}), \
+         never in the frozen run counters",
+        final_stats.accepted_writes,
+        out.stats.pm.accepted_writes
+    );
+    // And a clean run of the same workload keeps the two in lockstep.
+    let mut scheme = SiloScheme::new(&config);
+    let clean = Engine::new(&config, &mut scheme).run(workload.generate(1, 60, 37), None);
+    assert_eq!(clean.stats.pm, clean.pm.stats());
 }
