@@ -18,19 +18,22 @@ use std::path::Path;
 
 use silo_bench::{
     arg_string, arg_u64, arg_usize, default_jobs, registry, run_experiment, write_report,
-    ExpParams, ExperimentSpec,
+    ExpParams, ExperimentSpec, TraceCache,
 };
 use silo_types::JsonValue;
 
 const USAGE: &str = "\
 usage: evaluate <experiment|all|list> [--txs N] [--seed S] [--jobs J] [--json-dir D]
-                [--cores C] [--bench Name[,Name...]]
+                [--cores C] [--bench Name[,Name...]] [--no-trace-cache]
        evaluate check <report.json>
 
 Run `evaluate list` for the registered experiments.";
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--no-trace-cache") {
+        TraceCache::global().set_enabled(false);
+    }
     let Some(cmd) = args.get(1).map(String::as_str) else {
         eprintln!("{USAGE}");
         std::process::exit(2);
@@ -78,6 +81,19 @@ fn run(spec: &ExperimentSpec, args: &[String]) {
     let run = run_experiment(spec, &params, jobs);
     print!("{}", run.text);
     let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    // Cumulative process-wide counts; stderr so stdout stays comparable.
+    let cache = TraceCache::global().stats();
+    eprintln!(
+        "[trace-cache] {} unique keys, {} generated, {} hits{}",
+        cache.unique_keys,
+        cache.generations,
+        cache.hits,
+        if TraceCache::global().enabled() {
+            ""
+        } else {
+            " (disabled)"
+        }
+    );
     match write_report(&run, Path::new(&dir), jobs, wall_ms) {
         Ok(path) => eprintln!(
             "[{}] done in {:.0} ms ({} jobs), report {}",

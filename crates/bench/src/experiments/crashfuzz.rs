@@ -23,12 +23,12 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use silo_sim::{CrashPlan, Engine, FaultModel, SimConfig, Transaction};
+use silo_sim::{CrashPlan, Engine, FaultModel, SimConfig, TraceSet};
 use silo_types::{Cycles, JsonValue, PhysAddr};
 use silo_workloads::workload_by_name;
 
 use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec};
-use crate::{arg_string, arg_u64, arg_usize, make_scheme, ALL_SCHEMES};
+use crate::{arg_string, arg_u64, arg_usize, make_scheme, TraceCache, ALL_SCHEMES};
 
 /// Two cores keep the sweep cheap while still exercising cross-core
 /// interleaving at the shared memory controller.
@@ -150,10 +150,11 @@ fn parse_config(p: &ExpParams) -> Config {
 
 /// Every distinct word address the workload writes, across setup and
 /// measured transactions — the footprint the differential digest covers.
-fn write_footprint(streams: &[Vec<Transaction>]) -> Vec<PhysAddr> {
-    let mut addrs: Vec<u64> = streams
+fn write_footprint(trace: &TraceSet) -> Vec<PhysAddr> {
+    let mut addrs: Vec<u64> = trace
+        .streams()
         .iter()
-        .flatten()
+        .flat_map(|s| s.iter())
         .flat_map(|tx| tx.ops())
         .filter_map(|op| match op {
             silo_sim::Op::Write(a, _) => Some(a.as_u64()),
@@ -190,14 +191,15 @@ struct PointResult {
 fn run_point(
     scheme: &str,
     config: &SimConfig,
-    streams: &[Vec<Transaction>],
+    streams: &TraceSet,
     footprint: &[PhysAddr],
     fault: Fault,
     point: u64,
 ) -> PointResult {
     let mut s = make_scheme(scheme, config);
-    let out =
-        Engine::new(config, s.as_mut()).run_with_plan(streams.to_vec(), Some(fault.plan(point)));
+    // Sharing the trace across crash points: this conversion is pointer
+    // bumps, where it used to deep-clone every stream per point.
+    let out = Engine::new(config, s.as_mut()).run_with_plan(streams, Some(fault.plan(point)));
     let crash = out.crash.expect("crash injected");
     let progress = out
         .stats
@@ -246,10 +248,10 @@ fn shrink(
 ) -> (usize, u64) {
     let w = workload_by_name(workload).expect("benchmark");
     let rescan = |txs: usize| -> Option<u64> {
-        let streams = w.generate(CORES, txs, seed);
+        let streams = TraceCache::global().get_or_build(&w, CORES, txs, seed);
         let footprint = write_footprint(&streams);
         let mut s = make_scheme(scheme, config);
-        let clean = Engine::new(config, s.as_mut()).run(streams.clone(), None);
+        let clean = Engine::new(config, s.as_mut()).run(&streams, None);
         spaced(axis_total(fault, &clean), SHRINK_SCAN)
             .into_iter()
             .find(|&n| run_point(scheme, config, &streams, &footprint, fault, n).violations > 0)
@@ -264,7 +266,7 @@ fn shrink(
         }
     }
     // Earliest violating point at the final stream length.
-    let streams = w.generate(CORES, txs_per_core, seed);
+    let streams = TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
     let footprint = write_footprint(&streams);
     let mut candidates = spaced(point, EARLIEST_SCAN);
     candidates.dedup();
@@ -296,10 +298,13 @@ fn build(p: &ExpParams) -> Vec<Cell> {
                     move || {
                         let w = workload_by_name(&bench).expect("checked above");
                         let config = SimConfig::table_ii(CORES);
-                        let streams = w.generate(CORES, txs_per_core, seed);
+                        // One trace per benchmark serves every scheme ×
+                        // fault × crash-point run in the sweep.
+                        let streams =
+                            TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
                         let footprint = write_footprint(&streams);
                         let mut s = make_scheme(&scheme, &config);
-                        let clean = Engine::new(&config, s.as_mut()).run(streams.clone(), None);
+                        let clean = Engine::new(&config, s.as_mut()).run(&streams, None);
                         let points = match fixed_point {
                             Some(n) => vec![n],
                             None => spaced(axis_total(fault, &clean), POINTS),

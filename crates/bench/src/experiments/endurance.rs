@@ -31,8 +31,9 @@ fn build(p: &ExpParams) -> Vec<Cell> {
                 let w = workload_by_name(bench).expect("benchmark");
                 let config = SimConfig::table_ii(CORES);
                 let mut scheme = make_scheme(s, &config);
-                let streams = w.generate(CORES, txs_per_core, seed);
-                let out = Engine::new(&config, scheme.as_mut()).run(streams, None);
+                // One trace per benchmark, shared across the scheme sweep.
+                let trace = crate::TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
+                let out = Engine::new(&config, scheme.as_mut()).run(&trace, None);
                 let wear = out.pm.wear();
                 let elapsed_s = out.stats.sim_cycles.as_u64() as f64 / (CLOCK_GHZ * 1e9);
                 let life = wear

@@ -22,9 +22,9 @@ fn build(p: &ExpParams) -> Vec<Cell> {
                 },
                 move || {
                     let w = workload_by_name(name).expect("fig4 workload");
-                    let streams = w.generate(1, txs, seed);
+                    let trace = crate::TraceCache::global().get_or_build(&w, 1, txs, seed);
                     // Skip the setup transaction; measure the workload's own txs.
-                    let measured = &streams[0][1..];
+                    let measured = &trace.streams()[0][1..];
                     let (mut total, mut max, mut words) = (0usize, 0usize, 0usize);
                     for tx in measured {
                         let b = tx.write_set_bytes();

@@ -15,7 +15,7 @@ use silo_types::JsonValue;
 use silo_workloads::{workload_by_name, Workload};
 
 use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::{run_with_scheme, Batched};
+use crate::{run_with_scheme, Batched, TraceCache};
 
 const MULTS: [usize; 5] = [1, 2, 4, 8, 16];
 const NAMES: [&str; 7] = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
@@ -31,13 +31,15 @@ fn build(p: &ExpParams) -> Vec<Cell> {
                 move || {
                     let w: Box<dyn Workload> = workload_by_name(name).expect("fig14 benchmark");
                     // Baseline group size: enough inner txs that the 1x write set
-                    // roughly fills the 20-entry buffer.
-                    let probe = w.generate(1, 50, seed);
-                    let avg_words: f64 = probe[0][1..]
+                    // roughly fills the 20-entry buffer. One probe trace per
+                    // benchmark, shared across the five multiplier cells.
+                    let probe = TraceCache::global().get_or_build(&w, 1, 50, seed);
+                    let probe0 = &probe.streams()[0];
+                    let avg_words: f64 = probe0[1..]
                         .iter()
                         .map(|t| t.write_set_words())
                         .sum::<usize>() as f64
-                        / (probe[0].len() - 1) as f64;
+                        / (probe0.len() - 1) as f64;
                     let group_1x = ((20.0 / avg_words).ceil() as usize).max(1);
                     let group = group_1x * mult;
                     let inner_per_core = (txs / CORES).max(group);
@@ -45,10 +47,10 @@ fn build(p: &ExpParams) -> Vec<Cell> {
 
                     let config = SimConfig::table_ii(CORES);
                     let mut silo = SiloScheme::new(&config);
-                    let streams =
-                        Batched::new(workload_by_name(name).expect("fig14 benchmark"), group)
-                            .generate(CORES, outer, seed);
-                    let stats = run_with_scheme(&mut silo, &config, streams);
+                    let batched =
+                        Batched::new(workload_by_name(name).expect("fig14 benchmark"), group);
+                    let trace = TraceCache::global().get_or_build(&batched, CORES, outer, seed);
+                    let stats = run_with_scheme(&mut silo, &config, &trace);
                     // Per inner-operation throughput.
                     let ops = stats.txs_committed * group as u64;
                     let overflow = stats.scheme_stats.overflow_events;

@@ -32,8 +32,10 @@ fn build(p: &ExpParams) -> Vec<Cell> {
                     let mut config = SimConfig::table_ii(CORES);
                     config.log_buffer_latency = Cycles::new(lat);
                     let mut silo = SiloScheme::new(&config);
-                    let streams = w.generate(CORES, txs_per_core, seed);
-                    let stats = run_with_scheme(&mut silo, &config, streams);
+                    // One trace per benchmark, shared across the latency sweep.
+                    let trace =
+                        crate::TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
+                    let stats = run_with_scheme(&mut silo, &config, &trace);
                     let tp = stats.throughput();
                     CellOutcome::from_stats(stats).with_value("tp", tp)
                 },

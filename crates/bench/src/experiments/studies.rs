@@ -320,9 +320,15 @@ fn build_recovery(p: &ExpParams) -> Vec<Cell> {
                     let w = workload_by_name("TPCC").expect("tpcc");
                     let config = SimConfig::table_ii(RECOVERY_CORES);
                     let mut silo = SiloScheme::new(&config);
-                    let streams = w.generate(RECOVERY_CORES, txs / RECOVERY_CORES, seed);
+                    // One trace for all six crash points.
+                    let trace = crate::TraceCache::global().get_or_build(
+                        &w,
+                        RECOVERY_CORES,
+                        txs / RECOVERY_CORES,
+                        seed,
+                    );
                     let out =
-                        Engine::new(&config, &mut silo).run(streams, Some(Cycles::new(crash_at)));
+                        Engine::new(&config, &mut silo).run(&trace, Some(Cycles::new(crash_at)));
                     let crash = out.crash.expect("crash injected");
                     assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
                     let r = crash.recovery;

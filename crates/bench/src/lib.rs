@@ -21,16 +21,18 @@ pub mod experiments;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod trace_cache;
 
 pub use exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, GridSpec};
 pub use report::{run_experiment, write_report, ExperimentRun};
 pub use runner::{default_jobs, run_cells};
+pub use trace_cache::{TraceCache, TraceCacheStats, TraceKey};
 
 use silo_baselines::{
     BaseScheme, EadrSwLogScheme, FwbScheme, LadScheme, MorLogScheme, SwLogScheme,
 };
 use silo_core::{SiloOptions, SiloScheme};
-use silo_sim::{Engine, LoggingScheme, SimConfig, SimStats, Transaction};
+use silo_sim::{Engine, LoggingScheme, SimConfig, SimStats, Transaction, TxStreams};
 use silo_workloads::Workload;
 
 /// The evaluated designs, in the paper's legend order.
@@ -75,7 +77,10 @@ pub fn make_silo_with(config: &SimConfig, options: SiloOptions) -> Box<dyn Loggi
     Box::new(SiloScheme::with_options(config, options))
 }
 
-/// Runs `workload` under `scheme_name` on the Table II machine.
+/// Runs `workload` under `scheme_name` on the Table II machine. The trace
+/// is resolved through the process-wide [`TraceCache`], so repeated calls
+/// for the same `(workload, cores, txs, seed)` share one generated
+/// artifact.
 pub fn run_one(
     scheme_name: &str,
     workload: &dyn Workload,
@@ -84,11 +89,8 @@ pub fn run_one(
     seed: u64,
 ) -> SimStats {
     let config = SimConfig::table_ii(cores);
-    run_streams(
-        scheme_name,
-        &config,
-        workload.generate(cores, txs_per_core, seed),
-    )
+    let trace = TraceCache::global().get_or_build(workload, cores, txs_per_core, seed);
+    run_streams(scheme_name, &config, &trace)
 }
 
 /// Steady-state measurement of `workload` under `scheme_name`: runs the
@@ -103,15 +105,16 @@ pub fn run_one_delta(
     seed: u64,
 ) -> SimStats {
     let config = SimConfig::table_ii(cores);
+    let cache = TraceCache::global();
     let short = run_streams(
         scheme_name,
         &config,
-        workload.generate(cores, txs_per_core, seed),
+        cache.get_or_build(workload, cores, txs_per_core, seed),
     );
     let long = run_streams(
         scheme_name,
         &config,
-        workload.generate(cores, txs_per_core * 2, seed),
+        cache.get_or_build(workload, cores, txs_per_core * 2, seed),
     );
     long.delta_from(&short)
 }
@@ -126,26 +129,28 @@ pub fn run_delta_with(
     txs_per_core: usize,
     seed: u64,
 ) -> SimStats {
+    let cache = TraceCache::global();
     let mut s1 = factory();
     let short = run_with_scheme(
         s1.as_mut(),
         config,
-        workload.generate(config.cores, txs_per_core, seed),
+        cache.get_or_build(workload, config.cores, txs_per_core, seed),
     );
     let mut s2 = factory();
     let long = run_with_scheme(
         s2.as_mut(),
         config,
-        workload.generate(config.cores, txs_per_core * 2, seed),
+        cache.get_or_build(workload, config.cores, txs_per_core * 2, seed),
     );
     long.delta_from(&short)
 }
 
-/// Runs pre-generated streams under `scheme_name` and `config`.
+/// Runs pre-generated streams (owned `Vec`s or a shared
+/// [`silo_sim::TraceSet`]) under `scheme_name` and `config`.
 pub fn run_streams(
     scheme_name: &str,
     config: &SimConfig,
-    streams: Vec<Vec<Transaction>>,
+    streams: impl Into<TxStreams>,
 ) -> SimStats {
     let mut scheme = make_scheme(scheme_name, config);
     Engine::new(config, scheme.as_mut())
@@ -157,7 +162,7 @@ pub fn run_streams(
 pub fn run_with_scheme(
     scheme: &mut dyn LoggingScheme,
     config: &SimConfig,
-    streams: Vec<Vec<Transaction>>,
+    streams: impl Into<TxStreams>,
 ) -> SimStats {
     Engine::new(config, scheme).run(streams, None).stats
 }
@@ -274,8 +279,16 @@ impl<W: Workload> Workload for Batched<W> {
         self.inner.name()
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
-        let raw = self.inner.generate(cores, txs_per_core * self.group, seed);
+    fn trace_ident(&self) -> String {
+        format!("{}[batch={}]", self.inner.trace_ident(), self.group)
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        // The inner trace resolves through the cache: the five Fig 14
+        // batch multipliers often share the same inner stream.
+        let raw = TraceCache::global()
+            .get_or_build(&self.inner, cores, txs_per_core * self.group, seed)
+            .to_vecs();
         raw.into_iter()
             .map(|stream| {
                 let mut out = Vec::with_capacity(txs_per_core + 1);
@@ -363,6 +376,9 @@ pub fn arg_string(args: &[String], flag: &str) -> Option<String> {
 /// legacy binary), and, when `--json-dir` names a directory, writes the
 /// JSON report there.
 pub fn run_cli(spec: &ExperimentSpec, args: &[String]) {
+    if args.iter().any(|a| a == "--no-trace-cache") {
+        TraceCache::global().set_enabled(false);
+    }
     let mut params = ExpParams::defaults(spec);
     params.txs = arg_usize(args, "--txs", params.txs);
     params.seed = arg_u64(args, "--seed", params.seed);

@@ -65,7 +65,28 @@ impl Default for SiloOptions {
 struct PendingIpu {
     tag: TxTag,
     ready: Cycles,
-    entries: Vec<LogEntry>,
+    // A queue, not a Vec: drains pop from the front one entry at a time
+    // and can be interrupted mid-transaction, so front removal must be
+    // O(1) rather than `remove(0)`'s O(n) shift.
+    entries: VecDeque<LogEntry>,
+}
+
+/// How [`SiloScheme::flush_pending`] paces a drain — the two callers have
+/// different timing semantics that must not be conflated.
+#[derive(Clone, Copy, Debug)]
+enum DrainPace {
+    /// Background drain at a fixed clock: writes are admitted at `now`
+    /// (WPQ admission latency is absorbed by the controller, not the
+    /// core), and unless `force` is set the drain defers to WPQ
+    /// back-pressure.
+    Background {
+        /// End-of-run drain: wait out back-pressure instead of deferring.
+        force: bool,
+    },
+    /// Commit-stall drain (`on_tx_end` force-drain): the committing core
+    /// is waiting, so each admission advances the clock, and the WPQ is
+    /// not consulted — the stall itself is the back-pressure.
+    CommitStall,
 }
 
 /// Per-core hardware state: the log buffer, the log-area cursor registers,
@@ -192,6 +213,47 @@ impl SiloScheme {
         m.mcs[mc].occupancy(now) < m.config.memctrl.wpq_entries
     }
 
+    /// The single pending-IPU drain loop, shared by the background hooks
+    /// and the commit-stall path. Pops entries from the front of
+    /// `pending`, skipping flush-bit-1 words (an eviction already carried
+    /// them) and writing the rest in place. Checks power (and, per
+    /// `pace`, WPQ back-pressure) *before* each pop; on a block, the
+    /// unfinished remainder goes back to the front of the core's pending
+    /// queue — battery-backed, so `on_crash` or a later hook finishes it.
+    ///
+    /// Returns the (possibly advanced) clock and whether the pending item
+    /// drained completely.
+    fn flush_pending(
+        &mut self,
+        m: &mut Machine,
+        ci: usize,
+        mut pending: PendingIpu,
+        mut t: Cycles,
+        pace: DrainPace,
+    ) -> (Cycles, bool) {
+        while let Some(&e) = pending.entries.front() {
+            let blocked = m.pm.power_tripped()
+                || match pace {
+                    DrainPace::Background { force } => !force && !Self::wpq_has_room(m, ci, t),
+                    DrainPace::CommitStall => false,
+                };
+            if blocked {
+                self.cores[ci].pending_ipu.push_front(pending);
+                return (t, false);
+            }
+            pending.entries.pop_front();
+            if e.flush_bit() {
+                continue;
+            }
+            let admit = self.pm_write(m, ci, t, e.addr(), &e.new_data().to_le_bytes());
+            if matches!(pace, DrainPace::CommitStall) {
+                t = t.max(admit);
+            }
+            self.stats.inplace_update_words += 1;
+        }
+        (t, true)
+    }
+
     /// Pushes ready post-commit new data into the WPQ (background work).
     /// Stops as soon as the WPQ fills; the remainder stays in the
     /// battery-backed pending queue and is retried at the next hook. When
@@ -215,24 +277,14 @@ impl SiloScheme {
                 if !force && !Self::wpq_has_room(m, ci, now) {
                     return; // back-pressure: retry on a later hook
                 }
-                let mut pending = self.cores[ci]
+                let pending = self.cores[ci]
                     .pending_ipu
                     .pop_front()
                     .expect("front checked above");
-                while let Some(e) = pending.entries.first().copied() {
-                    if m.pm.power_tripped() || (!force && !Self::wpq_has_room(m, ci, now)) {
-                        // Put the unfinished remainder back and defer
-                        // (to a later hook, or to `on_crash`'s redo
-                        // flush if power just failed).
-                        self.cores[ci].pending_ipu.push_front(pending);
-                        return;
-                    }
-                    pending.entries.remove(0);
-                    if e.flush_bit() {
-                        continue; // an eviction already carried this word
-                    }
-                    self.pm_write(m, ci, now, e.addr(), &e.new_data().to_le_bytes());
-                    self.stats.inplace_update_words += 1;
+                let (_, drained) =
+                    self.flush_pending(m, ci, pending, now, DrainPace::Background { force });
+                if !drained {
+                    return;
                 }
             }
         }
@@ -378,7 +430,7 @@ impl LoggingScheme for SiloScheme {
             self.cores[ci].pending_ipu.push_back(PendingIpu {
                 tag,
                 ready: commit_time + Cycles::new(self.options.ipu_drain_delay),
-                entries,
+                entries: entries.into(),
             });
         }
         // The pending queue is a small on-chip structure: if the WPQ has
@@ -386,31 +438,16 @@ impl LoggingScheme for SiloScheme {
         // controller force-drains the oldest entries (rare-case
         // back-pressure; the common case never enters this loop).
         while !m.pm.power_tripped() && self.backlog_entries(ci) > self.options.ipu_queue_entries {
-            let mut pending = self.cores[ci]
+            let pending = self.cores[ci]
                 .pending_ipu
                 .pop_front()
                 .expect("backlog positive implies a pending item");
-            while let Some(e) = pending.entries.first().copied() {
-                if m.pm.power_tripped() {
-                    break; // the remainder goes back for `on_crash`
-                }
-                pending.entries.remove(0);
-                if e.flush_bit() {
-                    continue;
-                }
-                commit_time = commit_time.max(self.pm_write(
-                    m,
-                    ci,
-                    commit_time,
-                    e.addr(),
-                    &e.new_data().to_le_bytes(),
-                ));
-                self.stats.inplace_update_words += 1;
-            }
-            if !pending.entries.is_empty() {
+            let (t, drained) =
+                self.flush_pending(m, ci, pending, commit_time, DrainPace::CommitStall);
+            commit_time = t;
+            if !drained {
                 // Power failed mid-drain: the battery-backed queue keeps
                 // the remainder so `on_crash` flushes its redo + ID tuple.
-                self.cores[ci].pending_ipu.push_front(pending);
                 break;
             }
         }

@@ -1,6 +1,7 @@
 //! The deterministic multicore execution engine.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
 use silo_types::{CoreId, Cycles, PhysAddr, TxId, TxTag, Word};
@@ -8,7 +9,7 @@ use silo_types::{CoreId, Cycles, PhysAddr, TxId, TxTag, Word};
 use crate::schemes::EvictAction;
 use crate::{
     ConsistencyReport, LoggingScheme, Machine, Op, RecoveryReport, SimConfig, SimStats,
-    Transaction, TxOracle, TxRecord,
+    Transaction, TxOracle, TxRecord, TxStreams,
 };
 
 /// When a [`CrashPlan`] cuts power.
@@ -116,7 +117,9 @@ enum Phase {
 struct CoreRun {
     id: CoreId,
     time: Cycles,
-    txs: Vec<Transaction>,
+    // Shared, not owned: many engines (schemes × crash points × workers)
+    // can run the same stream concurrently without cloning any ops.
+    txs: Arc<[Transaction]>,
     tx_idx: usize,
     op_idx: usize,
     phase: Phase,
@@ -176,10 +179,15 @@ impl<'a> Engine<'a> {
     /// [`run_with_plan`](Self::run_with_plan) with
     /// [`CrashPlan::at_cycle`].
     ///
+    /// Accepts anything convertible to [`TxStreams`]: an owned
+    /// `Vec<Vec<Transaction>>`, a [`crate::TraceSet`] (by value or
+    /// reference — pointer bumps, no op copies), or pre-shared
+    /// `Vec<Arc<[Transaction]>>`.
+    ///
     /// # Panics
     ///
-    /// Panics if `streams.len()` differs from the configured core count.
-    pub fn run(self, streams: Vec<Vec<Transaction>>, crash_at: Option<Cycles>) -> RunOutcome {
+    /// Panics if the stream count differs from the configured core count.
+    pub fn run(self, streams: impl Into<TxStreams>, crash_at: Option<Cycles>) -> RunOutcome {
         self.run_with_plan(streams, crash_at.map(CrashPlan::at_cycle))
     }
 
@@ -195,18 +203,20 @@ impl<'a> Engine<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `streams.len()` differs from the configured core count.
+    /// Panics if the stream count differs from the configured core count.
     pub fn run_with_plan(
         mut self,
-        streams: Vec<Vec<Transaction>>,
+        streams: impl Into<TxStreams>,
         plan: Option<CrashPlan>,
     ) -> RunOutcome {
+        let streams: TxStreams = streams.into();
         assert_eq!(
             streams.len(),
             self.machine.config.cores,
             "one transaction stream per core required"
         );
         let mut cores: Vec<CoreRun> = streams
+            .streams
             .into_iter()
             .enumerate()
             .map(|(i, txs)| CoreRun {
@@ -526,7 +536,8 @@ mod tests {
     fn stream_count_must_match_cores() {
         let cfg = SimConfig::table_ii(2);
         let mut scheme = NullScheme::default();
-        let _ = Engine::new(&cfg, &mut scheme).run(vec![vec![]], None);
+        let streams: Vec<Vec<Transaction>> = vec![vec![]];
+        let _ = Engine::new(&cfg, &mut scheme).run(streams, None);
     }
 
     #[test]
@@ -759,7 +770,9 @@ mod tests {
     #[test]
     fn event_indexed_crash_trips_at_exact_event() {
         let cfg = SimConfig::table_ii(1);
-        let streams = || vec![(0..20).map(|i| tx_writing(&[(i * 64, i + 1)])).collect()];
+        let streams = || -> Vec<Vec<Transaction>> {
+            vec![(0..20).map(|i| tx_writing(&[(i * 64, i + 1)])).collect()]
+        };
         let mut clean_scheme = ProbeScheme::quiet();
         clean_scheme.commit_addr = Some(PhysAddr::new(1 << 18));
         let clean = Engine::new(&cfg, &mut clean_scheme).run(streams(), None);

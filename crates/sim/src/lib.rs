@@ -66,6 +66,7 @@ mod oracle;
 mod report;
 pub mod schemes;
 mod stats;
+mod trace;
 
 pub use config::SimConfig;
 pub use engine::{CrashOutcome, CrashPlan, CrashTrigger, Engine, RunOutcome};
@@ -74,6 +75,7 @@ pub use ops::{Op, Transaction, TransactionBuilder};
 pub use oracle::{ConsistencyReport, TxOracle, TxRecord, Violation};
 pub use schemes::{EvictAction, LoggingScheme, RecoveryReport, SchemeStats};
 pub use stats::{CoreStats, SimStats};
+pub use trace::{TraceProvenance, TraceSet, TxStreams};
 
 // Re-exported so scheme crates and tests can build [`CrashPlan`]s without
 // depending on `silo-pm` directly.

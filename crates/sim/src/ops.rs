@@ -1,6 +1,7 @@
 //! Transactions and the operations they contain.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use silo_types::{PhysAddr, Word, WORD_BYTES};
 
@@ -40,9 +41,20 @@ pub enum Op {
 /// assert_eq!(tx.write_set_words(), 1);
 /// assert_eq!(tx.write_set_bytes(), 8);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transaction {
-    ops: Vec<Op>,
+    // `Arc<[Op]>` rather than `Vec<Op>`: traces are immutable once built,
+    // and sharing one stream across schemes/crash-points must clone
+    // transactions by pointer bump, not by copying ops.
+    ops: Arc<[Op]>,
+}
+
+impl Default for Transaction {
+    fn default() -> Self {
+        Transaction {
+            ops: Arc::from(Vec::new()),
+        }
+    }
 }
 
 impl Transaction {
@@ -57,7 +69,7 @@ impl Transaction {
                 assert!(addr.is_word_aligned(), "store to unaligned address {addr}");
             }
         }
-        Transaction { ops }
+        Transaction { ops: ops.into() }
     }
 
     /// Starts building a transaction.
@@ -99,7 +111,7 @@ impl Transaction {
     /// The final value written to each distinct word, in address order.
     pub fn final_writes(&self) -> Vec<(PhysAddr, Word)> {
         let mut map = std::collections::BTreeMap::new();
-        for op in &self.ops {
+        for op in self.ops.iter() {
             if let Op::Write(addr, w) = op {
                 map.insert(addr.word_aligned().as_u64(), *w);
             }

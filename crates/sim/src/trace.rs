@@ -1,0 +1,288 @@
+//! Immutable, shareable workload trace artifacts.
+//!
+//! A [`TraceSet`] is the first-class form of "the input to a simulation
+//! run": one operation stream per core, frozen behind `Arc`s, plus the
+//! provenance that produced it (workload identity, core count,
+//! transactions per core, RNG seed) and a content hash over every op.
+//! Cloning a `TraceSet` — or converting it into the [`TxStreams`] the
+//! [`Engine`](crate::Engine) consumes — is a handful of pointer bumps, so
+//! one generated trace can be swept across many schemes, crash points, and
+//! worker threads without re-running the generator or copying ops.
+
+use std::sync::Arc;
+
+use crate::ops::{Op, Transaction};
+
+/// Where a [`TraceSet`] came from: the full generation key plus a content
+/// hash of the resulting streams.
+///
+/// Two traces built from the same `(workload, cores, txs_per_core, seed)`
+/// must have equal `content_hash` — generation is deterministic — and the
+/// hash gives consumers (caches, reports, tests) a cheap identity check
+/// that does not require walking the ops again.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceProvenance {
+    /// Workload identity, including any generation-affecting parameters
+    /// (e.g. `"Hash/buckets=1024,setup=4096,mix=ReadHeavy"`), not just the
+    /// display name — two configurations of one workload type must not
+    /// alias.
+    pub workload: String,
+    /// Number of per-core streams.
+    pub cores: usize,
+    /// Measured transactions generated per core (setup transactions are
+    /// part of the stream but counted by the generator, not here).
+    pub txs_per_core: usize,
+    /// RNG seed the generator was invoked with.
+    pub seed: u64,
+    /// FNV-1a hash over every op of every transaction of every stream.
+    pub content_hash: u64,
+}
+
+/// An immutable set of per-core transaction streams with provenance.
+///
+/// Construction freezes the streams behind `Arc<[Transaction]>`; all reads
+/// go through shared slices and every clone is a pointer bump.
+#[derive(Clone, Debug)]
+pub struct TraceSet {
+    streams: Arc<[Arc<[Transaction]>]>,
+    provenance: TraceProvenance,
+}
+
+impl TraceSet {
+    /// Freezes freshly generated streams into a trace artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams.len() != cores` — a trace that does not match
+    /// its own provenance would poison every downstream cache key.
+    pub fn new(
+        workload: impl Into<String>,
+        cores: usize,
+        txs_per_core: usize,
+        seed: u64,
+        streams: Vec<Vec<Transaction>>,
+    ) -> Self {
+        assert_eq!(
+            streams.len(),
+            cores,
+            "trace stream count must match its provenance core count"
+        );
+        let content_hash = hash_streams(&streams);
+        let streams: Arc<[Arc<[Transaction]>]> = streams
+            .into_iter()
+            .map(Arc::from)
+            .collect::<Vec<_>>()
+            .into();
+        TraceSet {
+            streams,
+            provenance: TraceProvenance {
+                workload: workload.into(),
+                cores,
+                txs_per_core,
+                seed,
+                content_hash,
+            },
+        }
+    }
+
+    /// The per-core streams, one shared slice per core.
+    pub fn streams(&self) -> &[Arc<[Transaction]>] {
+        &self.streams
+    }
+
+    /// The generation key and content hash.
+    pub fn provenance(&self) -> &TraceProvenance {
+        &self.provenance
+    }
+
+    /// FNV-1a hash over the full op content (see [`TraceProvenance`]).
+    pub fn content_hash(&self) -> u64 {
+        self.provenance.content_hash
+    }
+
+    /// Number of per-core streams.
+    pub fn cores(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total transactions across all streams (setup included).
+    pub fn total_transactions(&self) -> usize {
+        self.streams.iter().map(|s| s.len()).sum()
+    }
+
+    /// Materialises owned `Vec`s for legacy callers. Transactions
+    /// themselves still share their ops, so this clones pointers, not op
+    /// buffers.
+    pub fn to_vecs(&self) -> Vec<Vec<Transaction>> {
+        self.streams.iter().map(|s| s.to_vec()).collect()
+    }
+}
+
+/// The engine's input form: one shared transaction stream per core.
+///
+/// Everything stream-shaped converts into this — owned
+/// `Vec<Vec<Transaction>>` (freezing each stream), a [`TraceSet`] (pointer
+/// bumps), or pre-shared `Vec<Arc<[Transaction]>>` — so
+/// [`Engine::run`](crate::Engine::run) accepts all of them without the
+/// caller cloning ops.
+#[derive(Clone, Debug)]
+pub struct TxStreams {
+    pub(crate) streams: Vec<Arc<[Transaction]>>,
+}
+
+impl TxStreams {
+    /// Number of per-core streams.
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether there are no streams at all.
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+impl From<Vec<Vec<Transaction>>> for TxStreams {
+    fn from(streams: Vec<Vec<Transaction>>) -> Self {
+        TxStreams {
+            streams: streams.into_iter().map(Arc::from).collect(),
+        }
+    }
+}
+
+impl From<Vec<Arc<[Transaction]>>> for TxStreams {
+    fn from(streams: Vec<Arc<[Transaction]>>) -> Self {
+        TxStreams { streams }
+    }
+}
+
+impl From<&TraceSet> for TxStreams {
+    fn from(trace: &TraceSet) -> Self {
+        TxStreams {
+            streams: trace.streams.to_vec(),
+        }
+    }
+}
+
+impl From<TraceSet> for TxStreams {
+    fn from(trace: TraceSet) -> Self {
+        (&trace).into()
+    }
+}
+
+/// FNV-1a over a canonical little-endian encoding of every op, with
+/// per-stream and per-transaction length separators so `[[a],[b]]` and
+/// `[[a,b]]` hash differently.
+fn hash_streams(streams: &[Vec<Transaction>]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(streams.len() as u64);
+    for stream in streams {
+        h.write_u64(stream.len() as u64);
+        for tx in stream {
+            h.write_u64(tx.ops().len() as u64);
+            for op in tx.ops() {
+                match op {
+                    Op::Read(addr) => {
+                        h.write_u64(0);
+                        h.write_u64(addr.as_u64());
+                    }
+                    Op::Write(addr, value) => {
+                        h.write_u64(1);
+                        h.write_u64(addr.as_u64());
+                        h.write_u64(value.as_u64());
+                    }
+                    Op::Compute(cycles) => {
+                        h.write_u64(2);
+                        h.write_u64(u64::from(*cycles));
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Dependency-free 64-bit FNV-1a.
+struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv1a {
+            state: Self::OFFSET_BASIS,
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        for byte in value.to_le_bytes() {
+            self.state = (self.state ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silo_types::{PhysAddr, Word};
+
+    fn tx(writes: &[(u64, u64)]) -> Transaction {
+        let mut b = Transaction::builder();
+        for &(a, v) in writes {
+            b = b.write(PhysAddr::new(a), Word::new(v));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_streams_hash_identically() {
+        let mk = || vec![vec![tx(&[(0, 1), (8, 2)])], vec![tx(&[(64, 3)])]];
+        let a = TraceSet::new("w", 2, 1, 7, mk());
+        let b = TraceSet::new("w", 2, 1, 7, mk());
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.provenance(), b.provenance());
+    }
+
+    #[test]
+    fn different_content_hashes_differently() {
+        let a = TraceSet::new("w", 1, 1, 7, vec![vec![tx(&[(0, 1)])]]);
+        let b = TraceSet::new("w", 1, 1, 7, vec![vec![tx(&[(0, 2)])]]);
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn stream_boundaries_affect_the_hash() {
+        let one = TraceSet::new("w", 1, 2, 7, vec![vec![tx(&[(0, 1)]), tx(&[(8, 2)])]]);
+        let two = TraceSet::new("w", 2, 1, 7, vec![vec![tx(&[(0, 1)])], vec![tx(&[(8, 2)])]]);
+        assert_ne!(one.content_hash(), two.content_hash());
+    }
+
+    #[test]
+    fn clone_shares_streams() {
+        let a = TraceSet::new("w", 1, 1, 7, vec![vec![tx(&[(0, 1)])]]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.streams, &b.streams));
+        let s: TxStreams = (&a).into();
+        assert!(Arc::ptr_eq(&s.streams[0], &a.streams()[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "core count")]
+    fn mismatched_core_count_rejected() {
+        let _ = TraceSet::new("w", 2, 1, 7, vec![vec![tx(&[(0, 1)])]]);
+    }
+
+    #[test]
+    fn to_vecs_round_trips_content() {
+        let a = TraceSet::new("w", 1, 1, 7, vec![vec![tx(&[(0, 1), (8, 2)])]]);
+        let b = TraceSet::new("w", 1, 1, 7, a.to_vecs());
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+}

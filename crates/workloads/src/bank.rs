@@ -49,7 +49,14 @@ impl Workload for BankWorkload {
         "Bank"
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+    fn trace_ident(&self) -> String {
+        format!(
+            "Bank/accounts={},balance={}",
+            self.accounts, self.initial_balance
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         (0..cores)
             .map(|core| {
                 let base = core_base(core);

@@ -489,7 +489,14 @@ impl Workload for BtreeWorkload {
         "Btree"
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+    fn trace_ident(&self) -> String {
+        format!(
+            "Btree/setup={},delete={}",
+            self.setup_inserts, self.delete_percent
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         (0..cores)
             .map(|core| {
                 let base = core_base(core);

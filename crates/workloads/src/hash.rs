@@ -121,7 +121,14 @@ impl Workload for HashWorkload {
         "Hash"
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+    fn trace_ident(&self) -> String {
+        format!(
+            "Hash/buckets={},setup={},mix={:?}",
+            self.buckets, self.setup_inserts, self.mix
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         (0..cores)
             .map(|core| {
                 let base = core_base(core);

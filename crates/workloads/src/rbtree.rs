@@ -306,7 +306,14 @@ impl Workload for RbtreeWorkload {
         "RBtree"
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+    fn trace_ident(&self) -> String {
+        format!(
+            "RBtree/setup={},delete={}",
+            self.setup_inserts, self.delete_percent
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         (0..cores)
             .map(|core| {
                 let base = core_base(core);

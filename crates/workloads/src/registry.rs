@@ -23,54 +23,122 @@ pub(crate) fn core_base(core: usize) -> u64 {
     base
 }
 
+/// One row of the workload table: lookup name, figure-set membership, and
+/// a constructor. Adding a workload is one new row here — `fig11_set`,
+/// `fig4_set`, and `workload_by_name` are all views over this table.
+struct WorkloadDesc {
+    /// Lookup key (case-insensitive) and, for figure-set members, the
+    /// display order key.
+    name: &'static str,
+    /// Member of the seven-benchmark Fig 11 set.
+    fig11: bool,
+    /// Member of the eleven-workload Fig 4 write-size set.
+    fig4: bool,
+    make: fn() -> Box<dyn Workload>,
+}
+
+/// Rows are in figure order: the Fig 11 seven first, then the four extra
+/// Fig 4 workloads, then lookup-only aliases (tpcc-mix).
+const WORKLOADS: &[WorkloadDesc] = &[
+    WorkloadDesc {
+        name: "array",
+        fig11: true,
+        fig4: true,
+        make: || Box::new(ArrayWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "btree",
+        fig11: true,
+        fig4: true,
+        make: || Box::new(BtreeWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "hash",
+        fig11: true,
+        fig4: true,
+        make: || Box::new(HashWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "queue",
+        fig11: true,
+        fig4: true,
+        make: || Box::new(QueueWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "rbtree",
+        fig11: true,
+        fig4: true,
+        make: || Box::new(RbtreeWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "tpcc",
+        fig11: true,
+        fig4: true,
+        make: || Box::new(TpccWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "ycsb",
+        fig11: true,
+        fig4: true,
+        make: || Box::new(YcsbWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "rtree",
+        fig11: false,
+        fig4: true,
+        make: || Box::new(RtreeWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "ctrie",
+        fig11: false,
+        fig4: true,
+        make: || Box::new(CtrieWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "tatp",
+        fig11: false,
+        fig4: true,
+        make: || Box::new(TatpWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "bank",
+        fig11: false,
+        fig4: true,
+        make: || Box::new(BankWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "tpcc-mix",
+        fig11: false,
+        fig4: false,
+        make: || Box::new(TpccWorkload::all_types()),
+    },
+];
+
 /// The seven benchmarks of Fig 11 / Fig 12 / Fig 13 / Fig 14 / Fig 15.
 pub fn fig11_set() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(ArrayWorkload::default()),
-        Box::new(BtreeWorkload::default()),
-        Box::new(HashWorkload::default()),
-        Box::new(QueueWorkload::default()),
-        Box::new(RbtreeWorkload::default()),
-        Box::new(TpccWorkload::default()),
-        Box::new(YcsbWorkload::default()),
-    ]
+    WORKLOADS
+        .iter()
+        .filter(|d| d.fig11)
+        .map(|d| (d.make)())
+        .collect()
 }
 
 /// The eleven workloads of the Fig 4 write-size study.
 pub fn fig4_set() -> Vec<Box<dyn Workload>> {
-    vec![
-        Box::new(ArrayWorkload::default()),
-        Box::new(BtreeWorkload::default()),
-        Box::new(HashWorkload::default()),
-        Box::new(QueueWorkload::default()),
-        Box::new(RbtreeWorkload::default()),
-        Box::new(TpccWorkload::default()),
-        Box::new(YcsbWorkload::default()),
-        Box::new(RtreeWorkload::default()),
-        Box::new(CtrieWorkload::default()),
-        Box::new(TatpWorkload::default()),
-        Box::new(BankWorkload::default()),
-    ]
+    WORKLOADS
+        .iter()
+        .filter(|d| d.fig4)
+        .map(|d| (d.make)())
+        .collect()
 }
 
 /// Looks up a workload by its figure-row name (case-insensitive).
 pub fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
-    let w: Box<dyn Workload> = match name.to_ascii_lowercase().as_str() {
-        "array" => Box::new(ArrayWorkload::default()),
-        "btree" => Box::new(BtreeWorkload::default()),
-        "hash" => Box::new(HashWorkload::default()),
-        "queue" => Box::new(QueueWorkload::default()),
-        "rbtree" => Box::new(RbtreeWorkload::default()),
-        "tpcc" => Box::new(TpccWorkload::default()),
-        "tpcc-mix" => Box::new(TpccWorkload::all_types()),
-        "ycsb" => Box::new(YcsbWorkload::default()),
-        "rtree" => Box::new(RtreeWorkload::default()),
-        "ctrie" => Box::new(CtrieWorkload::default()),
-        "tatp" => Box::new(TatpWorkload::default()),
-        "bank" => Box::new(BankWorkload::default()),
-        _ => return None,
-    };
-    Some(w)
+    let lower = name.to_ascii_lowercase();
+    WORKLOADS
+        .iter()
+        .find(|d| d.name == lower)
+        .map(|d| (d.make)())
 }
 
 #[cfg(test)]
@@ -99,6 +167,26 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn tpcc_mix_resolves_to_the_five_type_mix() {
+        let mix = workload_by_name("tpcc-mix").expect("tpcc-mix resolvable");
+        assert_eq!(mix.name(), "TPCC");
+        assert_ne!(
+            mix.trace_ident(),
+            workload_by_name("tpcc").unwrap().trace_ident(),
+            "mix must not alias New-Order-only in trace identity"
+        );
+    }
+
+    #[test]
+    fn trace_idents_are_unique_across_the_table() {
+        let mut seen = std::collections::HashSet::new();
+        for d in WORKLOADS {
+            let ident = (d.make)().trace_ident();
+            assert!(seen.insert(ident.clone()), "duplicate trace ident {ident}");
+        }
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl Workload for TatpWorkload {
         "TATP"
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+    fn trace_ident(&self) -> String {
+        format!("TATP/subscribers={}", self.subscribers)
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         (0..cores)
             .map(|core| {
                 let base = core_base(core);

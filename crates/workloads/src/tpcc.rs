@@ -197,7 +197,16 @@ impl Workload for TpccWorkload {
         "TPCC"
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+    fn trace_ident(&self) -> String {
+        // Both mixes display as "TPCC"; the mix must be part of the cache
+        // identity or tpcc-mix traces would alias New-Order-only ones.
+        format!(
+            "TPCC/mix={:?},items={},customers={}",
+            self.mix, self.items, self.customers
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         (0..cores)
             .map(|core| {
                 let base = core_base(core);

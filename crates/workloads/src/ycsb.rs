@@ -54,7 +54,11 @@ impl Workload for YcsbWorkload {
         "YCSB"
     }
 
-    fn generate(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+    fn trace_ident(&self) -> String {
+        format!("YCSB/keys={},read={}", self.keys, self.read_percent)
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
         (0..cores)
             .map(|core| {
                 let base = core_base(core);

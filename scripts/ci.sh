@@ -25,6 +25,43 @@ report="$smoke_dir/fig11.json"
 ./target/release/evaluate check "$report"
 rm -rf "$smoke_dir"
 
+echo "== trace-cache smoke test =="
+# Same small grid twice: cached across 8 workers vs uncached serial must
+# print identical report bytes, and the cached run must generate each
+# unique trace at most once (generated <= unique keys).
+cache_dir="target/reports-ci-cache"
+rm -rf "$cache_dir"
+cached_err=$(./target/release/evaluate fig11 --txs 200 --jobs 8 \
+  --json-dir "$cache_dir/cached" 2>&1 >"$cache_dir.cached.txt")
+uncached_err=$(./target/release/evaluate fig11 --txs 200 --jobs 1 --no-trace-cache \
+  --json-dir "$cache_dir/uncached" 2>&1 >"$cache_dir.uncached.txt")
+cmp "$cache_dir.cached.txt" "$cache_dir.uncached.txt" \
+  || { echo "FAIL: trace cache changed the experiment output" >&2; exit 1; }
+keys=$(echo "$cached_err" | sed -n 's/^\[trace-cache\] \([0-9]*\) unique keys, .*/\1/p')
+gens=$(echo "$cached_err" | sed -n 's/.* unique keys, \([0-9]*\) generated, .*/\1/p')
+[ -n "$keys" ] && [ -n "$gens" ] && [ "$gens" -le "$keys" ] \
+  || { echo "FAIL: cached run generated $gens traces for $keys keys" >&2; exit 1; }
+echo "$uncached_err" | grep -q "(disabled)" \
+  || { echo "FAIL: --no-trace-cache did not disable the cache" >&2; exit 1; }
+rm -rf "$cache_dir" "$cache_dir.cached.txt" "$cache_dir.uncached.txt"
+
+echo "== timed trace-cache benchmark =="
+# Wall-clock data point for the perf trajectory: the same grid with and
+# without trace sharing, from the reports' own wall_ms envelope field.
+bench_dir="target/reports-ci-bench"
+rm -rf "$bench_dir"
+./target/release/evaluate fig11 --txs 500 --jobs 4 \
+  --json-dir "$bench_dir/cached" > /dev/null 2>&1
+./target/release/evaluate fig11 --txs 500 --jobs 4 --no-trace-cache \
+  --json-dir "$bench_dir/uncached" > /dev/null 2>&1
+cached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/cached/fig11.json")
+uncached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/uncached/fig11.json")
+printf '{"experiment": "fig11", "txs": 500, "jobs": 4, "cached_wall_ms": %s, "uncached_wall_ms": %s}\n' \
+  "$cached_ms" "$uncached_ms" > BENCH_trace_cache.json
+./target/release/evaluate check "$bench_dir/cached/fig11.json"
+cat BENCH_trace_cache.json
+rm -rf "$bench_dir"
+
 echo "== crashfuzz smoke test =="
 # Clean sweep: every scheme must recover consistently under all three
 # fault models at event-indexed crash points.
