@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! evaluate <experiment|all|list> [--txs N] [--seed S] [--jobs J] [--json-dir D]
-//!          [--cores C] [--bench Name[,Name...]]
+//!          [--cores C] [--bench Name[,Name...]] [--trace-events PATH]
 //! evaluate check <report.json>
 //! ```
 //!
@@ -18,14 +18,19 @@ use std::path::Path;
 
 use silo_bench::{
     arg_string, arg_u64, arg_usize, default_jobs, registry, run_experiment, write_report,
-    ExpParams, ExperimentSpec, TraceCache,
+    EventTraceSink, ExpParams, ExperimentSpec, TraceCache,
 };
 use silo_types::JsonValue;
 
 const USAGE: &str = "\
 usage: evaluate <experiment|all|list> [--txs N] [--seed S] [--jobs J] [--json-dir D]
                 [--cores C] [--bench Name[,Name...]] [--no-trace-cache]
+                [--trace-events PATH]
        evaluate check <report.json>
+
+--trace-events writes a schema-versioned JSONL event timeline (tx
+begin/commit, log merge/ignore/overflow, buffer drains, WPQ admissions,
+crash/recovery) for every run to PATH.
 
 Run `evaluate list` for the registered experiments.";
 
@@ -33,6 +38,12 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--no-trace-cache") {
         TraceCache::global().set_enabled(false);
+    }
+    if let Some(path) = arg_string(&args, "--trace-events") {
+        if let Err(err) = EventTraceSink::global().enable(Path::new(&path)) {
+            eprintln!("error: opening event trace {path}: {err}");
+            std::process::exit(1);
+        }
     }
     let Some(cmd) = args.get(1).map(String::as_str) else {
         eprintln!("{USAGE}");
@@ -126,10 +137,125 @@ fn check(path: Option<&str>) {
         .get("experiment")
         .and_then(JsonValue::as_str)
         .unwrap_or("?");
-    let cells = v
-        .get("cells")
+    let cells = v.get("cells").and_then(JsonValue::as_array).unwrap_or(&[]);
+    let mut breakdowns = 0usize;
+    let mut violations = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let Some(stats) = cell.get("stats") else {
+            continue;
+        };
+        if stats.get("breakdown").is_none() {
+            continue;
+        }
+        breakdowns += 1;
+        violations.extend(breakdown_violations(i, stats));
+    }
+    if !violations.is_empty() {
+        for msg in &violations {
+            eprintln!("error: {path}: {msg}");
+        }
+        std::process::exit(1);
+    }
+    if breakdowns > 0 {
+        println!(
+            "{path}: ok (experiment {name}, {} cells, {breakdowns} breakdowns validated)",
+            cells.len()
+        );
+    } else {
+        println!("{path}: ok (experiment {name}, {} cells)", cells.len());
+    }
+}
+
+/// Validates one cell's cycle-attribution invariant: each per-core
+/// category row sums to that core's reported clock, per-category totals
+/// match the column sums, and the grand total matches everything.
+fn breakdown_violations(cell: usize, stats: &JsonValue) -> Vec<String> {
+    let mut out = Vec::new();
+    let b = stats.get("breakdown").expect("caller checked presence");
+    let rows: Vec<Vec<u64>> = b
+        .get("per_core")
         .and_then(JsonValue::as_array)
-        .map(<[_]>::len)
-        .unwrap_or(0);
-    println!("{path}: ok (experiment {name}, {cells} cells)");
+        .map(|rows| {
+            rows.iter()
+                .map(|row| {
+                    row.as_array()
+                        .map(|xs| {
+                            xs.iter()
+                                .map(|x| x.as_f64().unwrap_or(f64::NAN) as u64)
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let core_cycles: Vec<u64> = stats
+        .get("per_core")
+        .and_then(JsonValue::as_array)
+        .map(|cs| {
+            cs.iter()
+                .map(|c| {
+                    c.get("cycles")
+                        .and_then(JsonValue::as_f64)
+                        .unwrap_or(f64::NAN) as u64
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if rows.len() != core_cycles.len() {
+        out.push(format!(
+            "cell {cell}: breakdown covers {} cores but per_core reports {}",
+            rows.len(),
+            core_cycles.len()
+        ));
+        return out;
+    }
+    for (i, (row, &cycles)) in rows.iter().zip(&core_cycles).enumerate() {
+        let sum: u64 = row.iter().sum();
+        if sum != cycles {
+            out.push(format!(
+                "cell {cell}: core {i} categories sum to {sum}, clock is {cycles}"
+            ));
+        }
+    }
+    let categories: Vec<String> = b
+        .get("categories")
+        .and_then(JsonValue::as_array)
+        .map(|cs| {
+            cs.iter()
+                .filter_map(|c| c.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    let Some(totals) = b.get("totals") else {
+        out.push(format!("cell {cell}: breakdown has no totals object"));
+        return out;
+    };
+    let mut grand = 0u64;
+    for (k, cat) in categories.iter().enumerate() {
+        let column: u64 = rows
+            .iter()
+            .map(|row| row.get(k).copied().unwrap_or(0))
+            .sum();
+        grand += column;
+        let reported = totals
+            .get(cat)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(f64::NAN) as u64;
+        if reported != column {
+            out.push(format!(
+                "cell {cell}: totals.{cat} is {reported}, column sums to {column}"
+            ));
+        }
+    }
+    let total = totals
+        .get("total")
+        .and_then(JsonValue::as_f64)
+        .unwrap_or(f64::NAN) as u64;
+    if total != grand {
+        out.push(format!(
+            "cell {cell}: totals.total is {total}, categories sum to {grand}"
+        ));
+    }
+    out
 }

@@ -18,5 +18,6 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod motivation;
+pub mod profile;
 pub mod studies;
 pub mod tables;

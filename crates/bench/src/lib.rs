@@ -18,12 +18,14 @@
 
 pub mod exp;
 pub mod experiments;
+pub mod probe;
 pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod trace_cache;
 
 pub use exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, GridSpec};
+pub use probe::{run_profiled, EventTraceSink};
 pub use report::{run_experiment, write_report, ExperimentRun};
 pub use runner::{default_jobs, run_cells};
 pub use trace_cache::{TraceCache, TraceCacheStats, TraceKey};
@@ -153,18 +155,22 @@ pub fn run_streams(
     streams: impl Into<TxStreams>,
 ) -> SimStats {
     let mut scheme = make_scheme(scheme_name, config);
-    Engine::new(config, scheme.as_mut())
-        .run(streams, None)
-        .stats
+    run_with_scheme(scheme.as_mut(), config, streams)
 }
 
-/// Runs pre-generated streams under an explicit scheme instance.
+/// Runs pre-generated streams under an explicit scheme instance. When the
+/// process-wide [`EventTraceSink`] is enabled (`--trace-events`), the
+/// run's event timeline drains into the trace file.
 pub fn run_with_scheme(
     scheme: &mut dyn LoggingScheme,
     config: &SimConfig,
     streams: impl Into<TxStreams>,
 ) -> SimStats {
-    Engine::new(config, scheme).run(streams, None).stats
+    let mut engine = Engine::new(config, scheme);
+    EventTraceSink::global().attach(engine.machine_mut());
+    let outcome = engine.run(streams, None);
+    probe::sink_outcome(&outcome);
+    outcome.stats
 }
 
 /// Renders a normalized table: one row per benchmark, one column per
@@ -378,6 +384,12 @@ pub fn arg_string(args: &[String], flag: &str) -> Option<String> {
 pub fn run_cli(spec: &ExperimentSpec, args: &[String]) {
     if args.iter().any(|a| a == "--no-trace-cache") {
         TraceCache::global().set_enabled(false);
+    }
+    if let Some(path) = arg_string(args, "--trace-events") {
+        if let Err(err) = EventTraceSink::global().enable(std::path::Path::new(&path)) {
+            eprintln!("error: opening event trace {path}: {err}");
+            std::process::exit(1);
+        }
     }
     let mut params = ExpParams::defaults(spec);
     params.txs = arg_usize(args, "--txs", params.txs);

@@ -54,6 +54,7 @@ pub enum InsertOutcome {
 pub struct LogBuffer {
     capacity: usize,
     entries: VecDeque<LogEntry>,
+    high_water: usize,
 }
 
 impl LogBuffer {
@@ -68,6 +69,7 @@ impl LogBuffer {
         LogBuffer {
             capacity,
             entries: VecDeque::with_capacity(capacity),
+            high_water: 0,
         }
     }
 
@@ -92,6 +94,7 @@ impl LogBuffer {
             "log buffer overflow not drained before insert"
         );
         self.entries.push_back(entry);
+        self.high_water = self.high_water.max(self.entries.len());
         InsertOutcome::Appended
     }
 
@@ -109,6 +112,7 @@ impl LogBuffer {
             "log buffer overflow not drained before append"
         );
         self.entries.push_back(entry);
+        self.high_water = self.high_water.max(self.entries.len());
     }
 
     /// Whether the buffer is at capacity.
@@ -177,6 +181,12 @@ impl LogBuffer {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The highest occupancy the buffer ever reached (observability: how
+    /// close the workload gets to triggering overflow flushes).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 

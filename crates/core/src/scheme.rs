@@ -2,7 +2,10 @@
 
 use std::collections::VecDeque;
 
-use silo_sim::{EvictAction, LoggingScheme, Machine, RecoveryReport, SchemeStats, SimConfig};
+use silo_sim::{
+    CycleCategory, EvictAction, LoggingScheme, Machine, ProbeEventKind, RecoveryReport,
+    SchemeStats, SimConfig,
+};
 use silo_types::{CoreId, Cycles, LineAddr, PhysAddr, TxTag, Word};
 
 use crate::{recovery, LogBuffer, LogEntry, Record, ThreadLogArea, RECORD_BYTES};
@@ -231,6 +234,7 @@ impl SiloScheme {
         mut t: Cycles,
         pace: DrainPace,
     ) -> (Cycles, bool) {
+        let mut written: u64 = 0;
         while let Some(&e) = pending.entries.front() {
             let blocked = m.pm.power_tripped()
                 || match pace {
@@ -247,9 +251,22 @@ impl SiloScheme {
             }
             let admit = self.pm_write(m, ci, t, e.addr(), &e.new_data().to_le_bytes());
             if matches!(pace, DrainPace::CommitStall) {
+                // The committing core waits out the in-place-update drain:
+                // attribute that slice of the commit stall to `Drain`.
+                m.probe
+                    .claim(ci, CycleCategory::Drain, admit.saturating_sub(t).as_u64());
                 t = t.max(admit);
             }
             self.stats.inplace_update_words += 1;
+            written += 1;
+        }
+        if written > 0 {
+            m.probe.emit(
+                ProbeEventKind::BufferDrain,
+                Some(ci as u32),
+                t.as_u64(),
+                written,
+            );
         }
         (t, true)
     }
@@ -301,6 +318,12 @@ impl SiloScheme {
             .buffer
             .take_overflow_batch(self.overflow_batch);
         debug_assert!(!batch.is_empty());
+        m.probe.emit(
+            ProbeEventKind::LogOverflow,
+            Some(core as u32),
+            now.as_u64(),
+            batch.len() as u64,
+        );
         // Batched, address-adjacent undo records: one buffer-line-sized
         // write to the log region.
         let addr = self.cores[core].area.reserve(batch.len());
@@ -369,6 +392,12 @@ impl LoggingScheme for SiloScheme {
         self.stats.log_entries_generated += 1;
         if self.options.log_ignorance && old == new {
             self.stats.log_entries_ignored += 1;
+            m.probe.emit(
+                ProbeEventKind::LogIgnore,
+                Some(ci as u32),
+                now.as_u64(),
+                addr.as_u64(),
+            );
             return now;
         }
         let entry = LogEntry::new(tag, addr.word_aligned(), old, new);
@@ -379,6 +408,12 @@ impl LoggingScheme for SiloScheme {
             }
             if self.cores[ci].buffer.insert(entry) == crate::InsertOutcome::Merged {
                 self.stats.log_entries_merged += 1;
+                m.probe.emit(
+                    ProbeEventKind::LogMerge,
+                    Some(ci as u32),
+                    t.as_u64(),
+                    addr.as_u64(),
+                );
             }
         } else {
             // Ablation: no merge search; every store consumes a slot.

@@ -191,6 +191,32 @@ impl MemCtrl {
         }
     }
 
+    /// [`MemCtrl::enqueue_write`] with the admission reported to a probe:
+    /// when the probe wants events, every admission emits a
+    /// [`silo_probe::ProbeEventKind::WpqAdmit`] event whose `arg` is the
+    /// producer's stall (0 on an uncontended queue). The probed path is
+    /// what the simulated machine uses; the unprobed method remains for
+    /// direct controller tests and model code.
+    pub fn enqueue_write_probed(
+        &mut self,
+        now: Cycles,
+        bytes: u64,
+        new_buffer_lines: u64,
+        probe: &mut dyn silo_probe::Probe,
+        core: Option<u32>,
+    ) -> Admission {
+        let adm = self.enqueue_write(now, bytes, new_buffer_lines);
+        if probe.wants_events() {
+            probe.event(silo_probe::ProbeEvent {
+                at: now.as_u64(),
+                core,
+                kind: silo_probe::ProbeEventKind::WpqAdmit,
+                arg: adm.stall.as_u64(),
+            });
+        }
+        adm
+    }
+
     /// Serves a read issued at `now`; returns its completion time. FR-FCFS
     /// prioritizes reads over queued writes, so reads see the constant
     /// device latency.

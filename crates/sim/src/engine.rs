@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
+use silo_probe::{CycleCategory, ProbeEventKind};
 use silo_types::{CoreId, Cycles, PhysAddr, TxId, TxTag, Word};
 
 use crate::schemes::EvictAction;
@@ -105,6 +106,10 @@ pub struct RunOutcome {
     /// The final PM device contents (post-recovery when a crash was
     /// injected), for inspection by tests and examples.
     pub pm: silo_pm::PmDevice,
+    /// Drained JSONL event-timeline lines plus the count of events the
+    /// ring buffer dropped; `None` unless the timeline probe was enabled
+    /// on the machine before the run.
+    pub timeline: Option<(Vec<String>, u64)>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -282,11 +287,27 @@ impl<'a> Engine<'a> {
                 // drain the ADR on-PM buffer so traffic stats cover all
                 // writes.
                 self.scheme.on_run_end(&mut self.machine, sim_cycles);
-                self.machine.pm.flush_all();
+                let (pm, probe) = (&mut self.machine.pm, &mut self.machine.probe);
+                pm.flush_all_probed(probe, sim_cycles.as_u64());
                 (None, self.machine.pm.stats(), self.machine.pm.clone())
             }
         };
 
+        let breakdown = self.machine.probe.take_breakdown();
+        if let Some(b) = &breakdown {
+            // The accounting invariant: every cycle of every core's clock
+            // is attributed to exactly one category. Violations are
+            // engine/scheme attribution bugs; `evaluate check` re-validates
+            // this on the emitted reports (assertions are compiled out in
+            // release builds).
+            for (i, c) in cores.iter().enumerate() {
+                debug_assert_eq!(
+                    b.core_total(i),
+                    c.time.as_u64(),
+                    "cycle breakdown must sum to core {i}'s clock"
+                );
+            }
+        }
         let stats = SimStats {
             scheme: self.scheme.name(),
             cores: cores.len(),
@@ -303,11 +324,13 @@ impl<'a> Engine<'a> {
             mc: self.machine.mc_stats_total(),
             cache: self.machine.caches.stats(),
             scheme_stats: self.scheme.stats(),
+            breakdown,
         };
         RunOutcome {
             stats,
             crash,
             pm: pm_image,
+            timeline: self.machine.probe.drain_timeline(),
         }
     }
 
@@ -324,9 +347,22 @@ impl<'a> Engine<'a> {
                 core.txid = core.txid.next();
                 core.tag = TxTag::new(core.id.thread(), core.txid);
                 core.cur_writes.clear();
+                let before = core.time;
+                self.machine.probe.begin_claim_window();
                 core.time =
                     self.scheme
                         .on_tx_begin(&mut self.machine, core.id, core.tag, core.time);
+                self.machine.probe.charge_window(
+                    core.id.as_usize(),
+                    CycleCategory::CommitStall,
+                    (core.time - before).as_u64(),
+                );
+                self.machine.probe.emit(
+                    ProbeEventKind::TxBegin,
+                    Some(core.id.as_usize() as u32),
+                    core.time.as_u64(),
+                    core.txid.as_u16() as u64,
+                );
                 core.phase = Phase::InTx;
                 core.op_idx = 0;
             }
@@ -338,9 +374,16 @@ impl<'a> Engine<'a> {
                     self.exec_op(core, op);
                 } else {
                     // Tx_end.
+                    let before = core.time;
+                    self.machine.probe.begin_claim_window();
                     core.time =
                         self.scheme
                             .on_tx_end(&mut self.machine, core.id, core.tag, core.time);
+                    self.machine.probe.charge_window(
+                        core.id.as_usize(),
+                        CycleCategory::CommitStall,
+                        (core.time - before).as_u64(),
+                    );
                     if self.machine.pm.power_tripped() {
                         // Power died inside the commit sequence: whether
                         // the scheme persisted the commit marker before
@@ -352,6 +395,12 @@ impl<'a> Engine<'a> {
                     }
                     self.oracle.observe(core.record(true));
                     core.committed += 1;
+                    self.machine.probe.emit(
+                        ProbeEventKind::TxCommit,
+                        Some(core.id.as_usize() as u32),
+                        core.time.as_u64(),
+                        core.txid.as_u16() as u64,
+                    );
                     core.tx_idx += 1;
                     core.phase = Phase::BetweenTxs;
                 }
@@ -361,48 +410,85 @@ impl<'a> Engine<'a> {
 
     fn exec_op(&mut self, core: &mut CoreRun, op: Op) {
         let issue = Cycles::new(self.machine.config.op_issue_cycles);
+        let ci = core.id.as_usize();
         match op {
             Op::Compute(cycles) => {
-                core.time += issue + Cycles::new(cycles as u64);
+                let delta = issue + Cycles::new(cycles as u64);
+                core.time += delta;
+                self.machine
+                    .probe
+                    .charge(ci, CycleCategory::Execute, delta.as_u64());
             }
             Op::Read(addr) => {
+                let before = core.time;
                 let acc = self.machine.caches.access(core.id, addr.line(), false);
                 core.time += issue + acc.latency;
                 if acc.filled_from_memory {
                     core.time = self.machine.pm_read_at(core.time, addr);
                 }
+                self.machine.probe.charge(
+                    ci,
+                    CycleCategory::Execute,
+                    (core.time - before).as_u64(),
+                );
                 self.handle_evictions(core, &acc.pm_writebacks);
             }
             Op::Write(addr, new) => {
                 self.machine.pm.note_event(EventKind::Store);
+                let before = core.time;
                 let acc = self.machine.caches.access(core.id, addr.line(), true);
                 core.time += issue + acc.latency;
                 if acc.filled_from_memory {
                     // Write-allocate: fetch the line before merging the store.
                     core.time = self.machine.pm_read_at(core.time, addr);
                 }
+                self.machine.probe.charge(
+                    ci,
+                    CycleCategory::Execute,
+                    (core.time - before).as_u64(),
+                );
                 self.handle_evictions(core, &acc.pm_writebacks);
                 let old = self.machine.shadow.load(addr, &self.machine.pm);
                 self.machine.shadow.store(addr, new);
                 core.cur_writes.insert(addr.word_aligned().as_u64(), new);
+                let before = core.time;
+                self.machine.probe.begin_claim_window();
                 core.time =
                     self.machine
                         .shadow_store_hook(self.scheme, core.id, addr, old, new, core.time);
+                self.machine.probe.charge_window(
+                    ci,
+                    CycleCategory::LogBufferFull,
+                    (core.time - before).as_u64(),
+                );
             }
         }
     }
 
     fn handle_evictions(&mut self, core: &mut CoreRun, lines: &[silo_types::LineAddr]) {
+        let ci = core.id.as_usize();
         for &line in lines {
+            let before = core.time;
+            self.machine.probe.begin_claim_window();
             let (action, t) = self
                 .scheme
                 .on_evict(&mut self.machine, core.id, line, core.time);
             core.time = t;
+            self.machine.probe.charge_window(
+                ci,
+                CycleCategory::WpqFull,
+                (core.time - before).as_u64(),
+            );
             if action == EvictAction::WriteBack {
                 let coalesced = self.scheme.coalesces_pm_writes();
                 let adm = self.machine.writeback_line(core.time, line, coalesced);
                 // Evictions leave via write-back buffers; only WPQ
                 // back-pressure reaches the core.
+                self.machine.probe.charge(
+                    ci,
+                    CycleCategory::WpqFull,
+                    (adm.admit - core.time).as_u64(),
+                );
                 core.time = adm.admit;
             }
         }
@@ -432,6 +518,12 @@ impl<'a> Engine<'a> {
         // battery drain and recovery are not part of the run's traffic.
         let pm_stats = self.machine.pm.stats();
         let events_at_crash = self.machine.pm.events();
+        self.machine.probe.emit(
+            ProbeEventKind::Crash,
+            None,
+            crash_at.as_u64(),
+            events_at_crash.total(),
+        );
         // Battery-backed flush under the plan's fault model, then the
         // final ADR drain on residual energy.
         self.machine.pm.begin_battery(&plan.fault);
@@ -454,6 +546,12 @@ impl<'a> Engine<'a> {
             recovery = self.scheme.recover(&mut self.machine);
         }
         self.machine.pm.end_recovery();
+        self.machine.probe.emit(
+            ProbeEventKind::Recovery,
+            None,
+            crash_at.as_u64(),
+            recovery.replayed_words + recovery.revoked_words,
+        );
         let consistency = self.oracle.verify(&self.machine.pm);
         let outcome = CrashOutcome {
             crash_at,

@@ -80,3 +80,10 @@ pub use trace::{TraceProvenance, TraceSet, TxStreams};
 // Re-exported so scheme crates and tests can build [`CrashPlan`]s without
 // depending on `silo-pm` directly.
 pub use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
+
+// Re-exported so callers can enable/consume the observability layer (the
+// [`Machine::probe`] hub) without depending on `silo-probe` directly.
+pub use silo_probe::{
+    CycleBreakdown, CycleCategory, Probe, ProbeEvent, ProbeEventKind, ProbeHub,
+    DEFAULT_TIMELINE_CAPACITY, TIMELINE_SCHEMA_VERSION,
+};

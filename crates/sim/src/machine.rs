@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use silo_cache::CacheHierarchy;
 use silo_memctrl::{Admission, MemCtrl};
 use silo_pm::PmDevice;
+use silo_probe::ProbeHub;
 use silo_types::{Cycles, LineAddr, PhysAddr, Word, LINE_BYTES, WORD_BYTES};
 
 use crate::SimConfig;
@@ -99,6 +100,9 @@ pub struct Machine {
     pub mcs: Vec<MemCtrl>,
     /// The architectural memory image.
     pub shadow: ShadowMem,
+    /// Observability hub (cycle accounting + event timeline). Disabled by
+    /// default; when off every probe call is a cheap discriminant check.
+    pub probe: ProbeHub,
 }
 
 impl Machine {
@@ -112,6 +116,7 @@ impl Machine {
                 .map(|_| MemCtrl::new(config.memctrl))
                 .collect(),
             shadow: ShadowMem::default(),
+            probe: ProbeHub::default(),
             config: config.clone(),
         }
     }
@@ -157,7 +162,7 @@ impl Machine {
         let fills_before = self.pm.stats().buffer_fills;
         self.pm.write(addr, bytes);
         let fills = self.pm.stats().buffer_fills - fills_before;
-        self.mcs[mc].enqueue_write(now, bytes.len() as u64, fills)
+        self.mcs[mc].enqueue_write_probed(now, bytes.len() as u64, fills, &mut self.probe, None)
     }
 
     /// Issues a persistent write that bypasses the coalescing buffer (the
@@ -177,7 +182,7 @@ impl Machine {
     ) -> Admission {
         self.pm.note_event(silo_pm::EventKind::WpqAdmit);
         let programs = self.pm.write_through(addr, bytes);
-        self.mcs[mc].enqueue_write(now, bytes.len() as u64, programs)
+        self.mcs[mc].enqueue_write_probed(now, bytes.len() as u64, programs, &mut self.probe, None)
     }
 
     /// Issues a PM read at `now` via the address-interleaved MC; returns

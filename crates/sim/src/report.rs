@@ -32,7 +32,7 @@ impl SimStats {
     /// The full run snapshot as a JSON object: headline metrics, then the
     /// raw counters of every component.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::object()
+        let mut obj = JsonValue::object()
             .field("scheme", self.scheme)
             .field("cores", self.cores)
             .field("sim_cycles", self.sim_cycles.as_u64())
@@ -56,8 +56,13 @@ impl SimStats {
             .field("pm", self.pm.to_json())
             .field("mc", self.mc.to_json())
             .field("cache", self.cache.to_json())
-            .field("scheme_stats", self.scheme_stats.to_json())
-            .build()
+            .field("scheme_stats", self.scheme_stats.to_json());
+        // Appended only when accounting ran: probe-off output stays
+        // byte-identical to pre-observability reports.
+        if let Some(b) = &self.breakdown {
+            obj = obj.field("breakdown", b.to_json());
+        }
+        obj.build()
     }
 }
 

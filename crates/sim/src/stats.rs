@@ -5,6 +5,7 @@ use std::fmt;
 use silo_cache::HierarchyStats;
 use silo_memctrl::MemCtrlStats;
 use silo_pm::PmStats;
+use silo_probe::CycleBreakdown;
 use silo_types::Cycles;
 
 use crate::SchemeStats;
@@ -46,6 +47,10 @@ pub struct SimStats {
     pub cache: HierarchyStats,
     /// Logging-scheme counters.
     pub scheme_stats: SchemeStats,
+    /// Per-core cycle attribution; present only when the machine's cycle
+    /// accountant was enabled for the run. `None` keeps probe-off reports
+    /// byte-identical to pre-observability output.
+    pub breakdown: Option<CycleBreakdown>,
 }
 
 impl SimStats {
@@ -108,6 +113,10 @@ impl SimStats {
             mc: self.mc - earlier.mc,
             cache: self.cache - earlier.cache,
             scheme_stats: self.scheme_stats - earlier.scheme_stats,
+            // A breakdown delta would mix the prefix run's attribution
+            // into the suffix; steady-state measurements drop it. The
+            // `profile` experiment uses full runs for exact breakdowns.
+            breakdown: None,
         }
     }
 }
@@ -130,7 +139,14 @@ impl fmt::Display for SimStats {
             "  cache:  L1 {:?} L2 {:?} L3 {:?}, {} PM writebacks",
             self.cache.l1, self.cache.l2, self.cache.l3, self.cache.pm_writebacks
         )?;
-        write!(f, "  scheme: {}", self.scheme_stats)
+        write!(f, "  scheme: {}", self.scheme_stats)?;
+        if let Some(b) = &self.breakdown {
+            write!(f, "\n  cycles:")?;
+            for cat in silo_probe::CycleCategory::ALL {
+                write!(f, " {}={}", cat.name(), b.category_total(cat))?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -161,6 +177,7 @@ mod tests {
             mc: MemCtrlStats::default(),
             cache: HierarchyStats::default(),
             scheme_stats: SchemeStats::default(),
+            breakdown: None,
         }
     }
 

@@ -1,78 +1,182 @@
 #!/usr/bin/env bash
 # Offline CI gate: build, test, lint, and smoke-test the experiment
 # framework. Everything here must pass with no network access.
+#
+# Stages are runnable individually so the CI workflow can fan them out as
+# separate jobs (and so a developer can re-run just the piece that failed):
+#
+#   scripts/ci.sh build        compile the workspace (all targets)
+#   scripts/ci.sh test         run the test suite
+#   scripts/ci.sh lint         rustfmt + clippy
+#   scripts/ci.sh smoke        experiment smoke tests + determinism gates
+#   scripts/ci.sh bench        timed benchmarks + perf-regression gate
+#   scripts/ci.sh all          everything above, in order (the default)
+#
+# `smoke` and `bench` expect `build` to have run first (they use
+# target/release/evaluate directly so a stale debug build can't skew the
+# timings).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release --workspace --all-targets
+EVALUATE=./target/release/evaluate
 
-echo "== cargo test =="
-cargo test -q --release --workspace
+build_stage() {
+  echo "== cargo build --release =="
+  cargo build --release --workspace --all-targets
+}
 
-echo "== cargo fmt --check =="
-cargo fmt --check
+test_stage() {
+  echo "== cargo test =="
+  cargo test -q --release --workspace
+}
 
-echo "== cargo clippy -D warnings =="
-cargo clippy --workspace --all-targets --release -- -D warnings
+lint_stage() {
+  echo "== cargo fmt --check =="
+  cargo fmt --check
 
-echo "== evaluate smoke test =="
-smoke_dir="target/reports-ci-smoke"
-rm -rf "$smoke_dir"
-./target/release/evaluate fig11 --txs 200 --jobs 2 --json-dir "$smoke_dir" > /dev/null
-report="$smoke_dir/fig11.json"
-[ -f "$report" ] || { echo "FAIL: $report was not written" >&2; exit 1; }
-./target/release/evaluate check "$report"
-rm -rf "$smoke_dir"
+  echo "== cargo clippy -D warnings =="
+  cargo clippy --workspace --all-targets --release -- -D warnings
+}
 
-echo "== trace-cache smoke test =="
-# Same small grid twice: cached across 8 workers vs uncached serial must
-# print identical report bytes, and the cached run must generate each
-# unique trace at most once (generated <= unique keys).
-cache_dir="target/reports-ci-cache"
-rm -rf "$cache_dir"
-cached_err=$(./target/release/evaluate fig11 --txs 200 --jobs 8 \
-  --json-dir "$cache_dir/cached" 2>&1 >"$cache_dir.cached.txt")
-uncached_err=$(./target/release/evaluate fig11 --txs 200 --jobs 1 --no-trace-cache \
-  --json-dir "$cache_dir/uncached" 2>&1 >"$cache_dir.uncached.txt")
-cmp "$cache_dir.cached.txt" "$cache_dir.uncached.txt" \
-  || { echo "FAIL: trace cache changed the experiment output" >&2; exit 1; }
-keys=$(echo "$cached_err" | sed -n 's/^\[trace-cache\] \([0-9]*\) unique keys, .*/\1/p')
-gens=$(echo "$cached_err" | sed -n 's/.* unique keys, \([0-9]*\) generated, .*/\1/p')
-[ -n "$keys" ] && [ -n "$gens" ] && [ "$gens" -le "$keys" ] \
-  || { echo "FAIL: cached run generated $gens traces for $keys keys" >&2; exit 1; }
-echo "$uncached_err" | grep -q "(disabled)" \
-  || { echo "FAIL: --no-trace-cache did not disable the cache" >&2; exit 1; }
-rm -rf "$cache_dir" "$cache_dir.cached.txt" "$cache_dir.uncached.txt"
+smoke_stage() {
+  echo "== evaluate smoke test =="
+  smoke_dir="target/reports-ci-smoke"
+  rm -rf "$smoke_dir"
+  "$EVALUATE" fig11 --txs 200 --jobs 2 --json-dir "$smoke_dir" > /dev/null
+  report="$smoke_dir/fig11.json"
+  [ -f "$report" ] || { echo "FAIL: $report was not written" >&2; exit 1; }
+  "$EVALUATE" check "$report"
+  rm -rf "$smoke_dir"
 
-echo "== timed trace-cache benchmark =="
-# Wall-clock data point for the perf trajectory: the same grid with and
-# without trace sharing, from the reports' own wall_ms envelope field.
-bench_dir="target/reports-ci-bench"
-rm -rf "$bench_dir"
-./target/release/evaluate fig11 --txs 500 --jobs 4 \
-  --json-dir "$bench_dir/cached" > /dev/null 2>&1
-./target/release/evaluate fig11 --txs 500 --jobs 4 --no-trace-cache \
-  --json-dir "$bench_dir/uncached" > /dev/null 2>&1
-cached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/cached/fig11.json")
-uncached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/uncached/fig11.json")
-printf '{"experiment": "fig11", "txs": 500, "jobs": 4, "cached_wall_ms": %s, "uncached_wall_ms": %s}\n' \
-  "$cached_ms" "$uncached_ms" > BENCH_trace_cache.json
-./target/release/evaluate check "$bench_dir/cached/fig11.json"
-cat BENCH_trace_cache.json
-rm -rf "$bench_dir"
+  echo "== trace-cache smoke test =="
+  # Same small grid twice: cached across 8 workers vs uncached serial must
+  # print identical report bytes, and the cached run must generate each
+  # unique trace at most once (generated <= unique keys).
+  cache_dir="target/reports-ci-cache"
+  rm -rf "$cache_dir"
+  cached_err=$("$EVALUATE" fig11 --txs 200 --jobs 8 \
+    --json-dir "$cache_dir/cached" 2>&1 >"$cache_dir.cached.txt")
+  uncached_err=$("$EVALUATE" fig11 --txs 200 --jobs 1 --no-trace-cache \
+    --json-dir "$cache_dir/uncached" 2>&1 >"$cache_dir.uncached.txt")
+  cmp "$cache_dir.cached.txt" "$cache_dir.uncached.txt" \
+    || { echo "FAIL: trace cache changed the experiment output" >&2; exit 1; }
+  keys=$(echo "$cached_err" | sed -n 's/^\[trace-cache\] \([0-9]*\) unique keys, .*/\1/p')
+  gens=$(echo "$cached_err" | sed -n 's/.* unique keys, \([0-9]*\) generated, .*/\1/p')
+  [ -n "$keys" ] && [ -n "$gens" ] && [ "$gens" -le "$keys" ] \
+    || { echo "FAIL: cached run generated $gens traces for $keys keys" >&2; exit 1; }
+  echo "$uncached_err" | grep -q "(disabled)" \
+    || { echo "FAIL: --no-trace-cache did not disable the cache" >&2; exit 1; }
+  rm -rf "$cache_dir" "$cache_dir.cached.txt" "$cache_dir.uncached.txt"
 
-echo "== crashfuzz smoke test =="
-# Clean sweep: every scheme must recover consistently under all three
-# fault models at event-indexed crash points.
-clean=$(./target/release/evaluate crashfuzz --txs 16 --bench Hash --jobs 2)
-echo "$clean" | grep -q "^total: 0 violations" \
-  || { echo "FAIL: crashfuzz found violations in a correct scheme" >&2; exit 1; }
-# Injected violation: an undersized battery must be caught, shrunk, and
-# reported as a runnable repro command.
-broken=$(./target/release/evaluate crashfuzz --txs 16 --bench Hash \
-  --scheme Silo --fault battery --battery-bytes 64 --jobs 2)
-echo "$broken" | grep -q "minimal repro: evaluate crashfuzz" \
-  || { echo "FAIL: crashfuzz missed the injected battery violation" >&2; exit 1; }
+  echo "== cycle-accounting smoke test =="
+  # The profile experiment hard-asserts sum(categories) == core cycles for
+  # every cell; `evaluate check` then re-validates the invariant from the
+  # report JSON alone, so a malformed breakdown fails twice over.
+  prof_dir="target/reports-ci-profile"
+  rm -rf "$prof_dir"
+  "$EVALUATE" profile --txs 120 --jobs 2 --json-dir "$prof_dir" > /dev/null
+  "$EVALUATE" check "$prof_dir/profile.json" | tee "$prof_dir.check.txt"
+  grep -q "breakdowns validated" "$prof_dir.check.txt" \
+    || { echo "FAIL: check did not validate any cycle breakdowns" >&2; exit 1; }
+  rm -rf "$prof_dir" "$prof_dir.check.txt"
 
-echo "CI OK"
+  echo "== event-timeline smoke test =="
+  # --trace-events must emit a schema header plus well-formed JSONL event
+  # records for a short run.
+  events="target/ci-events.jsonl"
+  rm -f "$events"
+  "$EVALUATE" profile --txs 60 --bench Hash --jobs 2 --trace-events "$events" \
+    --json-dir target/reports-ci-events > /dev/null
+  head -n 1 "$events" | grep -q '"stream":"silo-events"' \
+    || { echo "FAIL: event trace is missing its schema header" >&2; exit 1; }
+  grep -q '"kind":"tx_commit"' "$events" \
+    || { echo "FAIL: event trace recorded no commits" >&2; exit 1; }
+  rm -rf "$events" target/reports-ci-events
+
+  echo "== determinism gate =="
+  # The profile grid at 1 worker vs 8 workers must print byte-identical
+  # stdout. (The report *files* legitimately differ in their jobs/wall_ms
+  # envelope fields, so the gate compares the rendered text.)
+  det_dir="target/reports-ci-det"
+  rm -rf "$det_dir"
+  "$EVALUATE" profile --txs 120 --jobs 1 --json-dir "$det_dir/j1" \
+    > "$det_dir.j1.txt" 2>/dev/null
+  "$EVALUATE" profile --txs 120 --jobs 8 --json-dir "$det_dir/j8" \
+    > "$det_dir.j8.txt" 2>/dev/null
+  cmp "$det_dir.j1.txt" "$det_dir.j8.txt" \
+    || { echo "FAIL: profile output depends on worker count" >&2; exit 1; }
+  rm -rf "$det_dir" "$det_dir.j1.txt" "$det_dir.j8.txt"
+
+  echo "== crashfuzz smoke test =="
+  # Clean sweep: every scheme must recover consistently under all three
+  # fault models at event-indexed crash points.
+  clean=$("$EVALUATE" crashfuzz --txs 16 --bench Hash --jobs 2)
+  echo "$clean" | grep -q "^total: 0 violations" \
+    || { echo "FAIL: crashfuzz found violations in a correct scheme" >&2; exit 1; }
+  # Injected violation: an undersized battery must be caught, shrunk, and
+  # reported as a runnable repro command.
+  broken=$("$EVALUATE" crashfuzz --txs 16 --bench Hash \
+    --scheme Silo --fault battery --battery-bytes 64 --jobs 2)
+  echo "$broken" | grep -q "minimal repro: evaluate crashfuzz" \
+    || { echo "FAIL: crashfuzz missed the injected battery violation" >&2; exit 1; }
+}
+
+bench_stage() {
+  echo "== timed trace-cache benchmark =="
+  # Wall-clock data point for the perf trajectory: the same grid with and
+  # without trace sharing, from the reports' own wall_ms envelope field.
+  fresh_dir="target/bench-fresh"
+  rm -rf "$fresh_dir"
+  mkdir -p "$fresh_dir"
+  bench_dir="target/reports-ci-bench"
+  rm -rf "$bench_dir"
+  "$EVALUATE" fig11 --txs 500 --jobs 4 \
+    --json-dir "$bench_dir/cached" > /dev/null 2>&1
+  "$EVALUATE" fig11 --txs 500 --jobs 4 --no-trace-cache \
+    --json-dir "$bench_dir/uncached" > /dev/null 2>&1
+  cached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/cached/fig11.json")
+  uncached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/uncached/fig11.json")
+  printf '{"experiment": "fig11", "txs": 500, "jobs": 4, "cached_wall_ms": %s, "uncached_wall_ms": %s}\n' \
+    "$cached_ms" "$uncached_ms" > "$fresh_dir/BENCH_trace_cache.json"
+  "$EVALUATE" check "$bench_dir/cached/fig11.json"
+  cat "$fresh_dir/BENCH_trace_cache.json"
+
+  echo "== timed profile benchmark =="
+  # Both a wall-clock data point and a simulation-cycle fingerprint: the
+  # summed total_cycles over the whole scheme x workload grid is
+  # deterministic, so any drift is a real perf change in the simulated
+  # machine, not host noise.
+  "$EVALUATE" profile --txs 400 --jobs 4 \
+    --json-dir "$bench_dir/profile" > /dev/null 2>&1
+  prof_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/profile/profile.json")
+  total_cycles=$(grep -o '"total_cycles": *[0-9]*' "$bench_dir/profile/profile.json" \
+    | awk -F: '{s += $2} END {printf "%d", s}')
+  printf '{"experiment": "profile", "txs": 400, "jobs": 4, "wall_ms": %s, "total_cycles_sum": %s}\n' \
+    "$prof_ms" "$total_cycles" > "$fresh_dir/BENCH_profile.json"
+  cat "$fresh_dir/BENCH_profile.json"
+  rm -rf "$bench_dir"
+
+  echo "== perf-regression gate =="
+  scripts/check_bench.sh "$fresh_dir"
+}
+
+stage="${1:-all}"
+case "$stage" in
+  build) build_stage ;;
+  test) test_stage ;;
+  lint) lint_stage ;;
+  smoke) smoke_stage ;;
+  bench) bench_stage ;;
+  all)
+    build_stage
+    test_stage
+    lint_stage
+    smoke_stage
+    bench_stage
+    echo "CI OK"
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [build|test|lint|smoke|bench|all]" >&2
+    exit 2
+    ;;
+esac
