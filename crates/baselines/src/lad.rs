@@ -1,11 +1,9 @@
 //! LAD: distributed logless atomic durability (Gupta et al., MICRO'19;
 //! paper §V, §VI-A).
 
-use std::collections::HashSet;
-
 use silo_core::{recover_log_region, Record, RecordKind, RECORD_BYTES};
 use silo_sim::{EvictAction, LoggingScheme, Machine, RecoveryReport, SchemeStats, SimConfig};
-use silo_types::{CoreId, Cycles, LineAddr, PhysAddr, TxTag, Word};
+use silo_types::{CoreId, Cycles, FxHashSet, LineAddr, PhysAddr, TxTag, Word};
 
 use crate::common::{area_bases, write_records, CoreCursor};
 
@@ -13,10 +11,10 @@ use crate::common::{area_bases, write_records, CoreCursor};
 struct LadCore {
     cursor: CoreCursor,
     /// Cachelines written by the in-flight transaction.
-    written_lines: HashSet<LineAddr>,
+    written_lines: FxHashSet<LineAddr>,
     /// Lines evicted mid-transaction and absorbed into the persistent MC
     /// buffer (discarded wholesale if the transaction never commits).
-    absorbed: HashSet<LineAddr>,
+    absorbed: FxHashSet<LineAddr>,
     /// Pre-Prepare images of lines drained during the current commit.
     /// Until the Commit message, the MC buffer still tags these lines
     /// with the transaction; a power failure invalidates the tags, so
@@ -57,8 +55,8 @@ impl LadScheme {
             cores: (0..config.cores)
                 .map(|i| LadCore {
                     cursor: CoreCursor::new(config, i),
-                    written_lines: HashSet::new(),
-                    absorbed: HashSet::new(),
+                    written_lines: FxHashSet::default(),
+                    absorbed: FxHashSet::default(),
                     prepared: Vec::new(),
                 })
                 .collect(),

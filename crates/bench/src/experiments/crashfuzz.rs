@@ -22,8 +22,9 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use silo_sim::{CrashPlan, Engine, FaultModel, SimConfig, TraceSet};
+use silo_sim::{CrashPlan, Engine, FaultModel, RunOutcome, SimConfig, TraceSet};
 use silo_types::{Cycles, JsonValue, PhysAddr};
 use silo_workloads::workload_by_name;
 
@@ -148,6 +149,45 @@ fn parse_config(p: &ExpParams) -> Config {
     }
 }
 
+/// The clean (no-crash) reference run for one scheme × workload × stream
+/// shape, shared process-wide. The clean run does not depend on the fault
+/// model — faults only act at crash time — so the fault-model cells of one
+/// sweep row reuse a single run instead of each recomputing it. The cached
+/// outcome is immutable and its PM image is copy-on-write, so sharing it
+/// is pointer bumps. The lock is held across the run on purpose: a second
+/// worker asking for the same key waits for the first result rather than
+/// duplicating the work.
+fn clean_run(
+    scheme: &str,
+    config: &SimConfig,
+    streams: &TraceSet,
+    bench: &str,
+    txs_per_core: usize,
+    seed: u64,
+) -> Arc<RunOutcome> {
+    type Key = (String, String, usize, u64, u64);
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<RunOutcome>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    // Keyed by the hasher scramble seed as well so the hash-order
+    // independence test exercises fresh clean runs under every scramble
+    // instead of reusing the first run's cached outcome.
+    let key = (
+        scheme.to_string(),
+        bench.to_string(),
+        txs_per_core,
+        seed,
+        silo_types::hash::scramble_seed(),
+    );
+    let mut guard = cache.lock().expect("clean-run cache poisoned");
+    if let Some(hit) = guard.get(&key) {
+        return Arc::clone(hit);
+    }
+    let mut s = make_scheme(scheme, config);
+    let out = Arc::new(Engine::new(config, s.as_mut()).run(streams, None));
+    guard.insert(key, Arc::clone(&out));
+    out
+}
+
 /// Every distinct word address the workload writes, across setup and
 /// measured transactions — the footprint the differential digest covers.
 fn write_footprint(trace: &TraceSet) -> Vec<PhysAddr> {
@@ -250,8 +290,7 @@ fn shrink(
     let rescan = |txs: usize| -> Option<u64> {
         let streams = TraceCache::global().get_or_build(&w, CORES, txs, seed);
         let footprint = write_footprint(&streams);
-        let mut s = make_scheme(scheme, config);
-        let clean = Engine::new(config, s.as_mut()).run(&streams, None);
+        let clean = clean_run(scheme, config, &streams, workload, txs, seed);
         spaced(axis_total(fault, &clean), SHRINK_SCAN)
             .into_iter()
             .find(|&n| run_point(scheme, config, &streams, &footprint, fault, n).violations > 0)
@@ -303,13 +342,13 @@ fn build(p: &ExpParams) -> Vec<Cell> {
                         let streams =
                             TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
                         let footprint = write_footprint(&streams);
-                        let mut s = make_scheme(&scheme, &config);
-                        let clean = Engine::new(&config, s.as_mut()).run(&streams, None);
+                        let clean =
+                            clean_run(&scheme, &config, &streams, &bench, txs_per_core, seed);
                         let points = match fixed_point {
                             Some(n) => vec![n],
                             None => spaced(axis_total(fault, &clean), POINTS),
                         };
-                        let mut out = CellOutcome::from_stats(clean.stats)
+                        let mut out = CellOutcome::from_stats(clean.stats.clone())
                             .with_value("points", points.len() as f64);
                         let mut worst: Option<u64> = None;
                         for (j, &n) in points.iter().enumerate() {

@@ -8,6 +8,7 @@
 //! the `fig11_write_traffic` shim print identical tables.
 
 pub mod ablations;
+pub mod bench_engine;
 pub mod compare;
 pub mod crashfuzz;
 pub mod endurance;

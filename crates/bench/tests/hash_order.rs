@@ -1,0 +1,65 @@
+//! Hash-order-independence gate.
+//!
+//! Every hot-path map in the workspace uses the in-tree seed-free
+//! [`silo_types::FxHashMap`], whose per-process scramble seed
+//! ([`silo_types::hash::set_scramble_seed`]) permutes bucket order without
+//! changing map semantics. Re-running an experiment under a different
+//! scramble therefore exercises a *different iteration order* over every
+//! map in the simulator; if any report depended on that order (an unsorted
+//! `.iter()` reaching the output), the report bytes would change.
+//!
+//! The test runs the fig11 grid and a crashfuzz smoke cell under the
+//! default scramble and under two adversarial ones and asserts the
+//! rendered text and the deterministic report body are byte-identical.
+//! A failure here means some iteration site must be sorted — the fix is
+//! sorting at that site, never pinning the hasher.
+//!
+//! This lives in its own integration-test binary on purpose: the scramble
+//! is process-global, so flipping it mid-run must not race other tests.
+
+use silo_bench::{registry, run_experiment, ExpParams};
+use silo_types::hash::{scramble_seed, set_scramble_seed};
+
+/// Runs `name` with small parameters and returns `(text, body)` rendered
+/// to strings.
+fn run_small(name: &str, txs: usize) -> (String, String) {
+    let spec = registry::find(name).expect("registered experiment");
+    let mut params = ExpParams::defaults(&spec);
+    params.txs = txs;
+    params.benches = vec!["Hash".into()];
+    let run = run_experiment(&spec, &params, 2);
+    (run.text, run.body.to_string())
+}
+
+#[test]
+fn reports_are_identical_under_any_hash_order() {
+    let baseline_seed = scramble_seed();
+    // fig11 covers the figure pipeline (steady-state deltas over every
+    // scheme); crashfuzz covers the crash/recovery pipeline including the
+    // oracle's verify walk and the per-point PM image digests.
+    let baseline: Vec<(String, String)> = ["fig11", "crashfuzz"]
+        .iter()
+        .map(|n| run_small(n, 24))
+        .collect();
+    for scramble in [0x9e37_79b9_7f4a_7c15_u64, u64::MAX] {
+        set_scramble_seed(scramble);
+        let permuted: Vec<(String, String)> = ["fig11", "crashfuzz"]
+            .iter()
+            .map(|n| run_small(n, 24))
+            .collect();
+        set_scramble_seed(baseline_seed);
+        for (exp, (base, perm)) in ["fig11", "crashfuzz"]
+            .iter()
+            .zip(baseline.iter().zip(&permuted))
+        {
+            assert_eq!(
+                base.0, perm.0,
+                "{exp}: rendered text depends on hash iteration order (scramble {scramble:#x})"
+            );
+            assert_eq!(
+                base.1, perm.1,
+                "{exp}: report body depends on hash iteration order (scramble {scramble:#x})"
+            );
+        }
+    }
+}

@@ -91,7 +91,12 @@ struct Way {
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Option<Way>>>,
+    /// All ways in one flat slab, set-major: set `s` owns
+    /// `ways[s * config.ways .. (s + 1) * config.ways]`. One allocation
+    /// per cache level — constructing the Table II hierarchy used to make
+    /// one `Vec` per set (8192 for the L3 alone), a real cost for sweeps
+    /// that build thousands of short-lived machines (crashfuzz).
+    ways: Vec<Option<Way>>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -103,7 +108,7 @@ impl SetAssocCache {
     pub fn new(config: CacheConfig) -> Self {
         SetAssocCache {
             config,
-            sets: vec![vec![None; config.ways]; config.sets()],
+            ways: vec![None; config.ways * config.sets()],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -115,14 +120,21 @@ impl SetAssocCache {
         (line.index() % self.config.sets() as u64) as usize
     }
 
+    /// Index range of `line`'s set within the flat `ways` slab.
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let w = self.config.ways;
+        let s = self.set_of(line);
+        s * w..(s + 1) * w
+    }
+
     /// Accesses `line`, allocating on miss (write-allocate for both reads
     /// and writes). `is_write` marks the line dirty. Returns the hit/miss
     /// outcome and any displaced victim.
     pub fn access(&mut self, line: LineAddr, is_write: bool) -> AccessOutcome {
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_of(line);
-        let ways = &mut self.sets[set_idx];
+        let r = self.set_range(line);
+        let ways = &mut self.ways[r];
 
         if let Some(way) = ways.iter_mut().flatten().find(|w| w.tag == line.index()) {
             way.lru = tick;
@@ -172,8 +184,8 @@ impl SetAssocCache {
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Evicted> {
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_of(line);
-        let ways = &mut self.sets[set_idx];
+        let r = self.set_range(line);
+        let ways = &mut self.ways[r];
         if let Some(way) = ways.iter_mut().flatten().find(|w| w.tag == line.index()) {
             way.lru = tick;
             way.dirty |= dirty;
@@ -207,7 +219,7 @@ impl SetAssocCache {
 
     /// Whether the line is present (no LRU update, no allocation).
     pub fn probe(&self, line: LineAddr) -> bool {
-        self.sets[self.set_of(line)]
+        self.ways[self.set_range(line)]
             .iter()
             .flatten()
             .any(|w| w.tag == line.index())
@@ -215,7 +227,7 @@ impl SetAssocCache {
 
     /// Whether the line is present and dirty.
     pub fn is_dirty(&self, line: LineAddr) -> bool {
-        self.sets[self.set_of(line)]
+        self.ways[self.set_range(line)]
             .iter()
             .flatten()
             .any(|w| w.tag == line.index() && w.dirty)
@@ -225,8 +237,8 @@ impl SetAssocCache {
     /// writes the line back without invalidating it). Returns whether the
     /// line was dirty.
     pub fn clean(&mut self, line: LineAddr) -> bool {
-        let set_idx = self.set_of(line);
-        for way in self.sets[set_idx].iter_mut().flatten() {
+        let r = self.set_range(line);
+        for way in self.ways[r].iter_mut().flatten() {
             if way.tag == line.index() {
                 let was = way.dirty;
                 way.dirty = false;
@@ -238,8 +250,8 @@ impl SetAssocCache {
 
     /// Removes the line if present; returns whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
-        let set_idx = self.set_of(line);
-        for way in self.sets[set_idx].iter_mut() {
+        let r = self.set_range(line);
+        for way in self.ways[r].iter_mut() {
             if let Some(w) = way {
                 if w.tag == line.index() {
                     let dirty = w.dirty;
@@ -253,9 +265,8 @@ impl SetAssocCache {
 
     /// All currently dirty lines, in unspecified order.
     pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        self.sets
+        self.ways
             .iter()
-            .flatten()
             .flatten()
             .filter(|w| w.dirty)
             .map(|w| LineAddr::containing(silo_types::PhysAddr::new(w.tag * LINE_BYTES as u64)))
@@ -266,14 +277,12 @@ impl SetAssocCache {
     /// force-write-back sweep, as FWB performs periodically).
     pub fn clean_all(&mut self) -> Vec<LineAddr> {
         let mut out = Vec::new();
-        for set in &mut self.sets {
-            for way in set.iter_mut().flatten() {
-                if way.dirty {
-                    way.dirty = false;
-                    out.push(LineAddr::containing(silo_types::PhysAddr::new(
-                        way.tag * LINE_BYTES as u64,
-                    )));
-                }
+        for way in self.ways.iter_mut().flatten() {
+            if way.dirty {
+                way.dirty = false;
+                out.push(LineAddr::containing(silo_types::PhysAddr::new(
+                    way.tag * LINE_BYTES as u64,
+                )));
             }
         }
         out
@@ -281,14 +290,12 @@ impl SetAssocCache {
 
     /// Drops every line (volatile cache contents at a power failure).
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            set.fill(None);
-        }
+        self.ways.fill(None);
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().flatten().count()
+        self.ways.iter().flatten().count()
     }
 
     /// (hits, misses, dirty evictions) counters.

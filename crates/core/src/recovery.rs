@@ -1,10 +1,8 @@
 //! Post-crash recovery from the PM log region (§III-G, Fig 10g).
 
-use std::collections::HashSet;
-
 use silo_pm::PmDevice;
 use silo_sim::RecoveryReport;
-use silo_types::{PhysAddr, TxTag};
+use silo_types::{FxHashSet, PhysAddr, TxTag};
 
 use crate::{RecordKind, ThreadLogArea};
 
@@ -27,7 +25,7 @@ pub fn recover(pm: &mut PmDevice, area_bases: &[PhysAddr]) -> RecoveryReport {
     let mut report = RecoveryReport::default();
 
     // Pass 1: find every committed transaction across all areas.
-    let mut committed: HashSet<TxTag> = HashSet::new();
+    let mut committed: FxHashSet<TxTag> = FxHashSet::default();
     for &base in area_bases {
         for rec in ThreadLogArea::scan(pm, base) {
             report.scanned_records += 1;

@@ -213,6 +213,10 @@ impl SiloScheme {
     /// while it waits).
     fn wpq_has_room(m: &mut Machine, core: usize, now: Cycles) -> bool {
         let mc = m.home_mc(CoreId::new(core));
+        // The pacing check models the MC retiring serviced writes as of
+        // the pacer's clock: an explicit state advance, not a side effect
+        // of the (read-only) occupancy query.
+        m.mcs[mc].retire(now);
         m.mcs[mc].occupancy(now) < m.config.memctrl.wpq_entries
     }
 

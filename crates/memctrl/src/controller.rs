@@ -160,11 +160,8 @@ impl MemCtrl {
     /// filled (reported by [`silo_pm::PmStats::buffer_fills`] deltas);
     /// coalesced writes pass 0 and cost only the bus occupancy.
     pub fn enqueue_write(&mut self, now: Cycles, bytes: u64, new_buffer_lines: u64) -> Admission {
+        self.retire(now);
         let t = now.as_u64();
-        // Retire serviced writes whose completion time has passed.
-        while self.completions.front().is_some_and(|&c| c <= t) {
-            self.completions.pop_front();
-        }
         // WPQ admission: if full, wait until enough older writes retire
         // that an empty slot exists at admission time.
         let admit = if self.completions.len() >= self.config.wpq_entries {
@@ -225,13 +222,24 @@ impl MemCtrl {
         now + Cycles::new(self.config.read_cycles)
     }
 
-    /// WPQ occupancy as of local time `now` (retires serviced writes).
-    pub fn occupancy(&mut self, now: Cycles) -> usize {
+    /// Retires serviced writes whose completion time is at or before `now`.
+    /// [`enqueue_write`](Self::enqueue_write) calls this implicitly;
+    /// completion-retire is never coupled to a read-only query.
+    pub fn retire(&mut self, now: Cycles) {
         let t = now.as_u64();
         while self.completions.front().is_some_and(|&c| c <= t) {
             self.completions.pop_front();
         }
-        self.completions.len()
+    }
+
+    /// WPQ occupancy as of local time `now`. Read-only: counts in-flight
+    /// writes completing after `now` without retiring anything, so probes
+    /// and stats queries cannot perturb subsequent admission timing.
+    pub fn occupancy(&self, now: Cycles) -> usize {
+        let t = now.as_u64();
+        // Completion times are monotone (FIFO server), so the retired
+        // prefix is exactly the partition point.
+        self.completions.len() - self.completions.partition_point(|&c| c <= t)
     }
 
     /// Earliest time at which every currently queued write has drained.
@@ -352,6 +360,37 @@ mod tests {
         }
         assert_eq!(m.occupancy(Cycles::new(0)), 10);
         assert_eq!(m.occupancy(Cycles::new(10 * LINE_SERVICE)), 0);
+    }
+
+    #[test]
+    fn occupancy_probe_does_not_perturb_admission() {
+        // Probing occupancy at a future time (a stats read, a probe
+        // sampling end-of-run state) must not change what the controller
+        // does next. Before the retire/occupancy split, the probe popped
+        // completions and a subsequent admission at an earlier local time
+        // saw a spuriously empty WPQ.
+        let run = |probe: bool| {
+            let mut m = mc();
+            for _ in 0..64 {
+                m.enqueue_write(Cycles::new(0), 64, 1);
+            }
+            if probe {
+                assert_eq!(m.occupancy(Cycles::new(1_000_000)), 0);
+            }
+            m.enqueue_write(Cycles::new(0), 64, 1)
+        };
+        assert_eq!(run(true), run(false));
+        assert_eq!(run(true).stall, Cycles::new(LINE_SERVICE));
+    }
+
+    #[test]
+    fn explicit_retire_frees_slots() {
+        let mut m = mc();
+        for _ in 0..64 {
+            m.enqueue_write(Cycles::new(0), 64, 1);
+        }
+        m.retire(Cycles::new(64 * LINE_SERVICE));
+        assert_eq!(m.occupancy(Cycles::new(0)), 0, "retired entries are gone");
     }
 
     #[test]

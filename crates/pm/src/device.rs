@@ -263,8 +263,8 @@ impl PmDevice {
 
     /// Reads one word.
     pub fn read_word(&mut self, addr: PhysAddr) -> Word {
-        let b = self.read(addr, WORD_BYTES);
-        Word::from_le_bytes(b.try_into().expect("read(8) returns 8 bytes"))
+        self.reads += 1;
+        self.peek_word(addr)
     }
 
     /// Reads one little-endian `u64`.
@@ -278,10 +278,12 @@ impl PmDevice {
         self.buffer.read_through(addr, len, &self.media)
     }
 
-    /// Peeks one word without counting a read.
+    /// Peeks one word without counting a read. Allocation-free: this is
+    /// the engine's per-load hot path.
     pub fn peek_word(&self, addr: PhysAddr) -> Word {
-        let b = self.peek(addr, WORD_BYTES);
-        Word::from_le_bytes(b.try_into().expect("peek(8) returns 8 bytes"))
+        let mut b = [0u8; WORD_BYTES];
+        self.buffer.read_through_into(addr, &mut b, &self.media);
+        Word::from_le_bytes(b)
     }
 
     /// Drains the on-PM buffer to the media.

@@ -1,14 +1,48 @@
 //! The physical PCM media with bit-level data-comparison-write accounting.
+//!
+//! Storage follows the flat paged-image model of the NVMain lineage this
+//! simulator replaces: a page table of 4 KiB slabs instead of a
+//! general-purpose hash table per 256 B line. Pages are held in [`Arc`], so
+//! cloning the media (the engine's `RunOutcome::pm` snapshot, crashfuzz's
+//! per-crash-point images) is copy-on-write — the clone costs one page-table
+//! copy and refcount bumps, and only pages written *after* the snapshot are
+//! ever duplicated.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use silo_types::{PhysAddr, BUF_LINE_BYTES};
+use silo_types::{FxHashMap, PhysAddr, BUF_LINE_BYTES};
 
 use crate::WearTracker;
 
+/// Bytes per media page (one page-table slab).
+const PAGE_BYTES: usize = 4096;
+
+/// Buffer lines per page. Must match the width of [`Page::touched`].
+const LINES_PER_PAGE: usize = PAGE_BYTES / BUF_LINE_BYTES;
+
+/// One 4 KiB slab of media plus a per-buffer-line materialization bitmap
+/// (`LINES_PER_PAGE` == 16 bits). The bitmap preserves the reference
+/// `HashMap`-media notion of a "touched" line — lines count toward the
+/// footprint as soon as any write (even a fully DCW-suppressed one) or
+/// crash-time revert addresses them.
+#[derive(Clone, Debug)]
+struct Page {
+    data: Box<[u8; PAGE_BYTES]>,
+    touched: u16,
+}
+
+impl Page {
+    fn zeroed() -> Self {
+        Page {
+            data: Box::new([0u8; PAGE_BYTES]),
+            touched: 0,
+        }
+    }
+}
+
 /// The phase-change-memory physical media.
 ///
-/// Storage is sparse: only buffer lines that have ever been programmed are
+/// Storage is sparse: only 4 KiB pages that have ever been programmed are
 /// materialized, so a 16 GB address space (paper Table II) costs memory
 /// proportional to the touched footprint.
 ///
@@ -18,7 +52,8 @@ use crate::WearTracker;
 /// bytes with the stored ones: if no bit changes, the media is not
 /// programmed at all and the write is not counted — the mechanism Silo
 /// relies on to make post-commit cacheline evictions free (§III-D, CE/IPU
-/// timing scenario 3).
+/// timing scenario 3). The comparison runs against the shared page, so a
+/// suppressed write never triggers a copy-on-write page duplication.
 ///
 /// # Examples
 ///
@@ -34,18 +69,81 @@ use crate::WearTracker;
 /// assert_eq!(m.read(PhysAddr::new(1), 2), vec![2, 3]);
 /// ```
 #[derive(Clone, Debug, Default)]
-pub struct Media {
-    lines: HashMap<u64, Box<[u8; BUF_LINE_BYTES]>>,
+pub struct PagedMedia {
+    pages: FxHashMap<u64, Arc<Page>>,
+    touched_count: usize,
     line_writes: u64,
     bits_programmed: u64,
     dcw_suppressed: u64,
     wear: WearTracker,
 }
 
-impl Media {
+/// The media type the rest of the simulator names; today it is the paged,
+/// copy-on-write [`PagedMedia`].
+pub type Media = PagedMedia;
+
+#[inline]
+fn split_line(line_idx: u64) -> (u64, usize) {
+    (
+        line_idx / LINES_PER_PAGE as u64,
+        (line_idx % LINES_PER_PAGE as u64) as usize,
+    )
+}
+
+impl PagedMedia {
     /// Creates empty (all-zero) media.
     pub fn new() -> Self {
-        Media::default()
+        PagedMedia::default()
+    }
+
+    /// The stored bytes of one buffer line, if its page is materialized.
+    /// Untouched lines within a materialized page read as zero, which is
+    /// also what an absent page denotes — callers may treat `None` as a
+    /// zero line.
+    #[inline]
+    fn peek_line(&self, line_idx: u64) -> Option<&[u8]> {
+        let (page_idx, slot) = split_line(line_idx);
+        self.pages
+            .get(&page_idx)
+            .map(|p| &p.data[slot * BUF_LINE_BYTES..(slot + 1) * BUF_LINE_BYTES])
+    }
+
+    /// Mutable access to one buffer line, materializing (and, under a live
+    /// snapshot, copy-on-write-duplicating) its page and marking the line
+    /// touched.
+    #[inline]
+    fn line_slab(&mut self, line_idx: u64) -> &mut [u8] {
+        let (page_idx, slot) = split_line(line_idx);
+        let entry = self
+            .pages
+            .entry(page_idx)
+            .or_insert_with(|| Arc::new(Page::zeroed()));
+        let page = Arc::make_mut(entry);
+        let bit = 1u16 << slot;
+        if page.touched & bit == 0 {
+            page.touched |= bit;
+            self.touched_count += 1;
+        }
+        &mut page.data[slot * BUF_LINE_BYTES..(slot + 1) * BUF_LINE_BYTES]
+    }
+
+    /// Marks a line materialized without writing — the footprint side
+    /// effect of a fully DCW-suppressed write. Skips the copy-on-write
+    /// duplication when the bit is already set.
+    fn touch(&mut self, line_idx: u64) {
+        let (page_idx, slot) = split_line(line_idx);
+        let bit = 1u16 << slot;
+        if let Some(p) = self.pages.get(&page_idx) {
+            if p.touched & bit != 0 {
+                return;
+            }
+        }
+        let entry = self
+            .pages
+            .entry(page_idx)
+            .or_insert_with(|| Arc::new(Page::zeroed()));
+        Arc::make_mut(entry).touched |= bit;
+        self.touched_count += 1;
     }
 
     /// Programs `bytes` starting at the byte address `base + offset`,
@@ -66,25 +164,25 @@ impl Media {
             "media write crosses a buffer-line boundary: offset {offset} + len {}",
             bytes.len()
         );
-        let idx = line_base.buf_line_index();
-        let line = self
-            .lines
-            .entry(idx)
-            .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
-        let target = &mut line[offset..offset + bytes.len()];
-        let changed_bits: u64 = target
-            .iter()
-            .zip(bytes)
-            .map(|(old, new)| (old ^ new).count_ones() as u64)
-            .sum();
+        let line_idx = line_base.buf_line_index();
+        let changed_bits: u64 = match self.peek_line(line_idx) {
+            Some(stored) => stored[offset..offset + bytes.len()]
+                .iter()
+                .zip(bytes)
+                .map(|(old, new)| (old ^ new).count_ones() as u64)
+                .sum(),
+            None => bytes.iter().map(|b| b.count_ones() as u64).sum(),
+        };
         if changed_bits == 0 {
             self.dcw_suppressed += 1;
+            self.touch(line_idx);
             return false;
         }
-        target.copy_from_slice(bytes);
+        let slab = self.line_slab(line_idx);
+        slab[offset..offset + bytes.len()].copy_from_slice(bytes);
         self.line_writes += 1;
         self.bits_programmed += changed_bits;
-        self.wear.record_program(idx);
+        self.wear.record_program(line_idx);
         true
     }
 
@@ -113,29 +211,38 @@ impl Media {
             line_base,
             "program_line requires a buffer-line-aligned base"
         );
-        let idx = line_base.buf_line_index();
-        let line = self
-            .lines
-            .entry(idx)
-            .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
+        let line_idx = line_base.buf_line_index();
         let mut changed_bits = 0u64;
-        for i in 0..BUF_LINE_BYTES {
-            if valid[i] {
-                changed_bits += (line[i] ^ data[i]).count_ones() as u64;
+        match self.peek_line(line_idx) {
+            Some(stored) => {
+                for i in 0..BUF_LINE_BYTES {
+                    if valid[i] {
+                        changed_bits += (stored[i] ^ data[i]).count_ones() as u64;
+                    }
+                }
+            }
+            None => {
+                for i in 0..BUF_LINE_BYTES {
+                    if valid[i] {
+                        changed_bits += data[i].count_ones() as u64;
+                    }
+                }
             }
         }
         if changed_bits == 0 {
             self.dcw_suppressed += 1;
+            self.touch(line_idx);
             return false;
         }
+        let slab = self.line_slab(line_idx);
         for i in 0..BUF_LINE_BYTES {
             if valid[i] {
-                line[i] = data[i];
+                slab[i] = data[i];
             }
         }
         self.line_writes += 1;
         self.bits_programmed += changed_bits;
-        self.wear.record_program(idx);
+        self.wear.record_program(line_idx);
         true
     }
 
@@ -152,41 +259,53 @@ impl Media {
         while !rest.is_empty() {
             let off = (cur % BUF_LINE_BYTES as u64) as usize;
             let chunk = rest.len().min(BUF_LINE_BYTES - off);
-            let idx = cur / BUF_LINE_BYTES as u64;
-            let line = self
-                .lines
-                .entry(idx)
-                .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
-            line[off..off + chunk].copy_from_slice(&rest[..chunk]);
+            let slab = self.line_slab(cur / BUF_LINE_BYTES as u64);
+            slab[off..off + chunk].copy_from_slice(&rest[..chunk]);
             cur += chunk as u64;
             rest = &rest[chunk..];
+        }
+    }
+
+    /// Reads bytes starting at `addr` into `out`, without allocating.
+    /// Unprogrammed media reads as zero. Reads may cross buffer-line (and
+    /// page) boundaries.
+    pub fn read_into(&self, addr: PhysAddr, out: &mut [u8]) {
+        let mut cur = addr.as_u64();
+        let mut pos = 0;
+        while pos < out.len() {
+            let off = (cur % PAGE_BYTES as u64) as usize;
+            let chunk = (out.len() - pos).min(PAGE_BYTES - off);
+            match self.pages.get(&(cur / PAGE_BYTES as u64)) {
+                Some(p) => out[pos..pos + chunk].copy_from_slice(&p.data[off..off + chunk]),
+                None => out[pos..pos + chunk].fill(0),
+            }
+            cur += chunk as u64;
+            pos += chunk;
         }
     }
 
     /// Reads `len` bytes starting at `addr`. Unprogrammed media reads as
     /// zero. Reads may cross buffer-line boundaries.
     pub fn read(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        let mut cur = addr.as_u64();
-        let mut remaining = len;
-        while remaining > 0 {
-            let line_idx = cur / BUF_LINE_BYTES as u64;
-            let off = (cur % BUF_LINE_BYTES as u64) as usize;
-            let chunk = remaining.min(BUF_LINE_BYTES - off);
-            match self.lines.get(&line_idx) {
-                Some(line) => out.extend_from_slice(&line[off..off + chunk]),
-                None => out.extend(std::iter::repeat_n(0u8, chunk)),
-            }
-            cur += chunk as u64;
-            remaining -= chunk;
-        }
+        let mut out = vec![0u8; len];
+        self.read_into(addr, &mut out);
         out
     }
 
     /// Reads one little-endian `u64` at `addr`.
     pub fn read_u64(&self, addr: PhysAddr) -> u64 {
-        let b = self.read(addr, 8);
-        u64::from_le_bytes(b.try_into().expect("read(8) returns 8 bytes"))
+        let a = addr.as_u64();
+        let off = (a % PAGE_BYTES as u64) as usize;
+        if off + 8 <= PAGE_BYTES {
+            match self.pages.get(&(a / PAGE_BYTES as u64)) {
+                Some(p) => u64::from_le_bytes(p.data[off..off + 8].try_into().expect("8 bytes")),
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 8];
+            self.read_into(addr, &mut b);
+            u64::from_le_bytes(b)
+        }
     }
 
     /// Number of media line programs performed (the paper Fig 11 metric).
@@ -206,12 +325,27 @@ impl Media {
 
     /// Number of distinct buffer lines ever materialized (footprint).
     pub fn touched_lines(&self) -> usize {
-        self.lines.len()
+        self.touched_count
+    }
+
+    /// Number of materialized 4 KiB pages (page-table size).
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
     }
 
     /// Per-line wear counters (endurance analysis).
     pub fn wear(&self) -> &WearTracker {
         &self.wear
+    }
+
+    /// How many pages are currently shared with at least one snapshot
+    /// (clone) — i.e. would be duplicated by the next write to them.
+    #[cfg(test)]
+    fn shared_pages(&self) -> usize {
+        self.pages
+            .values()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
     }
 }
 
@@ -268,6 +402,20 @@ mod tests {
     }
 
     #[test]
+    fn reads_cross_page_boundaries() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(4095), &[0xcc], 255); // last byte of page 0
+        m.write_masked(PhysAddr::new(4096), &[0xdd], 0); // first byte of page 1
+        assert_eq!(m.read(PhysAddr::new(4095), 2), vec![0xcc, 0xdd]);
+        assert_eq!(m.touched_pages(), 2);
+        // read_u64 straddling the page boundary takes the slow path.
+        let mut expect = [0u8; 8];
+        expect[3] = 0xcc;
+        expect[4] = 0xdd;
+        assert_eq!(m.read_u64(PhysAddr::new(4092)), u64::from_le_bytes(expect));
+    }
+
+    #[test]
     #[should_panic(expected = "crosses a buffer-line boundary")]
     fn writes_may_not_cross_buffer_lines() {
         let mut m = Media::new();
@@ -280,6 +428,16 @@ mod tests {
         m.write_masked(PhysAddr::new(0), &[1], 0);
         m.write_masked(PhysAddr::new(1 << 30), &[1], 0);
         assert_eq!(m.touched_lines(), 2);
+    }
+
+    #[test]
+    fn suppressed_writes_still_materialize_the_line() {
+        // Footprint parity with the reference HashMap media: a fully
+        // DCW-suppressed write still counts the line as touched.
+        let mut m = Media::new();
+        assert!(!m.write_masked(PhysAddr::new(0), &[0, 0], 0));
+        assert_eq!(m.touched_lines(), 1);
+        assert_eq!(m.touched_pages(), 1);
     }
 
     #[test]
@@ -336,5 +494,288 @@ mod tests {
         let mut m = Media::new();
         m.write_masked(PhysAddr::new(0), &42u64.to_le_bytes(), 8);
         assert_eq!(m.read_u64(PhysAddr::new(8)), 42);
+    }
+
+    #[test]
+    fn snapshots_are_copy_on_write() {
+        let mut m = Media::new();
+        for line in 0..32u64 {
+            m.write_masked(PhysAddr::new(line * 256), &[line as u8 + 1], 0);
+        }
+        assert_eq!(m.touched_pages(), 2);
+        let snap = m.clone();
+        assert_eq!(m.shared_pages(), 2, "clone shares every page");
+        // Writing one line after the snapshot duplicates only its page.
+        m.write_masked(PhysAddr::new(0), &[0xff], 0);
+        assert_eq!(m.shared_pages(), 1, "only the written page was copied");
+        // The snapshot still sees the pre-write bytes; the live media sees
+        // the new ones.
+        assert_eq!(snap.read(PhysAddr::new(0), 1), vec![1]);
+        assert_eq!(m.read(PhysAddr::new(0), 1), vec![0xff]);
+        // A DCW-suppressed write to an already-touched shared page must not
+        // duplicate it.
+        let before = m.shared_pages();
+        assert!(!m.write_masked(PhysAddr::new(16 * 256), &[17], 0));
+        assert_eq!(m.shared_pages(), before, "suppressed write copied a page");
+    }
+
+    #[test]
+    fn snapshot_counters_are_independent() {
+        let mut m = Media::new();
+        m.write_masked(PhysAddr::new(0), &[1], 0);
+        let snap = m.clone();
+        m.write_masked(PhysAddr::new(256), &[2], 0);
+        assert_eq!(m.line_writes(), 2);
+        assert_eq!(snap.line_writes(), 1);
+        assert_eq!(snap.touched_lines(), 1);
+        assert_eq!(m.touched_lines(), 2);
+    }
+
+    /// The retained reference implementation: the pre-paging
+    /// `HashMap<line, Box<[u8; 256]>>` media, kept verbatim so the paged
+    /// implementation can be differentially tested against it.
+    mod reference {
+        use std::collections::HashMap;
+
+        use silo_types::{PhysAddr, BUF_LINE_BYTES};
+
+        #[derive(Clone, Debug, Default)]
+        pub struct RefMedia {
+            lines: HashMap<u64, Box<[u8; BUF_LINE_BYTES]>>,
+            line_writes: u64,
+            bits_programmed: u64,
+            dcw_suppressed: u64,
+        }
+
+        impl RefMedia {
+            pub fn write_masked(
+                &mut self,
+                line_base: PhysAddr,
+                bytes: &[u8],
+                offset: usize,
+            ) -> bool {
+                assert!(offset + bytes.len() <= BUF_LINE_BYTES);
+                let idx = line_base.buf_line_index();
+                let line = self
+                    .lines
+                    .entry(idx)
+                    .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
+                let target = &mut line[offset..offset + bytes.len()];
+                let changed_bits: u64 = target
+                    .iter()
+                    .zip(bytes)
+                    .map(|(old, new)| (old ^ new).count_ones() as u64)
+                    .sum();
+                if changed_bits == 0 {
+                    self.dcw_suppressed += 1;
+                    return false;
+                }
+                target.copy_from_slice(bytes);
+                self.line_writes += 1;
+                self.bits_programmed += changed_bits;
+                true
+            }
+
+            pub fn program_line(
+                &mut self,
+                line_base: PhysAddr,
+                data: &[u8; BUF_LINE_BYTES],
+                valid: &[bool; BUF_LINE_BYTES],
+            ) -> bool {
+                assert_eq!(line_base.buf_line_aligned(), line_base);
+                let idx = line_base.buf_line_index();
+                let line = self
+                    .lines
+                    .entry(idx)
+                    .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
+                let mut changed_bits = 0u64;
+                for i in 0..BUF_LINE_BYTES {
+                    if valid[i] {
+                        changed_bits += (line[i] ^ data[i]).count_ones() as u64;
+                    }
+                }
+                if changed_bits == 0 {
+                    self.dcw_suppressed += 1;
+                    return false;
+                }
+                for i in 0..BUF_LINE_BYTES {
+                    if valid[i] {
+                        line[i] = data[i];
+                    }
+                }
+                self.line_writes += 1;
+                self.bits_programmed += changed_bits;
+                true
+            }
+
+            pub fn revert(&mut self, addr: PhysAddr, bytes: &[u8]) {
+                let mut cur = addr.as_u64();
+                let mut rest = bytes;
+                while !rest.is_empty() {
+                    let off = (cur % BUF_LINE_BYTES as u64) as usize;
+                    let chunk = rest.len().min(BUF_LINE_BYTES - off);
+                    let idx = cur / BUF_LINE_BYTES as u64;
+                    let line = self
+                        .lines
+                        .entry(idx)
+                        .or_insert_with(|| Box::new([0u8; BUF_LINE_BYTES]));
+                    line[off..off + chunk].copy_from_slice(&rest[..chunk]);
+                    cur += chunk as u64;
+                    rest = &rest[chunk..];
+                }
+            }
+
+            pub fn read(&self, addr: PhysAddr, len: usize) -> Vec<u8> {
+                let mut out = Vec::with_capacity(len);
+                let mut cur = addr.as_u64();
+                let mut remaining = len;
+                while remaining > 0 {
+                    let line_idx = cur / BUF_LINE_BYTES as u64;
+                    let off = (cur % BUF_LINE_BYTES as u64) as usize;
+                    let chunk = remaining.min(BUF_LINE_BYTES - off);
+                    match self.lines.get(&line_idx) {
+                        Some(line) => out.extend_from_slice(&line[off..off + chunk]),
+                        None => out.extend(std::iter::repeat_n(0u8, chunk)),
+                    }
+                    cur += chunk as u64;
+                    remaining -= chunk;
+                }
+                out
+            }
+
+            pub fn line_writes(&self) -> u64 {
+                self.line_writes
+            }
+
+            pub fn bits_programmed(&self) -> u64 {
+                self.bits_programmed
+            }
+
+            pub fn dcw_suppressed(&self) -> u64 {
+                self.dcw_suppressed
+            }
+
+            pub fn touched_lines(&self) -> usize {
+                self.lines.len()
+            }
+        }
+    }
+
+    /// One random operation applied identically to both implementations.
+    fn apply_random_op(
+        rng: &mut silo_types::SplitMix64,
+        paged: &mut Media,
+        reference: &mut reference::RefMedia,
+    ) {
+        const SPAN: u64 = 4 * PAGE_BYTES as u64; // a few pages of address space
+        match rng.next_u64() % 5 {
+            // write_masked with random length/offset inside one line
+            0 | 1 => {
+                let line =
+                    (rng.next_u64() % (SPAN / BUF_LINE_BYTES as u64)) * BUF_LINE_BYTES as u64;
+                let offset = (rng.next_u64() % 200) as usize;
+                let len = 1 + (rng.next_u64() % (BUF_LINE_BYTES as u64 - offset as u64)) as usize;
+                let fill = (rng.next_u64() % 4) as u8; // small alphabet → real DCW hits
+                let bytes = vec![fill; len];
+                let a = PhysAddr::new(line);
+                assert_eq!(
+                    paged.write_masked(a, &bytes, offset),
+                    reference.write_masked(a, &bytes, offset),
+                    "write_masked program/suppress divergence at {a}"
+                );
+            }
+            // program_line with a random valid mask
+            2 => {
+                let line =
+                    (rng.next_u64() % (SPAN / BUF_LINE_BYTES as u64)) * BUF_LINE_BYTES as u64;
+                let mut data = [0u8; BUF_LINE_BYTES];
+                let mut valid = [false; BUF_LINE_BYTES];
+                for i in 0..BUF_LINE_BYTES {
+                    if rng.next_u64().is_multiple_of(3) {
+                        valid[i] = true;
+                        data[i] = (rng.next_u64() % 4) as u8;
+                    }
+                }
+                let a = PhysAddr::new(line);
+                assert_eq!(
+                    paged.program_line(a, &data, &valid),
+                    reference.program_line(a, &data, &valid),
+                    "program_line divergence at {a}"
+                );
+            }
+            // revert (crash-time discard_to path), may cross lines/pages
+            3 => {
+                let start = rng.next_u64() % (SPAN - 600);
+                let len = 1 + (rng.next_u64() % 512) as usize;
+                let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() % 4) as u8).collect();
+                paged.revert(PhysAddr::new(start), &bytes);
+                reference.revert(PhysAddr::new(start), &bytes);
+            }
+            // read, may cross lines/pages
+            _ => {
+                let start = rng.next_u64() % (SPAN - 600);
+                let len = 1 + (rng.next_u64() % 512) as usize;
+                let a = PhysAddr::new(start);
+                assert_eq!(paged.read(a, len), reference.read(a, len), "read at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn differential_vs_reference_hashmap_media() {
+        // 4000 random store/program/revert/read ops against the retained
+        // reference implementation: identical images, identical program
+        // counters. Identical `line_writes` implies identical
+        // `LineProgram` durability-event counts, since the device derives
+        // those events from line-write deltas.
+        let mut rng = silo_types::SplitMix64::new(0x51_70);
+        let mut paged = Media::new();
+        let mut reference = reference::RefMedia::default();
+        for _ in 0..4000 {
+            apply_random_op(&mut rng, &mut paged, &mut reference);
+        }
+        assert_eq!(paged.line_writes(), reference.line_writes());
+        assert_eq!(paged.bits_programmed(), reference.bits_programmed());
+        assert_eq!(paged.dcw_suppressed(), reference.dcw_suppressed());
+        assert_eq!(paged.touched_lines(), reference.touched_lines());
+        // Full-image sweep over the exercised span.
+        let span = 4 * PAGE_BYTES;
+        assert_eq!(
+            paged.read(PhysAddr::ZERO, span),
+            reference.read(PhysAddr::ZERO, span),
+            "final images diverge"
+        );
+    }
+
+    #[test]
+    fn differential_holds_across_cow_snapshots() {
+        // Same differential, but the paged media is snapshotted mid-stream
+        // so every later write exercises the Arc::make_mut COW path.
+        let mut rng = silo_types::SplitMix64::new(0xc0_77);
+        let mut paged = Media::new();
+        let mut reference = reference::RefMedia::default();
+        let mut snapshots = Vec::new();
+        for step in 0..3000 {
+            if step % 500 == 250 {
+                snapshots.push((paged.clone(), reference.clone()));
+            }
+            apply_random_op(&mut rng, &mut paged, &mut reference);
+        }
+        let span = 4 * PAGE_BYTES;
+        assert_eq!(
+            paged.read(PhysAddr::ZERO, span),
+            reference.read(PhysAddr::ZERO, span)
+        );
+        assert_eq!(paged.touched_lines(), reference.touched_lines());
+        // Every frozen snapshot must still match its reference twin — the
+        // COW writes since must not have leaked into shared pages.
+        for (snap, ref_snap) in &snapshots {
+            assert_eq!(
+                snap.read(PhysAddr::ZERO, span),
+                ref_snap.read(PhysAddr::ZERO, span),
+                "a post-snapshot write leaked into a frozen snapshot"
+            );
+            assert_eq!(snap.line_writes(), ref_snap.line_writes());
+        }
     }
 }

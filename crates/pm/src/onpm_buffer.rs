@@ -1,8 +1,8 @@
 //! The internal DIMM write buffer where PM writes coalesce (paper §III-E).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use silo_types::{PhysAddr, BUF_LINE_BYTES};
+use silo_types::{FxHashMap, PhysAddr, BUF_LINE_BYTES};
 
 use crate::{DrainReport, Media};
 
@@ -72,7 +72,7 @@ impl std::fmt::Debug for Staged {
 #[derive(Clone, Debug)]
 pub struct OnPmBuffer {
     capacity: usize,
-    lines: HashMap<u64, Staged>,
+    lines: FxHashMap<u64, Staged>,
     fifo: VecDeque<u64>,
     coalesced_hits: u64,
     fills: u64,
@@ -89,7 +89,7 @@ impl OnPmBuffer {
         assert!(capacity > 0, "on-PM buffer needs at least one line");
         OnPmBuffer {
             capacity,
-            lines: HashMap::with_capacity(capacity),
+            lines: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             fifo: VecDeque::with_capacity(capacity),
             coalesced_hits: 0,
             fills: 0,
@@ -240,18 +240,34 @@ impl OnPmBuffer {
     /// Reads `len` bytes at `addr`, with staged bytes overriding the media —
     /// the DIMM-internal read path sees buffered data.
     pub fn read_through(&self, addr: PhysAddr, len: usize, media: &Media) -> Vec<u8> {
-        let mut out = media.read(addr, len);
-        for (i, byte) in out.iter_mut().enumerate() {
-            let a = addr.as_u64() + i as u64;
-            let idx = a / BUF_LINE_BYTES as u64;
-            if let Some(staged) = self.lines.get(&idx) {
-                let off = (a % BUF_LINE_BYTES as u64) as usize;
-                if staged.valid[off] {
-                    *byte = staged.data[off];
+        let mut out = vec![0u8; len];
+        self.read_through_into(addr, &mut out, media);
+        out
+    }
+
+    /// [`read_through`](Self::read_through) into a caller-provided buffer —
+    /// the allocation-free word-read path of the engine's hot loop. Staged
+    /// lines are looked up once per buffer line covered, not per byte.
+    pub fn read_through_into(&self, addr: PhysAddr, out: &mut [u8], media: &Media) {
+        media.read_into(addr, out);
+        if self.lines.is_empty() {
+            return;
+        }
+        let mut cur = addr.as_u64();
+        let mut pos = 0;
+        while pos < out.len() {
+            let off = (cur % BUF_LINE_BYTES as u64) as usize;
+            let chunk = (out.len() - pos).min(BUF_LINE_BYTES - off);
+            if let Some(staged) = self.lines.get(&(cur / BUF_LINE_BYTES as u64)) {
+                for i in 0..chunk {
+                    if staged.valid[off + i] {
+                        out[pos + i] = staged.data[off + i];
+                    }
                 }
             }
+            cur += chunk as u64;
+            pos += chunk;
         }
-        out
     }
 
     /// Updates any staged copy of the written bytes *without* allocating

@@ -7,12 +7,22 @@
 //! line's wear counter, and [`WearTracker::lifetime_estimate`] converts
 //! the observed peak write rate into a device lifetime under a given
 //! cell-endurance budget.
+//!
+//! Like the [media](crate::Media) itself, the counters are stored in
+//! `Arc`-shared pages so that cloning a tracker (part of every
+//! `RunOutcome::pm` snapshot) is copy-on-write rather than a deep copy of
+//! one entry per touched line.
 
-use std::collections::HashMap;
+use std::sync::Arc;
+
+use silo_types::FxHashMap;
 
 /// Typical phase-change-memory cell endurance (program cycles before
 /// failure), the commonly cited 10⁸ figure for PCM.
 pub const PCM_CELL_ENDURANCE: u64 = 100_000_000;
+
+/// Wear counters per page: 64 lines × 8 B = one 512 B slab.
+const LINES_PER_PAGE: usize = 64;
 
 /// Tracks how many times each on-PM-buffer line has been programmed.
 ///
@@ -32,7 +42,10 @@ pub const PCM_CELL_ENDURANCE: u64 = 100_000_000;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct WearTracker {
-    programs: HashMap<u64, u64>,
+    pages: FxHashMap<u64, Arc<[u64; LINES_PER_PAGE]>>,
+    /// Distinct lines with a non-zero count, maintained incrementally so
+    /// [`lines_touched`](Self::lines_touched) stays O(1).
+    touched: usize,
     total: u64,
 }
 
@@ -44,8 +57,28 @@ impl WearTracker {
 
     /// Records one program of buffer line `line_index`.
     pub fn record_program(&mut self, line_index: u64) {
-        *self.programs.entry(line_index).or_insert(0) += 1;
+        let entry = self
+            .pages
+            .entry(line_index / LINES_PER_PAGE as u64)
+            .or_insert_with(|| Arc::new([0u64; LINES_PER_PAGE]));
+        let counter = &mut Arc::make_mut(entry)[(line_index % LINES_PER_PAGE as u64) as usize];
+        if *counter == 0 {
+            self.touched += 1;
+        }
+        *counter += 1;
         self.total += 1;
+    }
+
+    /// Iterates all `(line_index, programs)` pairs with non-zero counts, in
+    /// map (unspecified) order — callers that render must sort.
+    fn iter_counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pages.iter().flat_map(|(&page, counts)| {
+            counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(move |(slot, &c)| (page * LINES_PER_PAGE as u64 + slot as u64, c))
+        })
     }
 
     /// Total line programs observed.
@@ -55,21 +88,25 @@ impl WearTracker {
 
     /// Distinct lines ever programmed.
     pub fn lines_touched(&self) -> usize {
-        self.programs.len()
+        self.touched
     }
 
     /// The most-programmed line's count — the wear-leveling worst case
     /// that bounds device lifetime.
     pub fn max_wear(&self) -> u64 {
-        self.programs.values().copied().max().unwrap_or(0)
+        self.pages
+            .values()
+            .flat_map(|counts| counts.iter().copied())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean programs across touched lines.
     pub fn mean_wear(&self) -> f64 {
-        if self.programs.is_empty() {
+        if self.touched == 0 {
             0.0
         } else {
-            self.total as f64 / self.programs.len() as f64
+            self.total as f64 / self.touched as f64
         }
     }
 
@@ -85,7 +122,7 @@ impl WearTracker {
 
     /// The `n` most-worn lines, hottest first: `(line_index, programs)`.
     pub fn hottest_lines(&self, n: usize) -> Vec<(u64, u64)> {
-        let mut v: Vec<(u64, u64)> = self.programs.iter().map(|(&l, &c)| (l, c)).collect();
+        let mut v: Vec<(u64, u64)> = self.iter_counts().collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(n);
         v
@@ -145,6 +182,31 @@ mod tests {
         w.record_program(9);
         assert_eq!(w.hottest_lines(2), vec![(3, 2), (7, 2)]);
         assert_eq!(w.hottest_lines(10).len(), 3);
+    }
+
+    #[test]
+    fn lines_in_distinct_pages_do_not_collide() {
+        let mut w = WearTracker::new();
+        w.record_program(0);
+        w.record_program(LINES_PER_PAGE as u64); // slot 0 of the next page
+        w.record_program(LINES_PER_PAGE as u64);
+        assert_eq!(w.lines_touched(), 2);
+        assert_eq!(w.max_wear(), 2);
+        assert_eq!(w.hottest_lines(2), vec![(LINES_PER_PAGE as u64, 2), (0, 1)]);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write_and_independent() {
+        let mut w = WearTracker::new();
+        w.record_program(5);
+        let snap = w.clone();
+        w.record_program(5);
+        w.record_program(6);
+        assert_eq!(w.total_programs(), 3);
+        assert_eq!(snap.total_programs(), 1);
+        assert_eq!(snap.max_wear(), 1);
+        assert_eq!(snap.lines_touched(), 1);
+        assert_eq!(w.lines_touched(), 2);
     }
 
     #[test]

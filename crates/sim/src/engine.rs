@@ -1,11 +1,10 @@
 //! The deterministic multicore execution engine.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
 use silo_probe::{CycleCategory, ProbeEventKind};
-use silo_types::{CoreId, Cycles, PhysAddr, TxId, TxTag, Word};
+use silo_types::{CoreId, Cycles, FxHashMap, PhysAddr, TxId, TxTag, Word};
 
 use crate::schemes::EvictAction;
 use crate::{
@@ -130,7 +129,9 @@ struct CoreRun {
     phase: Phase,
     txid: TxId,
     tag: TxTag,
-    cur_writes: HashMap<u64, Word>,
+    // Reused across transactions (cleared at tx_begin, never dropped), so
+    // the steady-state hot loop allocates nothing per transaction.
+    cur_writes: FxHashMap<u64, Word>,
     committed: u64,
 }
 
@@ -233,7 +234,7 @@ impl<'a> Engine<'a> {
                 phase: Phase::BetweenTxs,
                 txid: TxId::new(0),
                 tag: TxTag::default(),
-                cur_writes: HashMap::new(),
+                cur_writes: FxHashMap::default(),
                 committed: 0,
             })
             .collect();
@@ -246,15 +247,45 @@ impl<'a> Engine<'a> {
             self.machine.pm.arm_crash_at_event(n);
         }
 
+        // Pick the unfinished core with the smallest clock, ties broken by
+        // core id — the keys `(time, i)` are unique, so the minimum is
+        // unambiguous. A full scan is O(cores) per step; since `step` only
+        // advances the stepped core's clock, cache the winner alongside the
+        // runner-up's key and rescan only when the stepped core finishes or
+        // its clock passes the runner-up. The sentinel key compares above
+        // every real key, so a lone core never rescans.
+        const NO_KEY: (Cycles, usize) = (Cycles::new(u64::MAX), usize::MAX);
+        let mut cached: Option<(usize, (Cycles, usize))> = None;
         loop {
-            // Pick the unfinished core with the smallest clock.
-            let next = cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.phase != Phase::Done)
-                .min_by_key(|(i, c)| (c.time, *i))
-                .map(|(i, _)| i);
-            let Some(ci) = next else { break };
+            let ci = match cached {
+                Some((i, runner_up))
+                    if cores[i].phase != Phase::Done && (cores[i].time, i) < runner_up =>
+                {
+                    i
+                }
+                _ => {
+                    let mut best: Option<(Cycles, usize)> = None;
+                    let mut runner_up = NO_KEY;
+                    for (i, c) in cores.iter().enumerate() {
+                        if c.phase == Phase::Done {
+                            continue;
+                        }
+                        let key = (c.time, i);
+                        match best {
+                            None => best = Some(key),
+                            Some(b) if key < b => {
+                                runner_up = b;
+                                best = Some(key);
+                            }
+                            Some(_) if key < runner_up => runner_up = key,
+                            Some(_) => {}
+                        }
+                    }
+                    let Some((_, i)) = best else { break };
+                    cached = Some((i, runner_up));
+                    i
+                }
+            };
             match plan.map(|p| p.trigger) {
                 Some(CrashTrigger::Cycle(crash)) if cores[ci].time >= crash => {
                     break; // power failed before this core's next op
@@ -817,7 +848,7 @@ mod tests {
         }
         fn recover(&mut self, m: &mut Machine) -> crate::RecoveryReport {
             self.recover_calls += 1;
-            for &(addr, w) in &self.recover_words.clone() {
+            for &(addr, w) in &self.recover_words {
                 m.pm.write(addr, &w.to_le_bytes());
             }
             crate::RecoveryReport::default()

@@ -1,13 +1,11 @@
 //! The simulated machine: caches + memory controller + PM + architectural
 //! state.
 
-use std::collections::HashMap;
-
 use silo_cache::CacheHierarchy;
 use silo_memctrl::{Admission, MemCtrl};
 use silo_pm::PmDevice;
 use silo_probe::ProbeHub;
-use silo_types::{Cycles, LineAddr, PhysAddr, Word, LINE_BYTES, WORD_BYTES};
+use silo_types::{Cycles, FxHashMap, LineAddr, PhysAddr, Word, LINE_BYTES, WORD_BYTES};
 
 use crate::SimConfig;
 
@@ -34,7 +32,7 @@ use crate::SimConfig;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ShadowMem {
-    words: HashMap<u64, Word>,
+    words: FxHashMap<u64, Word>,
 }
 
 impl ShadowMem {

@@ -6,10 +6,8 @@
 //! *all* writes of committed transactions present, *no* writes of
 //! uncommitted transactions surviving.
 
-use std::collections::{HashMap, HashSet};
-
 use silo_pm::PmDevice;
-use silo_types::{PhysAddr, TxTag, Word};
+use silo_types::{FxHashMap, FxHashSet, PhysAddr, TxTag, Word};
 
 /// One transaction's observed execution, as the oracle saw it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,10 +77,10 @@ impl ConsistencyReport {
 #[derive(Clone, Debug, Default)]
 pub struct TxOracle {
     /// Expected post-recovery value per word: the last committed write.
-    committed_state: HashMap<u64, Word>,
+    committed_state: FxHashMap<u64, Word>,
     /// Words touched by uncommitted transactions, with the value they must
     /// roll back to.
-    uncommitted_touched: HashMap<u64, Word>,
+    uncommitted_touched: FxHashMap<u64, Word>,
     /// Write sets of transactions whose commit raced the power failure:
     /// `(word key, rollback value, new value)` per write. Either outcome
     /// is legal, but it must be all-or-nothing per transaction.
@@ -155,7 +153,7 @@ impl TxOracle {
     /// (Self::observe_ambiguous)) are checked per group — all-new or
     /// all-rollback — instead of against a single expected value.
     pub fn verify(&self, pm: &PmDevice) -> ConsistencyReport {
-        let ambiguous_keys: HashSet<u64> = self
+        let ambiguous_keys: FxHashSet<u64> = self
             .ambiguous_groups
             .iter()
             .flatten()

@@ -14,6 +14,9 @@
 //!   conversions for the Table II latencies.
 //! * [`SplitMix64`] / [`Xoshiro256`] — small deterministic RNGs so that every
 //!   simulation run is exactly reproducible from a seed.
+//! * [`FxHashMap`] / [`FxHashSet`] — hot-path maps over the in-tree,
+//!   seed-free [`hash::FxHasher`], an order of magnitude cheaper than
+//!   SipHash for the simulator's small integer keys.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 
 mod addr;
 mod cycles;
+pub mod hash;
 mod ids;
 pub mod json;
 mod rng;
@@ -39,6 +43,7 @@ mod word;
 
 pub use addr::{LineAddr, PhysAddr, BUF_LINE_BYTES, LINE_BYTES, WORD_BYTES};
 pub use cycles::{Cycles, CLOCK_GHZ};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CoreId, ThreadId, TxId, TxTag};
 pub use json::{JsonObject, JsonValue};
 pub use rng::{SplitMix64, Xoshiro256};

@@ -1,9 +1,7 @@
 //! The simulated PM heap and the transaction recorder workloads build on.
 
-use std::collections::HashMap;
-
 use silo_sim::{Op, Transaction};
-use silo_types::{PhysAddr, Word, WORD_BYTES};
+use silo_types::{FxHashMap, PhysAddr, Word, WORD_BYTES};
 
 /// A bump allocator over one core's private slice of the PM data region.
 ///
@@ -101,7 +99,7 @@ impl PmHeap {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct TxRecorder {
-    mem: HashMap<u64, u64>,
+    mem: FxHashMap<u64, u64>,
     ops: Vec<Op>,
 }
 

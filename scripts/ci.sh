@@ -107,6 +107,22 @@ smoke_stage() {
     || { echo "FAIL: profile output depends on worker count" >&2; exit 1; }
   rm -rf "$det_dir" "$det_dir.j1.txt" "$det_dir.j8.txt"
 
+  echo "== crashfuzz golden-report gate =="
+  # One crashfuzz cell's report, stripped of its host-dependent envelope
+  # fields (jobs/wall_ms), must hash to the committed golden digest: the
+  # crash surface, oracle verdicts, and per-point PM image digests are
+  # fully deterministic, so any drift is a behavioural change.
+  gold_dir="target/reports-ci-gold"
+  rm -rf "$gold_dir"
+  "$EVALUATE" crashfuzz --txs 16 --bench Hash --jobs 2 --json-dir "$gold_dir" > /dev/null
+  sed 's/,"jobs":[0-9]*,"wall_ms":[0-9.eE+-]*}$/}/' "$gold_dir/crashfuzz.json" \
+    | sha256sum | awk '{print $1}' > "$gold_dir.digest"
+  diff "$gold_dir.digest" scripts/crashfuzz_smoke.sha256 \
+    || { echo "FAIL: crashfuzz smoke report drifted from the golden digest" >&2
+         echo "      (if intentional: cp $gold_dir.digest scripts/crashfuzz_smoke.sha256)" >&2
+         exit 1; }
+  rm -rf "$gold_dir" "$gold_dir.digest"
+
   echo "== crashfuzz smoke test =="
   # Clean sweep: every scheme must recover consistently under all three
   # fault models at event-indexed crash points.
@@ -154,6 +170,19 @@ bench_stage() {
   printf '{"experiment": "profile", "txs": 400, "jobs": 4, "wall_ms": %s, "total_cycles_sum": %s}\n' \
     "$prof_ms" "$total_cycles" > "$fresh_dir/BENCH_profile.json"
   cat "$fresh_dir/BENCH_profile.json"
+
+  echo "== timed engine benchmark =="
+  # The rawest engine hot loop (full runs, no cycle accounting): a
+  # wall-clock data point for the allocation/hashing hot paths plus the
+  # deterministic summed per-core cycles as a behavioural fingerprint.
+  "$EVALUATE" bench-engine --txs 600 --jobs 4 \
+    --json-dir "$bench_dir/engine" > /dev/null 2>&1
+  eng_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/engine/bench-engine.json")
+  eng_cycles=$(grep -o '"total_cycles": *[0-9]*' "$bench_dir/engine/bench-engine.json" \
+    | awk -F: '{s += $2} END {printf "%d", s}')
+  printf '{"experiment": "bench-engine", "txs": 600, "jobs": 4, "wall_ms": %s, "total_cycles_sum": %s}\n' \
+    "$eng_ms" "$eng_cycles" > "$fresh_dir/BENCH_engine.json"
+  cat "$fresh_dir/BENCH_engine.json"
   rm -rf "$bench_dir"
 
   echo "== perf-regression gate =="
