@@ -1,0 +1,71 @@
+//! Stamps the build with a deterministic fingerprint of the workspace
+//! sources, exposed to the crate as the `SILO_CODE_FINGERPRINT` env var.
+//!
+//! The persistent result store keys every memoized cell by this
+//! fingerprint, so results computed by an older build are never served
+//! after any crate source changes — the conservative invalidation rule:
+//! touch one line anywhere and the whole store goes cold. That costs one
+//! full re-simulation per code change but can never serve a stale cell.
+//!
+//! The hash is FNV-1a 64 over the sorted relative paths and raw bytes of
+//! every `*.rs` and `Cargo.toml` under `crates/` and the root crate
+//! (`src/`, `Cargo.toml`), with each file's path and length folded in so
+//! renames and boundary shifts change the digest. No timestamps or
+//! absolute paths are hashed: two checkouts of the same tree agree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs")
+            || path.file_name().is_some_and(|n| n == "Cargo.toml")
+        {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").unwrap());
+    let root = manifest.parent().unwrap().parent().unwrap().to_path_buf();
+
+    // Cargo rescans these recursively, so adding/removing/editing any
+    // source re-runs this script and re-stamps the fingerprint.
+    for watched in ["crates", "src", "Cargo.toml"] {
+        println!("cargo:rerun-if-changed={}", root.join(watched).display());
+    }
+
+    let mut files = vec![root.join("Cargo.toml")];
+    collect(&root.join("crates"), &mut files);
+    collect(&root.join("src"), &mut files);
+    files.sort();
+
+    let mut hash = FNV_OFFSET;
+    for path in &files {
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        fnv(&mut hash, rel.as_bytes());
+        fnv(&mut hash, &[0]);
+        let bytes = fs::read(path).unwrap_or_default();
+        fnv(&mut hash, &(bytes.len() as u64).to_le_bytes());
+        fnv(&mut hash, &bytes);
+    }
+    println!("cargo:rustc-env=SILO_CODE_FINGERPRINT={hash:016x}");
+}

@@ -18,19 +18,26 @@ use std::path::Path;
 
 use silo_bench::{
     arg_string, arg_u64, arg_usize, default_jobs, registry, run_experiment, write_report,
-    EventTraceSink, ExpParams, ExperimentSpec, TraceCache,
+    EventTraceSink, ExpParams, ExperimentSpec, ResultStore, TraceCache,
 };
 use silo_types::JsonValue;
 
 const USAGE: &str = "\
 usage: evaluate <experiment|all|list> [--txs N] [--seed S] [--jobs J] [--json-dir D]
                 [--cores C] [--bench Name[,Name...]] [--no-trace-cache]
-                [--trace-events PATH]
+                [--no-result-store] [--trace-events PATH]
        evaluate check <report.json>
+       evaluate store-gc
 
 --trace-events writes a schema-versioned JSONL event timeline (tx
 begin/commit, log merge/ignore/overflow, buffer drains, WPQ admissions,
 crash/recovery) for every run to PATH.
+
+Cell outcomes are memoized on disk under target/result-store/ (override
+with SILO_RESULT_STORE=<dir>), keyed by spec hash, trace content, and
+code fingerprint, so re-evaluating unchanged work replays stored
+results. --no-result-store computes everything fresh and records
+nothing; `evaluate store-gc` prunes entries left by old builds.
 
 Run `evaluate list` for the registered experiments.";
 
@@ -39,12 +46,17 @@ fn main() {
     if args.iter().any(|a| a == "--no-trace-cache") {
         TraceCache::global().set_enabled(false);
     }
+    let mut store_on = !args.iter().any(|a| a == "--no-result-store");
     if let Some(path) = arg_string(&args, "--trace-events") {
         if let Err(err) = EventTraceSink::global().enable(Path::new(&path)) {
             eprintln!("error: opening event trace {path}: {err}");
             std::process::exit(1);
         }
+        // A replayed outcome emits no events, so a run that asks for the
+        // timeline must compute every cell fresh.
+        store_on = false;
     }
+    ResultStore::global().set_enabled(store_on);
     let Some(cmd) = args.get(1).map(String::as_str) else {
         eprintln!("{USAGE}");
         std::process::exit(2);
@@ -57,6 +69,15 @@ fn main() {
             }
         }
         "check" => check(args.get(2).map(String::as_str)),
+        "store-gc" => match ResultStore::global().gc() {
+            Ok((dirs, files)) => {
+                println!("result store gc: removed {dirs} stale fingerprint dirs, {files} entries")
+            }
+            Err(err) => {
+                eprintln!("error: result store gc: {err}");
+                std::process::exit(1);
+            }
+        },
         "all" => {
             for spec in registry::all() {
                 run(&spec, &args);
@@ -100,6 +121,18 @@ fn run(spec: &ExperimentSpec, args: &[String]) {
         cache.generations,
         cache.hits,
         if TraceCache::global().enabled() {
+            ""
+        } else {
+            " (disabled)"
+        }
+    );
+    let store = ResultStore::global().stats();
+    eprintln!(
+        "[result-store] {} hits, {} misses, {} invalidated{}",
+        store.hits,
+        store.misses,
+        store.invalidated,
+        if ResultStore::global().enabled() {
             ""
         } else {
             " (disabled)"

@@ -5,20 +5,22 @@
 //! [`GridSpec`] (scheme set × workload set × core counts with a metric
 //! extractor and a normalization reference — the Fig 11/12 shape) or a
 //! custom pair of functions that build the experiment's independent
-//! simulation [`Cell`]s and render the finished results.
+//! simulation [`CellSpec`]s and render the finished results.
 //!
 //! The split into *build* → *run* → *render* is what makes the runner
 //! parallel without changing a byte of output: cells carry no ordering
 //! dependencies, the runner slots each outcome back at its cell index, and
-//! rendering consumes outcomes strictly in cell order.
+//! rendering consumes outcomes strictly in cell order. Cells are pure data
+//! ([`CellSpec`]), so the runner also memoizes them through the persistent
+//! [`ResultStore`](crate::ResultStore).
 
 use std::fmt::Write as _;
 
 use silo_sim::SimStats;
 use silo_types::JsonValue;
-use silo_workloads::workload_by_name;
 
-use crate::{format_normalized, run_one_delta};
+use crate::cellspec::{CellSpec, CellWork, RunSpec, WorkloadSpec};
+use crate::format_normalized;
 
 /// Runtime parameters of one experiment invocation.
 #[derive(Clone, Debug)]
@@ -81,6 +83,28 @@ impl CellLabel {
         self.param = param.into();
         self
     }
+
+    /// Human-readable cell identity for error messages: the non-empty
+    /// coordinates joined, e.g. `Silo/TPCC/8c/batch=4`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if !self.scheme.is_empty() {
+            parts.push(self.scheme.clone());
+        }
+        if !self.workload.is_empty() {
+            parts.push(self.workload.clone());
+        }
+        if self.cores > 0 {
+            parts.push(format!("{}c", self.cores));
+        }
+        if !self.param.is_empty() {
+            parts.push(self.param.clone());
+        }
+        if parts.is_empty() {
+            parts.push("<unlabeled>".to_string());
+        }
+        parts.join("/")
+    }
 }
 
 /// What one cell produced: the raw run statistics (when a simulation ran)
@@ -91,6 +115,10 @@ pub struct CellOutcome {
     pub stats: Option<SimStats>,
     /// Named derived metrics (insertion-ordered).
     pub values: Vec<(String, f64)>,
+    /// Which cell produced this outcome ([`CellLabel::describe`]), stamped
+    /// by the runner so accessor failures name the cell instead of dying
+    /// anonymously. Display-only: never serialized, never compared.
+    pub origin: String,
 }
 
 impl CellOutcome {
@@ -98,7 +126,7 @@ impl CellOutcome {
     pub fn from_stats(stats: SimStats) -> Self {
         CellOutcome {
             stats: Some(stats),
-            values: Vec::new(),
+            ..CellOutcome::default()
         }
     }
 
@@ -113,42 +141,42 @@ impl CellOutcome {
     /// # Panics
     ///
     /// Panics if the metric was not recorded — that is a bug in the
-    /// experiment's build/render pairing, not a runtime condition.
+    /// experiment's build/render pairing, not a runtime condition. The
+    /// message names the cell, the requested key, and what *was* recorded.
     pub fn value(&self, key: &str) -> f64 {
         self.values
             .iter()
             .find(|(k, _)| k == key)
             .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("cell metric {key:?} not recorded"))
+            .unwrap_or_else(|| {
+                let recorded: Vec<&str> = self.values.iter().map(|(k, _)| k.as_str()).collect();
+                panic!(
+                    "cell {origin}: metric {key:?} not recorded (recorded: {recorded:?})",
+                    origin = self.origin_or_unknown(),
+                )
+            })
     }
 
     /// The run statistics.
     ///
     /// # Panics
     ///
-    /// Panics if the cell carried no simulation.
+    /// Panics if the cell carried no simulation; the message names the
+    /// cell.
     pub fn stats(&self) -> &SimStats {
-        self.stats.as_ref().expect("cell ran no simulation")
+        self.stats.as_ref().unwrap_or_else(|| {
+            panic!(
+                "cell {origin}: ran no simulation, no stats recorded",
+                origin = self.origin_or_unknown(),
+            )
+        })
     }
-}
 
-/// One independent unit of work: a label plus the closure that performs
-/// the simulation. Cells never depend on each other, so the runner may
-/// execute them in any order on any thread.
-pub struct Cell {
-    /// Grid coordinates of this cell.
-    pub label: CellLabel,
-    /// The work. Must be deterministic: outcome depends only on the
-    /// closure's captures, never on execution order or wall clock.
-    pub run: Box<dyn FnOnce() -> CellOutcome + Send>,
-}
-
-impl Cell {
-    /// Builds a cell from a label and a closure.
-    pub fn new(label: CellLabel, run: impl FnOnce() -> CellOutcome + Send + 'static) -> Self {
-        Cell {
-            label,
-            run: Box::new(run),
+    fn origin_or_unknown(&self) -> &str {
+        if self.origin.is_empty() {
+            "<unknown>"
+        } else {
+            &self.origin
         }
     }
 }
@@ -215,8 +243,8 @@ pub enum ExpKind {
     Grid(GridSpec),
     /// Hand-written build/render functions (ablations, studies, tables).
     Custom {
-        /// Expands the parameters into independent cells.
-        build: fn(&ExpParams) -> Vec<Cell>,
+        /// Expands the parameters into independent cell specs.
+        build: fn(&ExpParams) -> Vec<CellSpec>,
         /// Renders the text output (byte-identical to the legacy binary)
         /// and returns the experiment's derived values for the report.
         render: fn(&ExpParams, &[(CellLabel, CellOutcome)], &mut String) -> JsonValue,
@@ -240,8 +268,11 @@ pub struct ExperimentSpec {
 }
 
 impl ExperimentSpec {
-    /// Expands the parameters into this experiment's independent cells.
-    pub fn build(&self, p: &ExpParams) -> Vec<Cell> {
+    /// Expands the parameters into this experiment's independent cell
+    /// specs. Grid cells are steady-state deltas on the stock Table II
+    /// machine — two grids sweeping the same axes (fig11/fig12) produce
+    /// content-identical specs and share one set of memoized results.
+    pub fn build(&self, p: &ExpParams) -> Vec<CellSpec> {
         match &self.kind {
             ExpKind::Custom { build, .. } => build(p),
             ExpKind::Grid(grid) => {
@@ -250,19 +281,15 @@ impl ExperimentSpec {
                     let txs_per_core = (p.txs / cores).max(1);
                     for bench in grid.benchmarks {
                         for scheme in grid.schemes {
-                            let seed = p.seed;
-                            cells.push(Cell::new(
+                            cells.push(CellSpec::new(
                                 CellLabel::swc(scheme, bench, cores),
-                                move || {
-                                    let w = workload_by_name(bench).expect("grid benchmark");
-                                    CellOutcome::from_stats(run_one_delta(
-                                        scheme,
-                                        w.as_ref(),
-                                        cores,
-                                        txs_per_core,
-                                        seed,
-                                    ))
-                                },
+                                p.seed,
+                                CellWork::Delta(RunSpec::table_ii(
+                                    scheme,
+                                    WorkloadSpec::plain(bench),
+                                    cores,
+                                    txs_per_core,
+                                )),
                             ));
                         }
                     }

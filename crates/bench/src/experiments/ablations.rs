@@ -5,14 +5,11 @@
 
 use std::fmt::Write as _;
 
-use silo_cache::CacheConfig;
-use silo_core::{SiloOptions, SiloScheme};
-use silo_sim::SimConfig;
-use silo_types::{Cycles, JsonValue};
-use silo_workloads::workload_by_name;
+use silo_core::SiloOptions;
+use silo_types::JsonValue;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::{run_delta_with, Batched};
+use crate::cellspec::{CellSpec, CellWork, ConfigDelta, RunSpec, SchemeSpec, WorkloadSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
 
 const SEVEN: [&str; 7] = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
 const CORES: usize = 8;
@@ -21,33 +18,29 @@ const CORES: usize = 8;
 
 const BATCHES: [usize; 3] = [1, 4, 14];
 
-fn build_batch_size(p: &ExpParams) -> Vec<Cell> {
+fn build_batch_size(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES / 4).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in ["Hash", "TPCC"] {
         for batch in BATCHES {
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("batch={batch}")),
-                move || {
-                    let config = SimConfig::table_ii(CORES);
-                    let make = || {
-                        Box::new(SiloScheme::with_options(
-                            &config,
-                            SiloOptions {
-                                overflow_batch_override: Some(batch),
-                                // Coalescing off isolates the batching effect: with
-                                // the on-PM buffer active, sequential overflow
-                                // records coalesce regardless of batch size (see
-                                // DESIGN.md ablation notes).
-                                onpm_coalescing: false,
-                                ..SiloOptions::default()
-                            },
-                        )) as Box<dyn silo_sim::LoggingScheme>
-                    };
-                    let w = Batched::new(workload_by_name(name).expect("benchmark"), 4);
-                    CellOutcome::from_stats(run_delta_with(&config, make, &w, txs_per_core, seed))
-                },
+                p.seed,
+                CellWork::Delta(RunSpec {
+                    scheme: SchemeSpec::Silo(SiloOptions {
+                        overflow_batch_override: Some(batch),
+                        // Coalescing off isolates the batching effect: with
+                        // the on-PM buffer active, sequential overflow
+                        // records coalesce regardless of batch size (see
+                        // DESIGN.md ablation notes).
+                        onpm_coalescing: false,
+                        ..SiloOptions::default()
+                    }),
+                    workload: WorkloadSpec::batched(name, 4),
+                    cores: CORES,
+                    txs_per_core,
+                    config: ConfigDelta::default(),
+                }),
             ));
         }
     }
@@ -129,34 +122,25 @@ pub fn batch_size() -> ExperimentSpec {
 
 // ---------------------------------------------------------------- coalescing
 
-fn build_coalescing(p: &ExpParams) -> Vec<Cell> {
+fn build_coalescing(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in SEVEN {
         for coalescing in [true, false] {
             let variant = if coalescing { "on" } else { "off" };
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("coalescing={variant}")),
-                move || {
-                    let w = workload_by_name(name).expect("benchmark");
-                    let config = SimConfig::table_ii(CORES);
-                    CellOutcome::from_stats(run_delta_with(
-                        &config,
-                        || {
-                            Box::new(SiloScheme::with_options(
-                                &config,
-                                SiloOptions {
-                                    onpm_coalescing: coalescing,
-                                    ..SiloOptions::default()
-                                },
-                            ))
-                        },
-                        &w,
-                        txs_per_core,
-                        seed,
-                    ))
-                },
+                p.seed,
+                CellWork::Delta(RunSpec {
+                    scheme: SchemeSpec::Silo(SiloOptions {
+                        onpm_coalescing: coalescing,
+                        ..SiloOptions::default()
+                    }),
+                    workload: WorkloadSpec::plain(name),
+                    cores: CORES,
+                    txs_per_core,
+                    config: ConfigDelta::default(),
+                }),
             ));
         }
     }
@@ -223,43 +207,28 @@ pub fn coalescing() -> ExperimentSpec {
 
 // ------------------------------------------------------------------ flushbit
 
-fn tiny_hierarchy(cores: usize) -> SimConfig {
-    let mut c = SimConfig::table_ii(cores);
-    c.hierarchy.l1 = CacheConfig::new(2 * 1024, 2);
-    c.hierarchy.l1_latency = Cycles::new(4);
-    c.hierarchy.l2 = CacheConfig::new(4 * 1024, 2);
-    c.hierarchy.l3 = CacheConfig::new(8 * 1024, 4);
-    c
-}
-
-fn build_flushbit(p: &ExpParams) -> Vec<Cell> {
+fn build_flushbit(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES / 16).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in SEVEN {
         for fb in [true, false] {
             let variant = if fb { "on" } else { "off" };
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("flushbit={variant}")),
-                move || {
-                    let w = Batched::new(workload_by_name(name).expect("benchmark"), 16);
-                    let config = tiny_hierarchy(CORES);
-                    CellOutcome::from_stats(run_delta_with(
-                        &config,
-                        || {
-                            Box::new(SiloScheme::with_options(
-                                &config,
-                                SiloOptions {
-                                    flush_bit: fb,
-                                    ..SiloOptions::default()
-                                },
-                            ))
-                        },
-                        &w,
-                        txs_per_core,
-                        seed,
-                    ))
-                },
+                p.seed,
+                CellWork::Delta(RunSpec {
+                    scheme: SchemeSpec::Silo(SiloOptions {
+                        flush_bit: fb,
+                        ..SiloOptions::default()
+                    }),
+                    workload: WorkloadSpec::batched(name, 16),
+                    cores: CORES,
+                    txs_per_core,
+                    config: ConfigDelta {
+                        tiny_hierarchy: true,
+                        ..ConfigDelta::default()
+                    },
+                }),
             ));
         }
     }
@@ -354,26 +323,21 @@ fn log_options(variant: &str) -> SiloOptions {
     }
 }
 
-fn build_log_reduction(p: &ExpParams) -> Vec<Cell> {
+fn build_log_reduction(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in SEVEN {
         for vname in LOG_VARIANTS {
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("variant={vname}")),
-                move || {
-                    let w = workload_by_name(name).expect("benchmark");
-                    let config = SimConfig::table_ii(CORES);
-                    let opts = log_options(vname);
-                    CellOutcome::from_stats(run_delta_with(
-                        &config,
-                        || Box::new(SiloScheme::with_options(&config, opts)),
-                        &w,
-                        txs_per_core,
-                        seed,
-                    ))
-                },
+                p.seed,
+                CellWork::Delta(RunSpec {
+                    scheme: SchemeSpec::Silo(log_options(vname)),
+                    workload: WorkloadSpec::plain(name),
+                    cores: CORES,
+                    txs_per_core,
+                    config: ConfigDelta::default(),
+                }),
             ));
         }
     }

@@ -16,23 +16,27 @@
 use std::fmt::Write as _;
 
 use silo_types::JsonValue;
-use silo_workloads::workload_by_name;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::{run_one, ALL_SCHEMES};
+use crate::cellspec::{CellSpec, CellWork, RunSpec, WorkloadSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::ALL_SCHEMES;
 
-fn build(p: &ExpParams) -> Vec<Cell> {
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / p.cores).max(1);
     let mut cells = Vec::new();
     for bench in &p.benches {
         for scheme in ALL_SCHEMES {
-            let (bench, cores, seed) = (bench.clone(), p.cores, p.seed);
-            cells.push(Cell::new(
-                CellLabel::swc(scheme, &bench, cores),
-                move || {
-                    let w = workload_by_name(&bench)
-                        .unwrap_or_else(|| panic!("unknown workload {bench}"));
-                    CellOutcome::from_stats(run_one(scheme, w.as_ref(), cores, txs_per_core, seed))
+            cells.push(CellSpec::new(
+                CellLabel::swc(scheme, bench, p.cores),
+                p.seed,
+                CellWork::Full {
+                    run: RunSpec::table_ii(
+                        scheme,
+                        WorkloadSpec::plain(bench),
+                        p.cores,
+                        txs_per_core,
+                    ),
+                    record_throughput: false,
                 },
             ));
         }

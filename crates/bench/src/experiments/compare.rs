@@ -8,11 +8,11 @@ use std::fmt::Write as _;
 use silo_types::JsonValue;
 use silo_workloads::workload_by_name;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::{run_one_delta, SCHEMES};
+use crate::cellspec::{CellSpec, CellWork, RunSpec, WorkloadSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::SCHEMES;
 
-fn build(p: &ExpParams) -> Vec<Cell> {
-    let (txs, cores, seed) = (p.txs, p.cores, p.seed);
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     let mut cells = Vec::new();
     for name in &p.benches {
         if workload_by_name(name).is_none() {
@@ -22,11 +22,16 @@ fn build(p: &ExpParams) -> Vec<Cell> {
             std::process::exit(1);
         }
         for s in SCHEMES {
-            let name = name.clone();
-            cells.push(Cell::new(CellLabel::swc(s, &name, cores), move || {
-                let w = workload_by_name(&name).expect("validated above");
-                CellOutcome::from_stats(run_one_delta(s, w.as_ref(), cores, txs, seed))
-            }));
+            cells.push(CellSpec::new(
+                CellLabel::swc(s, name, p.cores),
+                p.seed,
+                CellWork::Delta(RunSpec::table_ii(
+                    s,
+                    WorkloadSpec::plain(name),
+                    p.cores,
+                    p.txs,
+                )),
+            ));
         }
     }
     cells

@@ -28,7 +28,8 @@ use silo_sim::{CrashPlan, Engine, FaultModel, RunOutcome, SimConfig, TraceSet};
 use silo_types::{Cycles, JsonValue, PhysAddr};
 use silo_workloads::workload_by_name;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec};
+use crate::cellspec::{CellSpec, CellWork, FaultSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec};
 use crate::{arg_string, arg_u64, arg_usize, make_scheme, TraceCache, ALL_SCHEMES};
 
 /// Two cores keep the sweep cheap while still exercising cross-core
@@ -57,6 +58,22 @@ enum Fault {
 }
 
 impl Fault {
+    fn from_spec(spec: FaultSpec) -> Fault {
+        match spec {
+            FaultSpec::OpBoundary => Fault::OpBoundary,
+            FaultSpec::TornLine(keep) => Fault::TornLine(keep),
+            FaultSpec::Battery(bytes) => Fault::Battery(bytes),
+        }
+    }
+
+    fn to_spec(self) -> FaultSpec {
+        match self {
+            Fault::OpBoundary => FaultSpec::OpBoundary,
+            Fault::TornLine(keep) => FaultSpec::TornLine(keep),
+            Fault::Battery(bytes) => FaultSpec::Battery(bytes),
+        }
+    }
+
     fn name(self) -> &'static str {
         match self {
             Fault::OpBoundary => "op-boundary",
@@ -317,10 +334,64 @@ fn shrink(
     (txs_per_core, point)
 }
 
-fn build(p: &ExpParams) -> Vec<Cell> {
+/// Executor entry point for [`CellWork::CrashSweep`]: one sweep row —
+/// clean reference run, the spaced (or one fixed) crash point(s) under
+/// `fault`, and shrinking of the first violation found.
+pub(crate) fn execute_sweep(
+    scheme: &str,
+    workload: &str,
+    txs_per_core: usize,
+    seed: u64,
+    fault: FaultSpec,
+    point: Option<u64>,
+) -> CellOutcome {
+    let fault = Fault::from_spec(fault);
+    let w = workload_by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
+    let config = SimConfig::table_ii(CORES);
+    // One trace per benchmark serves every scheme × fault × crash-point
+    // run in the sweep.
+    let streams = TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
+    let footprint = write_footprint(&streams);
+    let clean = clean_run(scheme, &config, &streams, workload, txs_per_core, seed);
+    let points = match point {
+        Some(n) => vec![n],
+        None => spaced(axis_total(fault, &clean), POINTS),
+    };
+    let mut out =
+        CellOutcome::from_stats(clean.stats.clone()).with_value("points", points.len() as f64);
+    let mut worst: Option<u64> = None;
+    for (j, &n) in points.iter().enumerate() {
+        let r = run_point(scheme, &config, &streams, &footprint, fault, n);
+        if r.violations > 0 && worst.is_none() {
+            worst = Some(r.point);
+        }
+        out = out
+            .with_value(&format!("p{j}_at"), r.point as f64)
+            .with_value(&format!("p{j}_viol"), r.violations as f64)
+            .with_value(&format!("p{j}_amb"), r.ambiguous as f64)
+            .with_value(&format!("p{j}_prog"), r.progress)
+            .with_value(&format!("p{j}_dig"), r.digest as f64);
+    }
+    if let Some(first_bad) = worst {
+        let (t, n) = shrink(
+            scheme,
+            workload,
+            &config,
+            fault,
+            seed,
+            txs_per_core,
+            first_bad,
+        );
+        out = out
+            .with_value("shrunk_txs", (t * CORES) as f64)
+            .with_value("shrunk_point", n as f64);
+    }
+    out
+}
+
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     let cfg = parse_config(p);
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for bench in &p.benches {
         if workload_by_name(bench).is_none() {
@@ -329,55 +400,16 @@ fn build(p: &ExpParams) -> Vec<Cell> {
         }
         for scheme in &cfg.schemes {
             for &fault in &cfg.faults {
-                let (bench, scheme) = (bench.clone(), scheme.clone());
-                let fixed_point = cfg.point;
-                cells.push(Cell::new(
-                    CellLabel::swc(&scheme, &bench, CORES)
+                cells.push(CellSpec::new(
+                    CellLabel::swc(scheme, bench, CORES)
                         .with_param(format!("fault={}", fault.describe())),
-                    move || {
-                        let w = workload_by_name(&bench).expect("checked above");
-                        let config = SimConfig::table_ii(CORES);
-                        // One trace per benchmark serves every scheme ×
-                        // fault × crash-point run in the sweep.
-                        let streams =
-                            TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
-                        let footprint = write_footprint(&streams);
-                        let clean =
-                            clean_run(&scheme, &config, &streams, &bench, txs_per_core, seed);
-                        let points = match fixed_point {
-                            Some(n) => vec![n],
-                            None => spaced(axis_total(fault, &clean), POINTS),
-                        };
-                        let mut out = CellOutcome::from_stats(clean.stats.clone())
-                            .with_value("points", points.len() as f64);
-                        let mut worst: Option<u64> = None;
-                        for (j, &n) in points.iter().enumerate() {
-                            let r = run_point(&scheme, &config, &streams, &footprint, fault, n);
-                            if r.violations > 0 && worst.is_none() {
-                                worst = Some(r.point);
-                            }
-                            out = out
-                                .with_value(&format!("p{j}_at"), r.point as f64)
-                                .with_value(&format!("p{j}_viol"), r.violations as f64)
-                                .with_value(&format!("p{j}_amb"), r.ambiguous as f64)
-                                .with_value(&format!("p{j}_prog"), r.progress)
-                                .with_value(&format!("p{j}_dig"), r.digest as f64);
-                        }
-                        if let Some(first_bad) = worst {
-                            let (t, n) = shrink(
-                                &scheme,
-                                &bench,
-                                &config,
-                                fault,
-                                seed,
-                                txs_per_core,
-                                first_bad,
-                            );
-                            out = out
-                                .with_value("shrunk_txs", (t * CORES) as f64)
-                                .with_value("shrunk_point", n as f64);
-                        }
-                        out
+                    p.seed,
+                    CellWork::CrashSweep {
+                        scheme: scheme.clone(),
+                        workload: bench.clone(),
+                        txs_per_core,
+                        fault: fault.to_spec(),
+                        point: cfg.point,
                     },
                 ));
             }

@@ -3,55 +3,36 @@
 //! writes "exacerbate the write endurance of PM and hence shorten the PM
 //! lifetime".
 //!
-//! The wear ledger lives on the engine output, not on `SimStats`, so each
-//! cell extracts the wear-derived numbers inside its closure and carries
-//! them as named metrics.
+//! The wear ledger lives on the engine output, not on `SimStats`, so the
+//! executor's [`CellWork::Wear`] recipe extracts the wear-derived numbers
+//! and carries them as named metrics.
 
 use std::fmt::Write as _;
 
-use silo_pm::PCM_CELL_ENDURANCE;
-use silo_sim::{Engine, SimConfig};
-use silo_types::CLOCK_GHZ;
-use silo_workloads::workload_by_name;
-
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::{make_scheme, SCHEMES};
 use silo_types::JsonValue;
+
+use crate::cellspec::{CellSpec, CellWork, RunSpec, WorkloadSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::SCHEMES;
 
 const BENCHES: [&str; 3] = ["Hash", "TPCC", "YCSB"];
 const CORES: usize = 8;
 
-fn build(p: &ExpParams) -> Vec<Cell> {
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for bench in BENCHES {
         for s in SCHEMES {
-            cells.push(Cell::new(CellLabel::swc(s, bench, CORES), move || {
-                let w = workload_by_name(bench).expect("benchmark");
-                let config = SimConfig::table_ii(CORES);
-                let mut scheme = make_scheme(s, &config);
-                // One trace per benchmark, shared across the scheme sweep.
-                let trace = crate::TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
-                let out = Engine::new(&config, scheme.as_mut()).run(&trace, None);
-                let wear = out.pm.wear();
-                let elapsed_s = out.stats.sim_cycles.as_u64() as f64 / (CLOCK_GHZ * 1e9);
-                let life = wear
-                    .lifetime_estimate(elapsed_s, PCM_CELL_ENDURANCE)
-                    .unwrap_or(f64::INFINITY);
-                let hottest = wear
-                    .hottest_lines(1)
-                    .first()
-                    .map(|&(l, c)| (l, c))
-                    .unwrap_or((0, 0));
-                CellOutcome::from_stats(out.stats)
-                    .with_value("programs", wear.total_programs() as f64)
-                    .with_value("max_wear", wear.max_wear() as f64)
-                    .with_value("imbalance", wear.wear_imbalance())
-                    .with_value("hot_line", hottest.0 as f64)
-                    .with_value("hot_count", hottest.1 as f64)
-                    .with_value("life", life)
-            }));
+            cells.push(CellSpec::new(
+                CellLabel::swc(s, bench, CORES),
+                p.seed,
+                CellWork::Wear(RunSpec::table_ii(
+                    s,
+                    WorkloadSpec::plain(bench),
+                    CORES,
+                    txs_per_core,
+                )),
+            ));
         }
     }
     cells

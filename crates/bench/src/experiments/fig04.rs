@@ -5,37 +5,24 @@
 use std::fmt::Write as _;
 
 use silo_types::JsonValue;
-use silo_workloads::{fig4_set, workload_by_name};
+use silo_workloads::fig4_set;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
+use crate::cellspec::{CellSpec, CellWork};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
 
-fn build(p: &ExpParams) -> Vec<Cell> {
-    let (txs, seed) = (p.txs, p.seed);
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     fig4_set()
         .into_iter()
         .map(|w| {
-            let name = w.name();
-            Cell::new(
+            CellSpec::new(
                 CellLabel {
-                    workload: name.to_string(),
+                    workload: w.name().to_string(),
                     ..CellLabel::default()
                 },
-                move || {
-                    let w = workload_by_name(name).expect("fig4 workload");
-                    let trace = crate::TraceCache::global().get_or_build(&w, 1, txs, seed);
-                    // Skip the setup transaction; measure the workload's own txs.
-                    let measured = &trace.streams()[0][1..];
-                    let (mut total, mut max, mut words) = (0usize, 0usize, 0usize);
-                    for tx in measured {
-                        let b = tx.write_set_bytes();
-                        total += b;
-                        max = max.max(b);
-                        words += tx.write_set_words();
-                    }
-                    CellOutcome::default()
-                        .with_value("avg_b", total as f64 / measured.len() as f64)
-                        .with_value("max_b", max as f64)
-                        .with_value("avg_words", words as f64 / measured.len() as f64)
+                p.seed,
+                CellWork::TraceStats {
+                    workload: w.name().to_string(),
+                    txs: p.txs,
                 },
             )
         })

@@ -4,36 +4,31 @@
 
 use std::fmt::Write as _;
 
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
 use silo_types::JsonValue;
-use silo_workloads::{workload_by_name, Workload};
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::run_delta_with;
+use crate::cellspec::{CellSpec, CellWork, RunSpec, WorkloadSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
 
 const NAMES: [&str; 7] = [
     "Array", "Btree", "Hash", "Queue", "RBtree", "TPCC-mix", "YCSB",
 ];
 const CORES: usize = 8;
 
-fn build(p: &ExpParams) -> Vec<Cell> {
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     NAMES
         .iter()
         .map(|&name| {
-            Cell::new(CellLabel::swc("Silo", name, CORES), move || {
-                let w: Box<dyn Workload> = workload_by_name(name).expect("fig13 benchmark");
-                let config = SimConfig::table_ii(CORES);
-                CellOutcome::from_stats(run_delta_with(
-                    &config,
-                    || Box::new(SiloScheme::new(&config)),
-                    &w,
+            CellSpec::new(
+                CellLabel::swc("Silo", name, CORES),
+                p.seed,
+                CellWork::Delta(RunSpec::table_ii(
+                    "Silo",
+                    WorkloadSpec::plain(name),
+                    CORES,
                     txs_per_core,
-                    seed,
-                ))
-            })
+                )),
+            )
         })
         .collect()
 }

@@ -9,55 +9,26 @@
 
 use std::fmt::Write as _;
 
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
 use silo_types::JsonValue;
-use silo_workloads::{workload_by_name, Workload};
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::{run_with_scheme, Batched, TraceCache};
+use crate::cellspec::{CellSpec, CellWork};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
 
 const MULTS: [usize; 5] = [1, 2, 4, 8, 16];
 const NAMES: [&str; 7] = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
 const CORES: usize = 8;
 
-fn build(p: &ExpParams) -> Vec<Cell> {
-    let (txs, seed) = (p.txs, p.seed);
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     let mut cells = Vec::new();
     for name in NAMES {
         for mult in MULTS {
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("mult={mult}")),
-                move || {
-                    let w: Box<dyn Workload> = workload_by_name(name).expect("fig14 benchmark");
-                    // Baseline group size: enough inner txs that the 1x write set
-                    // roughly fills the 20-entry buffer. One probe trace per
-                    // benchmark, shared across the five multiplier cells.
-                    let probe = TraceCache::global().get_or_build(&w, 1, 50, seed);
-                    let probe0 = &probe.streams()[0];
-                    let avg_words: f64 = probe0[1..]
-                        .iter()
-                        .map(|t| t.write_set_words())
-                        .sum::<usize>() as f64
-                        / (probe0.len() - 1) as f64;
-                    let group_1x = ((20.0 / avg_words).ceil() as usize).max(1);
-                    let group = group_1x * mult;
-                    let inner_per_core = (txs / CORES).max(group);
-                    let outer = inner_per_core / group;
-
-                    let config = SimConfig::table_ii(CORES);
-                    let mut silo = SiloScheme::new(&config);
-                    let batched =
-                        Batched::new(workload_by_name(name).expect("fig14 benchmark"), group);
-                    let trace = TraceCache::global().get_or_build(&batched, CORES, outer, seed);
-                    let stats = run_with_scheme(&mut silo, &config, &trace);
-                    // Per inner-operation throughput.
-                    let ops = stats.txs_committed * group as u64;
-                    let overflow = stats.scheme_stats.overflow_events;
-                    CellOutcome::from_stats(stats.clone())
-                        .with_value("tp", ops as f64 / stats.sim_cycles.as_u64() as f64)
-                        .with_value("wr", stats.media_writes() as f64 / ops as f64)
-                        .with_value("overflow", overflow as f64)
+                p.seed,
+                CellWork::LargeTx {
+                    workload: name.to_string(),
+                    mult,
+                    txs: p.txs,
                 },
             ));
         }

@@ -4,13 +4,10 @@
 
 use std::fmt::Write as _;
 
-use silo_core::SiloScheme;
-use silo_sim::SimConfig;
-use silo_types::{Cycles, JsonValue};
-use silo_workloads::workload_by_name;
+use silo_types::JsonValue;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::run_with_scheme;
+use crate::cellspec::{CellSpec, CellWork, ConfigDelta, RunSpec, SchemeSpec, WorkloadSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
 
 const NAMES: [&str; 7] = ["Array", "Btree", "Hash", "Queue", "RBtree", "TPCC", "YCSB"];
 const CORES: usize = 8;
@@ -19,25 +16,26 @@ fn latencies() -> Vec<u64> {
     (1..=16).map(|i| i * 8).collect()
 }
 
-fn build(p: &ExpParams) -> Vec<Cell> {
+fn build(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in NAMES {
         for lat in latencies() {
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("latency={lat}")),
-                move || {
-                    let w = workload_by_name(name).expect("fig15 benchmark");
-                    let mut config = SimConfig::table_ii(CORES);
-                    config.log_buffer_latency = Cycles::new(lat);
-                    let mut silo = SiloScheme::new(&config);
-                    // One trace per benchmark, shared across the latency sweep.
-                    let trace =
-                        crate::TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
-                    let stats = run_with_scheme(&mut silo, &config, &trace);
-                    let tp = stats.throughput();
-                    CellOutcome::from_stats(stats).with_value("tp", tp)
+                p.seed,
+                CellWork::Full {
+                    run: RunSpec {
+                        scheme: SchemeSpec::Named("Silo".to_string()),
+                        workload: WorkloadSpec::plain(name),
+                        cores: CORES,
+                        txs_per_core,
+                        config: ConfigDelta {
+                            log_buffer_latency: Some(lat),
+                            ..ConfigDelta::default()
+                        },
+                    },
+                    record_throughput: true,
                 },
             ));
         }

@@ -4,13 +4,10 @@
 
 use std::fmt::Write as _;
 
-use silo_core::SiloScheme;
-use silo_sim::{Engine, SimConfig};
-use silo_types::{Cycles, JsonValue, CLOCK_GHZ};
-use silo_workloads::workload_by_name;
+use silo_types::JsonValue;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
-use crate::run_delta_with;
+use crate::cellspec::{CellSpec, CellWork, ConfigDelta, RunSpec, SchemeSpec, WorkloadSpec};
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, Taken};
 
 const CORES: usize = 8;
 
@@ -19,26 +16,24 @@ const CORES: usize = 8;
 const CAP_BENCHES: [&str; 3] = ["Hash", "TPCC", "YCSB"];
 const CAPACITIES: [usize; 5] = [5, 10, 20, 40, 80];
 
-fn build_buffer_capacity(p: &ExpParams) -> Vec<Cell> {
+fn build_buffer_capacity(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in CAP_BENCHES {
         for entries in CAPACITIES {
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("entries={entries}")),
-                move || {
-                    let w = workload_by_name(name).expect("benchmark");
-                    let mut config = SimConfig::table_ii(CORES);
-                    config.log_buffer_entries = entries;
-                    CellOutcome::from_stats(run_delta_with(
-                        &config,
-                        || Box::new(SiloScheme::new(&config)),
-                        &w,
-                        txs_per_core,
-                        seed,
-                    ))
-                },
+                p.seed,
+                CellWork::Delta(RunSpec {
+                    scheme: SchemeSpec::Named("Silo".to_string()),
+                    workload: WorkloadSpec::plain(name),
+                    cores: CORES,
+                    txs_per_core,
+                    config: ConfigDelta {
+                        log_buffer_entries: Some(entries),
+                        ..ConfigDelta::default()
+                    },
+                }),
             ));
         }
     }
@@ -115,26 +110,24 @@ pub fn buffer_capacity() -> ExperimentSpec {
 const MC_BENCHES: [&str; 4] = ["Hash", "Queue", "TPCC", "YCSB"];
 const MC_COUNTS: [usize; 3] = [1, 2, 4];
 
-fn build_multi_mc(p: &ExpParams) -> Vec<Cell> {
+fn build_multi_mc(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in MC_BENCHES {
         for mcs in MC_COUNTS {
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("mcs={mcs}")),
-                move || {
-                    let w = workload_by_name(name).expect("benchmark");
-                    let mut config = SimConfig::table_ii(CORES);
-                    config.num_mcs = mcs;
-                    CellOutcome::from_stats(run_delta_with(
-                        &config,
-                        || Box::new(SiloScheme::new(&config)),
-                        &w,
-                        txs_per_core,
-                        seed,
-                    ))
-                },
+                p.seed,
+                CellWork::Delta(RunSpec {
+                    scheme: SchemeSpec::Named("Silo".to_string()),
+                    workload: WorkloadSpec::plain(name),
+                    cores: CORES,
+                    txs_per_core,
+                    config: ConfigDelta {
+                        num_mcs: Some(mcs),
+                        ..ConfigDelta::default()
+                    },
+                }),
             ));
         }
     }
@@ -215,26 +208,24 @@ pub fn multi_mc() -> ExperimentSpec {
 const ONPM_BENCHES: [&str; 4] = ["Hash", "Queue", "TPCC", "YCSB"];
 const ONPM_LINES: [usize; 4] = [4, 16, 64, 256];
 
-fn build_onpm_buffer(p: &ExpParams) -> Vec<Cell> {
+fn build_onpm_buffer(p: &ExpParams) -> Vec<CellSpec> {
     let txs_per_core = (p.txs / CORES).max(1);
-    let seed = p.seed;
     let mut cells = Vec::new();
     for name in ONPM_BENCHES {
         for lines in ONPM_LINES {
-            cells.push(Cell::new(
+            cells.push(CellSpec::new(
                 CellLabel::swc("Silo", name, CORES).with_param(format!("lines={lines}")),
-                move || {
-                    let w = workload_by_name(name).expect("benchmark");
-                    let mut config = SimConfig::table_ii(CORES);
-                    config.onpm_buffer_lines = lines;
-                    CellOutcome::from_stats(run_delta_with(
-                        &config,
-                        || Box::new(SiloScheme::new(&config)),
-                        &w,
-                        txs_per_core,
-                        seed,
-                    ))
-                },
+                p.seed,
+                CellWork::Delta(RunSpec {
+                    scheme: SchemeSpec::Named("Silo".to_string()),
+                    workload: WorkloadSpec::plain(name),
+                    cores: CORES,
+                    txs_per_core,
+                    config: ConfigDelta {
+                        onpm_buffer_lines: Some(lines),
+                        ..ConfigDelta::default()
+                    },
+                }),
             ));
         }
     }
@@ -308,45 +299,17 @@ pub fn onpm_buffer() -> ExperimentSpec {
 const CRASH_CYCLES: [u64; 6] = [1_000, 5_000, 20_000, 80_000, 320_000, 1_280_000];
 const RECOVERY_CORES: usize = 4;
 
-fn build_recovery(p: &ExpParams) -> Vec<Cell> {
-    let (txs, seed) = (p.txs, p.seed);
+fn build_recovery(p: &ExpParams) -> Vec<CellSpec> {
     CRASH_CYCLES
         .iter()
         .map(|&crash_at| {
-            Cell::new(
+            CellSpec::new(
                 CellLabel::swc("Silo", "TPCC", RECOVERY_CORES)
                     .with_param(format!("crash_at={crash_at}")),
-                move || {
-                    let w = workload_by_name("TPCC").expect("tpcc");
-                    let config = SimConfig::table_ii(RECOVERY_CORES);
-                    let mut silo = SiloScheme::new(&config);
-                    // One trace for all six crash points.
-                    let trace = crate::TraceCache::global().get_or_build(
-                        &w,
-                        RECOVERY_CORES,
-                        txs / RECOVERY_CORES,
-                        seed,
-                    );
-                    let out =
-                        Engine::new(&config, &mut silo).run(&trace, Some(Cycles::new(crash_at)));
-                    let crash = out.crash.expect("crash injected");
-                    assert!(crash.consistency.is_consistent(), "{:?}", crash.consistency);
-                    let r = crash.recovery;
-                    // Model: one PM read per scanned record, one PM write per
-                    // applied word (word writes coalesce ~4:1 into media lines
-                    // on average).
-                    let read_cyc = config.memctrl.read_cycles * r.scanned_records;
-                    let write_cyc = config.memctrl.media_write_cycles
-                        * (r.replayed_words + r.revoked_words)
-                        / 4;
-                    let us = (read_cyc + write_cyc) as f64 / (CLOCK_GHZ * 1000.0);
-                    CellOutcome::from_stats(out.stats)
-                        .with_value("committed", crash.committed_txs as f64)
-                        .with_value("inflight", crash.inflight_txs as f64)
-                        .with_value("scanned", r.scanned_records as f64)
-                        .with_value("replayed", r.replayed_words as f64)
-                        .with_value("revoked", r.revoked_words as f64)
-                        .with_value("us", us)
+                p.seed,
+                CellWork::Recovery {
+                    txs: p.txs,
+                    crash_at,
                 },
             )
         })

@@ -12,9 +12,10 @@ use silo_core::{
 use silo_sim::SimConfig;
 use silo_types::JsonValue;
 
-use crate::exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec};
+use crate::cellspec::CellSpec;
+use crate::exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec};
 
-fn build_none(_p: &ExpParams) -> Vec<Cell> {
+fn build_none(_p: &ExpParams) -> Vec<CellSpec> {
     Vec::new()
 }
 

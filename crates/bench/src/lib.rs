@@ -16,17 +16,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cellspec;
 pub mod exp;
 pub mod experiments;
 pub mod probe;
 pub mod registry;
 pub mod report;
+pub mod result_store;
 pub mod runner;
 pub mod trace_cache;
 
-pub use exp::{Cell, CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, GridSpec};
+pub use cellspec::{CellSpec, CellWork, ConfigDelta, FaultSpec, RunSpec, SchemeSpec, WorkloadSpec};
+pub use exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, GridSpec};
 pub use probe::{run_profiled, EventTraceSink};
 pub use report::{run_experiment, write_report, ExperimentRun};
+pub use result_store::{ResultStore, ResultStoreStats};
 pub use runner::{default_jobs, run_cells};
 pub use trace_cache::{TraceCache, TraceCacheStats, TraceKey};
 
@@ -385,12 +389,17 @@ pub fn run_cli(spec: &ExperimentSpec, args: &[String]) {
     if args.iter().any(|a| a == "--no-trace-cache") {
         TraceCache::global().set_enabled(false);
     }
+    let mut store_on = !args.iter().any(|a| a == "--no-result-store");
     if let Some(path) = arg_string(args, "--trace-events") {
         if let Err(err) = EventTraceSink::global().enable(std::path::Path::new(&path)) {
             eprintln!("error: opening event trace {path}: {err}");
             std::process::exit(1);
         }
+        // A replayed outcome emits no events, so a run that asks for the
+        // timeline must compute every cell fresh.
+        store_on = false;
     }
+    ResultStore::global().set_enabled(store_on);
     let mut params = ExpParams::defaults(spec);
     params.txs = arg_usize(args, "--txs", params.txs);
     params.seed = arg_u64(args, "--seed", params.seed);

@@ -6,14 +6,20 @@
 //! back at its cell index. Output is therefore byte-identical to a serial
 //! run regardless of worker count or scheduling: rendering only ever sees
 //! the in-order slice.
+//!
+//! Every cell resolves through the process-wide
+//! [`ResultStore`](crate::ResultStore): with the store enabled, a
+//! previously computed `(spec, trace, code)` key skips the simulation
+//! entirely; disabled (the default outside the CLI), the spec executes
+//! directly. Either way the runner stamps the outcome's `origin` with the
+//! cell label so downstream accessor failures name their cell.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use crate::exp::{Cell, CellLabel, CellOutcome};
-
-/// A cell's work closure, parked in the queue until a worker claims it.
-type QueuedCell = Box<dyn FnOnce() -> CellOutcome + Send>;
+use crate::cellspec::CellSpec;
+use crate::exp::{CellLabel, CellOutcome};
+use crate::ResultStore;
 
 /// The machine's available parallelism (the `--jobs` default).
 pub fn default_jobs() -> usize {
@@ -22,31 +28,27 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs every cell and returns `(label, outcome)` pairs in cell order.
+/// Runs every cell spec and returns `(label, outcome)` pairs in cell
+/// order.
 ///
 /// `jobs <= 1` runs serially on the calling thread; any larger value
 /// spawns `min(jobs, cells.len())` scoped workers. A panic inside a cell
 /// propagates to the caller either way.
-pub fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<(CellLabel, CellOutcome)> {
-    let (labels, work): (Vec<CellLabel>, Vec<_>) =
-        cells.into_iter().map(|c| (c.label, c.run)).unzip();
-
-    let outcomes: Vec<CellOutcome> = if jobs <= 1 || work.len() <= 1 {
-        work.into_iter().map(|run| run()).collect()
+pub fn run_cells(cells: Vec<CellSpec>, jobs: usize) -> Vec<(CellLabel, CellOutcome)> {
+    let store = ResultStore::global();
+    let outcomes: Vec<CellOutcome> = if jobs <= 1 || cells.len() <= 1 {
+        cells.iter().map(|spec| store.get_or_run(spec)).collect()
     } else {
-        let workers = jobs.min(work.len());
+        let workers = jobs.min(cells.len());
         let slots: Vec<Mutex<Option<CellOutcome>>> =
-            work.iter().map(|_| Mutex::new(None)).collect();
-        let queue: Vec<Mutex<Option<QueuedCell>>> =
-            work.into_iter().map(|run| Mutex::new(Some(run))).collect();
+            cells.iter().map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(slot) = queue.get(i) else { break };
-                    let run = slot.lock().unwrap().take().expect("cell taken once");
-                    let outcome = run();
+                    let Some(spec) = cells.get(i) else { break };
+                    let outcome = store.get_or_run(spec);
                     *slots[i].lock().unwrap() = Some(outcome);
                 });
             }
@@ -57,29 +59,34 @@ pub fn run_cells(cells: Vec<Cell>, jobs: usize) -> Vec<(CellLabel, CellOutcome)>
             .collect()
     };
 
-    labels.into_iter().zip(outcomes).collect()
+    cells
+        .into_iter()
+        .zip(outcomes)
+        .map(|(spec, mut outcome)| {
+            outcome.origin = spec.label.describe();
+            (spec.label, outcome)
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cellspec::CellWork;
     use crate::exp::CellLabel;
 
-    fn counting_cells(n: usize) -> Vec<Cell> {
+    /// Simulation-free cells with distinct workloads and uneven trace
+    /// sizes, so parallel completion order scrambles but each outcome
+    /// still carries its own index.
+    fn counting_cells(n: usize) -> Vec<CellSpec> {
         (0..n)
             .map(|i| {
-                Cell::new(
+                CellSpec::new(
                     CellLabel::default().with_param(format!("i={i}")),
-                    move || {
-                        // Unequal work so parallel completion order scrambles.
-                        let spin = (n - i) * 1000;
-                        let mut acc = 0u64;
-                        for k in 0..spin {
-                            acc = acc.wrapping_add(k as u64);
-                        }
-                        CellOutcome::default()
-                            .with_value("i", i as f64)
-                            .with_value("spin", (acc % 2) as f64)
+                    42,
+                    CellWork::TraceStats {
+                        workload: "Bank".into(),
+                        txs: n - i,
                     },
                 )
             })
@@ -93,8 +100,20 @@ mod tests {
             assert_eq!(done.len(), 17);
             for (i, (label, outcome)) in done.iter().enumerate() {
                 assert_eq!(label.param, format!("i={i}"), "jobs={jobs}");
-                assert_eq!(outcome.value("i"), i as f64, "jobs={jobs}");
+                // txs = 17 - i measured transactions went into the trace.
+                assert!(outcome.value("avg_b") > 0.0, "jobs={jobs} i={i}");
+                assert_eq!(outcome.origin, format!("i={i}"), "jobs={jobs}");
             }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_cells(counting_cells(9), 1);
+        let parallel = run_cells(counting_cells(9), 8);
+        for ((la, a), (lb, b)) in serial.iter().zip(&parallel) {
+            assert_eq!(la.param, lb.param);
+            assert_eq!(a.values, b.values);
         }
     }
 
@@ -112,5 +131,24 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn missing_metric_panic_names_the_cell() {
+        let done = run_cells(counting_cells(1), 1);
+        let err = std::panic::catch_unwind(|| done[0].1.value("nope")).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("i=0"), "names the cell: {msg}");
+        assert!(msg.contains("\"nope\""), "names the key: {msg}");
+        assert!(msg.contains("avg_b"), "lists recorded keys: {msg}");
+    }
+
+    #[test]
+    fn missing_stats_panic_names_the_cell() {
+        let done = run_cells(counting_cells(1), 1);
+        let err = std::panic::catch_unwind(|| done[0].1.stats().clone()).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("i=0"), "names the cell: {msg}");
+        assert!(msg.contains("no simulation"), "{msg}");
     }
 }

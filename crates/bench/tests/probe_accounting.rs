@@ -152,6 +152,9 @@ fn check_validates_breakdowns_end_to_end() {
         .args(["profile", "--txs", "24", "--bench", "Hash", "--jobs", "2"])
         .arg("--json-dir")
         .arg(&dir)
+        // Keep the test hermetic: the memoized outcomes land in the
+        // scratch dir, not in a target/result-store relative to the cwd.
+        .env("SILO_RESULT_STORE", dir.join("store"))
         .output()
         .expect("run evaluate profile");
     assert!(

@@ -97,6 +97,22 @@ impl HierarchyStats {
             .field("pm_writebacks", self.pm_writebacks)
             .build()
     }
+
+    /// Rebuilds a snapshot from its [`HierarchyStats::to_json`] form.
+    /// `None` if any counter is missing or not an exact integer (the
+    /// result store treats that as a corrupt entry and recomputes).
+    pub fn from_json(v: &silo_types::JsonValue) -> Option<HierarchyStats> {
+        let level = |key: &str| {
+            let obj = v.get(key)?;
+            Some((obj.get("hits")?.as_u64()?, obj.get("misses")?.as_u64()?))
+        };
+        Some(HierarchyStats {
+            l1: level("l1")?,
+            l2: level("l2")?,
+            l3: level("l3")?,
+            pm_writebacks: v.get("pm_writebacks")?.as_u64()?,
+        })
+    }
 }
 
 impl std::ops::Sub for HierarchyStats {

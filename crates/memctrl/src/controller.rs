@@ -111,6 +111,20 @@ impl MemCtrlStats {
             .field("max_occupancy", self.max_occupancy)
             .build()
     }
+
+    /// Rebuilds a snapshot from its [`MemCtrlStats::to_json`] form. `None`
+    /// if any counter is missing or not an exact integer (the result store
+    /// treats that as a corrupt entry and recomputes).
+    pub fn from_json(v: &silo_types::JsonValue) -> Option<MemCtrlStats> {
+        let u = |key: &str| v.get(key).and_then(silo_types::JsonValue::as_u64);
+        Some(MemCtrlStats {
+            writes: u("writes")?,
+            reads: u("reads")?,
+            stall_cycles: u("stall_cycles")?,
+            busy_cycles: u("busy_cycles")?,
+            max_occupancy: usize::try_from(u("max_occupancy")?).ok()?,
+        })
+    }
 }
 
 /// The memory controller: a 64-entry ADR write pending queue drained by a

@@ -65,6 +65,26 @@ impl PmStats {
             .field("reads", self.reads)
             .build()
     }
+
+    /// Rebuilds a snapshot from its [`PmStats::to_json`] form. `None` if
+    /// any counter is missing or not an exact integer (the result store
+    /// treats that as a corrupt entry and recomputes).
+    pub fn from_json(v: &silo_types::JsonValue) -> Option<PmStats> {
+        let u = |key: &str| v.get(key).and_then(silo_types::JsonValue::as_u64);
+        Some(PmStats {
+            accepted_writes: u("accepted_writes")?,
+            accepted_bytes: u("accepted_bytes")?,
+            data_region_writes: u("data_region_writes")?,
+            log_region_writes: u("log_region_writes")?,
+            media_line_writes: u("media_line_writes")?,
+            media_bits_programmed: u("media_bits_programmed")?,
+            dcw_suppressed: u("dcw_suppressed")?,
+            coalesced_hits: u("coalesced_hits")?,
+            buffer_fills: u("buffer_fills")?,
+            buffer_forced_drains: u("buffer_forced_drains")?,
+            reads: u("reads")?,
+        })
+    }
 }
 
 impl Sub for PmStats {

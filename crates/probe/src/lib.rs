@@ -175,6 +175,28 @@ impl CycleBreakdown {
             .field("totals", totals.field("total", self.total()).build())
             .build()
     }
+
+    /// Rebuilds a breakdown from its [`CycleBreakdown::to_json`] form.
+    /// Only the `per_core` rows carry state — `categories` and `totals`
+    /// are derived — but every row must hold exactly
+    /// [`CycleCategory::COUNT`] exact integers. `None` on any mismatch
+    /// (the result store treats that as a corrupt entry and recomputes).
+    pub fn from_json(v: &JsonValue) -> Option<CycleBreakdown> {
+        let rows = v.get("per_core")?.as_array()?;
+        let mut per_core = Vec::with_capacity(rows.len());
+        for row in rows {
+            let cells = row.as_array()?;
+            if cells.len() != CycleCategory::COUNT {
+                return None;
+            }
+            let mut out = [0u64; CycleCategory::COUNT];
+            for (slot, cell) in out.iter_mut().zip(cells) {
+                *slot = cell.as_u64()?;
+            }
+            per_core.push(out);
+        }
+        Some(CycleBreakdown { per_core })
+    }
 }
 
 /// What happened, for the event timeline.

@@ -6,8 +6,13 @@
 //! [`JsonValue`] from `silo-types` — the crates-io registry is unreachable
 //! in this build environment, so there is no serde.
 
-use silo_types::JsonValue;
+use silo_cache::HierarchyStats;
+use silo_memctrl::MemCtrlStats;
+use silo_pm::PmStats;
+use silo_probe::CycleBreakdown;
+use silo_types::{Cycles, JsonValue};
 
+use crate::stats::CoreStats;
 use crate::{SchemeStats, SimConfig, SimStats};
 
 impl SchemeStats {
@@ -25,6 +30,25 @@ impl SchemeStats {
             .field("inplace_update_words", self.inplace_update_words)
             .field("transactions", self.transactions)
             .build()
+    }
+
+    /// Rebuilds the counters from their [`SchemeStats::to_json`] form.
+    /// `None` if any counter is missing or not an exact integer (the
+    /// result store treats that as a corrupt entry and recomputes).
+    pub fn from_json(v: &JsonValue) -> Option<SchemeStats> {
+        let u = |key: &str| v.get(key).and_then(JsonValue::as_u64);
+        Some(SchemeStats {
+            log_entries_generated: u("log_entries_generated")?,
+            log_entries_ignored: u("log_entries_ignored")?,
+            log_entries_merged: u("log_entries_merged")?,
+            log_entries_remaining: u("log_entries_remaining")?,
+            log_entries_written_to_pm: u("log_entries_written_to_pm")?,
+            log_bytes_written_to_pm: u("log_bytes_written_to_pm")?,
+            overflow_events: u("overflow_events")?,
+            flush_bits_set: u("flush_bits_set")?,
+            inplace_update_words: u("inplace_update_words")?,
+            transactions: u("transactions")?,
+        })
     }
 }
 
@@ -63,6 +87,45 @@ impl SimStats {
             obj = obj.field("breakdown", b.to_json());
         }
         obj.build()
+    }
+
+    /// Rebuilds a snapshot from its [`SimStats::to_json`] form.
+    ///
+    /// `scheme` must be the caller-interned static name matching the
+    /// JSON's `scheme` field — the struct stores a `&'static str`, so the
+    /// caller resolves the string against its known-scheme table first.
+    /// The derived `throughput`/`media_writes` fields are ignored (they
+    /// are recomputed from the counters on re-serialization). `None` if
+    /// the scheme mismatches or any counter is missing/non-integer; the
+    /// result store treats that as a corrupt entry and recomputes.
+    pub fn from_json(v: &JsonValue, scheme: &'static str) -> Option<SimStats> {
+        if v.get("scheme").and_then(JsonValue::as_str) != Some(scheme) {
+            return None;
+        }
+        let u = |key: &str| v.get(key).and_then(JsonValue::as_u64);
+        let mut per_core = Vec::new();
+        for c in v.get("per_core")?.as_array()? {
+            per_core.push(CoreStats {
+                cycles: Cycles::new(c.get("cycles")?.as_u64()?),
+                txs_committed: c.get("txs_committed")?.as_u64()?,
+            });
+        }
+        let breakdown = match v.get("breakdown") {
+            Some(b) => Some(CycleBreakdown::from_json(b)?),
+            None => None,
+        };
+        Some(SimStats {
+            scheme,
+            cores: usize::try_from(u("cores")?).ok()?,
+            per_core,
+            sim_cycles: Cycles::new(u("sim_cycles")?),
+            txs_committed: u("txs_committed")?,
+            pm: PmStats::from_json(v.get("pm")?)?,
+            mc: MemCtrlStats::from_json(v.get("mc")?)?,
+            cache: HierarchyStats::from_json(v.get("cache")?)?,
+            scheme_stats: SchemeStats::from_json(v.get("scheme_stats")?)?,
+            breakdown,
+        })
     }
 }
 
@@ -144,6 +207,23 @@ mod tests {
             v.get("media_writes").and_then(JsonValue::as_f64),
             Some(stats.media_writes() as f64)
         );
+    }
+
+    #[test]
+    fn sim_stats_round_trips_through_json() {
+        let stats = small_run();
+        let text = stats.to_json().to_string();
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        let back = SimStats::from_json(&v, stats.scheme).expect("round trip");
+        // Re-serializing the rebuilt snapshot (including the derived
+        // throughput/media_writes fields) reproduces the original bytes.
+        assert_eq!(back.to_json().to_string(), text);
+        // A caller-supplied scheme that mismatches the JSON is rejected.
+        assert!(SimStats::from_json(&v, "Silo").is_none());
+        // Dropping a raw counter poisons the whole parse.
+        let truncated = text.replace("\"txs_committed\"", "\"txs_renamed\"");
+        let v = JsonValue::parse(&truncated).expect("valid JSON");
+        assert!(SimStats::from_json(&v, stats.scheme).is_none());
     }
 
     #[test]

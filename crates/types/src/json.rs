@@ -142,6 +142,16 @@ impl JsonValue {
         }
     }
 
+    /// The exact unsigned value if this is an integer. Unlike
+    /// [`JsonValue::as_f64`], counters above 2^53 survive without
+    /// rounding, which is what the stats deserializers require.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Uint(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// Parses a JSON document. Accepts exactly what [`fmt::Display`]
     /// emits plus ordinary whitespace and signed/scientific numbers.
     pub fn parse(text: &str) -> Result<JsonValue, String> {
@@ -425,6 +435,17 @@ mod tests {
         assert_eq!(arr[2].as_str(), Some("s"));
         assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&JsonValue::Null));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn as_u64_is_exact_and_integer_only() {
+        assert_eq!(JsonValue::Uint(u64::MAX).as_u64(), Some(u64::MAX));
+        assert_eq!(JsonValue::Float(3.0).as_u64(), None);
+        assert_eq!(JsonValue::Str("3".into()).as_u64(), None);
+        // Round-trips through text without the f64 precision cliff.
+        let big = u64::MAX - 1;
+        let back = JsonValue::parse(&JsonValue::Uint(big).to_string()).unwrap();
+        assert_eq!(back.as_u64(), Some(big));
     }
 
     #[test]

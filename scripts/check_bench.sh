@@ -95,6 +95,7 @@ check_file() {
 check_file "BENCH_trace_cache.json"
 check_file "BENCH_profile.json"
 check_file "BENCH_engine.json"
+check_file "BENCH_store.json"
 
 if [ "$bless" -eq 1 ]; then
   exit 0

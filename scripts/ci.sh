@@ -68,6 +68,37 @@ smoke_stage() {
     || { echo "FAIL: --no-trace-cache did not disable the cache" >&2; exit 1; }
   rm -rf "$cache_dir" "$cache_dir.cached.txt" "$cache_dir.uncached.txt"
 
+  echo "== result-store smoke test =="
+  # Cold then warm on a scratch store: the warm run must serve >= 90% of
+  # its cells from the store, finish in well under 25% of the cold wall
+  # time, and print byte-identical stdout and report bytes (modulo the
+  # jobs/wall_ms envelope).
+  store_dir="target/ci-result-store"
+  store_rep="target/reports-ci-store"
+  rm -rf "$store_dir" "$store_rep" target/ci-store.*.txt
+  SILO_RESULT_STORE="$store_dir" "$EVALUATE" fig11 --txs 200 --jobs 4 \
+    --json-dir "$store_rep/cold" > target/ci-store.cold.txt 2>/dev/null
+  warm_err=$(SILO_RESULT_STORE="$store_dir" "$EVALUATE" fig11 --txs 200 --jobs 4 \
+    --json-dir "$store_rep/warm" 2>&1 >target/ci-store.warm.txt)
+  cmp target/ci-store.cold.txt target/ci-store.warm.txt \
+    || { echo "FAIL: result store changed the experiment output" >&2; exit 1; }
+  strip_envelope='s/,"jobs":[0-9]*,"wall_ms":[0-9.eE+-]*}$/}/'
+  diff <(sed "$strip_envelope" "$store_rep/cold/fig11.json") \
+       <(sed "$strip_envelope" "$store_rep/warm/fig11.json") > /dev/null \
+    || { echo "FAIL: result store changed the report body" >&2; exit 1; }
+  hits=$(echo "$warm_err" | sed -n 's/^\[result-store\] \([0-9]*\) hits, .*/\1/p')
+  misses=$(echo "$warm_err" | sed -n 's/^\[result-store\] [0-9]* hits, \([0-9]*\) misses, .*/\1/p')
+  [ -n "$hits" ] && [ -n "$misses" ] && [ "$hits" -gt 0 ] \
+    && [ "$((misses * 9))" -le "$hits" ] \
+    || { echo "FAIL: warm run hit rate below 90% ($hits hits, $misses misses)" >&2; exit 1; }
+  cold_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$store_rep/cold/fig11.json")
+  warm_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$store_rep/warm/fig11.json")
+  awk -v cold="$cold_ms" -v warm="$warm_ms" \
+    'BEGIN { exit !(warm < cold / 4) }' \
+    || { echo "FAIL: warm run ($warm_ms ms) not under 25% of cold ($cold_ms ms)" >&2; exit 1; }
+  echo "warm store: $hits hits, $misses misses; ${warm_ms} ms vs ${cold_ms} ms cold"
+  rm -rf "$store_dir" "$store_rep" target/ci-store.cold.txt target/ci-store.warm.txt
+
   echo "== cycle-accounting smoke test =="
   # The profile experiment hard-asserts sum(categories) == core cycles for
   # every cell; `evaluate check` then re-validates the invariant from the
@@ -146,9 +177,11 @@ bench_stage() {
   mkdir -p "$fresh_dir"
   bench_dir="target/reports-ci-bench"
   rm -rf "$bench_dir"
-  "$EVALUATE" fig11 --txs 500 --jobs 4 \
+  # --no-result-store everywhere wall-clock is measured: a warm store
+  # would replay cells and time nothing but disk reads.
+  "$EVALUATE" fig11 --txs 500 --jobs 4 --no-result-store \
     --json-dir "$bench_dir/cached" > /dev/null 2>&1
-  "$EVALUATE" fig11 --txs 500 --jobs 4 --no-trace-cache \
+  "$EVALUATE" fig11 --txs 500 --jobs 4 --no-trace-cache --no-result-store \
     --json-dir "$bench_dir/uncached" > /dev/null 2>&1
   cached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/cached/fig11.json")
   uncached_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/uncached/fig11.json")
@@ -162,7 +195,7 @@ bench_stage() {
   # summed total_cycles over the whole scheme x workload grid is
   # deterministic, so any drift is a real perf change in the simulated
   # machine, not host noise.
-  "$EVALUATE" profile --txs 400 --jobs 4 \
+  "$EVALUATE" profile --txs 400 --jobs 4 --no-result-store \
     --json-dir "$bench_dir/profile" > /dev/null 2>&1
   prof_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/profile/profile.json")
   total_cycles=$(grep -o '"total_cycles": *[0-9]*' "$bench_dir/profile/profile.json" \
@@ -175,7 +208,7 @@ bench_stage() {
   # The rawest engine hot loop (full runs, no cycle accounting): a
   # wall-clock data point for the allocation/hashing hot paths plus the
   # deterministic summed per-core cycles as a behavioural fingerprint.
-  "$EVALUATE" bench-engine --txs 600 --jobs 4 \
+  "$EVALUATE" bench-engine --txs 600 --jobs 4 --no-result-store \
     --json-dir "$bench_dir/engine" > /dev/null 2>&1
   eng_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/engine/bench-engine.json")
   eng_cycles=$(grep -o '"total_cycles": *[0-9]*' "$bench_dir/engine/bench-engine.json" \
@@ -183,7 +216,23 @@ bench_stage() {
   printf '{"experiment": "bench-engine", "txs": 600, "jobs": 4, "wall_ms": %s, "total_cycles_sum": %s}\n' \
     "$eng_ms" "$eng_cycles" > "$fresh_dir/BENCH_engine.json"
   cat "$fresh_dir/BENCH_engine.json"
-  rm -rf "$bench_dir"
+
+  echo "== timed result-store benchmark =="
+  # Cold vs warm on a scratch store: the perf trajectory of incremental
+  # evaluate itself. Cold pays simulation + persistence, warm pays trace
+  # fingerprinting + replay.
+  store_dir="target/bench-result-store"
+  rm -rf "$store_dir"
+  SILO_RESULT_STORE="$store_dir" "$EVALUATE" fig11 --txs 500 --jobs 4 \
+    --json-dir "$bench_dir/store-cold" > /dev/null 2>&1
+  SILO_RESULT_STORE="$store_dir" "$EVALUATE" fig11 --txs 500 --jobs 4 \
+    --json-dir "$bench_dir/store-warm" > /dev/null 2>&1
+  cold_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/store-cold/fig11.json")
+  warm_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/store-warm/fig11.json")
+  printf '{"experiment": "fig11", "txs": 500, "jobs": 4, "cold_wall_ms": %s, "warm_wall_ms": %s}\n' \
+    "$cold_ms" "$warm_ms" > "$fresh_dir/BENCH_store.json"
+  cat "$fresh_dir/BENCH_store.json"
+  rm -rf "$store_dir" "$bench_dir"
 
   echo "== perf-regression gate =="
   scripts/check_bench.sh "$fresh_dir"
