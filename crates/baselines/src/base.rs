@@ -130,6 +130,8 @@ impl LoggingScheme for BaseScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    silo_sim::impl_scheme_snapshot!();
 }
 
 #[cfg(test)]

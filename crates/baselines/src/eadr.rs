@@ -175,6 +175,8 @@ impl LoggingScheme for EadrSwLogScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    silo_sim::impl_scheme_snapshot!();
 }
 
 #[cfg(test)]

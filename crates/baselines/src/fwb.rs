@@ -168,6 +168,8 @@ impl LoggingScheme for FwbScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    silo_sim::impl_scheme_snapshot!();
 }
 
 #[cfg(test)]

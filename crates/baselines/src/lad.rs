@@ -264,6 +264,8 @@ impl LoggingScheme for LadScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    silo_sim::impl_scheme_snapshot!();
 }
 
 #[cfg(test)]

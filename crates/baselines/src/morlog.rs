@@ -190,6 +190,8 @@ impl LoggingScheme for MorLogScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    silo_sim::impl_scheme_snapshot!();
 }
 
 #[cfg(test)]

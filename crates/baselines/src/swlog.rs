@@ -155,6 +155,8 @@ impl LoggingScheme for SwLogScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    silo_sim::impl_scheme_snapshot!();
 }
 
 #[cfg(test)]

@@ -39,6 +39,13 @@ code fingerprint, so re-evaluating unchanged work replays stored
 results. --no-result-store computes everything fresh and records
 nothing; `evaluate store-gc` prunes entries left by old builds.
 
+crashfuzz resimulates crash points from periodic checkpoints of the
+clean reference run; --checkpoint-every N sets the capture cadence in
+durability events and --no-checkpoints runs every point from scratch.
+Both are perf-only: resumed and from-scratch runs are byte-identical.
+--points K (default 4) sets how many crash points each cell scans and,
+unlike the checkpoint flags, is part of the computed result.
+
 Run `evaluate list` for the registered experiments.";
 
 fn main() {

@@ -300,6 +300,9 @@ pub enum CellWork {
         txs_per_core: usize,
         /// The fault model.
         fault: FaultSpec,
+        /// Spaced crash points per cell (`--points`, ignored when `point`
+        /// fixes a single one).
+        points: u64,
         /// A fixed crash point (`--point`), or spaced sweep points.
         point: Option<u64>,
     },
@@ -377,6 +380,7 @@ impl CellSpec {
                 workload,
                 txs_per_core,
                 fault,
+                points,
                 point,
             } => {
                 h.tag(7);
@@ -384,6 +388,7 @@ impl CellSpec {
                 h.str(workload);
                 h.usize(*txs_per_core);
                 fault.hash_into(&mut h);
+                h.u64(*points);
                 h.opt_u64(*point);
             }
         }
@@ -515,6 +520,7 @@ impl CellSpec {
                 workload,
                 txs_per_core,
                 fault,
+                points,
                 point,
             } => crate::experiments::crashfuzz::execute_sweep(
                 scheme,
@@ -522,6 +528,7 @@ impl CellSpec {
                 *txs_per_core,
                 seed,
                 *fault,
+                *points,
                 *point,
             ),
         }
@@ -849,6 +856,7 @@ mod tests {
             workload: "Hash".into(),
             txs_per_core: 100,
             fault: FaultSpec::OpBoundary,
+            points: 4,
             point: None,
         }));
         check(spec(CellWork::CrashSweep {
@@ -856,6 +864,7 @@ mod tests {
             workload: "Hash".into(),
             txs_per_core: 100,
             fault: FaultSpec::TornLine(64),
+            points: 4,
             point: None,
         }));
         check(spec(CellWork::CrashSweep {
@@ -863,6 +872,7 @@ mod tests {
             workload: "Hash".into(),
             txs_per_core: 100,
             fault: FaultSpec::Battery(65_536),
+            points: 4,
             point: Some(7),
         }));
     }

@@ -22,9 +22,12 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use silo_sim::{CrashPlan, Engine, FaultModel, RunOutcome, SimConfig, TraceSet};
+use silo_sim::{
+    CheckpointPolicy, CheckpointSet, CrashPlan, Engine, FaultModel, RunOutcome, SimConfig, TraceSet,
+};
 use silo_types::{Cycles, JsonValue, PhysAddr};
 use silo_workloads::workload_by_name;
 
@@ -35,7 +38,7 @@ use crate::{arg_string, arg_u64, arg_usize, make_scheme, TraceCache, ALL_SCHEMES
 /// Two cores keep the sweep cheap while still exercising cross-core
 /// interleaving at the shared memory controller.
 const CORES: usize = 2;
-/// Crash points per cell in sweep mode.
+/// Default crash points per cell in sweep mode (`--points` overrides).
 const POINTS: u64 = 4;
 /// Default residual-energy budget: ample — it covers the whole on-PM
 /// buffer plus the crash records, so a correct scheme must not violate.
@@ -112,10 +115,30 @@ impl Fault {
     }
 }
 
+/// Checkpointing toggles, process-global like the trace cache's enable
+/// flag. They change only how fast a crash point simulates — resumed and
+/// from-scratch runs are byte-identical by the engine's resume-equivalence
+/// guarantee — so they deliberately stay **out** of the cell spec hash:
+/// a result-store entry computed with checkpoints on serves a run with
+/// them off, and reports do not depend on the flags.
+static CHECKPOINTS_ENABLED: AtomicBool = AtomicBool::new(true);
+static CHECKPOINT_EVERY: AtomicU64 = AtomicU64::new(0);
+
+fn checkpoint_policy() -> Option<CheckpointPolicy> {
+    if !CHECKPOINTS_ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    Some(match CHECKPOINT_EVERY.load(Ordering::Relaxed) {
+        0 => CheckpointPolicy::default(),
+        n => CheckpointPolicy::every(n),
+    })
+}
+
 /// The sweep configuration parsed from the experiment's extra flags.
 struct Config {
     schemes: Vec<String>,
     faults: Vec<Fault>,
+    points: u64,
     point: Option<u64>,
 }
 
@@ -159,21 +182,72 @@ fn parse_config(p: &ExpParams) -> Config {
             std::process::exit(2);
         }
     };
+    let points = match crate::try_arg::<u64>(&p.extra, "--points") {
+        Ok(Some(0)) => {
+            eprintln!("error: --points must be positive");
+            std::process::exit(2);
+        }
+        Ok(v) => v.unwrap_or(POINTS),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    // A crash point only means something on one fault's axis: op-boundary
+    // points are cycles, torn-line/battery points are durability-event
+    // indices. Applying one number to both axes lands on unrelated
+    // machine states, so `--point` requires exactly one fault model.
+    if point.is_some() && faults.len() != 1 {
+        eprintln!(
+            "error: --point requires exactly one --fault: op-boundary points \
+             are cycles while torn-line/battery points are durability-event \
+             indices, so one point cannot apply across fault models \
+             (add e.g. --fault battery)"
+        );
+        std::process::exit(2);
+    }
+    if p.extra.iter().any(|a| a == "--no-checkpoints") {
+        CHECKPOINTS_ENABLED.store(false, Ordering::Relaxed);
+    }
+    match crate::try_arg::<u64>(&p.extra, "--checkpoint-every") {
+        Ok(Some(0)) => {
+            eprintln!(
+                "error: --checkpoint-every must be positive (use --no-checkpoints to disable)"
+            );
+            std::process::exit(2);
+        }
+        Ok(Some(n)) => CHECKPOINT_EVERY.store(n, Ordering::Relaxed),
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
     Config {
         schemes,
         faults,
+        points,
         point,
     }
+}
+
+/// A clean reference run together with the checkpoints its recording run
+/// captured, shared process-wide behind one `Arc`.
+struct CleanRef {
+    out: RunOutcome,
+    ckpts: CheckpointSet,
 }
 
 /// The clean (no-crash) reference run for one scheme × workload × stream
 /// shape, shared process-wide. The clean run does not depend on the fault
 /// model — faults only act at crash time — so the fault-model cells of one
-/// sweep row reuse a single run instead of each recomputing it. The cached
-/// outcome is immutable and its PM image is copy-on-write, so sharing it
-/// is pointer bumps. The lock is held across the run on purpose: a second
-/// worker asking for the same key waits for the first result rather than
-/// duplicating the work.
+/// sweep row reuse a single run (and a single checkpoint set) instead of
+/// each recomputing it. The cached outcome is immutable and its PM image
+/// is copy-on-write, so sharing it is pointer bumps. The map lock covers
+/// only the per-key slot lookup; the run itself executes under the slot's
+/// own `OnceLock`, so two workers asking for the same key still share one
+/// computation while workers on *different* cells proceed concurrently
+/// (a single map-wide lock used to serialize every worker's clean run).
 fn clean_run(
     scheme: &str,
     config: &SimConfig,
@@ -181,9 +255,10 @@ fn clean_run(
     bench: &str,
     txs_per_core: usize,
     seed: u64,
-) -> Arc<RunOutcome> {
+) -> Arc<CleanRef> {
     type Key = (String, String, usize, u64, u64);
-    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<RunOutcome>>>> = OnceLock::new();
+    type Slot = Arc<OnceLock<Arc<CleanRef>>>;
+    static CACHE: OnceLock<Mutex<HashMap<Key, Slot>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     // Keyed by the hasher scramble seed as well so the hash-order
     // independence test exercises fresh clean runs under every scramble
@@ -195,14 +270,19 @@ fn clean_run(
         seed,
         silo_types::hash::scramble_seed(),
     );
-    let mut guard = cache.lock().expect("clean-run cache poisoned");
-    if let Some(hit) = guard.get(&key) {
-        return Arc::clone(hit);
-    }
-    let mut s = make_scheme(scheme, config);
-    let out = Arc::new(Engine::new(config, s.as_mut()).run(streams, None));
-    guard.insert(key, Arc::clone(&out));
-    out
+    let slot = {
+        let mut guard = cache.lock().expect("clean-run cache poisoned");
+        Arc::clone(guard.entry(key).or_default())
+    };
+    Arc::clone(slot.get_or_init(|| {
+        let mut s = make_scheme(scheme, config);
+        let engine = Engine::new(config, s.as_mut());
+        let (out, ckpts) = match checkpoint_policy() {
+            Some(policy) => engine.run_recording(streams, policy),
+            None => (engine.run(streams, None), CheckpointSet::default()),
+        };
+        Arc::new(CleanRef { out, ckpts })
+    }))
 }
 
 /// Every distinct word address the workload writes, across setup and
@@ -240,9 +320,43 @@ struct PointResult {
     point: u64,
     violations: u64,
     ambiguous: u64,
-    /// Exact per-core committed counts, packed: `c0 * 1e6 + c1`.
-    progress: f64,
+    /// Exact per-core committed-transaction counts, reported verbatim —
+    /// the old `c0 * 1e6 + c1` f64 packing silently collided once a core
+    /// committed ≥ 1e6 transactions, exactly on the long-horizon runs
+    /// checkpointing makes affordable.
+    progress: Vec<u64>,
     digest: u32,
+}
+
+/// The recovered-image digest over the workload footprint, with the
+/// per-core committed counts folded in so equal digests imply equal
+/// progress losslessly. Only word *values* are folded — the footprint
+/// addresses are the same for every crash point of a cell, so hashing
+/// them adds cost without discrimination. Words are fetched a buffer
+/// line at a time: the footprint is sorted, so one media-page lookup
+/// serves every footprint word on the line instead of one lookup each.
+fn image_digest(out: &RunOutcome, footprint: &[PhysAddr]) -> u32 {
+    const LINE: u64 = silo_types::BUF_LINE_BYTES as u64;
+    let mut line = [0u8; silo_types::BUF_LINE_BYTES];
+    let mut line_base = u64::MAX;
+    fnv_fold(
+        out.stats
+            .per_core
+            .iter()
+            .map(|c| c.txs_committed)
+            .chain(footprint.iter().map(move |&a| {
+                let base = a.as_u64() / LINE * LINE;
+                let off = (a.as_u64() - base) as usize;
+                if off + 8 > silo_types::BUF_LINE_BYTES {
+                    return out.pm.peek_word(a).as_u64(); // straddles two lines
+                }
+                if base != line_base {
+                    out.pm.peek_into(PhysAddr::new(base), &mut line);
+                    line_base = base;
+                }
+                u64::from_le_bytes(line[off..off + 8].try_into().expect("word within line"))
+            })),
+    )
 }
 
 fn run_point(
@@ -252,22 +366,42 @@ fn run_point(
     footprint: &[PhysAddr],
     fault: Fault,
     point: u64,
+    ckpts: Option<&CheckpointSet>,
 ) -> PointResult {
     let mut s = make_scheme(scheme, config);
+    let plan = fault.plan(point);
     // Sharing the trace across crash points: this conversion is pointer
     // bumps, where it used to deep-clone every stream per point.
-    let out = Engine::new(config, s.as_mut()).run_with_plan(streams, Some(fault.plan(point)));
-    let crash = out.crash.expect("crash injected");
-    let progress = out
-        .stats
-        .per_core
-        .iter()
-        .fold(0.0, |acc, c| acc * 1e6 + c.txs_committed as f64);
-    let digest = fnv_fold(
-        footprint
-            .iter()
-            .flat_map(|&a| [a.as_u64(), out.pm.peek_word(a).as_u64()]),
-    );
+    let out = match ckpts.and_then(|cs| cs.nearest(plan.trigger)) {
+        Some(cp) => {
+            let out = Engine::new(config, s.as_mut()).run_resumed(streams, plan, cp);
+            // Debug builds prove the headline invariant on every resumed
+            // point: the resumed run must be byte-identical to a
+            // from-scratch run of the same plan.
+            #[cfg(debug_assertions)]
+            {
+                let mut s2 = make_scheme(scheme, config);
+                let scratch = Engine::new(config, s2.as_mut()).run_with_plan(streams, Some(plan));
+                debug_assert_eq!(
+                    scratch.stats.to_json().to_string(),
+                    out.stats.to_json().to_string(),
+                    "resume-vs-scratch SimStats divergence: {scheme} {} point {point}",
+                    fault.describe(),
+                );
+                debug_assert_eq!(
+                    image_digest(&scratch, footprint),
+                    image_digest(&out, footprint),
+                    "resume-vs-scratch recovered-image divergence: {scheme} {} point {point}",
+                    fault.describe(),
+                );
+            }
+            out
+        }
+        None => Engine::new(config, s.as_mut()).run_with_plan(streams, Some(plan)),
+    };
+    let crash = out.crash.as_ref().expect("crash injected");
+    let progress = out.stats.per_core.iter().map(|c| c.txs_committed).collect();
+    let digest = image_digest(&out, footprint);
     PointResult {
         point,
         violations: crash.consistency.violations.len() as u64,
@@ -308,9 +442,21 @@ fn shrink(
         let streams = TraceCache::global().get_or_build(&w, CORES, txs, seed);
         let footprint = write_footprint(&streams);
         let clean = clean_run(scheme, config, &streams, workload, txs, seed);
-        spaced(axis_total(fault, &clean), SHRINK_SCAN)
+        spaced(axis_total(fault, &clean.out), SHRINK_SCAN)
             .into_iter()
-            .find(|&n| run_point(scheme, config, &streams, &footprint, fault, n).violations > 0)
+            .find(|&n| {
+                run_point(
+                    scheme,
+                    config,
+                    &streams,
+                    &footprint,
+                    fault,
+                    n,
+                    Some(&clean.ckpts),
+                )
+                .violations
+                    > 0
+            })
     };
     while txs_per_core > 1 {
         match rescan(txs_per_core / 2) {
@@ -324,10 +470,20 @@ fn shrink(
     // Earliest violating point at the final stream length.
     let streams = TraceCache::global().get_or_build(&w, CORES, txs_per_core, seed);
     let footprint = write_footprint(&streams);
+    let clean = clean_run(scheme, config, &streams, workload, txs_per_core, seed);
     let mut candidates = spaced(point, EARLIEST_SCAN);
     candidates.dedup();
     for n in candidates {
-        if run_point(scheme, config, &streams, &footprint, fault, n).violations > 0 {
+        let r = run_point(
+            scheme,
+            config,
+            &streams,
+            &footprint,
+            fault,
+            n,
+            Some(&clean.ckpts),
+        );
+        if r.violations > 0 {
             return (txs_per_core, n);
         }
     }
@@ -343,10 +499,20 @@ pub(crate) fn execute_sweep(
     txs_per_core: usize,
     seed: u64,
     fault: FaultSpec,
+    points_per_cell: u64,
     point: Option<u64>,
 ) -> CellOutcome {
     let fault = Fault::from_spec(fault);
-    let w = workload_by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
+    // A stale spec (e.g. a result-store entry naming a since-renamed
+    // workload) must surface as a reportable cell error, not take down the
+    // whole sweep: the other cells of the run are still valid.
+    let Some(w) = workload_by_name(workload) else {
+        return CellOutcome::failed(format!(
+            "unknown workload {workload:?} in cell \
+             {scheme}/{workload}/txs={txs_per_core}/fault={}",
+            fault.describe()
+        ));
+    };
     let config = SimConfig::table_ii(CORES);
     // One trace per benchmark serves every scheme × fault × crash-point
     // run in the sweep.
@@ -355,13 +521,21 @@ pub(crate) fn execute_sweep(
     let clean = clean_run(scheme, &config, &streams, workload, txs_per_core, seed);
     let points = match point {
         Some(n) => vec![n],
-        None => spaced(axis_total(fault, &clean), POINTS),
+        None => spaced(axis_total(fault, &clean.out), points_per_cell),
     };
     let mut out =
-        CellOutcome::from_stats(clean.stats.clone()).with_value("points", points.len() as f64);
+        CellOutcome::from_stats(clean.out.stats.clone()).with_value("points", points.len() as f64);
     let mut worst: Option<u64> = None;
     for (j, &n) in points.iter().enumerate() {
-        let r = run_point(scheme, &config, &streams, &footprint, fault, n);
+        let r = run_point(
+            scheme,
+            &config,
+            &streams,
+            &footprint,
+            fault,
+            n,
+            Some(&clean.ckpts),
+        );
         if r.violations > 0 && worst.is_none() {
             worst = Some(r.point);
         }
@@ -369,8 +543,10 @@ pub(crate) fn execute_sweep(
             .with_value(&format!("p{j}_at"), r.point as f64)
             .with_value(&format!("p{j}_viol"), r.violations as f64)
             .with_value(&format!("p{j}_amb"), r.ambiguous as f64)
-            .with_value(&format!("p{j}_prog"), r.progress)
             .with_value(&format!("p{j}_dig"), r.digest as f64);
+        for (i, &c) in r.progress.iter().enumerate() {
+            out = out.with_value(&format!("p{j}_prog{i}"), c as f64);
+        }
     }
     if let Some(first_bad) = worst {
         let (t, n) = shrink(
@@ -409,6 +585,7 @@ fn build(p: &ExpParams) -> Vec<CellSpec> {
                         workload: bench.clone(),
                         txs_per_core,
                         fault: fault.to_spec(),
+                        points: cfg.points,
                         point: cfg.point,
                     },
                 ));
@@ -446,10 +623,28 @@ fn render(p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -
     let mut rows = Vec::new();
     let mut repros = Vec::new();
     // progress -> (digest, "scheme/bench/fault@point") per workload.
-    let mut groups: HashMap<(String, u64), (u32, String)> = HashMap::new();
+    let mut groups: HashMap<(String, Vec<u64>), (u32, String)> = HashMap::new();
     let mut divergences = Vec::new();
 
     for (label, outcome) in cells {
+        if let Some(err) = &outcome.error {
+            writeln!(
+                out,
+                "ERROR {:<12}{:<8}{:<22}{err}",
+                label.scheme,
+                label.workload,
+                label.param.trim_start_matches("fault=")
+            )
+            .unwrap();
+            rows.push(
+                JsonValue::object()
+                    .field("scheme", label.scheme.as_str())
+                    .field("workload", label.workload.as_str())
+                    .field("error", err.as_str())
+                    .build(),
+            );
+            continue;
+        }
         let points = outcome.value("points") as usize;
         let (mut viols, mut ambig) = (0u64, 0u64);
         for j in 0..points {
@@ -463,11 +658,13 @@ fn render(p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -
             // and fault models alike. Commit-racing (ambiguous) runs are
             // legitimately bimodal, so they stay out.
             if amb == 0 && v == 0 {
-                let prog = outcome.value(&format!("p{j}_prog")) as u64;
+                let prog: Vec<u64> = (0..CORES)
+                    .map(|i| outcome.value(&format!("p{j}_prog{i}")) as u64)
+                    .collect();
                 let dig = outcome.value(&format!("p{j}_dig")) as u32;
                 let at = outcome.value(&format!("p{j}_at")) as u64;
                 let who = format!("{}/{}/{}@{at}", label.scheme, label.workload, label.param);
-                match groups.entry((label.workload.clone(), prog)) {
+                match groups.entry((label.workload.clone(), prog.clone())) {
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert((dig, who));
                     }
@@ -475,7 +672,7 @@ fn render(p: &ExpParams, cells: &[(CellLabel, CellOutcome)], out: &mut String) -
                         let (d0, who0) = e.get();
                         if *d0 != dig {
                             divergences
-                                .push(format!("{who} disagrees with {who0} at progress {prog}"));
+                                .push(format!("{who} disagrees with {who0} at progress {prog:?}"));
                         }
                     }
                 }

@@ -233,6 +233,9 @@ fn encode_entry(outcome: &CellOutcome, key: (u64, u64)) -> String {
     if let Some(stats) = &outcome.stats {
         obj = obj.field("stats", stats.to_json());
     }
+    if let Some(error) = &outcome.error {
+        obj = obj.field("error", error.as_str());
+    }
     let mut text = obj.build().to_string();
     text.push('\n');
     text
@@ -268,9 +271,14 @@ fn decode_entry(text: &str, key: (u64, u64)) -> Option<CellOutcome> {
         }
         None => None,
     };
+    let error = match v.get("error") {
+        Some(e) => Some(e.as_str()?.to_string()),
+        None => None,
+    };
     Some(CellOutcome {
         stats,
         values,
+        error,
         ..CellOutcome::default()
     })
 }

@@ -1,8 +1,8 @@
 //! The three-level hierarchy of paper Table II.
 
-use silo_types::{CoreId, Cycles, LineAddr};
+use silo_types::{CoreId, Cycles, LineAddr, Snapshot};
 
-use crate::set_assoc::{CacheConfig, SetAssocCache};
+use crate::set_assoc::{CacheConfig, CacheLevelState, SetAssocCache};
 
 /// Configuration of the whole hierarchy.
 ///
@@ -329,6 +329,45 @@ impl CacheHierarchy {
     /// The configuration.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+}
+
+/// Captured state of a whole [`CacheHierarchy`]: one sparse
+/// [`CacheLevelState`] per level plus the writeback counter.
+#[derive(Clone, Debug)]
+pub struct CacheHierarchyState {
+    l1: Vec<CacheLevelState>,
+    l2: Vec<CacheLevelState>,
+    l3: CacheLevelState,
+    pm_writebacks: u64,
+}
+
+impl Snapshot for CacheHierarchy {
+    type State = CacheHierarchyState;
+
+    fn snapshot(&self) -> CacheHierarchyState {
+        CacheHierarchyState {
+            l1: self.l1.iter().map(Snapshot::snapshot).collect(),
+            l2: self.l2.iter().map(Snapshot::snapshot).collect(),
+            l3: self.l3.snapshot(),
+            pm_writebacks: self.pm_writebacks,
+        }
+    }
+
+    fn restore(&mut self, state: &CacheHierarchyState) {
+        assert_eq!(
+            self.l1.len(),
+            state.l1.len(),
+            "hierarchy snapshot restored into a different core count"
+        );
+        for (c, s) in self.l1.iter_mut().zip(&state.l1) {
+            c.restore(s);
+        }
+        for (c, s) in self.l2.iter_mut().zip(&state.l2) {
+            c.restore(s);
+        }
+        self.l3.restore(&state.l3);
+        self.pm_writebacks = state.pm_writebacks;
     }
 }
 

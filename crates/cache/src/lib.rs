@@ -42,5 +42,7 @@
 mod hierarchy;
 mod set_assoc;
 
-pub use hierarchy::{CacheHierarchy, HierarchyAccess, HierarchyConfig, HierarchyStats};
-pub use set_assoc::{AccessOutcome, CacheConfig, Evicted, SetAssocCache};
+pub use hierarchy::{
+    CacheHierarchy, CacheHierarchyState, HierarchyAccess, HierarchyConfig, HierarchyStats,
+};
+pub use set_assoc::{AccessOutcome, CacheConfig, CacheLevelState, Evicted, SetAssocCache};

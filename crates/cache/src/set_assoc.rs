@@ -309,6 +309,58 @@ impl SetAssocCache {
     }
 }
 
+/// Sparse captured state of one [`SetAssocCache`] level.
+///
+/// The flat `ways` slab is dense in slots but sparse in residency at
+/// checkpoint time relative to its full size (the Table II L3 alone is
+/// 131 072 slots ≈ 4 MB when cloned wholesale), so the snapshot keeps only
+/// the occupied slots plus the LRU/counter state; restore clears the slab
+/// with one `fill(None)` and rewrites the occupied entries.
+#[derive(Clone, Debug)]
+pub struct CacheLevelState {
+    config: CacheConfig,
+    occupied: Vec<(u32, Way)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    dirty_evictions: u64,
+}
+
+impl silo_types::Snapshot for SetAssocCache {
+    type State = CacheLevelState;
+
+    fn snapshot(&self) -> CacheLevelState {
+        CacheLevelState {
+            config: self.config,
+            occupied: self
+                .ways
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| w.map(|w| (i as u32, w)))
+                .collect(),
+            tick: self.tick,
+            hits: self.hits,
+            misses: self.misses,
+            dirty_evictions: self.dirty_evictions,
+        }
+    }
+
+    fn restore(&mut self, state: &CacheLevelState) {
+        assert_eq!(
+            self.config, state.config,
+            "cache snapshot restored into a different geometry"
+        );
+        self.ways.fill(None);
+        for &(slot, way) in &state.occupied {
+            self.ways[slot as usize] = Some(way);
+        }
+        self.tick = state.tick;
+        self.hits = state.hits;
+        self.misses = state.misses;
+        self.dirty_evictions = state.dirty_evictions;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -568,6 +568,8 @@ impl LoggingScheme for SiloScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    silo_sim::impl_scheme_snapshot!();
 }
 
 const _: () = assert!(

@@ -278,6 +278,12 @@ impl PmDevice {
         self.buffer.read_through(addr, len, &self.media)
     }
 
+    /// [`peek`](Self::peek) into a caller-provided buffer — allocation-free
+    /// bulk peeks for differential digests that scan a large footprint.
+    pub fn peek_into(&self, addr: PhysAddr, out: &mut [u8]) {
+        self.buffer.read_through_into(addr, out, &self.media);
+    }
+
     /// Peeks one word without counting a read. Allocation-free: this is
     /// the engine's per-load hot path.
     pub fn peek_word(&self, addr: PhysAddr) -> Word {
@@ -692,3 +698,5 @@ mod tests {
         assert_eq!(pm.stats().accepted_writes, 2);
     }
 }
+
+silo_types::impl_snapshot_via_clone!(PmDevice);

@@ -779,3 +779,5 @@ mod tests {
         }
     }
 }
+
+silo_types::impl_snapshot_via_clone!(PagedMedia);

@@ -6,11 +6,12 @@ use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
 use silo_probe::{CycleCategory, ProbeEventKind};
 use silo_types::{CoreId, Cycles, FxHashMap, PhysAddr, TxId, TxTag, Word};
 
-use crate::schemes::EvictAction;
+use crate::schemes::{EvictAction, SchemeState};
 use crate::{
-    ConsistencyReport, LoggingScheme, Machine, Op, RecoveryReport, SimConfig, SimStats,
-    Transaction, TxOracle, TxRecord, TxStreams,
+    ConsistencyReport, LoggingScheme, Machine, MachineState, Op, RecoveryReport, SimConfig,
+    SimStats, Transaction, TxOracle, TxRecord, TxStreams,
 };
+use silo_types::Snapshot;
 
 /// When a [`CrashPlan`] cuts power.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +119,144 @@ enum Phase {
     Done,
 }
 
+/// Captured execution state of one core: everything in `CoreRun` except the
+/// shared (immutable) transaction stream, which the resuming caller supplies.
+#[derive(Clone, Debug)]
+struct CoreState {
+    time: Cycles,
+    tx_idx: usize,
+    op_idx: usize,
+    phase: Phase,
+    txid: TxId,
+    tag: TxTag,
+    cur_writes: FxHashMap<u64, Word>,
+    committed: u64,
+}
+
+/// A full-machine checkpoint taken at an engine loop boundary of a clean
+/// (crash-free) run. Positions on both crash axes are recorded so one
+/// checkpoint set serves cycle-triggered *and* event-triggered crash plans.
+pub struct EngineCheckpoint {
+    /// Smallest unfinished core clock at capture. Valid as a resume base
+    /// for [`CrashTrigger::Cycle(c)`] iff `cycle_pos < c` — the engine's
+    /// minimum clock is non-decreasing and the crash check runs at the
+    /// loop top, so no earlier iteration of the crashing run can have
+    /// tripped.
+    cycle_pos: Cycles,
+    /// Total durability events counted at capture. Valid as a resume base
+    /// for [`CrashTrigger::Event(n)`] iff `event_pos < n`.
+    event_pos: u64,
+    machine: MachineState,
+    cores: Vec<CoreState>,
+    oracle: TxOracle,
+    scheme: Box<dyn SchemeState>,
+}
+
+impl EngineCheckpoint {
+    /// The checkpoint's position on the cycle axis.
+    pub fn cycle_pos(&self) -> Cycles {
+        self.cycle_pos
+    }
+
+    /// The checkpoint's position on the durability-event axis.
+    pub fn event_pos(&self) -> u64 {
+        self.event_pos
+    }
+}
+
+impl std::fmt::Debug for EngineCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCheckpoint")
+            .field("cycle_pos", &self.cycle_pos)
+            .field("event_pos", &self.event_pos)
+            .field("cores", &self.cores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// How often a recording run captures checkpoints.
+///
+/// Both cadences are active at once: a checkpoint is taken whenever either
+/// axis has advanced past its interval since the last capture, so sparse
+/// regions of one axis still get coverage from the other. When the set
+/// exceeds `max`, every other checkpoint is dropped and both intervals
+/// double — the set stays bounded on arbitrarily long runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Capture after this many durability events since the last capture.
+    pub every_events: u64,
+    /// Capture after this many cycles of minimum-core-clock advance.
+    pub every_cycles: u64,
+    /// Soft cap on retained checkpoints (thinning threshold).
+    pub max: usize,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_events: 64,
+            every_cycles: 4096,
+            max: 32,
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// A policy capturing every `n` durability events (cycle cadence
+    /// scaled proportionally from the default).
+    pub fn every(n: u64) -> Self {
+        let d = CheckpointPolicy::default();
+        CheckpointPolicy {
+            every_events: n.max(1),
+            every_cycles: (n.max(1))
+                .saturating_mul(d.every_cycles / d.every_events)
+                .max(1),
+            max: d.max,
+        }
+    }
+}
+
+/// The checkpoints captured by one recording run, shareable across the
+/// crash points (and worker threads) of a sweep.
+#[derive(Debug, Default)]
+pub struct CheckpointSet {
+    cps: Vec<EngineCheckpoint>,
+}
+
+impl CheckpointSet {
+    /// Number of retained checkpoints.
+    pub fn len(&self) -> usize {
+        self.cps.len()
+    }
+
+    /// Whether no checkpoint was captured.
+    pub fn is_empty(&self) -> bool {
+        self.cps.is_empty()
+    }
+
+    /// The retained checkpoints, in capture order.
+    pub fn iter(&self) -> impl Iterator<Item = &EngineCheckpoint> {
+        self.cps.iter()
+    }
+
+    /// The latest checkpoint strictly before `trigger` on the trigger's
+    /// own axis, or `None` (resimulate from t=0).
+    pub fn nearest(&self, trigger: CrashTrigger) -> Option<&EngineCheckpoint> {
+        match trigger {
+            CrashTrigger::Cycle(c) => self
+                .cps
+                .iter()
+                .filter(|cp| cp.cycle_pos < c)
+                .max_by_key(|cp| (cp.cycle_pos, cp.event_pos)),
+            CrashTrigger::Event(n) => self
+                .cps
+                .iter()
+                .filter(|cp| cp.event_pos < n)
+                .max_by_key(|cp| cp.event_pos),
+        }
+    }
+}
+
 struct CoreRun {
     id: CoreId,
     time: Cycles,
@@ -211,11 +350,71 @@ impl<'a> Engine<'a> {
     ///
     /// Panics if the stream count differs from the configured core count.
     pub fn run_with_plan(
-        mut self,
+        self,
         streams: impl Into<TxStreams>,
         plan: Option<CrashPlan>,
     ) -> RunOutcome {
-        let streams: TxStreams = streams.into();
+        self.run_inner(streams.into(), plan, None, None).0
+    }
+
+    /// Runs a clean (crash-free) reference run while capturing periodic
+    /// full-machine checkpoints per `policy`. The returned set feeds
+    /// [`Engine::run_resumed`]; it is empty if the scheme does not support
+    /// state snapshotting ([`LoggingScheme::snapshot_state`] returns
+    /// `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count differs from the configured core count.
+    pub fn run_recording(
+        self,
+        streams: impl Into<TxStreams>,
+        policy: CheckpointPolicy,
+    ) -> (RunOutcome, CheckpointSet) {
+        self.run_inner(streams.into(), None, Some(policy), None)
+    }
+
+    /// Runs a crash plan starting from `checkpoint` instead of t=0. The
+    /// streams must be the same ones the recording run executed, and the
+    /// checkpoint must satisfy the trigger-axis validity rule
+    /// ([`CheckpointSet::nearest`] guarantees it); the outcome is then
+    /// byte-identical to running the plan from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream count differs from the configured core count
+    /// or from the checkpoint's core count, or if the checkpoint lies at
+    /// or past the plan's trigger.
+    pub fn run_resumed(
+        self,
+        streams: impl Into<TxStreams>,
+        plan: CrashPlan,
+        checkpoint: &EngineCheckpoint,
+    ) -> RunOutcome {
+        match plan.trigger {
+            CrashTrigger::Cycle(c) => assert!(
+                checkpoint.cycle_pos < c,
+                "checkpoint at cycle {} is not before the crash cycle {}",
+                checkpoint.cycle_pos.as_u64(),
+                c.as_u64()
+            ),
+            CrashTrigger::Event(n) => assert!(
+                checkpoint.event_pos < n,
+                "checkpoint at event {} is not before the crash event {n}",
+                checkpoint.event_pos
+            ),
+        }
+        self.run_inner(streams.into(), Some(plan), None, Some(checkpoint))
+            .0
+    }
+
+    fn run_inner(
+        mut self,
+        streams: TxStreams,
+        plan: Option<CrashPlan>,
+        policy: Option<CheckpointPolicy>,
+        resume: Option<&EngineCheckpoint>,
+    ) -> (RunOutcome, CheckpointSet) {
         assert_eq!(
             streams.len(),
             self.machine.config.cores,
@@ -239,6 +438,32 @@ impl<'a> Engine<'a> {
             })
             .collect();
 
+        if let Some(cp) = resume {
+            assert_eq!(
+                cp.cores.len(),
+                cores.len(),
+                "checkpoint core count must match the streams"
+            );
+            self.machine.restore(&cp.machine);
+            for (core, s) in cores.iter_mut().zip(&cp.cores) {
+                core.time = s.time;
+                core.tx_idx = s.tx_idx;
+                core.op_idx = s.op_idx;
+                core.phase = s.phase;
+                core.txid = s.txid;
+                core.tag = s.tag;
+                core.cur_writes.clone_from(&s.cur_writes);
+                core.committed = s.committed;
+            }
+            self.oracle = cp.oracle.clone();
+            self.scheme.restore_state(&*cp.scheme);
+        }
+
+        // Arming happens *after* a restore: the clean recording run counts
+        // events unarmed, and its prefix is byte-identical to an armed
+        // run's (arming only sets the trip threshold), so the same
+        // checkpoints serve every fault model. The checkpoint's
+        // `event_pos < n` guarantees arming here cannot trip immediately.
         if let Some(CrashPlan {
             trigger: CrashTrigger::Event(n),
             ..
@@ -246,6 +471,18 @@ impl<'a> Engine<'a> {
         {
             self.machine.pm.arm_crash_at_event(n);
         }
+
+        // Checkpoints record only on clean runs with snapshot-capable
+        // schemes; capturing mid-crash-plan states would be useless (the
+        // suffix differs per plan) and is not requested by any caller.
+        let mut recording = policy.filter(|_| plan.is_none());
+        if recording.is_some() && self.scheme.snapshot_state().is_none() {
+            recording = None;
+        }
+        let mut set = CheckpointSet::default();
+        let (mut next_event_due, mut next_cycle_due) = recording
+            .map(|p| (p.every_events, p.every_cycles))
+            .unwrap_or((u64::MAX, u64::MAX));
 
         // Pick the unfinished core with the smallest clock, ties broken by
         // core id — the keys `(time, i)` are unique, so the minimum is
@@ -286,6 +523,51 @@ impl<'a> Engine<'a> {
                     i
                 }
             };
+            if let Some(pol) = &mut recording {
+                // The winner's clock is the minimum unfinished clock, so
+                // this loop boundary *is* a position on the cycle axis.
+                let min_time = cores[ci].time;
+                let events_total = self.machine.pm.events().total();
+                if events_total >= next_event_due || min_time.as_u64() >= next_cycle_due {
+                    let scheme = self
+                        .scheme
+                        .snapshot_state()
+                        .expect("snapshot capability checked before the loop");
+                    set.cps.push(EngineCheckpoint {
+                        cycle_pos: min_time,
+                        event_pos: events_total,
+                        machine: self.machine.snapshot(),
+                        cores: cores
+                            .iter()
+                            .map(|c| CoreState {
+                                time: c.time,
+                                tx_idx: c.tx_idx,
+                                op_idx: c.op_idx,
+                                phase: c.phase,
+                                txid: c.txid,
+                                tag: c.tag,
+                                cur_writes: c.cur_writes.clone(),
+                                committed: c.committed,
+                            })
+                            .collect(),
+                        oracle: self.oracle.clone(),
+                        scheme,
+                    });
+                    if set.cps.len() >= pol.max {
+                        // Thin to every other checkpoint and slow both
+                        // cadences, keeping the set bounded on long runs.
+                        let mut keep = false;
+                        set.cps.retain(|_| {
+                            keep = !keep;
+                            keep
+                        });
+                        pol.every_events = pol.every_events.saturating_mul(2);
+                        pol.every_cycles = pol.every_cycles.saturating_mul(2);
+                    }
+                    next_event_due = events_total.saturating_add(pol.every_events);
+                    next_cycle_due = min_time.as_u64().saturating_add(pol.every_cycles);
+                }
+            }
             match plan.map(|p| p.trigger) {
                 Some(CrashTrigger::Cycle(crash)) if cores[ci].time >= crash => {
                     break; // power failed before this core's next op
@@ -357,12 +639,13 @@ impl<'a> Engine<'a> {
             scheme_stats: self.scheme.stats(),
             breakdown,
         };
-        RunOutcome {
+        let outcome = RunOutcome {
             stats,
             crash,
             pm: pm_image,
             timeline: self.machine.probe.drain_timeline(),
-        }
+        };
+        (outcome, set)
     }
 
     /// Executes one step (transaction boundary or single op) on `core`.

@@ -69,11 +69,14 @@ mod stats;
 mod trace;
 
 pub use config::SimConfig;
-pub use engine::{CrashOutcome, CrashPlan, CrashTrigger, Engine, RunOutcome};
-pub use machine::{Machine, ShadowMem};
+pub use engine::{
+    CheckpointPolicy, CheckpointSet, CrashOutcome, CrashPlan, CrashTrigger, Engine,
+    EngineCheckpoint, RunOutcome,
+};
+pub use machine::{Machine, MachineState, ShadowMem};
 pub use ops::{Op, Transaction, TransactionBuilder};
 pub use oracle::{ConsistencyReport, TxOracle, TxRecord, Violation};
-pub use schemes::{EvictAction, LoggingScheme, RecoveryReport, SchemeStats};
+pub use schemes::{EvictAction, LoggingScheme, RecoveryReport, SchemeState, SchemeStats};
 pub use stats::{CoreStats, SimStats};
 pub use trace::{TraceProvenance, TraceSet, TxStreams};
 

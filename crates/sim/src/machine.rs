@@ -1,11 +1,11 @@
 //! The simulated machine: caches + memory controller + PM + architectural
 //! state.
 
-use silo_cache::CacheHierarchy;
+use silo_cache::{CacheHierarchy, CacheHierarchyState};
 use silo_memctrl::{Admission, MemCtrl};
 use silo_pm::PmDevice;
 use silo_probe::ProbeHub;
-use silo_types::{Cycles, FxHashMap, LineAddr, PhysAddr, Word, LINE_BYTES, WORD_BYTES};
+use silo_types::{Cycles, FxHashMap, LineAddr, PhysAddr, Snapshot, Word, LINE_BYTES, WORD_BYTES};
 
 use crate::SimConfig;
 
@@ -212,6 +212,48 @@ impl Machine {
         } else {
             self.pm_write_through(now, line.base(), &image)
         }
+    }
+}
+
+/// Captured state of a whole [`Machine`] minus its immutable `config`:
+/// the PM DIMM (media pages are Arc-COW, so this is near-free), the cache
+/// hierarchy (sparse per-level copies), the memory controllers, the shadow
+/// memory, and the probe hub (cycle accounting must resume mid-total).
+#[derive(Clone, Debug)]
+pub struct MachineState {
+    pm: PmDevice,
+    caches: CacheHierarchyState,
+    mcs: Vec<MemCtrl>,
+    shadow: ShadowMem,
+    probe: ProbeHub,
+}
+
+impl Snapshot for Machine {
+    type State = MachineState;
+
+    fn snapshot(&self) -> MachineState {
+        MachineState {
+            pm: self.pm.snapshot(),
+            caches: self.caches.snapshot(),
+            mcs: self.mcs.iter().map(Snapshot::snapshot).collect(),
+            shadow: self.shadow.clone(),
+            probe: self.probe.clone(),
+        }
+    }
+
+    fn restore(&mut self, state: &MachineState) {
+        assert_eq!(
+            self.mcs.len(),
+            state.mcs.len(),
+            "machine snapshot restored into a different MC count"
+        );
+        self.pm.restore(&state.pm);
+        self.caches.restore(&state.caches);
+        for (mc, s) in self.mcs.iter_mut().zip(&state.mcs) {
+            mc.restore(s);
+        }
+        self.shadow.clone_from(&state.shadow);
+        self.probe.clone_from(&state.probe);
     }
 }
 

@@ -171,6 +171,41 @@ impl fmt::Display for SchemeStats {
     }
 }
 
+/// Opaque captured private state of one logging scheme, for shared-prefix
+/// resimulation. `Machine` holds the scheme as `dyn LoggingScheme`, so the
+/// snapshot must be object-safe: each scheme boxes its own concrete clone
+/// behind this trait and downcasts on restore.
+pub trait SchemeState: std::any::Any + Send + Sync {
+    /// The boxed state as `Any`, for the scheme's downcast on restore.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+impl<T: std::any::Any + Send + Sync> SchemeState for T {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Implements [`LoggingScheme::snapshot_state`] /
+/// [`LoggingScheme::restore_state`] for a `Clone` scheme by boxing a full
+/// clone of `Self`. Paste inside the scheme's `impl LoggingScheme` block.
+#[macro_export]
+macro_rules! impl_scheme_snapshot {
+    () => {
+        fn snapshot_state(&self) -> Option<Box<dyn $crate::SchemeState>> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn restore_state(&mut self, state: &dyn $crate::SchemeState) {
+            let state = state
+                .as_any()
+                .downcast_ref::<Self>()
+                .unwrap_or_else(|| panic!("{} restored from a foreign scheme state", self.name()));
+            self.clone_from(state);
+        }
+    };
+}
+
 /// A hardware logging scheme plugged into the engine.
 ///
 /// Timing contract: every hook receives the core-local clock `now` and
@@ -240,6 +275,29 @@ pub trait LoggingScheme {
 
     /// Counter snapshot.
     fn stats(&self) -> SchemeStats;
+
+    /// Captures the scheme's complete private state for checkpointing, or
+    /// `None` if the scheme does not support it (the engine then records
+    /// no checkpoints and every crash point resimulates from t=0). All
+    /// shipped schemes implement this via [`impl_scheme_snapshot!`].
+    fn snapshot_state(&self) -> Option<Box<dyn SchemeState>> {
+        None
+    }
+
+    /// Restores private state captured by [`LoggingScheme::snapshot_state`]
+    /// on the same scheme type.
+    ///
+    /// # Panics
+    ///
+    /// The default panics: a scheme that returns `None` from
+    /// `snapshot_state` can never be handed a state to restore, so
+    /// reaching it is an engine bug.
+    fn restore_state(&mut self, _state: &dyn SchemeState) {
+        panic!(
+            "scheme {} advertises no snapshot support but was asked to restore one",
+            self.name()
+        );
+    }
 }
 
 /// A no-op scheme: no logging, no ordering, no recovery. Useful as the
@@ -297,6 +355,8 @@ impl LoggingScheme for NullScheme {
     fn stats(&self) -> SchemeStats {
         self.stats
     }
+
+    crate::impl_scheme_snapshot!();
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ pub mod hash;
 mod ids;
 pub mod json;
 mod rng;
+mod snapshot;
 mod word;
 
 pub use addr::{LineAddr, PhysAddr, BUF_LINE_BYTES, LINE_BYTES, WORD_BYTES};
@@ -47,4 +48,5 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{CoreId, ThreadId, TxId, TxTag};
 pub use json::{JsonObject, JsonValue};
 pub use rng::{SplitMix64, Xoshiro256};
+pub use snapshot::Snapshot;
 pub use word::Word;

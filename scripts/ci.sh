@@ -142,17 +142,27 @@ smoke_stage() {
   # One crashfuzz cell's report, stripped of its host-dependent envelope
   # fields (jobs/wall_ms), must hash to the committed golden digest: the
   # crash surface, oracle verdicts, and per-point PM image digests are
-  # fully deterministic, so any drift is a behavioural change.
+  # fully deterministic, so any drift is a behavioural change. The sweep
+  # runs four ways — checkpointed resimulation on and off, 1 worker and
+  # 8 — and every variant must produce the same bytes: checkpoints and
+  # scheduling may only trade time, never answers. The variants bypass
+  # the result store so each one actually simulates its points.
   gold_dir="target/reports-ci-gold"
   rm -rf "$gold_dir"
-  "$EVALUATE" crashfuzz --txs 16 --bench Hash --jobs 2 --json-dir "$gold_dir" > /dev/null
-  sed 's/,"jobs":[0-9]*,"wall_ms":[0-9.eE+-]*}$/}/' "$gold_dir/crashfuzz.json" \
-    | sha256sum | awk '{print $1}' > "$gold_dir.digest"
-  diff "$gold_dir.digest" scripts/crashfuzz_smoke.sha256 \
-    || { echo "FAIL: crashfuzz smoke report drifted from the golden digest" >&2
-         echo "      (if intentional: cp $gold_dir.digest scripts/crashfuzz_smoke.sha256)" >&2
-         exit 1; }
-  rm -rf "$gold_dir" "$gold_dir.digest"
+  for variant in "ckpt-j2 --jobs 2" "nockpt-j2 --no-checkpoints --jobs 2" \
+                 "ckpt-j1 --jobs 1" "ckpt-j8 --jobs 8"; do
+    set -- $variant
+    name="$1"; shift
+    "$EVALUATE" crashfuzz --txs 16 --bench Hash --no-result-store "$@" \
+      --json-dir "$gold_dir/$name" > /dev/null
+    sed 's/,"jobs":[0-9]*,"wall_ms":[0-9.eE+-]*}$/}/' "$gold_dir/$name/crashfuzz.json" \
+      | sha256sum | awk '{print $1}' > "$gold_dir.$name.digest"
+    diff "$gold_dir.$name.digest" scripts/crashfuzz_smoke.sha256 \
+      || { echo "FAIL: crashfuzz smoke report ($name) drifted from the golden digest" >&2
+           echo "      (if intentional: cp $gold_dir.$name.digest scripts/crashfuzz_smoke.sha256)" >&2
+           exit 1; }
+  done
+  rm -rf "$gold_dir" "$gold_dir".*.digest
 
   echo "== crashfuzz smoke test =="
   # Clean sweep: every scheme must recover consistently under all three
@@ -216,6 +226,34 @@ bench_stage() {
   printf '{"experiment": "bench-engine", "txs": 600, "jobs": 4, "wall_ms": %s, "total_cycles_sum": %s}\n' \
     "$eng_ms" "$eng_cycles" > "$fresh_dir/BENCH_engine.json"
   cat "$fresh_dir/BENCH_engine.json"
+
+  echo "== timed crashfuzz benchmark =="
+  # Checkpointed crash resimulation vs from-scratch resimulation on the
+  # same dense crash-point scan: one long-horizon Silo cell, 96 crash
+  # points on the op-boundary cycle axis. Per-point work is what the
+  # checkpoint machinery amortizes (a from-scratch point replays the
+  # whole crash prefix, a resumed point only the suffix past the nearest
+  # checkpoint), so the point count dominates and the wall-clock pair is
+  # the perf trajectory of resume itself. crash_runs is deterministic
+  # and pins the sweep shape. The speedup gate below holds the headline
+  # claim: the checkpointed scan must stay >= 3x faster than
+  # re-simulating every prefix from t=0.
+  "$EVALUATE" crashfuzz --txs 8000 --points 96 --jobs 1 --scheme Silo \
+    --bench Hash --fault op-boundary --no-result-store \
+    --json-dir "$bench_dir/crashfuzz-ckpt" > /dev/null 2>&1
+  "$EVALUATE" crashfuzz --txs 8000 --points 96 --jobs 1 --scheme Silo \
+    --bench Hash --fault op-boundary --no-result-store --no-checkpoints \
+    --json-dir "$bench_dir/crashfuzz-nockpt" > /dev/null 2>&1
+  ckpt_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/crashfuzz-ckpt/crashfuzz.json")
+  nockpt_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/crashfuzz-nockpt/crashfuzz.json")
+  runs=$(sed -n 's/.*"crash_runs": *\([0-9]*\).*/\1/p' "$bench_dir/crashfuzz-ckpt/crashfuzz.json")
+  printf '{"experiment": "crashfuzz", "txs": 8000, "points": 96, "jobs": 1, "crash_runs": %s, "checkpointed_wall_ms": %s, "scratch_wall_ms": %s}\n' \
+    "$runs" "$ckpt_ms" "$nockpt_ms" > "$fresh_dir/BENCH_crashfuzz.json"
+  cat "$fresh_dir/BENCH_crashfuzz.json"
+  awk -v ckpt="$ckpt_ms" -v scratch="$nockpt_ms" \
+    'BEGIN { exit !(ckpt * 3 <= scratch) }' \
+    || { echo "FAIL: checkpointed crashfuzz ($ckpt_ms ms) not >= 3x faster than scratch ($nockpt_ms ms)" >&2
+         exit 1; }
 
   echo "== timed result-store benchmark =="
   # Cold vs warm on a scratch store: the perf trajectory of incremental
