@@ -18,7 +18,7 @@ fn bench_schemes_end_to_end(c: &mut Criterion) {
                 let workload = YcsbWorkload::default();
                 b.iter(|| {
                     let mut scheme = make_scheme(name, &config);
-                    let streams = workload.generate(2, 100, 42);
+                    let streams = workload.raw_streams(2, 100, 42);
                     Engine::new(&config, scheme.as_mut())
                         .run(streams, None)
                         .stats
@@ -35,7 +35,7 @@ fn bench_crash_recovery(c: &mut Criterion) {
         let workload = YcsbWorkload::default();
         b.iter(|| {
             let mut scheme = make_scheme("Silo", &config);
-            let streams = workload.generate(2, 100, 42);
+            let streams = workload.raw_streams(2, 100, 42);
             Engine::new(&config, scheme.as_mut())
                 .run(streams, Some(silo_types::Cycles::new(50_000)))
         })

@@ -23,7 +23,7 @@ use silo_core::{SiloOptions, SiloScheme};
 use silo_pm::PCM_CELL_ENDURANCE;
 use silo_sim::{Engine, LoggingScheme, SimConfig};
 use silo_types::{Cycles, CLOCK_GHZ};
-use silo_workloads::{workload_by_name, Workload};
+use silo_workloads::{workload_by_name, ArrivalProcess, OpenLoop, Workload};
 
 use crate::exp::{CellLabel, CellOutcome};
 use crate::{run_delta_with, run_profiled, run_with_scheme, Batched, TraceCache};
@@ -77,21 +77,26 @@ impl SchemeSpec {
     }
 }
 
-/// Which workload a run consumes, with the Fig 14 batching knob.
+/// Which workload a run consumes, with the Fig 14 batching knob and the
+/// open-system arrival knob.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkloadSpec {
     /// Workload name (resolved by [`workload_by_name`]).
     pub name: String,
     /// Transactions grouped per emitted transaction; 1 = unbatched.
     pub batch: usize,
+    /// Open-system arrival process ([`OpenLoop`] wrapping); `None` (and
+    /// the degenerate `Some(ClosedLoop)`) run the classic closed loop.
+    pub arrival: Option<ArrivalProcess>,
 }
 
 impl WorkloadSpec {
-    /// An unbatched workload.
+    /// An unbatched closed-loop workload.
     pub fn plain(name: &str) -> Self {
         WorkloadSpec {
             name: name.to_string(),
             batch: 1,
+            arrival: None,
         }
     }
 
@@ -100,22 +105,49 @@ impl WorkloadSpec {
         WorkloadSpec {
             name: name.to_string(),
             batch,
+            arrival: None,
+        }
+    }
+
+    /// An open-system workload under `process` arrivals.
+    pub fn open(name: &str, process: ArrivalProcess) -> Self {
+        WorkloadSpec {
+            name: name.to_string(),
+            batch: 1,
+            arrival: Some(process),
         }
     }
 
     fn instantiate(&self) -> Box<dyn Workload> {
         let inner = workload_by_name(&self.name)
             .unwrap_or_else(|| panic!("unknown workload {:?}", self.name));
-        if self.batch > 1 {
+        let batched: Box<dyn Workload> = if self.batch > 1 {
             Box::new(Batched::new(inner, self.batch))
         } else {
             inner
+        };
+        // OpenLoop wraps outermost so arrival stamps apply to the emitted
+        // (possibly batched) transactions — the units the engine admits.
+        match &self.arrival {
+            Some(p) if *p != ArrivalProcess::ClosedLoop => {
+                Box::new(OpenLoop::new(batched, p.clone()))
+            }
+            _ => batched,
         }
     }
 
     fn hash_into(&self, h: &mut Fnv) {
         h.str(&self.name);
         h.usize(self.batch);
+        match &self.arrival {
+            // `None` and `ClosedLoop` execute identically (OpenLoop is not
+            // even constructed), so they share a hash.
+            None | Some(ArrivalProcess::ClosedLoop) => h.tag(0),
+            Some(p) => {
+                h.tag(1);
+                h.str(&p.ident());
+            }
+        }
     }
 }
 
@@ -332,7 +364,7 @@ impl CellSpec {
     /// little-endian integers, and length-prefixed strings.
     pub fn spec_hash(&self) -> u64 {
         let mut h = Fnv::new();
-        h.tag(1); // encoding version
+        h.tag(2); // encoding version (2: WorkloadSpec grew the arrival knob)
         h.u64(self.seed);
         match &self.work {
             CellWork::Delta(run) => {
@@ -780,6 +812,40 @@ mod tests {
             100,
         ))));
         check(spec(CellWork::Full {
+            run: RunSpec::table_ii(
+                "Silo",
+                WorkloadSpec::open("Hash", ArrivalProcess::Poisson { mean_gap: 2_000 }),
+                8,
+                100,
+            ),
+            record_throughput: false,
+        }));
+        check(spec(CellWork::Full {
+            run: RunSpec::table_ii(
+                "Silo",
+                WorkloadSpec::open("Hash", ArrivalProcess::Poisson { mean_gap: 4_000 }),
+                8,
+                100,
+            ),
+            record_throughput: false,
+        }));
+        check(spec(CellWork::Full {
+            run: RunSpec::table_ii(
+                "Silo",
+                WorkloadSpec::open(
+                    "Hash",
+                    ArrivalProcess::Bursty {
+                        mean_gap: 2_000,
+                        burst: 16,
+                        idle_gap: 40_000,
+                    },
+                ),
+                8,
+                100,
+            ),
+            record_throughput: false,
+        }));
+        check(spec(CellWork::Full {
             run: RunSpec::table_ii("Silo", WorkloadSpec::plain("Hash"), 8, 100),
             record_throughput: false,
         }));
@@ -875,6 +941,26 @@ mod tests {
             points: 4,
             point: Some(7),
         }));
+    }
+
+    #[test]
+    fn closed_loop_arrival_is_hash_transparent() {
+        // `None` and `Some(ClosedLoop)` execute identically, so they must
+        // share stored results.
+        let plain = spec(CellWork::Full {
+            run: RunSpec::table_ii("Silo", WorkloadSpec::plain("Hash"), 8, 100),
+            record_throughput: false,
+        });
+        let closed = spec(CellWork::Full {
+            run: RunSpec::table_ii(
+                "Silo",
+                WorkloadSpec::open("Hash", ArrivalProcess::ClosedLoop),
+                8,
+                100,
+            ),
+            record_throughput: false,
+        });
+        assert_eq!(plain.spec_hash(), closed.spec_hash());
     }
 
     #[test]

@@ -447,8 +447,8 @@ mod batched_tests {
 
     #[test]
     fn batching_multiplies_write_sets() {
-        let plain = BankWorkload::default().generate(1, 8, 1);
-        let batched = Batched::new(BankWorkload::default(), 4).generate(1, 2, 1);
+        let plain = BankWorkload::default().raw_streams(1, 8, 1);
+        let batched = Batched::new(BankWorkload::default(), 4).raw_streams(1, 2, 1);
         // Same setup tx; 2 batched txs covering the same 8 inner txs.
         assert_eq!(batched[0].len(), 3);
         let plain_words: usize = plain[0][1..].iter().map(|t| t.store_count()).sum();

@@ -5,7 +5,7 @@
 use crate::exp::ExperimentSpec;
 use crate::experiments::{
     ablations, bench_engine, compare, crashfuzz, endurance, fig04, fig11, fig12, fig13, fig14,
-    fig15, motivation, profile, studies, tables,
+    fig15, latency, motivation, profile, studies, tables,
 };
 
 /// Every registered experiment, in the order `evaluate all` runs them:
@@ -33,6 +33,7 @@ pub fn all() -> Vec<ExperimentSpec> {
         endurance::spec(),
         compare::spec(),
         profile::spec(),
+        latency::spec(),
         crashfuzz::spec(),
         bench_engine::spec(),
     ]
@@ -51,17 +52,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_twenty_three_unique_experiments() {
+    fn registry_has_twenty_four_unique_experiments() {
         let specs = all();
-        assert_eq!(specs.len(), 23);
+        assert_eq!(specs.len(), 24);
         let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 23, "registry names must be unique");
+        assert_eq!(names.len(), 24, "registry names must be unique");
         let mut bins: Vec<&str> = specs.iter().map(|s| s.legacy_bin).collect();
         bins.sort_unstable();
         bins.dedup();
-        assert_eq!(bins.len(), 23, "legacy binary names must be unique");
+        assert_eq!(bins.len(), 24, "legacy binary names must be unique");
     }
 
     #[test]

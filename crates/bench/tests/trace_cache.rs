@@ -40,7 +40,7 @@ fn arc_shared_streams_reproduce_vec_results() {
     let seed = 90_002;
     let w = workload_by_name("TPCC").expect("workload");
     let config = SimConfig::table_ii(2);
-    let owned = w.generate(2, 30, seed);
+    let owned = w.raw_streams(2, 30, seed);
     let trace = w.build_trace(2, 30, seed);
 
     for scheme in ["Base", "Silo"] {

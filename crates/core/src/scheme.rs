@@ -249,11 +249,23 @@ impl SiloScheme {
                 self.cores[ci].pending_ipu.push_front(pending);
                 return (t, false);
             }
-            pending.entries.pop_front();
             if e.flush_bit() {
+                pending.entries.pop_front();
                 continue;
             }
+            let dropped = m.pm.dropped();
             let admit = self.pm_write(m, ci, t, e.addr(), &e.new_data().to_le_bytes());
+            if m.pm.dropped() != dropped {
+                // Power failed at this very admission: the device never
+                // took the bytes. The controller keeps its copy until the
+                // WPQ accepts a write, so the entry stays in the
+                // battery-backed queue and `on_crash` flushes its redo
+                // record instead — popping first would lose a committed
+                // word with no trace for recovery to replay.
+                self.cores[ci].pending_ipu.push_front(pending);
+                return (t, false);
+            }
+            pending.entries.pop_front();
             if matches!(pace, DrainPace::CommitStall) {
                 // The committing core waits out the in-place-update drain:
                 // attribute that slice of the commit stall to `Drain`.

@@ -7,6 +7,8 @@ use silo_probe::{CycleCategory, ProbeEventKind};
 use silo_types::{CoreId, Cycles, FxHashMap, PhysAddr, TxId, TxTag, Word};
 
 use crate::schemes::{EvictAction, SchemeState};
+use crate::stats::LatencyStats;
+use crate::trace::ArrivalSchedule;
 use crate::{
     ConsistencyReport, LoggingScheme, Machine, MachineState, Op, RecoveryReport, SimConfig,
     SimStats, Transaction, TxOracle, TxRecord, TxStreams,
@@ -131,6 +133,7 @@ struct CoreState {
     tag: TxTag,
     cur_writes: FxHashMap<u64, Word>,
     committed: u64,
+    sojourns: Vec<u64>,
 }
 
 /// A full-machine checkpoint taken at an engine loop boundary of a clean
@@ -272,6 +275,12 @@ struct CoreRun {
     // the steady-state hot loop allocates nothing per transaction.
     cur_writes: FxHashMap<u64, Word>,
     committed: u64,
+    // Open-system admission: a transaction may not begin before
+    // `arrivals.arrivals[tx_idx]`; `None` runs the classic closed loop.
+    arrivals: Option<ArrivalSchedule>,
+    // Per-commit sojourn (arrival → commit) times for measured
+    // transactions, in commit order. Empty on closed-loop runs.
+    sojourns: Vec<u64>,
 }
 
 impl CoreRun {
@@ -420,21 +429,44 @@ impl<'a> Engine<'a> {
             self.machine.config.cores,
             "one transaction stream per core required"
         );
+        let mut scheds: Vec<Option<ArrivalSchedule>> = match streams.arrivals {
+            Some(a) => {
+                assert_eq!(
+                    a.len(),
+                    streams.streams.len(),
+                    "one arrival schedule per stream required"
+                );
+                a.into_iter().map(Some).collect()
+            }
+            None => vec![None; streams.streams.len()],
+        };
         let mut cores: Vec<CoreRun> = streams
             .streams
             .into_iter()
             .enumerate()
-            .map(|(i, txs)| CoreRun {
-                id: CoreId::new(i),
-                time: Cycles::ZERO,
-                txs,
-                tx_idx: 0,
-                op_idx: 0,
-                phase: Phase::BetweenTxs,
-                txid: TxId::new(0),
-                tag: TxTag::default(),
-                cur_writes: FxHashMap::default(),
-                committed: 0,
+            .map(|(i, txs)| {
+                let arrivals = scheds[i].take();
+                if let Some(sched) = &arrivals {
+                    assert_eq!(
+                        sched.arrivals.len(),
+                        txs.len(),
+                        "core {i} arrival schedule length must match its stream"
+                    );
+                }
+                CoreRun {
+                    id: CoreId::new(i),
+                    time: Cycles::ZERO,
+                    txs,
+                    tx_idx: 0,
+                    op_idx: 0,
+                    phase: Phase::BetweenTxs,
+                    txid: TxId::new(0),
+                    tag: TxTag::default(),
+                    cur_writes: FxHashMap::default(),
+                    committed: 0,
+                    arrivals,
+                    sojourns: Vec::new(),
+                }
             })
             .collect();
 
@@ -454,6 +486,7 @@ impl<'a> Engine<'a> {
                 core.tag = s.tag;
                 core.cur_writes.clone_from(&s.cur_writes);
                 core.committed = s.committed;
+                core.sojourns.clone_from(&s.sojourns);
             }
             self.oracle = cp.oracle.clone();
             self.scheme.restore_state(&*cp.scheme);
@@ -548,6 +581,7 @@ impl<'a> Engine<'a> {
                                 tag: c.tag,
                                 cur_writes: c.cur_writes.clone(),
                                 committed: c.committed,
+                                sojourns: c.sojourns.clone(),
                             })
                             .collect(),
                         oracle: self.oracle.clone(),
@@ -621,6 +655,20 @@ impl<'a> Engine<'a> {
                 );
             }
         }
+        // Open-system runs summarise the full sojourn multiset exactly:
+        // merge every core's commit-ordered samples, sort once, take
+        // nearest-rank percentiles. Closed-loop runs carry no schedules and
+        // report `None`, keeping their output byte-identical.
+        let latency = if cores.iter().any(|c| c.arrivals.is_some()) {
+            let mut all: Vec<u64> = cores
+                .iter()
+                .flat_map(|c| c.sojourns.iter().copied())
+                .collect();
+            all.sort_unstable();
+            Some(LatencyStats::from_sorted(&all))
+        } else {
+            None
+        };
         let stats = SimStats {
             scheme: self.scheme.name(),
             cores: cores.len(),
@@ -638,6 +686,7 @@ impl<'a> Engine<'a> {
             cache: self.machine.caches.stats(),
             scheme_stats: self.scheme.stats(),
             breakdown,
+            latency,
         };
         let outcome = RunOutcome {
             stats,
@@ -656,6 +705,21 @@ impl<'a> Engine<'a> {
                 if core.tx_idx >= core.txs.len() {
                     core.phase = Phase::Done;
                     return;
+                }
+                // Open-system admission: the next transaction is not
+                // eligible before its arrival cycle. The idle wait is
+                // charged to Execute — the core is architecturally free
+                // (no scheme stall), so the charge is scheme-independent
+                // and the closed category set stays closed.
+                if let Some(sched) = &core.arrivals {
+                    let arrival = sched.arrivals[core.tx_idx];
+                    if core.time.as_u64() < arrival {
+                        let idle = arrival - core.time.as_u64();
+                        core.time = Cycles::new(arrival);
+                        self.machine
+                            .probe
+                            .charge(core.id.as_usize(), CycleCategory::Execute, idle);
+                    }
                 }
                 // Tx_begin: the log generator latches (tid, txid), §III-B.
                 core.txid = core.txid.next();
@@ -709,6 +773,16 @@ impl<'a> Engine<'a> {
                     }
                     self.oracle.observe(core.record(true));
                     core.committed += 1;
+                    if let Some(sched) = &core.arrivals {
+                        // Sojourn = queue wait + service: commit minus
+                        // arrival. Setup transactions (below measure_from)
+                        // are admitted but not user requests, so they are
+                        // not recorded.
+                        if core.tx_idx >= sched.measure_from {
+                            core.sojourns
+                                .push(core.time.as_u64() - sched.arrivals[core.tx_idx]);
+                        }
+                    }
                     self.machine.probe.emit(
                         ProbeEventKind::TxCommit,
                         Some(core.id.as_usize() as u32),
@@ -941,6 +1015,72 @@ mod tests {
         let mut scheme = NullScheme::default();
         let out = Engine::new(&cfg, &mut scheme).run(streams, None);
         assert_eq!(out.stats.txs_committed, 20);
+    }
+
+    #[test]
+    fn admission_delays_transactions_to_their_arrival_cycle() {
+        let cfg = SimConfig::table_ii(1);
+        let txs = vec![
+            tx_writing(&[(0, 1)]),
+            tx_writing(&[(8, 2)]),
+            tx_writing(&[(16, 3)]),
+        ];
+        // Closed-loop reference: no schedule, no latency summary.
+        let mut s = NullScheme::default();
+        let closed = Engine::new(&cfg, &mut s).run(vec![txs.clone()], None);
+        assert!(closed.stats.latency.is_none());
+
+        // A far-future arrival stalls the core until the arrival cycle, so
+        // the run takes at least that long and every sojourn is bounded by
+        // the service time alone (the queue is empty at admission).
+        let trace = crate::TraceSet::new("t", 1, 2, 0, vec![txs])
+            .with_arrivals(vec![ArrivalSchedule::new(vec![0, 50_000, 50_000], 1)]);
+        let mut s = NullScheme::default();
+        let open = Engine::new(&cfg, &mut s).run(&trace, None);
+        assert_eq!(open.stats.txs_committed, 3);
+        assert!(open.stats.sim_cycles.as_u64() >= 50_000);
+        let l = open.stats.latency.expect("open-system run records latency");
+        // Setup (index 0) is excluded by measure_from=1.
+        assert_eq!(l.samples, 2);
+        // Both measured txs arrive at 50k into an idle machine; their
+        // sojourn is pure service time plus tx 2's queueing behind tx 1,
+        // far below the 50k stall a from-arrival=0 accounting would show.
+        assert!(
+            l.max < 50_000,
+            "sojourn should not include pre-arrival idle"
+        );
+        assert!(l.p50 > 0);
+        assert!(l.p50 <= l.p99 && l.p99 <= l.p999 && l.p999 <= l.max);
+    }
+
+    #[test]
+    fn admission_is_deterministic_and_checkpoint_safe() {
+        let cfg = SimConfig::table_ii(2);
+        let mk = || {
+            let streams: Vec<Vec<Transaction>> = (0..2)
+                .map(|c| {
+                    (0..6)
+                        .map(|i| tx_writing(&[((c * 4096 + i * 8) as u64, i as u64)]))
+                        .collect()
+                })
+                .collect();
+            crate::TraceSet::new("t", 2, 5, 0, streams).with_arrivals(
+                (0..2)
+                    .map(|c| {
+                        ArrivalSchedule::new(
+                            (0..6).map(|i| i as u64 * (400 + c as u64 * 37)).collect(),
+                            1,
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let mut s1 = NullScheme::default();
+        let a = Engine::new(&cfg, &mut s1).run(mk(), None);
+        let mut s2 = NullScheme::default();
+        let b = Engine::new(&cfg, &mut s2).run(mk(), None);
+        assert_eq!(a.stats.latency, b.stats.latency);
+        assert!(a.stats.latency.expect("latency").samples == 10);
     }
 
     #[test]

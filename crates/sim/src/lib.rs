@@ -77,8 +77,8 @@ pub use machine::{Machine, MachineState, ShadowMem};
 pub use ops::{Op, Transaction, TransactionBuilder};
 pub use oracle::{ConsistencyReport, TxOracle, TxRecord, Violation};
 pub use schemes::{EvictAction, LoggingScheme, RecoveryReport, SchemeState, SchemeStats};
-pub use stats::{CoreStats, SimStats};
-pub use trace::{TraceProvenance, TraceSet, TxStreams};
+pub use stats::{CoreStats, LatencyStats, SimStats};
+pub use trace::{ArrivalSchedule, TraceProvenance, TraceSet, TxStreams};
 
 // Re-exported so scheme crates and tests can build [`CrashPlan`]s without
 // depending on `silo-pm` directly.

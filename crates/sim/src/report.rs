@@ -12,8 +12,36 @@ use silo_pm::PmStats;
 use silo_probe::CycleBreakdown;
 use silo_types::{Cycles, JsonValue};
 
-use crate::stats::CoreStats;
+use crate::stats::{CoreStats, LatencyStats};
 use crate::{SchemeStats, SimConfig, SimStats};
+
+impl LatencyStats {
+    /// The sojourn summary as a JSON object (experiment reports).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("samples", self.samples)
+            .field("total_cycles", self.total_cycles)
+            .field("p50", self.p50)
+            .field("p99", self.p99)
+            .field("p999", self.p999)
+            .field("max", self.max)
+            .build()
+    }
+
+    /// Rebuilds the summary from its [`LatencyStats::to_json`] form.
+    /// `None` if any field is missing or not an exact integer.
+    pub fn from_json(v: &JsonValue) -> Option<LatencyStats> {
+        let u = |key: &str| v.get(key).and_then(JsonValue::as_u64);
+        Some(LatencyStats {
+            samples: u("samples")?,
+            total_cycles: u("total_cycles")?,
+            p50: u("p50")?,
+            p99: u("p99")?,
+            p999: u("p999")?,
+            max: u("max")?,
+        })
+    }
+}
 
 impl SchemeStats {
     /// The counters as a JSON object (experiment reports).
@@ -86,6 +114,11 @@ impl SimStats {
         if let Some(b) = &self.breakdown {
             obj = obj.field("breakdown", b.to_json());
         }
+        // Same discipline for the open-system latency recorder: absent on
+        // closed-loop runs, so their reports never change shape.
+        if let Some(l) = &self.latency {
+            obj = obj.field("latency", l.to_json());
+        }
         obj.build()
     }
 
@@ -114,6 +147,10 @@ impl SimStats {
             Some(b) => Some(CycleBreakdown::from_json(b)?),
             None => None,
         };
+        let latency = match v.get("latency") {
+            Some(l) => Some(LatencyStats::from_json(l)?),
+            None => None,
+        };
         Some(SimStats {
             scheme,
             cores: usize::try_from(u("cores")?).ok()?,
@@ -125,6 +162,7 @@ impl SimStats {
             cache: HierarchyStats::from_json(v.get("cache")?)?,
             scheme_stats: SchemeStats::from_json(v.get("scheme_stats")?)?,
             breakdown,
+            latency,
         })
     }
 }
@@ -224,6 +262,19 @@ mod tests {
         let truncated = text.replace("\"txs_committed\"", "\"txs_renamed\"");
         let v = JsonValue::parse(&truncated).expect("valid JSON");
         assert!(SimStats::from_json(&v, stats.scheme).is_none());
+    }
+
+    #[test]
+    fn latency_round_trips_and_is_absent_when_none() {
+        let mut stats = small_run();
+        assert!(!stats.to_json().to_string().contains("\"latency\""));
+        stats.latency = Some(LatencyStats::from_sorted(&[10, 20, 30, 1000]));
+        let text = stats.to_json().to_string();
+        assert!(text.contains("\"latency\""));
+        let v = JsonValue::parse(&text).expect("valid JSON");
+        let back = SimStats::from_json(&v, stats.scheme).expect("round trip");
+        assert_eq!(back.latency, stats.latency);
+        assert_eq!(back.to_json().to_string(), text);
     }
 
     #[test]

@@ -19,6 +19,83 @@ pub struct CoreStats {
     pub txs_committed: u64,
 }
 
+/// Exact sojourn-time (queue + service) latency summary for open-system
+/// runs.
+///
+/// Built from the complete multiset of per-transaction sojourn times —
+/// no histogram bucketing or sampling — so percentiles are exact and the
+/// summary is bit-for-bit deterministic for a given trace and scheme.
+/// Percentiles use the nearest-rank definition: the p-th percentile is
+/// `sorted[ceil(p/100 * n) - 1]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Number of measured transactions (setup transactions excluded).
+    pub samples: u64,
+    /// Sum of all sojourn times, for mean derivation.
+    pub total_cycles: u64,
+    /// Median sojourn, cycles.
+    pub p50: u64,
+    /// 99th-percentile sojourn, cycles.
+    pub p99: u64,
+    /// 99.9th-percentile sojourn, cycles.
+    pub p999: u64,
+    /// Worst-case sojourn, cycles.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Summarises a sorted (nondecreasing) slice of sojourn samples.
+    /// Returns the all-zero summary for an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slice is not sorted.
+    pub fn from_sorted(sorted: &[u64]) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        if sorted.is_empty() {
+            return LatencyStats::default();
+        }
+        let rank = |permille: u64| {
+            // Nearest rank: ceil(permille/1000 * n), 1-based, as an index.
+            let n = sorted.len() as u64;
+            let r = (permille * n).div_ceil(1000).max(1);
+            sorted[(r - 1) as usize]
+        };
+        LatencyStats {
+            samples: sorted.len() as u64,
+            total_cycles: sorted.iter().sum(),
+            p50: rank(500),
+            p99: rank(990),
+            p999: rank(999),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+
+    /// Mean sojourn in cycles (0.0 with no samples).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.samples as f64
+        }
+    }
+}
+
+impl fmt::Display for LatencyStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} samples, mean={:.1} p50={} p99={} p999={} max={}",
+            self.samples,
+            self.mean(),
+            self.p50,
+            self.p99,
+            self.p999,
+            self.max
+        )
+    }
+}
+
 /// Everything a run produced, in one snapshot.
 ///
 /// The two paper-headline metrics:
@@ -51,6 +128,10 @@ pub struct SimStats {
     /// accountant was enabled for the run. `None` keeps probe-off reports
     /// byte-identical to pre-observability output.
     pub breakdown: Option<CycleBreakdown>,
+    /// Sojourn-time summary; present only when the run's streams carried
+    /// an open-system arrival schedule. `None` keeps closed-loop reports
+    /// byte-identical to pre-arrival-layer output.
+    pub latency: Option<LatencyStats>,
 }
 
 impl SimStats {
@@ -117,6 +198,10 @@ impl SimStats {
             // into the suffix; steady-state measurements drop it. The
             // `profile` experiment uses full runs for exact breakdowns.
             breakdown: None,
+            // Percentiles do not subtract; open-system latency runs are
+            // always measured as full runs with setup excluded via
+            // `ArrivalSchedule::measure_from`.
+            latency: None,
         }
     }
 }
@@ -145,6 +230,9 @@ impl fmt::Display for SimStats {
             for cat in silo_probe::CycleCategory::ALL {
                 write!(f, " {}={}", cat.name(), b.category_total(cat))?;
             }
+        }
+        if let Some(l) = &self.latency {
+            write!(f, "\n  latency: {l}")?;
         }
         Ok(())
     }
@@ -178,6 +266,7 @@ mod tests {
             cache: HierarchyStats::default(),
             scheme_stats: SchemeStats::default(),
             breakdown: None,
+            latency: None,
         }
     }
 
@@ -214,5 +303,50 @@ mod tests {
         let text = format!("{}", stats());
         assert!(text.contains("Test"));
         assert!(text.contains("2 cores"));
+    }
+
+    /// Independent nearest-rank reference implementation.
+    fn nearest_rank(sorted: &[u64], permille: u64) -> u64 {
+        let n = sorted.len() as u64;
+        let mut rank = (permille * n).div_ceil(1000);
+        if rank == 0 {
+            rank = 1;
+        }
+        sorted[(rank - 1) as usize]
+    }
+
+    #[test]
+    fn percentiles_match_a_sorted_reference() {
+        // Sizes chosen to straddle the interesting rank boundaries:
+        // n=1 (all percentiles collapse), n=100 (p99 is the last element),
+        // n=1000 (p999 is the last element), n=1001 (it no longer is).
+        for n in [1usize, 2, 3, 10, 99, 100, 101, 999, 1000, 1001, 4096] {
+            let sorted: Vec<u64> = (0..n as u64).map(|i| i * 3 + 7).collect();
+            let l = LatencyStats::from_sorted(&sorted);
+            assert_eq!(l.samples, n as u64, "n={n}");
+            assert_eq!(l.p50, nearest_rank(&sorted, 500), "p50 n={n}");
+            assert_eq!(l.p99, nearest_rank(&sorted, 990), "p99 n={n}");
+            assert_eq!(l.p999, nearest_rank(&sorted, 999), "p999 n={n}");
+            assert_eq!(l.max, *sorted.last().unwrap(), "max n={n}");
+            assert_eq!(l.total_cycles, sorted.iter().sum::<u64>(), "sum n={n}");
+        }
+    }
+
+    #[test]
+    fn percentiles_with_duplicates_and_empty() {
+        assert_eq!(LatencyStats::from_sorted(&[]), LatencyStats::default());
+        let l = LatencyStats::from_sorted(&[5, 5, 5, 5]);
+        assert_eq!((l.p50, l.p99, l.p999, l.max), (5, 5, 5, 5));
+        assert!((l.mean() - 5.0).abs() < 1e-9);
+        assert_eq!(LatencyStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn latency_display_lists_percentiles() {
+        let l = LatencyStats::from_sorted(&[1, 2, 3, 4]);
+        let text = format!("{l}");
+        assert!(text.contains("p50=2"));
+        assert!(text.contains("p999=4"));
+        assert!(text.contains("max=4"));
     }
 }

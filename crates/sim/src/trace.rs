@@ -13,6 +13,46 @@ use std::sync::Arc;
 
 use crate::ops::{Op, Transaction};
 
+/// Per-core open-system arrival schedule: one absolute arrival cycle per
+/// transaction in the core's stream.
+///
+/// A transaction is not eligible to begin before its arrival cycle; the
+/// engine records its **sojourn** (queue + service) time from arrival to
+/// commit. `measure_from` excludes leading setup transactions from latency
+/// recording — they arrive at cycle 0 and are not user requests.
+///
+/// Schedules are frozen behind an `Arc` so cloning a trace or fanning it
+/// out across workers stays a pointer bump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    /// Absolute, nondecreasing arrival cycle per transaction (setup
+    /// transactions included, at cycle 0).
+    pub arrivals: Arc<[u64]>,
+    /// Index of the first transaction whose sojourn is measured; earlier
+    /// transactions (setup) are admitted but not recorded.
+    pub measure_from: usize,
+}
+
+impl ArrivalSchedule {
+    /// Freezes a per-core schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival cycles are not nondecreasing — an out-of-order
+    /// schedule would let a later transaction be admitted before an earlier
+    /// one and break the in-stream ordering the oracle assumes.
+    pub fn new(arrivals: Vec<u64>, measure_from: usize) -> Self {
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrival schedule must be nondecreasing"
+        );
+        ArrivalSchedule {
+            arrivals: arrivals.into(),
+            measure_from,
+        }
+    }
+}
+
 /// Where a [`TraceSet`] came from: the full generation key plus a content
 /// hash of the resulting streams.
 ///
@@ -45,6 +85,7 @@ pub struct TraceProvenance {
 #[derive(Clone, Debug)]
 pub struct TraceSet {
     streams: Arc<[Arc<[Transaction]>]>,
+    arrivals: Option<Arc<[ArrivalSchedule]>>,
     provenance: TraceProvenance,
 }
 
@@ -75,6 +116,7 @@ impl TraceSet {
             .into();
         TraceSet {
             streams,
+            arrivals: None,
             provenance: TraceProvenance {
                 workload: workload.into(),
                 cores,
@@ -83,6 +125,38 @@ impl TraceSet {
                 content_hash,
             },
         }
+    }
+
+    /// Attaches per-core arrival schedules to a closed-loop trace, turning
+    /// it into an open-system trace. The schedules are folded into the
+    /// content hash so open and closed variants of one trace never alias
+    /// in a content-addressed cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule count does not match the core count, or any
+    /// schedule's length does not match its stream's transaction count.
+    pub fn with_arrivals(mut self, arrivals: Vec<ArrivalSchedule>) -> Self {
+        assert_eq!(
+            arrivals.len(),
+            self.streams.len(),
+            "arrival schedule count must match the trace core count"
+        );
+        for (core, (sched, stream)) in arrivals.iter().zip(self.streams.iter()).enumerate() {
+            assert_eq!(
+                sched.arrivals.len(),
+                stream.len(),
+                "core {core} arrival schedule length must match its stream"
+            );
+        }
+        self.provenance.content_hash = hash_arrivals(self.provenance.content_hash, &arrivals);
+        self.arrivals = Some(arrivals.into());
+        self
+    }
+
+    /// The per-core arrival schedules, if this is an open-system trace.
+    pub fn arrivals(&self) -> Option<&[ArrivalSchedule]> {
+        self.arrivals.as_deref()
     }
 
     /// The per-core streams, one shared slice per core.
@@ -128,6 +202,8 @@ impl TraceSet {
 #[derive(Clone, Debug)]
 pub struct TxStreams {
     pub(crate) streams: Vec<Arc<[Transaction]>>,
+    /// Per-core arrival schedules; `None` runs the classic closed loop.
+    pub(crate) arrivals: Option<Vec<ArrivalSchedule>>,
 }
 
 impl TxStreams {
@@ -140,19 +216,28 @@ impl TxStreams {
     pub fn is_empty(&self) -> bool {
         self.streams.is_empty()
     }
+
+    /// Whether the streams carry an open-system arrival schedule.
+    pub fn is_open(&self) -> bool {
+        self.arrivals.is_some()
+    }
 }
 
 impl From<Vec<Vec<Transaction>>> for TxStreams {
     fn from(streams: Vec<Vec<Transaction>>) -> Self {
         TxStreams {
             streams: streams.into_iter().map(Arc::from).collect(),
+            arrivals: None,
         }
     }
 }
 
 impl From<Vec<Arc<[Transaction]>>> for TxStreams {
     fn from(streams: Vec<Arc<[Transaction]>>) -> Self {
-        TxStreams { streams }
+        TxStreams {
+            streams,
+            arrivals: None,
+        }
     }
 }
 
@@ -160,6 +245,7 @@ impl From<&TraceSet> for TxStreams {
     fn from(trace: &TraceSet) -> Self {
         TxStreams {
             streams: trace.streams.to_vec(),
+            arrivals: trace.arrivals.as_ref().map(|a| a.to_vec()),
         }
     }
 }
@@ -197,6 +283,25 @@ fn hash_streams(streams: &[Vec<Transaction>]) -> u64 {
                     }
                 }
             }
+        }
+    }
+    h.finish()
+}
+
+/// Folds per-core arrival schedules into an existing stream content hash.
+/// A marker word separates the op content from the schedule so a trace
+/// with arrivals can never collide with a closed-loop trace whose op
+/// content happens to continue with the same words.
+fn hash_arrivals(stream_hash: u64, arrivals: &[ArrivalSchedule]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(stream_hash);
+    h.write_u64(0x6172_7269_7661_6c73); // "arrivals"
+    h.write_u64(arrivals.len() as u64);
+    for sched in arrivals {
+        h.write_u64(sched.measure_from as u64);
+        h.write_u64(sched.arrivals.len() as u64);
+        for &cycle in sched.arrivals.iter() {
+            h.write_u64(cycle);
         }
     }
     h.finish()
@@ -277,6 +382,33 @@ mod tests {
     #[should_panic(expected = "core count")]
     fn mismatched_core_count_rejected() {
         let _ = TraceSet::new("w", 2, 1, 7, vec![vec![tx(&[(0, 1)])]]);
+    }
+
+    #[test]
+    fn arrivals_change_the_hash_and_flow_into_streams() {
+        let closed = TraceSet::new("w", 1, 1, 7, vec![vec![tx(&[(0, 1)]), tx(&[(8, 2)])]]);
+        let open = closed
+            .clone()
+            .with_arrivals(vec![ArrivalSchedule::new(vec![0, 100], 1)]);
+        assert_ne!(closed.content_hash(), open.content_hash());
+        let s: TxStreams = (&open).into();
+        assert!(s.is_open());
+        assert_eq!(s.arrivals.as_ref().unwrap()[0].arrivals.as_ref(), &[0, 100]);
+        let c: TxStreams = (&closed).into();
+        assert!(!c.is_open());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn out_of_order_arrivals_rejected() {
+        let _ = ArrivalSchedule::new(vec![10, 5], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match its stream")]
+    fn arrival_length_mismatch_rejected() {
+        let t = TraceSet::new("w", 1, 1, 7, vec![vec![tx(&[(0, 1)])]]);
+        let _ = t.with_arrivals(vec![ArrivalSchedule::new(vec![0, 1], 0)]);
     }
 
     #[test]

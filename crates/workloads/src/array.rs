@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn swap_transactions_write_sixteen_words() {
-        let streams = ArrayWorkload::default().generate(1, 5, 1);
+        let streams = ArrayWorkload::default().raw_streams(1, 5, 1);
         for tx in &streams[0][1..] {
             assert_eq!(tx.store_count(), 16);
             assert_eq!(tx.write_set_bytes(), 128);
@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn most_swap_words_are_value_identical() {
         // 14 of 16 stores rewrite the FILL pattern over itself.
-        let streams = ArrayWorkload::default().generate(1, 20, 2);
+        let streams = ArrayWorkload::default().raw_streams(1, 20, 2);
         for tx in &streams[0][1..] {
             let unchanged = tx
                 .final_writes()
@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn swaps_actually_exchange_ids() {
         let w = ArrayWorkload { elements: 4 };
-        let streams = w.generate(1, 50, 3);
+        let streams = w.raw_streams(1, 50, 3);
         // Replay logically and check the multiset of ids is preserved.
         let mut rec = TxRecorder::new();
         for tx in &streams[0] {
@@ -142,10 +142,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = ArrayWorkload::default().generate(2, 10, 7);
-        let b = ArrayWorkload::default().generate(2, 10, 7);
+        let a = ArrayWorkload::default().raw_streams(2, 10, 7);
+        let b = ArrayWorkload::default().raw_streams(2, 10, 7);
         assert_eq!(a, b);
-        let c = ArrayWorkload::default().generate(2, 10, 8);
+        let c = ArrayWorkload::default().raw_streams(2, 10, 8);
         assert_ne!(a, c);
     }
 }

@@ -108,7 +108,7 @@ mod tests {
             accounts: 64,
             initial_balance: 500,
         };
-        let streams = w.generate(1, 300, 71);
+        let streams = w.raw_streams(1, 300, 71);
         let mut rec = TxRecorder::new();
         for tx in &streams[0] {
             for op in tx.ops() {
@@ -130,7 +130,7 @@ mod tests {
 
     #[test]
     fn transfers_write_five_words() {
-        let streams = BankWorkload::default().generate(1, 50, 72);
+        let streams = BankWorkload::default().raw_streams(1, 50, 72);
         for tx in &streams[0][1..] {
             assert_eq!(tx.write_set_words(), 5);
             assert_eq!(tx.write_set_bytes(), 40);
@@ -140,8 +140,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            BankWorkload::default().generate(1, 10, 8),
-            BankWorkload::default().generate(1, 10, 8)
+            BankWorkload::default().raw_streams(1, 10, 8),
+            BankWorkload::default().raw_streams(1, 10, 8)
         );
     }
 }

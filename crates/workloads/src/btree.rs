@@ -611,7 +611,7 @@ mod tests {
             setup_inserts: 64,
             delete_percent: 0,
         };
-        let streams = w.generate(1, 200, 5);
+        let streams = w.raw_streams(1, 200, 5);
         let n = check_tree(&streams);
         assert_eq!(n, 64 + 200);
     }
@@ -622,7 +622,7 @@ mod tests {
             setup_inserts: 64,
             delete_percent: 35,
         };
-        let streams = w.generate(1, 400, 31);
+        let streams = w.raw_streams(1, 400, 31);
         let n = check_tree(&streams);
         assert!(n < 64 + 400, "deletes removed keys (live = {n})");
         assert!(n > 100, "inserts outnumber deletes");
@@ -630,7 +630,7 @@ mod tests {
 
     #[test]
     fn insert_transactions_have_plausible_write_sets() {
-        let streams = BtreeWorkload::default().generate(1, 100, 6);
+        let streams = BtreeWorkload::default().raw_streams(1, 100, 6);
         for tx in &streams[0][1..] {
             let words = tx.write_set_words();
             assert!(
@@ -642,8 +642,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = BtreeWorkload::default().generate(2, 20, 9);
-        let b = BtreeWorkload::default().generate(2, 20, 9);
+        let a = BtreeWorkload::default().raw_streams(2, 20, 9);
+        let b = BtreeWorkload::default().raw_streams(2, 20, 9);
         assert_eq!(a, b);
     }
 

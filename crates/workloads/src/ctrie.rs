@@ -205,7 +205,7 @@ mod tests {
 
     #[test]
     fn insert_write_sets_are_small() {
-        let streams = CtrieWorkload::default().generate(1, 50, 51);
+        let streams = CtrieWorkload::default().raw_streams(1, 50, 51);
         for tx in &streams[0][1..] {
             let w = tx.write_set_words();
             assert!((1..=13).contains(&w), "write set {w}");
@@ -215,8 +215,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            CtrieWorkload::default().generate(1, 10, 6),
-            CtrieWorkload::default().generate(1, 10, 6)
+            CtrieWorkload::default().raw_streams(1, 10, 6),
+            CtrieWorkload::default().raw_streams(1, 10, 6)
         );
     }
 }

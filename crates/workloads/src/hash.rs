@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn insert_write_set_matches_fig13_footprint() {
-        let streams = HashWorkload::default().generate(1, 50, 11);
+        let streams = HashWorkload::default().raw_streams(1, 50, 11);
         for tx in &streams[0][1..] {
             // node (26) + head + counter = 28 distinct words.
             assert_eq!(tx.write_set_words(), 28);
@@ -206,7 +206,7 @@ mod tests {
             setup_inserts: 0,
             mix: HashMix::InsertOnly,
         };
-        let streams = w.generate(1, 40, 12);
+        let streams = w.raw_streams(1, 40, 12);
         let mut rec = TxRecorder::new();
         for tx in &streams[0] {
             for op in tx.ops() {
@@ -234,8 +234,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = HashWorkload::default().generate(1, 10, 3);
-        let b = HashWorkload::default().generate(1, 10, 3);
+        let a = HashWorkload::default().raw_streams(1, 10, 3);
+        let b = HashWorkload::default().raw_streams(1, 10, 3);
         assert_eq!(a, b);
     }
 
@@ -246,7 +246,7 @@ mod tests {
             setup_inserts: 0,
             mix: HashMix::Mixed,
         };
-        let streams = w.generate(1, 300, 99);
+        let streams = w.raw_streams(1, 300, 99);
         // Replay and verify the element counter matches the chain lengths.
         let mut rec = TxRecorder::new();
         for tx in &streams[0] {

@@ -1,0 +1,226 @@
+//! Zipfian multi-tenant key-value mix: thousands of simulated clients with
+//! skewed popularity sharing each core.
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::TxRecorder;
+use crate::registry::core_base;
+use crate::Workload;
+
+/// Words per record (64 B, one cache line).
+const RECORD_WORDS: usize = 8;
+
+/// The millions-of-users traffic shape scaled to a core: `clients`
+/// independent tenants each own a few records, client popularity follows a
+/// nested 80/20 zipf approximation (a handful of hot tenants dominate), and
+/// each transaction serves one client request — a YCSB-skew read/update of
+/// one record, or occasionally a two-record transfer within the client.
+///
+/// Compared to [`YcsbWorkload`](crate::YcsbWorkload) (one flat key space
+/// per core), the tenant structure concentrates load *and* spreads the cold
+/// tail across a much larger footprint, so cache hit rates, log merging,
+/// and on-PM-buffer coalescing all see the hot-tenant/cold-tenant split a
+/// shared service actually produces. Designed to be wrapped in an
+/// [`OpenLoop`](crate::OpenLoop) arrival process for latency studies; runs
+/// closed-loop like any other workload otherwise.
+#[derive(Clone, Debug)]
+pub struct MixWorkload {
+    /// Simulated clients (tenants) per core.
+    pub clients: usize,
+    /// Records owned by each client.
+    pub keys_per_client: usize,
+    /// Percent of requests that only read (paper-YCSB default: 20).
+    pub read_percent: u64,
+    /// Percent of update requests that touch two records (transfer).
+    pub transfer_percent: u64,
+}
+
+impl Default for MixWorkload {
+    fn default() -> Self {
+        MixWorkload {
+            clients: 64,
+            keys_per_client: 4,
+            read_percent: 20,
+            transfer_percent: 10,
+        }
+    }
+}
+
+impl MixWorkload {
+    /// The multi-tenant configuration: thousands of clients per core, the
+    /// scale at which the hot set no longer fits the cache hierarchy.
+    pub fn multi_tenant() -> Self {
+        MixWorkload {
+            clients: 2048,
+            ..MixWorkload::default()
+        }
+    }
+
+    fn record_addr(&self, base: u64, client: u64, key: u64) -> PhysAddr {
+        let idx = client * self.keys_per_client as u64 + key;
+        PhysAddr::new(base + idx * (RECORD_WORDS * WORD_BYTES) as u64)
+    }
+
+    /// Nested 80/20 hot-set pick over `0..n`: 80 % of picks land in the top
+    /// fifth, and within that fifth the rule recurses (up to three levels),
+    /// approximating a zipfian tenant-popularity curve with integer
+    /// arithmetic only.
+    fn zipf_pick(rng: &mut Xoshiro256, n: u64) -> u64 {
+        let mut lo = 0u64;
+        let mut len = n;
+        for _ in 0..3 {
+            if len < 5 {
+                break;
+            }
+            let hot = len / 5;
+            if rng.percent(80) {
+                len = hot;
+            } else {
+                lo += hot;
+                len -= hot;
+                break;
+            }
+        }
+        lo + rng.below(len.max(1))
+    }
+
+    fn update(&self, rec: &mut TxRecorder, addr: PhysAddr) {
+        let version = rec.read_u64(addr).wrapping_add(1);
+        rec.write_u64(addr, version);
+        for w in 1..RECORD_WORDS {
+            let field = addr.add((w * WORD_BYTES) as u64);
+            // Half the fields keep their contents (rewritten unchanged,
+            // exercising log ignorance), half take version-derived values.
+            let value = if w % 2 == 0 {
+                rec.peek_u64(field)
+            } else {
+                version ^ (w as u64) << 32
+            };
+            rec.write_u64(field, value);
+        }
+    }
+}
+
+impl Workload for MixWorkload {
+    fn name(&self) -> &'static str {
+        "ZipfMix"
+    }
+
+    fn trace_ident(&self) -> String {
+        format!(
+            "ZipfMix/clients={},keys={},read={},transfer={}",
+            self.clients, self.keys_per_client, self.read_percent, self.transfer_percent
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0x21f5));
+                let mut rec = TxRecorder::new();
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                // Setup: stamp every record's version word.
+                for client in 0..self.clients as u64 {
+                    for key in 0..self.keys_per_client as u64 {
+                        rec.write_u64(self.record_addr(base, client, key), client ^ key);
+                    }
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    let client = Self::zipf_pick(&mut rng, self.clients as u64);
+                    let key = rng.below(self.keys_per_client as u64);
+                    let addr = self.record_addr(base, client, key);
+                    rec.compute(12); // tenant auth + index lookup
+                    if rng.percent(self.read_percent) {
+                        for w in 0..RECORD_WORDS {
+                            rec.read_u64(addr.add((w * WORD_BYTES) as u64));
+                        }
+                    } else if rng.percent(self.transfer_percent) && self.keys_per_client > 1 {
+                        // Transfer: debit one record, credit a sibling —
+                        // the two-line atomicity case crash recovery must
+                        // never tear.
+                        let other = (key + 1) % self.keys_per_client as u64;
+                        let dst = self.record_addr(base, client, other);
+                        let a = rec.read_u64(addr);
+                        let b = rec.read_u64(dst);
+                        rec.write_u64(addr, a.wrapping_sub(1));
+                        rec.write_u64(dst, b.wrapping_add(1));
+                    } else {
+                        self.update(&mut rec, addr);
+                    }
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_clients_dominate() {
+        let mut rng = Xoshiro256::seeded(1);
+        let n = 2048u64;
+        let hot = (0..10_000)
+            .filter(|_| MixWorkload::zipf_pick(&mut rng, n) < n / 5)
+            .count();
+        assert!(hot > 7_000, "hot-fifth hits: {hot}");
+        // The nested rule concentrates further inside the hot fifth.
+        let mut rng = Xoshiro256::seeded(2);
+        let very_hot = (0..10_000)
+            .filter(|_| MixWorkload::zipf_pick(&mut rng, n) < n / 25)
+            .count();
+        assert!(very_hot > 5_000, "hot-25th hits: {very_hot}");
+    }
+
+    #[test]
+    fn zipf_pick_stays_in_range() {
+        let mut rng = Xoshiro256::seeded(3);
+        for n in [1u64, 2, 4, 5, 100, 2048] {
+            for _ in 0..500 {
+                assert!(MixWorkload::zipf_pick(&mut rng, n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn transactions_mix_reads_updates_and_transfers() {
+        let streams = MixWorkload::default().raw_streams(1, 2000, 17);
+        let measured = &streams[0][1..];
+        let reads = measured.iter().filter(|t| t.is_read_only()).count();
+        let transfers = measured.iter().filter(|t| t.write_set_words() == 2).count();
+        let updates = measured
+            .iter()
+            .filter(|t| t.write_set_words() == RECORD_WORDS)
+            .count();
+        let frac = reads as f64 / measured.len() as f64;
+        assert!((0.15..0.25).contains(&frac), "read fraction {frac}");
+        assert!(transfers > 0, "transfers present");
+        assert!(updates > transfers, "updates dominate writes");
+    }
+
+    #[test]
+    fn multi_tenant_footprint_fits_the_core_region() {
+        let w = MixWorkload::multi_tenant();
+        assert_eq!(w.clients, 2048);
+        let bytes = (w.clients * w.keys_per_client * RECORD_WORDS * WORD_BYTES) as u64;
+        assert!(bytes <= crate::CORE_REGION_BYTES);
+        // Distinct trace identity from the default configuration.
+        assert_ne!(w.trace_ident(), MixWorkload::default().trace_ident());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            MixWorkload::default().raw_streams(2, 50, 3),
+            MixWorkload::default().raw_streams(2, 50, 3)
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Michael-Scott queue: the memento-style lock-free queue evaluation
+//! workload, run as a trace generator.
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// The Michael-Scott two-lock-free queue shape from the memento evaluation
+/// suite, replayed as a persistent-memory trace: a permanent dummy node,
+/// `head` pointing at the dummy, `tail` at the last node. Unlike
+/// [`QueueWorkload`](crate::QueueWorkload) (which pairs an enqueue and a
+/// dequeue in every transaction and keeps a size counter), each measured
+/// transaction here is a *single* randomly chosen operation — a 50/50
+/// enqueue/dequeue mix — so write-set sizes vary per transaction and the
+/// queue length random-walks, the traffic pattern of a producer/consumer
+/// service rather than a fixed pipeline.
+#[derive(Clone, Debug)]
+pub struct MsQueueWorkload {
+    /// Elements enqueued during setup, so early dequeues find work.
+    pub setup_elements: usize,
+    /// Percent of measured operations that enqueue (the rest dequeue).
+    pub enqueue_percent: u64,
+}
+
+impl Default for MsQueueWorkload {
+    fn default() -> Self {
+        MsQueueWorkload {
+            setup_elements: 64,
+            enqueue_percent: 50,
+        }
+    }
+}
+
+/// Node: next pointer + 7 payload words (64 B, one cache line).
+const NODE_WORDS: usize = 8;
+
+struct MsQueue {
+    /// PM word holding the pointer to the dummy node.
+    head_ptr: PhysAddr,
+    /// PM word holding the pointer to the last node.
+    tail_ptr: PhysAddr,
+}
+
+impl MsQueue {
+    /// Allocates the permanent dummy node and points head and tail at it.
+    fn init(
+        rec: &mut TxRecorder,
+        heap: &mut PmHeap,
+        head_ptr: PhysAddr,
+        tail_ptr: PhysAddr,
+    ) -> Self {
+        let dummy = heap.alloc_aligned((NODE_WORDS * WORD_BYTES) as u64, 64);
+        rec.write_u64(dummy, 0); // dummy.next = null
+        rec.write_u64(head_ptr, dummy.as_u64());
+        rec.write_u64(tail_ptr, dummy.as_u64());
+        MsQueue { head_ptr, tail_ptr }
+    }
+
+    fn enqueue(&self, rec: &mut TxRecorder, heap: &mut PmHeap, value: u64) {
+        let node = heap.alloc_aligned((NODE_WORDS * WORD_BYTES) as u64, 64);
+        rec.write_u64(node, 0); // node.next = null
+        for w in 1..NODE_WORDS {
+            rec.write_u64(
+                node.add((w * WORD_BYTES) as u64),
+                value.wrapping_add(w as u64),
+            );
+        }
+        // MS protocol: link tail.next to the new node, then swing tail.
+        let tail = rec.read_u64(self.tail_ptr);
+        rec.write_u64(PhysAddr::new(tail), node.as_u64());
+        rec.write_u64(self.tail_ptr, node.as_u64());
+    }
+
+    fn dequeue(&self, rec: &mut TxRecorder) -> Option<u64> {
+        // The dummy's successor holds the front value; dequeuing swings
+        // head to it, making it the new dummy (the MS discipline — the
+        // dequeued node's payload line is read, not freed).
+        let dummy = rec.read_u64(self.head_ptr);
+        let front = rec.read_u64(PhysAddr::new(dummy));
+        if front == 0 {
+            return None; // empty: dummy is also the tail
+        }
+        let payload = rec.read_u64(PhysAddr::new(front + WORD_BYTES as u64));
+        rec.write_u64(self.head_ptr, front);
+        Some(payload)
+    }
+}
+
+impl Workload for MsQueueWorkload {
+    fn name(&self) -> &'static str {
+        "MSQueue"
+    }
+
+    fn trace_ident(&self) -> String {
+        format!(
+            "MSQueue/setup={},enq={}",
+            self.setup_elements, self.enqueue_percent
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0x5c1e));
+                let mut rec = TxRecorder::new();
+                let mut heap = PmHeap::new(base + 64, CORE_REGION_BYTES - 64);
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                let q = MsQueue::init(
+                    &mut rec,
+                    &mut heap,
+                    PhysAddr::new(base),
+                    PhysAddr::new(base + WORD_BYTES as u64),
+                );
+                for _ in 0..self.setup_elements {
+                    q.enqueue(&mut rec, &mut heap, rng.next_u64());
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    if rng.percent(self.enqueue_percent) {
+                        q.enqueue(&mut rec, &mut heap, rng.next_u64());
+                    } else if q.dequeue(&mut rec).is_none() {
+                        // Ran dry: produce instead, keeping every
+                        // transaction a real mutation.
+                        q.enqueue(&mut rec, &mut heap, rng.next_u64());
+                    }
+                    rec.compute(8);
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_through_the_dummy() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let q = MsQueue::init(&mut rec, &mut heap, PhysAddr::new(0), PhysAddr::new(8));
+        assert_eq!(q.dequeue(&mut rec), None);
+        for v in [10u64, 20, 30] {
+            q.enqueue(&mut rec, &mut heap, v);
+        }
+        assert_eq!(q.dequeue(&mut rec), Some(11)); // payload word = v + 1
+        assert_eq!(q.dequeue(&mut rec), Some(21));
+        assert_eq!(q.dequeue(&mut rec), Some(31));
+        assert_eq!(q.dequeue(&mut rec), None);
+        // Head and tail converge on the last dequeued node (new dummy).
+        assert_eq!(
+            rec.peek_u64(PhysAddr::new(0)),
+            rec.peek_u64(PhysAddr::new(8))
+        );
+    }
+
+    #[test]
+    fn mixed_ops_have_varied_write_sets() {
+        let streams = MsQueueWorkload::default().raw_streams(1, 200, 7);
+        let sizes: std::collections::BTreeSet<usize> = streams[0][1..]
+            .iter()
+            .map(|tx| tx.write_set_words())
+            .collect();
+        // Enqueues write a whole node (+ links); dequeues write one pointer.
+        assert!(sizes.len() >= 2, "write-set sizes should vary: {sizes:?}");
+        assert!(
+            sizes.contains(&1),
+            "dequeue writes exactly the head pointer"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            MsQueueWorkload::default().raw_streams(2, 50, 3),
+            MsQueueWorkload::default().raw_streams(2, 50, 3)
+        );
+        assert_ne!(
+            MsQueueWorkload::default().raw_streams(2, 50, 3),
+            MsQueueWorkload::default().raw_streams(2, 50, 4)
+        );
+    }
+}

@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn transactions_touch_distinct_lines() {
-        let streams = QueueWorkload::default().generate(1, 10, 4);
+        let streams = QueueWorkload::default().raw_streams(1, 10, 4);
         let lines_per_tx: Vec<std::collections::BTreeSet<u64>> = streams[0][1..]
             .iter()
             .map(|tx| {
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn write_sets_are_small() {
-        let streams = QueueWorkload::default().generate(1, 20, 5);
+        let streams = QueueWorkload::default().raw_streams(1, 20, 5);
         for tx in &streams[0][1..] {
             let w = tx.write_set_words();
             assert!((10..=13).contains(&w), "unexpected write set {w}");
@@ -174,8 +174,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            QueueWorkload::default().generate(1, 10, 1),
-            QueueWorkload::default().generate(1, 10, 1)
+            QueueWorkload::default().raw_streams(1, 10, 1),
+            QueueWorkload::default().raw_streams(1, 10, 1)
         );
     }
 }

@@ -415,7 +415,7 @@ mod tests {
             setup_inserts: 64,
             delete_percent: 0,
         };
-        let streams = w.generate(1, 300, 17);
+        let streams = w.raw_streams(1, 300, 17);
         let rec = replay(&streams);
         let root = rec.peek_u64(PhysAddr::new(core_base(0)));
         assert_ne!(root, 0);
@@ -434,7 +434,7 @@ mod tests {
             setup_inserts: 64,
             delete_percent: 35,
         };
-        let streams = w.generate(1, 400, 23);
+        let streams = w.raw_streams(1, 400, 23);
         let rec = replay(&streams);
         let root = rec.peek_u64(PhysAddr::new(core_base(0)));
         assert_ne!(root, 0);
@@ -445,7 +445,7 @@ mod tests {
 
     #[test]
     fn inserts_have_moderate_write_sets() {
-        let streams = RbtreeWorkload::default().generate(1, 100, 18);
+        let streams = RbtreeWorkload::default().raw_streams(1, 100, 18);
         for tx in &streams[0][1..] {
             let w = tx.write_set_words();
             assert!((8..=40).contains(&w), "write set {w}");
@@ -455,8 +455,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            RbtreeWorkload::default().generate(1, 15, 2),
-            RbtreeWorkload::default().generate(1, 15, 2)
+            RbtreeWorkload::default().raw_streams(1, 15, 2),
+            RbtreeWorkload::default().raw_streams(1, 15, 2)
         );
     }
 }

@@ -1,8 +1,9 @@
 //! Workload lookup and the per-core PM partitioning.
 
 use crate::{
-    ArrayWorkload, BankWorkload, BtreeWorkload, CtrieWorkload, HashWorkload, QueueWorkload,
-    RbtreeWorkload, RtreeWorkload, TatpWorkload, TpccWorkload, Workload, YcsbWorkload,
+    ArrayWorkload, BankWorkload, BtreeWorkload, CtrieWorkload, HashWorkload, MixWorkload,
+    MsQueueWorkload, QueueWorkload, RbtreeWorkload, RtreeWorkload, TatpWorkload, TpccWorkload,
+    TreiberWorkload, Workload, YcsbWorkload,
 };
 
 /// Bytes of private PM data region per core (64 MiB). Cores touch disjoint
@@ -38,7 +39,9 @@ struct WorkloadDesc {
 }
 
 /// Rows are in figure order: the Fig 11 seven first, then the four extra
-/// Fig 4 workloads, then lookup-only aliases (tpcc-mix).
+/// Fig 4 workloads, then lookup-only rows — the tpcc-mix alias and the
+/// memento-style zoo (msqueue, treiber, zipfmix, zipfmix-mt), which are
+/// not paper figures but flow through the same crashfuzz/latency matrices.
 const WORKLOADS: &[WorkloadDesc] = &[
     WorkloadDesc {
         name: "array",
@@ -112,6 +115,30 @@ const WORKLOADS: &[WorkloadDesc] = &[
         fig4: false,
         make: || Box::new(TpccWorkload::all_types()),
     },
+    WorkloadDesc {
+        name: "msqueue",
+        fig11: false,
+        fig4: false,
+        make: || Box::new(MsQueueWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "treiber",
+        fig11: false,
+        fig4: false,
+        make: || Box::new(TreiberWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "zipfmix",
+        fig11: false,
+        fig4: false,
+        make: || Box::new(MixWorkload::default()),
+    },
+    WorkloadDesc {
+        name: "zipfmix-mt",
+        fig11: false,
+        fig4: false,
+        make: || Box::new(MixWorkload::multi_tenant()),
+    },
 ];
 
 /// The seven benchmarks of Fig 11 / Fig 12 / Fig 13 / Fig 14 / Fig 15.
@@ -167,6 +194,24 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn zoo_workloads_resolve_outside_the_figure_sets() {
+        for name in ["msqueue", "treiber", "zipfmix", "zipfmix-mt"] {
+            let w = workload_by_name(name).unwrap_or_else(|| panic!("unresolvable {name}"));
+            assert!(
+                !fig11_set()
+                    .iter()
+                    .any(|f| f.trace_ident() == w.trace_ident()),
+                "{name} must not join the Fig 11 seven"
+            );
+        }
+        assert_eq!(
+            workload_by_name("zipfmix-mt").unwrap().name(),
+            workload_by_name("zipfmix").unwrap().name(),
+            "both mixes share a display name"
+        );
     }
 
     #[test]

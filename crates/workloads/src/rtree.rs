@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn path_sharing_reduces_writes_over_time() {
-        let streams = RtreeWorkload { setup_inserts: 512 }.generate(1, 50, 41);
+        let streams = RtreeWorkload { setup_inserts: 512 }.raw_streams(1, 50, 41);
         // After setup most interior nodes exist: measured inserts write the
         // leaf (8 words) + 1-3 pointer slots.
         for tx in &streams[0][1..] {
@@ -144,8 +144,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            RtreeWorkload::default().generate(1, 10, 5),
-            RtreeWorkload::default().generate(1, 10, 5)
+            RtreeWorkload::default().raw_streams(1, 10, 5),
+            RtreeWorkload::default().raw_streams(1, 10, 5)
         );
     }
 }

@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn write_sets_are_tiny() {
-        let streams = TatpWorkload::default().generate(1, 500, 61);
+        let streams = TatpWorkload::default().raw_streams(1, 500, 61);
         let mut max = 0;
         let mut sum = 0;
         for tx in &streams[0][1..] {
@@ -139,8 +139,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            TatpWorkload::default().generate(1, 10, 7),
-            TatpWorkload::default().generate(1, 10, 7)
+            TatpWorkload::default().raw_streams(1, 10, 7),
+            TatpWorkload::default().raw_streams(1, 10, 7)
         );
     }
 }

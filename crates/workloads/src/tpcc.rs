@@ -266,7 +266,7 @@ mod tests {
 
     #[test]
     fn new_order_write_sets_match_fig4_scale() {
-        let streams = TpccWorkload::default().generate(1, 50, 21);
+        let streams = TpccWorkload::default().raw_streams(1, 50, 21);
         for tx in &streams[0][1..] {
             let bytes = tx.write_set_bytes();
             // 2..6 order lines: district 1 + order 8 + new-order 3 +
@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn district_counter_is_monotonic() {
-        let streams = TpccWorkload::default().generate(1, 30, 22);
+        let streams = TpccWorkload::default().raw_streams(1, 30, 22);
         let mut rec = TxRecorder::new();
         for tx in &streams[0] {
             for op in tx.ops() {
@@ -293,7 +293,7 @@ mod tests {
 
     #[test]
     fn all_five_mix_includes_read_only_types() {
-        let streams = TpccWorkload::all_types().generate(1, 400, 23);
+        let streams = TpccWorkload::all_types().raw_streams(1, 400, 23);
         let read_only = streams[0][1..]
             .iter()
             .filter(|tx| tx.is_read_only())
@@ -313,8 +313,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            TpccWorkload::default().generate(1, 10, 3),
-            TpccWorkload::default().generate(1, 10, 3)
+            TpccWorkload::default().raw_streams(1, 10, 3),
+            TpccWorkload::default().raw_streams(1, 10, 3)
         );
     }
 }

@@ -1,0 +1,155 @@
+//! Treiber stack: the memento-style lock-free stack evaluation workload,
+//! run as a trace generator.
+
+use silo_sim::Transaction;
+use silo_types::{PhysAddr, Xoshiro256, WORD_BYTES};
+
+use crate::heap::{PmHeap, TxRecorder};
+use crate::registry::{core_base, CORE_REGION_BYTES};
+use crate::Workload;
+
+/// A Treiber stack replayed as a persistent-memory trace: one `top`
+/// pointer, push links a fresh node in front of it, pop swings it to the
+/// popped node's successor. LIFO order means a push/pop-heavy phase churns
+/// the *same* few node lines over and over — the inverse locality profile
+/// of the queues, where the hot end permanently walks away from recently
+/// written lines. That makes the stack the best case for on-chip log
+/// merging and the worst case for schemes that pay per dirty-line.
+#[derive(Clone, Debug)]
+pub struct TreiberWorkload {
+    /// Elements pushed during setup, so early pops find work.
+    pub setup_elements: usize,
+    /// Percent of measured operations that push (the rest pop).
+    pub push_percent: u64,
+}
+
+impl Default for TreiberWorkload {
+    fn default() -> Self {
+        TreiberWorkload {
+            setup_elements: 64,
+            push_percent: 50,
+        }
+    }
+}
+
+/// Node: next pointer + 7 payload words (64 B, one cache line).
+const NODE_WORDS: usize = 8;
+
+struct Treiber {
+    /// PM word holding the top-of-stack pointer (null = empty).
+    top_ptr: PhysAddr,
+}
+
+impl Treiber {
+    fn push(&self, rec: &mut TxRecorder, heap: &mut PmHeap, value: u64) {
+        let node = heap.alloc_aligned((NODE_WORDS * WORD_BYTES) as u64, 64);
+        let top = rec.read_u64(self.top_ptr);
+        rec.write_u64(node, top); // node.next = old top
+        for w in 1..NODE_WORDS {
+            rec.write_u64(
+                node.add((w * WORD_BYTES) as u64),
+                value.wrapping_add(w as u64),
+            );
+        }
+        rec.write_u64(self.top_ptr, node.as_u64());
+    }
+
+    fn pop(&self, rec: &mut TxRecorder) -> Option<u64> {
+        let top = rec.read_u64(self.top_ptr);
+        if top == 0 {
+            return None;
+        }
+        let next = rec.read_u64(PhysAddr::new(top));
+        let payload = rec.read_u64(PhysAddr::new(top + WORD_BYTES as u64));
+        rec.write_u64(self.top_ptr, next);
+        Some(payload)
+    }
+}
+
+impl Workload for TreiberWorkload {
+    fn name(&self) -> &'static str {
+        "Treiber"
+    }
+
+    fn trace_ident(&self) -> String {
+        format!(
+            "Treiber/setup={},push={}",
+            self.setup_elements, self.push_percent
+        )
+    }
+
+    fn raw_streams(&self, cores: usize, txs_per_core: usize, seed: u64) -> Vec<Vec<Transaction>> {
+        (0..cores)
+            .map(|core| {
+                let base = core_base(core);
+                let mut rng = Xoshiro256::seeded(seed ^ (core as u64).wrapping_mul(0x7e1b));
+                let mut rec = TxRecorder::new();
+                let mut heap = PmHeap::new(base + 64, CORE_REGION_BYTES - 64);
+                let stack = Treiber {
+                    top_ptr: PhysAddr::new(base),
+                };
+                let mut txs = Vec::with_capacity(txs_per_core + 1);
+
+                rec.write_u64(stack.top_ptr, 0);
+                for _ in 0..self.setup_elements {
+                    stack.push(&mut rec, &mut heap, rng.next_u64());
+                }
+                txs.push(rec.finish_tx());
+
+                for _ in 0..txs_per_core {
+                    // A pop on an empty stack falls back to a push so every
+                    // transaction mutates persistent state.
+                    if rng.percent(self.push_percent) || stack.pop(&mut rec).is_none() {
+                        stack.push(&mut rec, &mut heap, rng.next_u64());
+                    }
+                    rec.compute(8);
+                    txs.push(rec.finish_tx());
+                }
+                txs
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order_is_preserved() {
+        let mut rec = TxRecorder::new();
+        let mut heap = PmHeap::new(1024, 1 << 20);
+        let stack = Treiber {
+            top_ptr: PhysAddr::new(0),
+        };
+        rec.write_u64(stack.top_ptr, 0);
+        assert_eq!(stack.pop(&mut rec), None);
+        for v in [10u64, 20, 30] {
+            stack.push(&mut rec, &mut heap, v);
+        }
+        assert_eq!(stack.pop(&mut rec), Some(31)); // payload word = v + 1
+        assert_eq!(stack.pop(&mut rec), Some(21));
+        assert_eq!(stack.pop(&mut rec), Some(11));
+        assert_eq!(stack.pop(&mut rec), None);
+        assert_eq!(rec.peek_u64(PhysAddr::new(0)), 0);
+    }
+
+    #[test]
+    fn pops_write_only_the_top_pointer() {
+        let streams = TreiberWorkload::default().raw_streams(1, 200, 9);
+        let sizes: std::collections::BTreeSet<usize> = streams[0][1..]
+            .iter()
+            .map(|tx| tx.write_set_words())
+            .collect();
+        assert!(sizes.contains(&1), "pop writes exactly the top pointer");
+        assert!(sizes.iter().any(|&s| s >= NODE_WORDS), "push writes a node");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            TreiberWorkload::default().raw_streams(2, 50, 3),
+            TreiberWorkload::default().raw_streams(2, 50, 3)
+        );
+    }
+}

@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn read_update_mix_is_20_80() {
-        let streams = YcsbWorkload::default().generate(1, 2000, 31);
+        let streams = YcsbWorkload::default().raw_streams(1, 2000, 31);
         let reads = streams[0][1..].iter().filter(|t| t.is_read_only()).count();
         let frac = reads as f64 / 2000.0;
         assert!((0.15..0.25).contains(&frac), "read fraction {frac}");
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn updates_write_whole_values() {
-        let streams = YcsbWorkload::default().generate(1, 200, 32);
+        let streams = YcsbWorkload::default().raw_streams(1, 200, 32);
         for tx in streams[0][1..].iter().filter(|t| !t.is_read_only()) {
             assert_eq!(tx.write_set_words(), VALUE_WORDS);
             assert_eq!(tx.write_set_bytes(), 64);
@@ -147,8 +147,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         assert_eq!(
-            YcsbWorkload::default().generate(1, 10, 4),
-            YcsbWorkload::default().generate(1, 10, 4)
+            YcsbWorkload::default().raw_streams(1, 10, 4),
+            YcsbWorkload::default().raw_streams(1, 10, 4)
         );
     }
 }

@@ -26,7 +26,7 @@ fn main() {
     println!("power fails at cycle {crash_at}...\n");
 
     let mut silo = SiloScheme::new(&config);
-    let streams = workload.generate(cores, 500, 7);
+    let streams = workload.raw_streams(cores, 500, 7);
     let out = Engine::new(&config, &mut silo).run(streams, Some(Cycles::new(crash_at)));
     let crash = out.crash.expect("crash was injected");
 

@@ -32,10 +32,10 @@ fn main() {
         delete_percent: 35,
     };
     let streams = vec![
-        btree.generate(1, 800, 5).remove(0),
+        btree.raw_streams(1, 800, 5).remove(0),
         // The RB-tree stream is generated for core index 1 so its
         // addresses land in core 1's private region.
-        rbtree.generate(2, 800, 5).remove(1),
+        rbtree.raw_streams(2, 800, 5).remove(1),
     ];
 
     println!("two cores churning persistent tree indexes (35% deletes);");

@@ -38,7 +38,7 @@ fn main() {
     ];
     for mut scheme in schemes {
         let name = scheme.name();
-        let streams = workload.generate(cores, txs, 42);
+        let streams = workload.raw_streams(cores, txs, 42);
         let out = Engine::new(&config, scheme.as_mut()).run(streams, None);
         let tp = out.stats.throughput();
         if name == "Base" {

@@ -97,6 +97,7 @@ check_file "BENCH_profile.json"
 check_file "BENCH_engine.json"
 check_file "BENCH_store.json"
 check_file "BENCH_crashfuzz.json"
+check_file "BENCH_latency.json"
 
 if [ "$bless" -eq 1 ]; then
   exit 0

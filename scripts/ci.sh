@@ -138,6 +138,29 @@ smoke_stage() {
     || { echo "FAIL: profile output depends on worker count" >&2; exit 1; }
   rm -rf "$det_dir" "$det_dir.j1.txt" "$det_dir.j8.txt"
 
+  echo "== open-system latency determinism gate =="
+  # The arrival layer's schedules and the exact percentile recorder are
+  # integer-only and seed-deterministic, so the latency sweep must print
+  # byte-identical stdout at 1 worker and 8 — and the report files must
+  # match too once the host-dependent jobs/wall_ms envelope is stripped.
+  lat_dir="target/reports-ci-lat"
+  rm -rf "$lat_dir"
+  "$EVALUATE" latency --txs 240 --bench Hash --jobs 1 --no-result-store \
+    --json-dir "$lat_dir/j1" > "$lat_dir.j1.txt" 2>/dev/null
+  "$EVALUATE" latency --txs 240 --bench Hash --jobs 8 --no-result-store \
+    --json-dir "$lat_dir/j8" > "$lat_dir.j8.txt" 2>/dev/null
+  cmp "$lat_dir.j1.txt" "$lat_dir.j8.txt" \
+    || { echo "FAIL: latency output depends on worker count" >&2; exit 1; }
+  for j in j1 j8; do
+    sed 's/,"jobs":[0-9]*,"wall_ms":[0-9.eE+-]*}$/}/' "$lat_dir/$j/latency.json" \
+      > "$lat_dir.$j.stripped"
+  done
+  cmp "$lat_dir.j1.stripped" "$lat_dir.j8.stripped" \
+    || { echo "FAIL: latency report depends on worker count" >&2; exit 1; }
+  "$EVALUATE" check "$lat_dir/j1/latency.json" > /dev/null \
+    || { echo "FAIL: latency report failed validation" >&2; exit 1; }
+  rm -rf "$lat_dir" "$lat_dir".j?.txt "$lat_dir".j?.stripped
+
   echo "== crashfuzz golden-report gate =="
   # One crashfuzz cell's report, stripped of its host-dependent envelope
   # fields (jobs/wall_ms), must hash to the committed golden digest: the
@@ -176,6 +199,15 @@ smoke_stage() {
     --scheme Silo --fault battery --battery-bytes 64 --jobs 2)
   echo "$broken" | grep -q "minimal repro: evaluate crashfuzz" \
     || { echo "FAIL: crashfuzz missed the injected battery violation" >&2; exit 1; }
+  # Workload-zoo sweeps: the pointer-chasing structures and the zipfian
+  # mix must also recover consistently across every scheme and fault
+  # model. zipfmix is the workload that shrank the Silo pending-IPU
+  # admission race to 16 transactions, so it stays in the gate.
+  for zoo in msqueue treiber zipfmix; do
+    zoo_out=$("$EVALUATE" crashfuzz --txs 16 --bench "$zoo" --jobs 2)
+    echo "$zoo_out" | grep -q "^total: 0 violations" \
+      || { echo "FAIL: crashfuzz found violations on $zoo" >&2; exit 1; }
+  done
 }
 
 bench_stage() {
@@ -254,6 +286,22 @@ bench_stage() {
     'BEGIN { exit !(ckpt * 3 <= scratch) }' \
     || { echo "FAIL: checkpointed crashfuzz ($ckpt_ms ms) not >= 3x faster than scratch ($nockpt_ms ms)" >&2
          exit 1; }
+
+  echo "== timed latency benchmark =="
+  # The open-system arrival layer end to end: Poisson admission, the
+  # per-core sojourn recorder, and the exact percentile reduction. The
+  # summed p99 over every row of the sweep is integer-exact and
+  # deterministic, so it fingerprints the arrival schedules, the
+  # admission semantics, and the percentile math at once; wall-clock
+  # tracks the admission layer's cost in the engine hot loop.
+  "$EVALUATE" latency --txs 240 --bench Hash --jobs 4 --no-result-store \
+    --json-dir "$bench_dir/latency" > /dev/null 2>&1
+  lat_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/latency/latency.json")
+  p99_sum=$(grep -o '"p99": *[0-9]*' "$bench_dir/latency/latency.json" \
+    | awk -F: '{s += $2} END {printf "%d", s}')
+  printf '{"experiment": "latency", "txs": 240, "jobs": 4, "wall_ms": %s, "p99_sum": %s}\n' \
+    "$lat_ms" "$p99_sum" > "$fresh_dir/BENCH_latency.json"
+  cat "$fresh_dir/BENCH_latency.json"
 
   echo "== timed result-store benchmark =="
   # Cold vs warm on a scratch store: the perf trajectory of incremental

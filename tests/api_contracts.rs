@@ -82,7 +82,7 @@ fn schemes_can_run_concurrently_on_threads() {
                     initial_balance: 10,
                 };
                 use silo::workloads::Workload;
-                let streams = w.generate(2, 50, seed);
+                let streams = w.raw_streams(2, 50, seed);
                 silo::sim::Engine::new(&config, &mut scheme)
                     .run(streams, None)
                     .stats

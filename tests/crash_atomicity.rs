@@ -43,7 +43,7 @@ fn all_schemes_survive_crash_sweep_on_bank() {
         let config = SimConfig::table_ii(cores);
         for mut scheme in schemes(&config) {
             let name = scheme.name();
-            let streams = workload.generate(cores, 120, 11);
+            let streams = workload.raw_streams(cores, 120, 11);
             let out =
                 Engine::new(&config, scheme.as_mut()).run(streams, Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
@@ -81,7 +81,7 @@ fn all_schemes_survive_crash_sweep_on_hash() {
         let config = SimConfig::table_ii(cores);
         for mut scheme in schemes(&config) {
             let name = scheme.name();
-            let streams = workload.generate(cores, 60, 13);
+            let streams = workload.raw_streams(cores, 60, 13);
             let out =
                 Engine::new(&config, scheme.as_mut()).run(streams, Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
@@ -102,7 +102,7 @@ fn all_schemes_survive_crash_sweep_on_queue() {
         let config = SimConfig::table_ii(cores);
         for mut scheme in schemes(&config) {
             let name = scheme.name();
-            let streams = workload.generate(cores, 80, 17);
+            let streams = workload.raw_streams(cores, 80, 17);
             let out =
                 Engine::new(&config, scheme.as_mut()).run(streams, Some(Cycles::new(crash_at)));
             let crash = out.crash.expect("crash injected");
@@ -131,7 +131,7 @@ fn all_schemes_survive_event_indexed_crashes_on_btree_tpcc_ycsb() {
             let name = clean_scheme.name();
             let mut clean_scheme = clean_scheme;
             let clean = Engine::new(&config, clean_scheme.as_mut())
-                .run(workload.generate(cores, txs_per_core, 23), None);
+                .run(workload.raw_streams(cores, txs_per_core, 23), None);
             let total = clean.pm.events().total();
             assert!(total > POINTS, "[{name}/{bench}] too few events: {total}");
             for i in 0..POINTS {
@@ -142,7 +142,7 @@ fn all_schemes_survive_event_indexed_crashes_on_btree_tpcc_ycsb() {
                     .find(|s| s.name() == name)
                     .expect("same scheme");
                 let out = Engine::new(&config, scheme.as_mut()).run_with_plan(
-                    workload.generate(cores, txs_per_core, 23),
+                    workload.raw_streams(cores, txs_per_core, 23),
                     Some(CrashPlan::at_event(n)),
                 );
                 let crash = out.crash.expect("crash injected");
@@ -179,7 +179,7 @@ fn silo_and_lad_survive_a_crash_during_recovery() {
                 let plan =
                     CrashPlan::at_cycle(Cycles::new(crash_at)).with_recovery_crash(recovery_steps);
                 let out = Engine::new(&config, scheme.as_mut())
-                    .run_with_plan(workload.generate(1, 80, 29), Some(plan));
+                    .run_with_plan(workload.raw_streams(1, 80, 29), Some(plan));
                 let crash = out.crash.expect("crash injected");
                 saw_double_crash |= crash.double_crash;
                 assert!(
@@ -216,7 +216,7 @@ fn silo_survives_torn_lines_and_bounded_battery_crashes() {
         for n in [40u64, 400, 4_000] {
             let mut scheme = SiloScheme::new(&config);
             let out = Engine::new(&config, &mut scheme).run_with_plan(
-                workload.generate(2, 40, 31),
+                workload.raw_streams(2, 40, 31),
                 Some(CrashPlan::at_event(n).with_fault(fault)),
             );
             let crash = out.crash.expect("crash injected");
@@ -241,7 +241,7 @@ fn crash_outcome_image_and_stats_are_the_verified_snapshot() {
     let config = SimConfig::table_ii(1);
     let mut scheme = SiloScheme::new(&config);
     let out = Engine::new(&config, &mut scheme)
-        .run(workload.generate(1, 60, 37), Some(Cycles::new(9_000)));
+        .run(workload.raw_streams(1, 60, 37), Some(Cycles::new(9_000)));
     let crash = out.crash.expect("crash injected");
     assert!(crash.consistency.is_consistent());
     // The returned device accumulated the crash-sequence traffic (drain,
@@ -256,6 +256,6 @@ fn crash_outcome_image_and_stats_are_the_verified_snapshot() {
     );
     // And a clean run of the same workload keeps the two in lockstep.
     let mut scheme = SiloScheme::new(&config);
-    let clean = Engine::new(&config, &mut scheme).run(workload.generate(1, 60, 37), None);
+    let clean = Engine::new(&config, &mut scheme).run(workload.raw_streams(1, 60, 37), None);
     assert_eq!(clean.stats.pm, clean.pm.stats());
 }

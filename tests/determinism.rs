@@ -16,7 +16,7 @@ fn run(scheme_idx: usize, seed: u64) -> SimStats {
         _ => Box::new(SiloScheme::new(&config)),
     };
     let w = workload_by_name("TPCC").expect("tpcc");
-    let streams = w.generate(4, 60, seed);
+    let streams = w.raw_streams(4, 60, seed);
     Engine::new(&config, scheme.as_mut())
         .run(streams, None)
         .stats
@@ -56,7 +56,7 @@ fn crash_runs_are_deterministic_too() {
         .map(|_| {
             let mut scheme = SiloScheme::new(&config);
             let w = workload_by_name("Btree").expect("btree");
-            let streams = w.generate(2, 50, 5);
+            let streams = w.raw_streams(2, 50, 5);
             let out = Engine::new(&config, &mut scheme).run(streams, Some(Cycles::new(9_999)));
             let crash = out.crash.expect("crash injected");
             (

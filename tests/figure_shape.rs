@@ -19,7 +19,7 @@ fn run_raw(scheme_name: &str, bench: &str, cores: usize, txs: usize) -> SimStats
         other => panic!("unknown scheme {other}"),
     };
     let w = workload_by_name(bench).expect("benchmark exists");
-    let streams = w.generate(cores, txs, 42);
+    let streams = w.raw_streams(cores, txs, 42);
     Engine::new(&config, scheme.as_mut())
         .run(streams, None)
         .stats
@@ -121,7 +121,7 @@ fn silo_writes_no_logs_in_failure_free_runs() {
     ];
     for (name, w) in workloads {
         let mut scheme = SiloScheme::new(&config);
-        let streams = w.generate(1, 100, 21);
+        let streams = w.raw_streams(1, 100, 21);
         let out = Engine::new(&config, &mut scheme).run(streams, None);
         assert_eq!(
             out.stats.scheme_stats.overflow_events, 0,

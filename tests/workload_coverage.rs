@@ -24,7 +24,7 @@ fn every_workload_commits_under_every_scheme() {
         let config = SimConfig::table_ii(cores);
         for mut scheme in schemes(&config) {
             let name = scheme.name();
-            let streams = workload.generate(cores, txs, 3);
+            let streams = workload.raw_streams(cores, txs, 3);
             let expected: u64 = streams.iter().map(|s| s.len() as u64).sum();
             let out = Engine::new(&config, scheme.as_mut()).run(streams, None);
             assert_eq!(
@@ -43,7 +43,7 @@ fn fig4_premise_write_sets_are_small() {
     // §II-E: "the write size is generally less than 0.5 KB per
     // transaction" — the observation that justifies a 20-entry buffer.
     for workload in fig4_set() {
-        let streams = workload.generate(1, 300, 4);
+        let streams = workload.raw_streams(1, 300, 4);
         let measured = &streams[0][1..];
         let avg: f64 = measured
             .iter()
@@ -66,7 +66,7 @@ fn fig4_premise_write_sets_are_small() {
 #[test]
 fn per_core_streams_touch_disjoint_regions() {
     for workload in fig4_set() {
-        let streams = workload.generate(4, 20, 9);
+        let streams = workload.raw_streams(4, 20, 9);
         let mut seen: Vec<std::collections::BTreeSet<u64>> = Vec::new();
         for stream in &streams {
             let mut region = std::collections::BTreeSet::new();
@@ -108,7 +108,7 @@ fn multicore_partitioning_mirrors_multi_mc_affinity() {
         setup_inserts: 0,
         mix: silo::workloads::HashMix::InsertOnly,
     };
-    let streams = w.generate(cores, 200, 5);
+    let streams = w.raw_streams(cores, 200, 5);
     let batched: Vec<_> = streams
         .into_iter()
         .map(|stream| {
@@ -143,7 +143,7 @@ fn multi_mc_silo_is_consistent_and_scales() {
         let mut config = SimConfig::table_ii(4);
         config.num_mcs = mcs;
         let mut scheme = SiloScheme::new(&config);
-        let streams = w.generate(4, 150, 7);
+        let streams = w.raw_streams(4, 150, 7);
         let out = Engine::new(&config, &mut scheme).run(streams, None);
         assert_eq!(out.stats.txs_committed, (150 + 1) * 4);
         tp.push(out.stats.throughput());
@@ -154,7 +154,7 @@ fn multi_mc_silo_is_consistent_and_scales() {
     let mut config = SimConfig::table_ii(4);
     config.num_mcs = 2;
     let mut scheme = SiloScheme::new(&config);
-    let streams = w.generate(4, 150, 7);
+    let streams = w.raw_streams(4, 150, 7);
     let out = Engine::new(&config, &mut scheme).run(streams, Some(Cycles::new(60_000)));
     let crash = out.crash.expect("crash injected");
     assert!(
