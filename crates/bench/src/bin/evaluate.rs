@@ -46,6 +46,14 @@ Both are perf-only: resumed and from-scratch runs are byte-identical.
 --points K (default 4) sets how many crash points each cell scans and,
 unlike the checkpoint flags, is part of the computed result.
 
+fuzz runs the coverage-guided crash search: --execs N sets the per-cell
+execution budget, --fault adr|torn-line|battery (with --torn-keep /
+--battery-bytes) restricts the fault models, --arrival IDENT fuzzes an
+open-system workload, and --crash-event E (with one --fault, optional
+--recovery-crash R) replays one exact candidate. Interesting candidates
+persist under target/fuzz-corpus/ (--corpus DIR overrides,
+--no-corpus disables); the search itself is a pure function of --seed.
+
 Run `evaluate list` for the registered experiments.";
 
 fn main() {

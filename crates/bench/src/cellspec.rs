@@ -118,7 +118,7 @@ impl WorkloadSpec {
         }
     }
 
-    fn instantiate(&self) -> Box<dyn Workload> {
+    pub(crate) fn instantiate(&self) -> Box<dyn Workload> {
         let inner = workload_by_name(&self.name)
             .unwrap_or_else(|| panic!("unknown workload {:?}", self.name));
         let batched: Box<dyn Workload> = if self.batch > 1 {
@@ -338,6 +338,35 @@ pub enum CellWork {
         /// A fixed crash point (`--point`), or spaced sweep points.
         point: Option<u64>,
     },
+    /// One coverage-guided crash-search cell (`fuzz`): a seeded corpus of
+    /// `(fault, crash event, recovery crash)` candidates is mutated toward
+    /// novel probe-event coverage signatures, every recovered image checked
+    /// by both the digest oracle and the per-word executable spec. The
+    /// cell reads and extends an on-disk corpus (a process-global toggle,
+    /// like the crashfuzz checkpoint flags), so it is **never** served
+    /// from the result store — see [`CellSpec::cacheable`].
+    Fuzz {
+        /// Scheme legend name.
+        scheme: String,
+        /// Workload name.
+        workload: String,
+        /// Measured transactions per core (2 cores).
+        txs_per_core: usize,
+        /// Execution budget: total crash runs, seeds included.
+        execs: u64,
+        /// Restrict candidates to one fault model (`--fault`), or search
+        /// across all of them.
+        fault: Option<FaultSpec>,
+        /// A fixed crash event (`--crash-event`, repro mode): exactly one
+        /// candidate runs, no mutation.
+        crash_event: Option<u64>,
+        /// Re-crash recovery after this many recovery writes
+        /// (`--recovery-crash`, repro mode).
+        recovery_crash: Option<u64>,
+        /// Open-system arrival process ident (`--arrival`), or the classic
+        /// closed loop.
+        arrival: Option<String>,
+    },
 }
 
 /// One independent unit of work, fully described as data: display label,
@@ -357,6 +386,14 @@ impl CellSpec {
     /// Builds a spec from its parts.
     pub fn new(label: CellLabel, seed: u64, work: CellWork) -> Self {
         CellSpec { label, seed, work }
+    }
+
+    /// Whether the result store may serve this cell from a persisted
+    /// outcome. [`CellWork::Fuzz`] cells are not pure functions of the
+    /// spec — they read and extend an on-disk corpus between runs — so
+    /// they always execute fresh; everything else is cacheable.
+    pub fn cacheable(&self) -> bool {
+        !matches!(self.work, CellWork::Fuzz { .. })
     }
 
     /// Content hash over every execution-relevant field (label excluded):
@@ -423,6 +460,38 @@ impl CellSpec {
                 h.u64(*points);
                 h.opt_u64(*point);
             }
+            CellWork::Fuzz {
+                scheme,
+                workload,
+                txs_per_core,
+                execs,
+                fault,
+                crash_event,
+                recovery_crash,
+                arrival,
+            } => {
+                h.tag(8);
+                h.str(scheme);
+                h.str(workload);
+                h.usize(*txs_per_core);
+                h.u64(*execs);
+                match fault {
+                    None => h.tag(0),
+                    Some(f) => {
+                        h.tag(1);
+                        f.hash_into(&mut h);
+                    }
+                }
+                h.opt_u64(*crash_event);
+                h.opt_u64(*recovery_crash);
+                match arrival {
+                    None => h.tag(0),
+                    Some(ident) => {
+                        h.tag(1);
+                        h.str(ident);
+                    }
+                }
+            }
         }
         h.finish()
     }
@@ -484,6 +553,19 @@ impl CellSpec {
                 ..
             } => {
                 let w = WorkloadSpec::plain(workload).instantiate();
+                h.u64(
+                    cache
+                        .get_or_build(&*w, CRASH_CORES, *txs_per_core, self.seed)
+                        .content_hash(),
+                );
+            }
+            CellWork::Fuzz {
+                workload,
+                txs_per_core,
+                arrival,
+                ..
+            } => {
+                let w = fuzz_workload_spec(workload, arrival.as_deref()).instantiate();
                 h.u64(
                     cache
                         .get_or_build(&*w, CRASH_CORES, *txs_per_core, self.seed)
@@ -563,6 +645,26 @@ impl CellSpec {
                 *points,
                 *point,
             ),
+            CellWork::Fuzz {
+                scheme,
+                workload,
+                txs_per_core,
+                execs,
+                fault,
+                crash_event,
+                recovery_crash,
+                arrival,
+            } => crate::experiments::fuzz::execute_fuzz(
+                scheme,
+                workload,
+                *txs_per_core,
+                seed,
+                *execs,
+                *fault,
+                *crash_event,
+                *recovery_crash,
+                arrival.as_deref(),
+            ),
         }
     }
 }
@@ -570,6 +672,17 @@ impl CellSpec {
 const LARGE_TX_CORES: usize = 8;
 const RECOVERY_CORES: usize = 4;
 const CRASH_CORES: usize = 2;
+
+/// The workload spec a fuzz cell consumes: the plain workload, or the
+/// open-system wrapping when an arrival ident is set. An unparseable
+/// ident (a stale spec) degrades to the plain workload here; the executor
+/// reports it as a cell error before any simulation runs.
+pub(crate) fn fuzz_workload_spec(workload: &str, arrival: Option<&str>) -> WorkloadSpec {
+    match arrival.and_then(ArrivalProcess::parse) {
+        Some(p) => WorkloadSpec::open(workload, p),
+        None => WorkloadSpec::plain(workload),
+    }
+}
 
 /// Full run keeping the wear ledger (the `endurance` recipe). The engine
 /// runs directly — no event-trace attachment — exactly as the legacy
@@ -941,6 +1054,70 @@ mod tests {
             points: 4,
             point: Some(7),
         }));
+        let fuzz = |fault, crash_event, recovery_crash, arrival: Option<&str>| CellWork::Fuzz {
+            scheme: "Silo".into(),
+            workload: "Hash".into(),
+            txs_per_core: 100,
+            execs: 24,
+            fault,
+            crash_event,
+            recovery_crash,
+            arrival: arrival.map(str::to_string),
+        };
+        check(spec(fuzz(None, None, None, None)));
+        check(spec(fuzz(Some(FaultSpec::Battery(64)), None, None, None)));
+        check(spec(fuzz(
+            Some(FaultSpec::Battery(64)),
+            Some(9),
+            None,
+            None,
+        )));
+        check(spec(fuzz(
+            Some(FaultSpec::Battery(64)),
+            Some(9),
+            Some(3),
+            None,
+        )));
+        check(spec(fuzz(None, None, None, Some("poisson2000"))));
+        check(spec(CellWork::Fuzz {
+            scheme: "Silo".into(),
+            workload: "Hash".into(),
+            txs_per_core: 100,
+            execs: 48,
+            fault: None,
+            crash_event: None,
+            recovery_crash: None,
+            arrival: None,
+        }));
+    }
+
+    #[test]
+    fn only_fuzz_cells_are_uncacheable() {
+        let fuzz = spec(CellWork::Fuzz {
+            scheme: "Silo".into(),
+            workload: "Hash".into(),
+            txs_per_core: 8,
+            execs: 4,
+            fault: None,
+            crash_event: None,
+            recovery_crash: None,
+            arrival: None,
+        });
+        assert!(!fuzz.cacheable());
+        let sweep = spec(CellWork::CrashSweep {
+            scheme: "Silo".into(),
+            workload: "Hash".into(),
+            txs_per_core: 8,
+            fault: FaultSpec::OpBoundary,
+            points: 4,
+            point: None,
+        });
+        assert!(sweep.cacheable());
+        assert!(spec(CellWork::TraceStats {
+            workload: "Bank".into(),
+            txs: 4,
+        })
+        .cacheable());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::exp::ExperimentSpec;
 use crate::experiments::{
     ablations, bench_engine, compare, crashfuzz, endurance, fig04, fig11, fig12, fig13, fig14,
-    fig15, latency, motivation, profile, studies, tables,
+    fig15, fuzz, latency, motivation, profile, studies, tables,
 };
 
 /// Every registered experiment, in the order `evaluate all` runs them:
@@ -35,6 +35,7 @@ pub fn all() -> Vec<ExperimentSpec> {
         profile::spec(),
         latency::spec(),
         crashfuzz::spec(),
+        fuzz::spec(),
         bench_engine::spec(),
     ]
 }
@@ -52,17 +53,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_twenty_four_unique_experiments() {
+    fn registry_has_twenty_five_unique_experiments() {
         let specs = all();
-        assert_eq!(specs.len(), 24);
+        assert_eq!(specs.len(), 25);
         let mut names: Vec<&str> = specs.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 24, "registry names must be unique");
+        assert_eq!(names.len(), 25, "registry names must be unique");
         let mut bins: Vec<&str> = specs.iter().map(|s| s.legacy_bin).collect();
         bins.sort_unstable();
         bins.dedup();
-        assert_eq!(bins.len(), 24, "legacy binary names must be unique");
+        assert_eq!(bins.len(), 25, "legacy binary names must be unique");
     }
 
     #[test]

@@ -123,12 +123,15 @@ impl ResultStore {
 
     /// The outcome of `spec`: served from memory, then disk, then computed
     /// by [`CellSpec::execute`] (and persisted). Disabled, it executes
-    /// unconditionally and touches nothing.
+    /// unconditionally and touches nothing. Uncacheable specs
+    /// ([`CellSpec::cacheable`] — the corpus-mutating `fuzz` cells) also
+    /// execute unconditionally: replaying a stored outcome would skip the
+    /// corpus side effects the cell exists to produce.
     ///
     /// The slot lock is held across execution, so concurrent requests for
     /// the same spec run it exactly once per process.
     pub fn get_or_run(&self, spec: &CellSpec) -> CellOutcome {
-        if !self.enabled() {
+        if !self.enabled() || !spec.cacheable() {
             return spec.execute();
         }
         let key = (spec.spec_hash(), spec.trace_fingerprint());

@@ -400,6 +400,222 @@ impl Probe for JsonlTimeline {
     }
 }
 
+/// The machine-level phase a probe event falls into, derived purely from
+/// the event-kind stream by a deterministic state machine
+/// ([`SignatureRecorder`]). Phases contextualize coverage features: a
+/// `log_overflow` *during a drain* is a different behaviour than one in
+/// steady state, even though the event kind is identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemePhase {
+    /// No transaction has begun yet (or the last one committed).
+    Idle,
+    /// At least one transaction is executing (between `tx_begin` and the
+    /// next `tx_commit`).
+    InTx,
+    /// A buffer drain or log overflow is in progress (sticky until the
+    /// next transaction boundary).
+    Drain,
+    /// Power has failed; the battery-backed flush is running.
+    Crashed,
+    /// The scheme's recovery has run (terminal for one crash plan; a
+    /// double crash stays here).
+    Recovery,
+}
+
+impl SchemePhase {
+    /// Every phase, in index order.
+    pub const ALL: [SchemePhase; 5] = [
+        SchemePhase::Idle,
+        SchemePhase::InTx,
+        SchemePhase::Drain,
+        SchemePhase::Crashed,
+        SchemePhase::Recovery,
+    ];
+
+    /// Number of phases (one axis of the coverage-feature space).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name (corpus files and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemePhase::Idle => "idle",
+            SchemePhase::InTx => "in_tx",
+            SchemePhase::Drain => "drain",
+            SchemePhase::Crashed => "crashed",
+            SchemePhase::Recovery => "recovery",
+        }
+    }
+
+    /// Index into the feature space.
+    pub fn index(self) -> usize {
+        match self {
+            SchemePhase::Idle => 0,
+            SchemePhase::InTx => 1,
+            SchemePhase::Drain => 2,
+            SchemePhase::Crashed => 3,
+            SchemePhase::Recovery => 4,
+        }
+    }
+
+    /// The phase after observing `kind` in this phase. Deterministic and
+    /// total: the same event stream always walks the same phase sequence.
+    pub fn step(self, kind: ProbeEventKind) -> SchemePhase {
+        match kind {
+            ProbeEventKind::Crash => SchemePhase::Crashed,
+            ProbeEventKind::Recovery => SchemePhase::Recovery,
+            _ if matches!(self, SchemePhase::Crashed | SchemePhase::Recovery) => self,
+            ProbeEventKind::TxBegin => SchemePhase::InTx,
+            ProbeEventKind::TxCommit => SchemePhase::Idle,
+            ProbeEventKind::LogOverflow | ProbeEventKind::BufferDrain => SchemePhase::Drain,
+            _ => self,
+        }
+    }
+}
+
+/// Index of an event kind on the coverage-feature axes.
+fn kind_index(kind: ProbeEventKind) -> usize {
+    ProbeEventKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("every kind is in ALL")
+}
+
+/// Number of distinct coverage features: `(previous kind or none) x kind
+/// x phase`. The "none" previous-kind slot covers the first event of a
+/// run.
+pub const SIGNATURE_BITS: usize =
+    (ProbeEventKind::ALL.len() + 1) * ProbeEventKind::ALL.len() * SchemePhase::COUNT;
+
+/// Words in the signature bitset.
+const SIG_WORDS: usize = SIGNATURE_BITS.div_ceil(64);
+
+/// A coverage signature: the set of `(previous event kind, event kind,
+/// scheme phase)` features observed in one run's probe-event stream, as a
+/// fixed-size bitset. Two runs that exercise the same local event
+/// orderings in the same phases have equal signatures; a run that hits a
+/// novel ordering (say, a `log_overflow` while already draining, or a
+/// `wpq_admit` after the crash) sets bits no prior run set — the
+/// feedback signal the coverage-guided crash search keeps corpus entries
+/// for.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    bits: [u64; SIG_WORDS],
+}
+
+impl Default for Signature {
+    fn default() -> Self {
+        Signature {
+            bits: [0; SIG_WORDS],
+        }
+    }
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({} bits, {})", self.count(), self.digest())
+    }
+}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Signature::default()
+    }
+
+    /// Sets the feature bit for `(prev, kind, phase)`; `prev = None`
+    /// marks the first event of a run.
+    pub fn insert(
+        &mut self,
+        prev: Option<ProbeEventKind>,
+        kind: ProbeEventKind,
+        phase: SchemePhase,
+    ) {
+        let prev_idx = prev.map(|k| kind_index(k) + 1).unwrap_or(0);
+        let idx = (prev_idx * ProbeEventKind::ALL.len() + kind_index(kind)) * SchemePhase::COUNT
+            + phase.index();
+        debug_assert!(idx < SIGNATURE_BITS);
+        self.bits[idx / 64] |= 1 << (idx % 64);
+    }
+
+    /// Number of features observed.
+    pub fn count(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether no feature was observed.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Features in `self` that `other` does not have.
+    pub fn new_bits(&self, other: &Signature) -> u32 {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .map(|(a, b)| (a & !b).count_ones())
+            .sum()
+    }
+
+    /// Folds `other` into `self`, returning how many features were new.
+    pub fn merge(&mut self, other: &Signature) -> u32 {
+        let mut new = 0;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            new += (*b & !*a).count_ones();
+            *a |= *b;
+        }
+        new
+    }
+
+    /// A stable 16-hex-digit digest of the bit pattern (FNV-1a 64 over
+    /// the words). Equal signatures always produce equal digests, on any
+    /// host.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in &self.bits {
+            for b in w.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        format!("{h:016x}")
+    }
+}
+
+/// Observes the probe-event stream and accumulates a [`Signature`]:
+/// tracks the previous event kind and the [`SchemePhase`] state machine,
+/// setting one feature bit per event.
+#[derive(Clone, Debug)]
+pub struct SignatureRecorder {
+    prev: Option<ProbeEventKind>,
+    phase: SchemePhase,
+    sig: Signature,
+}
+
+impl Default for SignatureRecorder {
+    fn default() -> Self {
+        SignatureRecorder {
+            prev: None,
+            phase: SchemePhase::Idle,
+            sig: Signature::new(),
+        }
+    }
+}
+
+impl SignatureRecorder {
+    /// Feeds one event kind through the phase machine and into the
+    /// signature.
+    pub fn observe(&mut self, kind: ProbeEventKind) {
+        self.sig.insert(self.prev, kind, self.phase);
+        self.phase = self.phase.step(kind);
+        self.prev = Some(kind);
+    }
+
+    /// The accumulated signature.
+    pub fn signature(&self) -> Signature {
+        self.sig
+    }
+}
+
 /// The probe socket every simulated machine carries. Holds the optional
 /// production probes plus the engine's claim-window state; a default hub
 /// is fully disabled and every hook is one `Option`/`bool` check.
@@ -407,6 +623,7 @@ impl Probe for JsonlTimeline {
 pub struct ProbeHub {
     accountant: Option<CycleAccountant>,
     timeline: Option<JsonlTimeline>,
+    signature: Option<SignatureRecorder>,
     claimed: u64,
 }
 
@@ -419,6 +636,22 @@ impl ProbeHub {
     /// Attaches a [`JsonlTimeline`] with the given ring capacity.
     pub fn enable_timeline(&mut self, capacity: usize) {
         self.timeline = Some(JsonlTimeline::new(capacity));
+    }
+
+    /// Attaches a [`SignatureRecorder`] (coverage signature collection).
+    pub fn enable_signature(&mut self) {
+        self.signature = Some(SignatureRecorder::default());
+    }
+
+    /// Whether coverage-signature collection is on.
+    pub fn signature_on(&self) -> bool {
+        self.signature.is_some()
+    }
+
+    /// Detaches the signature recorder and returns its accumulated
+    /// [`Signature`].
+    pub fn take_signature(&mut self) -> Option<Signature> {
+        self.signature.take().map(|r| r.signature())
     }
 
     /// Whether cycle accounting is on.
@@ -479,8 +712,12 @@ impl ProbeHub {
         self.charge(core, default_cat, rest);
     }
 
-    /// Records a timeline event (no-op unless the timeline is on).
+    /// Records a timeline event (no-op unless the timeline or signature
+    /// recorder is on).
     pub fn emit(&mut self, kind: ProbeEventKind, core: Option<u32>, at: u64, arg: u64) {
+        if let Some(rec) = &mut self.signature {
+            rec.observe(kind);
+        }
         if let Some(tl) = &mut self.timeline {
             tl.event(ProbeEvent {
                 at,
@@ -512,13 +749,16 @@ impl Probe for ProbeHub {
     }
 
     fn event(&mut self, event: ProbeEvent) {
+        if let Some(rec) = &mut self.signature {
+            rec.observe(event.kind);
+        }
         if let Some(tl) = &mut self.timeline {
             tl.event(event);
         }
     }
 
     fn wants_events(&self) -> bool {
-        self.events_on()
+        self.events_on() || self.signature_on()
     }
 }
 
@@ -605,13 +845,97 @@ mod tests {
     #[test]
     fn disabled_hub_is_inert() {
         let mut hub = ProbeHub::default();
-        assert!(!hub.accounting_on() && !hub.events_on());
+        assert!(!hub.accounting_on() && !hub.events_on() && !hub.signature_on());
+        assert!(!hub.wants_events());
         hub.charge(0, CycleCategory::Execute, 100);
         hub.claim(0, CycleCategory::Drain, 100);
         hub.charge_window(0, CycleCategory::Execute, 100);
         hub.emit(ProbeEventKind::TxBegin, Some(0), 1, 1);
         assert_eq!(hub.take_breakdown(), None);
         assert!(hub.drain_timeline().is_none());
+        assert!(hub.take_signature().is_none());
+    }
+
+    #[test]
+    fn phase_machine_walks_expected_states() {
+        use ProbeEventKind as K;
+        use SchemePhase as P;
+        let mut p = P::Idle;
+        for (kind, expect) in [
+            (K::TxBegin, P::InTx),
+            (K::LogMerge, P::InTx),
+            (K::LogOverflow, P::Drain),
+            (K::TxCommit, P::Idle),
+            (K::BufferDrain, P::Drain),
+            (K::Crash, P::Crashed),
+            (K::WpqAdmit, P::Crashed), // sticky after the crash
+            (K::Recovery, P::Recovery),
+            (K::TxBegin, P::Recovery), // sticky after recovery
+        ] {
+            p = p.step(kind);
+            assert_eq!(p, expect, "after {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn signature_features_are_distinct_and_deterministic() {
+        let mut a = SignatureRecorder::default();
+        let mut b = SignatureRecorder::default();
+        let stream = [
+            ProbeEventKind::TxBegin,
+            ProbeEventKind::LogOverflow,
+            ProbeEventKind::LogOverflow, // overflow-during-drain: new feature
+            ProbeEventKind::TxCommit,
+            ProbeEventKind::Crash,
+        ];
+        for k in stream {
+            a.observe(k);
+            b.observe(k);
+        }
+        let sa = a.signature();
+        assert_eq!(sa, b.signature(), "same stream, same signature");
+        assert_eq!(sa.digest(), b.signature().digest());
+        assert_eq!(sa.count(), 5, "five distinct (prev, kind, phase) features");
+        // A different ordering sets different bits.
+        let mut c = SignatureRecorder::default();
+        for k in [ProbeEventKind::LogOverflow, ProbeEventKind::TxBegin] {
+            c.observe(k);
+        }
+        assert!(c.signature().new_bits(&sa) > 0);
+    }
+
+    #[test]
+    fn signature_merge_reports_new_bits_once() {
+        let mut base = Signature::new();
+        let mut one = SignatureRecorder::default();
+        one.observe(ProbeEventKind::TxBegin);
+        one.observe(ProbeEventKind::TxCommit);
+        assert_eq!(base.merge(&one.signature()), 2);
+        assert_eq!(base.merge(&one.signature()), 0, "already covered");
+        assert_eq!(base.count(), 2);
+        assert!(!base.is_empty());
+        assert!(Signature::new().is_empty());
+    }
+
+    #[test]
+    fn hub_signature_observes_both_event_paths() {
+        let mut hub = ProbeHub::default();
+        hub.enable_signature();
+        assert!(
+            hub.wants_events(),
+            "signature-only hubs must receive Probe::event calls"
+        );
+        assert!(!hub.events_on(), "timeline stays off");
+        hub.emit(ProbeEventKind::TxBegin, Some(0), 1, 1);
+        hub.event(ProbeEvent {
+            at: 2,
+            core: None,
+            kind: ProbeEventKind::WpqAdmit,
+            arg: 0,
+        });
+        let sig = hub.take_signature().expect("recorder attached");
+        assert_eq!(sig.count(), 2);
+        assert!(hub.take_signature().is_none(), "recorder detached");
     }
 
     #[test]

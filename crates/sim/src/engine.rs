@@ -3,10 +3,11 @@
 use std::sync::Arc;
 
 use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
-use silo_probe::{CycleCategory, ProbeEventKind};
+use silo_probe::{CycleCategory, ProbeEventKind, Signature};
 use silo_types::{CoreId, Cycles, FxHashMap, PhysAddr, TxId, TxTag, Word};
 
 use crate::schemes::{EvictAction, SchemeState};
+use crate::spec::{SpecMachine, SpecReport};
 use crate::stats::LatencyStats;
 use crate::trace::ArrivalSchedule;
 use crate::{
@@ -96,6 +97,9 @@ pub struct CrashOutcome {
     pub drain: DrainReport,
     /// Whether a second power failure interrupted recovery.
     pub double_crash: bool,
+    /// The executable spec's per-word verdict on the recovered image;
+    /// `None` unless [`Engine::enable_spec`] was called before the run.
+    pub spec: Option<SpecReport>,
 }
 
 /// Everything a run returns.
@@ -112,6 +116,10 @@ pub struct RunOutcome {
     /// ring buffer dropped; `None` unless the timeline probe was enabled
     /// on the machine before the run.
     pub timeline: Option<(Vec<String>, u64)>,
+    /// The run's probe-event coverage signature; `None` unless the
+    /// signature recorder was enabled on the machine's probe hub before
+    /// the run.
+    pub signature: Option<Signature>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -310,6 +318,7 @@ pub struct Engine<'a> {
     machine: Machine,
     scheme: &'a mut dyn LoggingScheme,
     oracle: TxOracle,
+    spec: Option<SpecMachine>,
 }
 
 impl<'a> Engine<'a> {
@@ -319,6 +328,7 @@ impl<'a> Engine<'a> {
             machine: Machine::new(config),
             scheme,
             oracle: TxOracle::default(),
+            spec: None,
         }
     }
 
@@ -326,6 +336,16 @@ impl<'a> Engine<'a> {
     /// to pre-populate PM state).
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+
+    /// Attaches the executable crash-consistency spec
+    /// ([`SpecMachine`]): every durability event feeds the per-word
+    /// legal-value model, and a crash outcome carries the spec's
+    /// localized verdict alongside the oracle's. Off by default; not
+    /// supported on checkpoint-resumed runs (the checkpoint does not
+    /// carry spec state).
+    pub fn enable_spec(&mut self) {
+        self.spec = Some(SpecMachine::new());
     }
 
     /// Runs `streams[i]` on core `i`. With `crash_at = Some(c)`, power
@@ -471,6 +491,10 @@ impl<'a> Engine<'a> {
             .collect();
 
         if let Some(cp) = resume {
+            assert!(
+                self.spec.is_none(),
+                "the spec machine requires a from-scratch run (checkpoints do not carry spec state)"
+            );
             assert_eq!(
                 cp.cores.len(),
                 cores.len(),
@@ -693,6 +717,7 @@ impl<'a> Engine<'a> {
             crash,
             pm: pm_image,
             timeline: self.machine.probe.drain_timeline(),
+            signature: self.machine.probe.take_signature(),
         };
         (outcome, set)
     }
@@ -768,10 +793,18 @@ impl<'a> Engine<'a> {
                         // the cut is its own business. Either outcome is
                         // legal — atomically.
                         self.oracle.observe_ambiguous(core.record(false));
+                        if let Some(spec) = &mut self.spec {
+                            let event = self.machine.pm.events().total();
+                            spec.on_ambiguous(core.id.as_usize(), core.tag, event);
+                        }
                         core.phase = Phase::Done;
                         return;
                     }
                     self.oracle.observe(core.record(true));
+                    if let Some(spec) = &mut self.spec {
+                        let event = self.machine.pm.events().total();
+                        spec.on_commit(core.id.as_usize(), core.tag, event);
+                    }
                     core.committed += 1;
                     if let Some(sched) = &core.arrivals {
                         // Sojourn = queue wait + service: commit minus
@@ -839,6 +872,10 @@ impl<'a> Engine<'a> {
                 let old = self.machine.shadow.load(addr, &self.machine.pm);
                 self.machine.shadow.store(addr, new);
                 core.cur_writes.insert(addr.word_aligned().as_u64(), new);
+                if let Some(spec) = &mut self.spec {
+                    let event = self.machine.pm.events().total();
+                    spec.on_store(core.id.as_usize(), core.tag, addr, new, event);
+                }
                 let before = core.time;
                 self.machine.probe.begin_claim_window();
                 core.time =
@@ -892,9 +929,13 @@ impl<'a> Engine<'a> {
         crash_at: Cycles,
     ) -> (CrashOutcome, silo_pm::PmStats, silo_pm::PmDevice) {
         let mut inflight = 0;
+        let event_at_cut = self.machine.pm.events().total();
         for core in cores.iter_mut() {
             if core.phase == Phase::InTx {
                 self.oracle.observe(core.record(false));
+                if let Some(spec) = &mut self.spec {
+                    spec.on_crash_inflight(core.id.as_usize(), core.tag, event_at_cut);
+                }
                 inflight += 1;
             }
             core.phase = Phase::Done;
@@ -941,6 +982,7 @@ impl<'a> Engine<'a> {
             recovery.replayed_words + recovery.revoked_words,
         );
         let consistency = self.oracle.verify(&self.machine.pm);
+        let spec = self.spec.as_ref().map(|s| s.verify(&self.machine.pm));
         let outcome = CrashOutcome {
             crash_at,
             recovery,
@@ -951,6 +993,7 @@ impl<'a> Engine<'a> {
             events_at_crash,
             drain,
             double_crash,
+            spec,
         };
         // `RunOutcome::pm` is cloned here, immediately after the verdict:
         // the image the oracle certified is the image callers see.
@@ -1437,6 +1480,45 @@ mod tests {
             vec![0; 8],
             "zero budget persists nothing from on_crash"
         );
+    }
+
+    #[test]
+    fn spec_machine_agrees_with_oracle_and_localizes() {
+        // NullScheme loses the committed write; both the digest oracle and
+        // the spec must flag it, and the spec names the exact word with
+        // its history.
+        let cfg = SimConfig::table_ii(1);
+        let txs = vec![tx_writing(&[(0, 7), (64, 8)])];
+        let mut scheme = NullScheme::default();
+        let mut engine = Engine::new(&cfg, &mut scheme);
+        engine.enable_spec();
+        engine.machine_mut().probe.enable_signature();
+        let out = engine.run(vec![txs], Some(Cycles::new(1_000_000)));
+        let crash = out.crash.expect("crash requested");
+        let spec = crash.spec.expect("spec enabled");
+        assert_eq!(
+            spec.is_consistent(),
+            crash.consistency.is_consistent(),
+            "spec and oracle must agree"
+        );
+        assert!(!spec.is_consistent());
+        let v = spec.first_offender().expect("violation");
+        assert_eq!(v.addr, PhysAddr::new(0), "lowest offending word first");
+        assert_eq!(v.legal, vec![Word::new(7)]);
+        assert!(v.event > 0, "history carries the durability-event index");
+        assert!(!v.history.is_empty());
+        let sig = out.signature.expect("signature recorder enabled");
+        assert!(sig.count() > 0, "tx/crash events produce coverage bits");
+    }
+
+    #[test]
+    fn spec_disabled_runs_report_none() {
+        let cfg = SimConfig::table_ii(1);
+        let txs = vec![tx_writing(&[(0, 7)])];
+        let mut scheme = NullScheme::default();
+        let out = Engine::new(&cfg, &mut scheme).run(vec![txs], Some(Cycles::new(1_000_000)));
+        assert!(out.crash.expect("crash requested").spec.is_none());
+        assert!(out.signature.is_none());
     }
 
     #[test]

@@ -65,6 +65,7 @@ mod ops;
 mod oracle;
 mod report;
 pub mod schemes;
+mod spec;
 mod stats;
 mod trace;
 
@@ -77,6 +78,7 @@ pub use machine::{Machine, MachineState, ShadowMem};
 pub use ops::{Op, Transaction, TransactionBuilder};
 pub use oracle::{ConsistencyReport, TxOracle, TxRecord, Violation};
 pub use schemes::{EvictAction, LoggingScheme, RecoveryReport, SchemeState, SchemeStats};
+pub use spec::{SpecMachine, SpecReport, SpecViolation, WordEvent, WordEventKind};
 pub use stats::{CoreStats, LatencyStats, SimStats};
 pub use trace::{ArrivalSchedule, TraceProvenance, TraceSet, TxStreams};
 
@@ -87,6 +89,6 @@ pub use silo_pm::{DrainReport, EventCounters, EventKind, FaultModel};
 // Re-exported so callers can enable/consume the observability layer (the
 // [`Machine::probe`] hub) without depending on `silo-probe` directly.
 pub use silo_probe::{
-    CycleBreakdown, CycleCategory, Probe, ProbeEvent, ProbeEventKind, ProbeHub,
-    DEFAULT_TIMELINE_CAPACITY, TIMELINE_SCHEMA_VERSION,
+    CycleBreakdown, CycleCategory, Probe, ProbeEvent, ProbeEventKind, ProbeHub, SchemePhase,
+    Signature, SignatureRecorder, DEFAULT_TIMELINE_CAPACITY, TIMELINE_SCHEMA_VERSION,
 };

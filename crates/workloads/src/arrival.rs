@@ -88,6 +88,46 @@ impl ArrivalProcess {
         }
     }
 
+    /// Parses an [`ident`](Self::ident) string back into its process —
+    /// the exact inverse, so repro commands can carry arrival processes
+    /// as one CLI token (`closed`, `poisson500`, `bursty100x8i5000`,
+    /// `diurnal2000-100`). `None` on anything `ident` cannot produce.
+    pub fn parse(ident: &str) -> Option<ArrivalProcess> {
+        fn num(s: &str) -> Option<u64> {
+            // Reject empty, signs, and leading-zero ambiguity-free enough:
+            // plain decimal digits only, as `ident` formats them.
+            if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            s.parse().ok()
+        }
+        if ident == "closed" {
+            return Some(ArrivalProcess::ClosedLoop);
+        }
+        if let Some(rest) = ident.strip_prefix("poisson") {
+            return Some(ArrivalProcess::Poisson {
+                mean_gap: num(rest)?,
+            });
+        }
+        if let Some(rest) = ident.strip_prefix("bursty") {
+            let (gap, rest) = rest.split_once('x')?;
+            let (burst, idle) = rest.split_once('i')?;
+            return Some(ArrivalProcess::Bursty {
+                mean_gap: num(gap)?,
+                burst: num(burst)?,
+                idle_gap: num(idle)?,
+            });
+        }
+        if let Some(rest) = ident.strip_prefix("diurnal") {
+            let (start, end) = rest.split_once('-')?;
+            return Some(ArrivalProcess::Diurnal {
+                start_gap: num(start)?,
+                end_gap: num(end)?,
+            });
+        }
+        None
+    }
+
     /// The arrival schedule for one core: one absolute nondecreasing cycle
     /// per transaction. The `setup` leading transactions arrive at cycle 0
     /// (they build the structure and are excluded from measurement);
@@ -393,5 +433,54 @@ mod tests {
         .collect();
         let unique: std::collections::BTreeSet<&String> = ids.iter().collect();
         assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn parse_round_trips_every_ident() {
+        for p in [
+            ArrivalProcess::ClosedLoop,
+            ArrivalProcess::Poisson { mean_gap: 500 },
+            ArrivalProcess::Bursty {
+                mean_gap: 100,
+                burst: 8,
+                idle_gap: 5_000,
+            },
+            ArrivalProcess::Diurnal {
+                start_gap: 2_000,
+                end_gap: 100,
+            },
+            ArrivalProcess::Diurnal {
+                start_gap: 0,
+                end_gap: 0,
+            },
+        ] {
+            let ident = p.ident();
+            assert_eq!(
+                ArrivalProcess::parse(&ident),
+                Some(p),
+                "ident {ident} must parse back"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_idents() {
+        for bad in [
+            "",
+            "close",
+            "closedx",
+            "poisson",
+            "poisson-5",
+            "poisson5x",
+            "bursty100",
+            "bursty100x8",
+            "burstyx8i5",
+            "diurnal100",
+            "diurnal-100-200",
+            "diurnal100-",
+            "uniform100",
+        ] {
+            assert_eq!(ArrivalProcess::parse(bad), None, "{bad:?} must not parse");
+        }
     }
 }

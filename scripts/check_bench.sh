@@ -56,7 +56,9 @@ check_file() {
   # Every numeric field present in the baseline is checked in the fresh
   # result: *wall_ms within tolerance, everything else exact.
   local keys
-  keys=$(grep -o '"[a-z_]*": *[0-9]' "$base" | sed 's/"\([a-z_]*\)".*/\1/')
+  # [a-z0-9_]: keys with digits (p99_sum) must be gated too, not
+  # silently skipped by a too-narrow character class.
+  keys=$(grep -o '"[a-z0-9_]*": *[0-9]' "$base" | sed 's/"\([a-z0-9_]*\)".*/\1/')
   for key in $keys; do
     local want got
     want=$(json_num "$base" "$key")
@@ -92,16 +94,38 @@ check_file() {
   done
 }
 
-check_file "BENCH_trace_cache.json"
-check_file "BENCH_profile.json"
-check_file "BENCH_engine.json"
-check_file "BENCH_store.json"
-check_file "BENCH_crashfuzz.json"
-check_file "BENCH_latency.json"
+checked=""
+check() {
+  checked="$checked $1"
+  check_file "$1"
+}
+
+check "BENCH_trace_cache.json"
+check "BENCH_profile.json"
+check "BENCH_engine.json"
+check "BENCH_store.json"
+check "BENCH_crashfuzz.json"
+check "BENCH_latency.json"
+check "BENCH_fuzz.json"
 
 if [ "$bless" -eq 1 ]; then
   exit 0
 fi
+
+# A fresh metric nobody compares is a gate that silently stopped gating:
+# every BENCH_*.json the bench stage produced must be in the checked list
+# above (and check_file already fails if its committed baseline is gone).
+for fresh in "$fresh_dir"/BENCH_*.json; do
+  [ -e "$fresh" ] || continue
+  name=$(basename "$fresh")
+  case " $checked " in
+    *" $name "*) ;;
+    *)
+      echo "FAIL: fresh metric $name has no baseline check (add it to scripts/check_bench.sh and bless a baseline)" >&2
+      failures=$((failures + 1))
+      ;;
+  esac
+done
 if [ "$failures" -gt 0 ]; then
   echo "perf gate: $failures failure(s); if intentional, re-baseline with" >&2
   echo "  scripts/ci.sh bench && scripts/check_bench.sh --bless target/bench-fresh" >&2

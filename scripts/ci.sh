@@ -9,10 +9,11 @@
 #   scripts/ci.sh test         run the test suite
 #   scripts/ci.sh lint         rustfmt + clippy
 #   scripts/ci.sh smoke        experiment smoke tests + determinism gates
+#   scripts/ci.sh fuzz         coverage-guided crash-search gate
 #   scripts/ci.sh bench        timed benchmarks + perf-regression gate
 #   scripts/ci.sh all          everything above, in order (the default)
 #
-# `smoke` and `bench` expect `build` to have run first (they use
+# `smoke`, `fuzz`, and `bench` expect `build` to have run first (they use
 # target/release/evaluate directly so a stale debug build can't skew the
 # timings).
 set -euo pipefail
@@ -210,6 +211,52 @@ smoke_stage() {
   done
 }
 
+fuzz_stage() {
+  echo "== fuzz injected-violation gate =="
+  # A fixed-seed, fixed-budget search must rediscover the planted
+  # undersized-battery violation on Silo and print a runnable repro.
+  broken=$("$EVALUATE" fuzz --txs 16 --bench Hash --scheme Silo \
+    --fault battery --battery-bytes 64 --execs 8 --no-corpus --jobs 2)
+  echo "$broken" | grep -q "minimal repro: evaluate fuzz" \
+    || { echo "FAIL: fuzz missed the injected battery violation" >&2; exit 1; }
+  # ... and the repro command itself, run verbatim, must reproduce it:
+  # the printed command is the contract, not the sweep that found it.
+  repro=$(echo "$broken" | sed -n 's/^  minimal repro: evaluate //p' | head -n 1)
+  # shellcheck disable=SC2086
+  repro_out=$("$EVALUATE" $repro)
+  echo "$repro_out" | grep -q "^total: [1-9]" \
+    || { echo "FAIL: emitted fuzz repro did not reproduce the violation" >&2; exit 1; }
+
+  echo "== fuzz determinism gate =="
+  # The full clean scheme x workload matrix must find nothing, and the
+  # whole search — stdout, report body, and the persisted corpus — must
+  # be byte-identical at 1 worker and 8. Each run gets its own scratch
+  # corpus root so the comparison covers the persistence layer too.
+  fuzz_dir="target/reports-ci-fuzz"
+  rm -rf "$fuzz_dir" "$fuzz_dir".j?.txt "$fuzz_dir".j?.stripped \
+    target/ci-fuzz-corpus-j1 target/ci-fuzz-corpus-j8
+  "$EVALUATE" fuzz --txs 16 --execs 6 --jobs 1 --no-result-store \
+    --corpus target/ci-fuzz-corpus-j1 --json-dir "$fuzz_dir/j1" \
+    > "$fuzz_dir.j1.txt" 2>/dev/null
+  "$EVALUATE" fuzz --txs 16 --execs 6 --jobs 8 --no-result-store \
+    --corpus target/ci-fuzz-corpus-j8 --json-dir "$fuzz_dir/j8" \
+    > "$fuzz_dir.j8.txt" 2>/dev/null
+  cmp "$fuzz_dir.j1.txt" "$fuzz_dir.j8.txt" \
+    || { echo "FAIL: fuzz output depends on worker count" >&2; exit 1; }
+  for j in j1 j8; do
+    sed 's/,"jobs":[0-9]*,"wall_ms":[0-9.eE+-]*}$/}/' "$fuzz_dir/$j/fuzz.json" \
+      > "$fuzz_dir.$j.stripped"
+  done
+  cmp "$fuzz_dir.j1.stripped" "$fuzz_dir.j8.stripped" \
+    || { echo "FAIL: fuzz report depends on worker count" >&2; exit 1; }
+  diff -r target/ci-fuzz-corpus-j1 target/ci-fuzz-corpus-j8 > /dev/null \
+    || { echo "FAIL: fuzz corpus depends on worker count" >&2; exit 1; }
+  grep -q "^total: 0 violations" "$fuzz_dir.j1.txt" \
+    || { echo "FAIL: fuzz found violations in a correct scheme" >&2; exit 1; }
+  rm -rf "$fuzz_dir" "$fuzz_dir".j?.txt "$fuzz_dir".j?.stripped \
+    target/ci-fuzz-corpus-j1 target/ci-fuzz-corpus-j8
+}
+
 bench_stage() {
   echo "== timed trace-cache benchmark =="
   # Wall-clock data point for the perf trajectory: the same grid with and
@@ -303,6 +350,23 @@ bench_stage() {
     "$lat_ms" "$p99_sum" > "$fresh_dir/BENCH_latency.json"
   cat "$fresh_dir/BENCH_latency.json"
 
+  echo "== timed fuzz benchmark =="
+  # The coverage-guided crash search end to end: per-candidate crash
+  # resimulation with the spec machine and the signature recorder
+  # enabled. Executions and the summed coverage-bit count over the full
+  # scheme x workload matrix are deterministic fingerprints of the
+  # search itself; wall-clock tracks the per-candidate overhead of the
+  # two observers.
+  "$EVALUATE" fuzz --txs 16 --execs 6 --jobs 4 --no-result-store --no-corpus \
+    --json-dir "$bench_dir/fuzz" > /dev/null 2>&1
+  fuzz_ms=$(sed -n 's/.*"wall_ms": *\([0-9.]*\).*/\1/p' "$bench_dir/fuzz/fuzz.json")
+  fuzz_execs=$(sed -n 's/.*"executions": *\([0-9]*\).*/\1/p' "$bench_dir/fuzz/fuzz.json")
+  cov_sum=$(grep -o '"coverage_bits": *[0-9]*' "$bench_dir/fuzz/fuzz.json" \
+    | awk -F: '{s += $2} END {printf "%d", s}')
+  printf '{"experiment": "fuzz", "txs": 16, "jobs": 4, "executions": %s, "coverage_sum": %s, "wall_ms": %s}\n' \
+    "$fuzz_execs" "$cov_sum" "$fuzz_ms" > "$fresh_dir/BENCH_fuzz.json"
+  cat "$fresh_dir/BENCH_fuzz.json"
+
   echo "== timed result-store benchmark =="
   # Cold vs warm on a scratch store: the perf trajectory of incremental
   # evaluate itself. Cold pays simulation + persistence, warm pays trace
@@ -330,17 +394,19 @@ case "$stage" in
   test) test_stage ;;
   lint) lint_stage ;;
   smoke) smoke_stage ;;
+  fuzz) fuzz_stage ;;
   bench) bench_stage ;;
   all)
     build_stage
     test_stage
     lint_stage
     smoke_stage
+    fuzz_stage
     bench_stage
     echo "CI OK"
     ;;
   *)
-    echo "usage: scripts/ci.sh [build|test|lint|smoke|bench|all]" >&2
+    echo "usage: scripts/ci.sh [build|test|lint|smoke|fuzz|bench|all]" >&2
     exit 2
     ;;
 esac
