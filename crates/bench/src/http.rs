@@ -1,0 +1,352 @@
+//! A minimal HTTP/1.1 subset for the serve daemon — `std` only.
+//!
+//! The daemon needs exactly one shape of conversation: a client connects,
+//! sends one request (optionally with a JSON body), receives one response,
+//! and the connection closes. So this module implements precisely that —
+//! request-line + headers + `Content-Length` body parsing on the server
+//! side, and a tiny blocking client for the CLI subcommands and tests.
+//! `Transfer-Encoding`, keep-alive, and multipart are deliberately absent;
+//! every response carries `Connection: close`.
+//!
+//! Size caps bound untrusted input: an oversized header block or body is
+//! reported as [`ParseError::TooLarge`] so the daemon can answer 413
+//! instead of buffering without limit.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Longest accepted request line + header block, in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, in bytes. Specs and experiment requests
+/// are small; a megabyte is generous.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component, query string included if any.
+    pub path: String,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, if it is UTF-8.
+    pub fn body_text(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header syntax, or premature EOF.
+    Malformed(String),
+    /// Head or body exceeded the fixed size caps (HTTP 413).
+    TooLarge,
+    /// The underlying socket failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::TooLarge => f.write_str("request too large"),
+            ParseError::Io(err) => write!(f, "request I/O failed: {err}"),
+        }
+    }
+}
+
+/// Reads one request from `stream`.
+pub fn read_request(stream: impl Read) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = 0usize;
+    let mut line = String::new();
+    let mut read_line =
+        |reader: &mut BufReader<_>, head: &mut usize| -> Result<String, ParseError> {
+            line.clear();
+            let n = reader.read_line(&mut line).map_err(ParseError::Io)?;
+            if n == 0 {
+                return Err(ParseError::Malformed("unexpected EOF".into()));
+            }
+            *head += n;
+            if *head > MAX_HEAD_BYTES {
+                return Err(ParseError::TooLarge);
+            }
+            Ok(line.trim_end_matches(['\r', '\n']).to_string())
+        };
+
+    let request_line = read_line(&mut reader, &mut head)?;
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed(format!(
+            "bad request line {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+    let method = method.to_string();
+    let path = path.to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let header = read_line(&mut reader, &mut head)?;
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed(format!("bad header {header:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length {value:?}")))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ParseError::Io)?;
+    Ok(Request { method, path, body })
+}
+
+/// The standard reason phrase for the status codes the daemon uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes one `application/json` response with `Connection: close` and the
+/// given extra headers (e.g. `Retry-After`).
+pub fn respond(
+    mut stream: impl Write,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// One parsed client-side response.
+#[derive(Debug)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// Lower-cased `(name, value)` header pairs.
+    pub headers: Vec<(String, String)>,
+    /// The response body as text.
+    pub body: String,
+}
+
+impl Response {
+    /// The value of `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Blocking one-shot client: connects, sends `method path` with an
+/// optional JSON body, reads the full response.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header)?;
+        let header = header.trim_end_matches(['\r', '\n']);
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = String::new();
+    match content_length {
+        Some(len) => {
+            let mut bytes = vec![0u8; len];
+            reader.read_exact(&mut bytes)?;
+            body = String::from_utf8(bytes)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        }
+        None => {
+            reader.read_to_string(&mut body)?;
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /cell HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\r\nhello world";
+        let req = read_request(Cursor::new(&raw[..])).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/cell");
+        assert_eq!(req.body_text(), Some("hello world"));
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let raw = b"GET /stats HTTP/1.1\r\n\r\n";
+        let req = read_request(Cursor::new(&raw[..])).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        for raw in [
+            &b"what even is this\r\n\r\n"[..],
+            &b"GET /\r\n\r\n"[..],        // no version
+            &b"GET / SPDY/9\r\n\r\n"[..], // wrong protocol
+            &b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"[..], // truncated body
+            &b"GET / HTTP/1.1\r\nbad header line\r\n\r\n"[..], // colonless header
+            &b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n"[..], // non-numeric length
+            &b""[..],                     // instant EOF
+        ] {
+            assert!(
+                read_request(Cursor::new(raw)).is_err(),
+                "{:?} must not parse",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_report_too_large() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "x".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            read_request(Cursor::new(huge_header.into_bytes())),
+            Err(ParseError::TooLarge)
+        ));
+        let huge_body = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", u32::MAX);
+        assert!(matches!(
+            read_request(Cursor::new(huge_body.into_bytes())),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn responses_carry_status_length_and_extra_headers() {
+        let mut out = Vec::new();
+        respond(
+            &mut out,
+            429,
+            &[("Retry-After", "2".to_string())],
+            "{\"error\":\"queue full\"}",
+        )
+        .expect("write");
+        let text = String::from_utf8(out).expect("UTF-8");
+        assert!(
+            text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Content-Length: 22\r\n"), "{text}");
+        assert!(text.contains("Retry-After: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(
+            text.ends_with("\r\n\r\n{\"error\":\"queue full\"}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn client_and_server_sides_round_trip_over_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let req = read_request(&stream).expect("server parses");
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/echo");
+            let body = format!("{{\"got\":{}}}", req.body.len());
+            respond(&stream, 200, &[], &body).expect("respond");
+        });
+        let resp = http_request(addr, "POST", "/echo", Some("0123456789")).expect("client");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{\"got\":10}");
+        assert_eq!(resp.header("connection"), Some("close"));
+        server.join().expect("server thread");
+    }
+}

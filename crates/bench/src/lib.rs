@@ -19,19 +19,25 @@
 pub mod cellspec;
 pub mod exp;
 pub mod experiments;
+pub mod http;
 pub mod probe;
 pub mod registry;
 pub mod report;
 pub mod result_store;
 pub mod runner;
+pub mod serve;
 pub mod trace_cache;
 
 pub use cellspec::{CellSpec, CellWork, ConfigDelta, FaultSpec, RunSpec, SchemeSpec, WorkloadSpec};
 pub use exp::{CellLabel, CellOutcome, ExpKind, ExpParams, ExperimentSpec, GridSpec};
 pub use probe::{run_profiled, EventTraceSink};
-pub use report::{run_experiment, write_report, ExperimentRun};
-pub use result_store::{ResultStore, ResultStoreStats};
-pub use runner::{default_jobs, run_cells};
+pub use report::{
+    render_finished, render_finished_checked, run_experiment, run_experiment_checked, write_report,
+    ExperimentError, ExperimentRun,
+};
+pub use result_store::{ResultStore, ResultStoreStats, Served};
+pub use runner::{default_jobs, run_cells, run_cells_with, PanicPolicy};
+pub use serve::{ServeOptions, Server};
 pub use trace_cache::{TraceCache, TraceCacheStats, TraceKey};
 
 use silo_baselines::{

@@ -48,6 +48,12 @@ pub fn find(name: &str) -> Option<ExperimentSpec> {
         .find(|s| s.name.eq_ignore_ascii_case(name) || s.legacy_bin.eq_ignore_ascii_case(name))
 }
 
+/// Every registry name, in `evaluate all` order (daemon error messages
+/// list these so an unknown-experiment 400 is self-describing).
+pub fn names() -> Vec<&'static str> {
+    all().iter().map(|s| s.name).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

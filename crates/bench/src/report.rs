@@ -14,7 +14,7 @@ use silo_sim::SimConfig;
 use silo_types::JsonValue;
 
 use crate::exp::{CellLabel, CellOutcome, ExpParams, ExperimentSpec};
-use crate::runner::run_cells;
+use crate::runner::{run_cells_with, PanicPolicy};
 
 /// Everything one experiment invocation produced.
 pub struct ExperimentRun {
@@ -28,20 +28,132 @@ pub struct ExperimentRun {
     pub body: JsonValue,
 }
 
-/// Builds, runs (across `jobs` workers), and renders one experiment.
-pub fn run_experiment(spec: &ExperimentSpec, params: &ExpParams, jobs: usize) -> ExperimentRun {
-    let cells = spec.build(params);
-    let finished = run_cells(cells, jobs);
-    let mut text = String::new();
-    let derived = spec.render(params, &finished, &mut text);
-    ExperimentRun {
-        name: spec.name,
-        text,
-        body: report_body(spec, params, &finished, derived),
+/// Why an experiment run failed, with enough provenance to map onto an
+/// exit code (CLI) or a 500-with-origin body (daemon).
+#[derive(Clone, Debug)]
+pub enum ExperimentError {
+    /// A cell failed to execute (a captured panic or a recorded error) and
+    /// rendering could not proceed.
+    Cell {
+        /// The failing cell's label, as [`CellLabel::describe`] prints it.
+        origin: String,
+        /// The cell's recorded error message.
+        message: String,
+    },
+    /// Every cell succeeded but the render step itself panicked.
+    Render {
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl ExperimentError {
+    /// `"cell"` or `"render"`: the `origin` field of daemon error bodies.
+    pub fn origin_kind(&self) -> &'static str {
+        match self {
+            ExperimentError::Cell { .. } => "cell",
+            ExperimentError::Render { .. } => "render",
+        }
+    }
+
+    /// The human-readable failure message.
+    pub fn message(&self) -> &str {
+        match self {
+            ExperimentError::Cell { message, .. } => message,
+            ExperimentError::Render { message } => message,
+        }
     }
 }
 
-fn cell_json(label: &CellLabel, outcome: &CellOutcome) -> JsonValue {
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::Cell { origin, message } => {
+                write!(f, "cell {origin} failed: {message}")
+            }
+            ExperimentError::Render { message } => write!(f, "render failed: {message}"),
+        }
+    }
+}
+
+/// Builds, runs (across `jobs` workers), and renders one experiment.
+pub fn run_experiment(spec: &ExperimentSpec, params: &ExpParams, jobs: usize) -> ExperimentRun {
+    let cells = spec.build(params);
+    let finished = run_cells_with(cells, jobs, PanicPolicy::Propagate);
+    render_finished(spec, params, &finished)
+}
+
+/// [`run_experiment`] with explicit panic handling: cells run under
+/// `policy`, and render failures come back as a typed
+/// [`ExperimentError`] instead of a propagating panic. The CLI maps the
+/// two variants to distinct exit codes; the daemon maps them to
+/// 500-with-origin JSON bodies.
+pub fn run_experiment_checked(
+    spec: &ExperimentSpec,
+    params: &ExpParams,
+    jobs: usize,
+    policy: PanicPolicy,
+) -> Result<ExperimentRun, ExperimentError> {
+    let cells = spec.build(params);
+    let finished = run_cells_with(cells, jobs, policy);
+    render_finished_checked(spec, params, &finished)
+}
+
+/// Renders already-executed cells into an [`ExperimentRun`]. A panic in
+/// the experiment's render function propagates; see
+/// [`render_finished_checked`].
+pub fn render_finished(
+    spec: &ExperimentSpec,
+    params: &ExpParams,
+    finished: &[(CellLabel, CellOutcome)],
+) -> ExperimentRun {
+    let mut text = String::new();
+    let derived = spec.render(params, finished, &mut text);
+    ExperimentRun {
+        name: spec.name,
+        text,
+        body: report_body(spec, params, finished, derived),
+    }
+}
+
+/// [`render_finished`] with the render step guarded: a panic while
+/// rendering is attributed to the first failed cell when one exists
+/// (render functions panic when they unwrap a failed outcome's metrics),
+/// otherwise reported as a genuine render failure.
+///
+/// Tests can force the render-failure path with the
+/// `SILO_TEST_RENDER_PANIC` environment variable.
+pub fn render_finished_checked(
+    spec: &ExperimentSpec,
+    params: &ExpParams,
+    finished: &[(CellLabel, CellOutcome)],
+) -> Result<ExperimentRun, ExperimentError> {
+    let rendered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if std::env::var_os("SILO_TEST_RENDER_PANIC").is_some() {
+            panic!("forced render panic (SILO_TEST_RENDER_PANIC)");
+        }
+        render_finished(spec, params, finished)
+    }));
+    match rendered {
+        Ok(run) => Ok(run),
+        Err(payload) => {
+            if let Some((label, outcome)) = finished.iter().find(|(_, o)| o.error.is_some()) {
+                return Err(ExperimentError::Cell {
+                    origin: label.describe(),
+                    message: outcome.error.clone().unwrap_or_default(),
+                });
+            }
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            Err(ExperimentError::Render { message })
+        }
+    }
+}
+
+pub(crate) fn cell_json(label: &CellLabel, outcome: &CellOutcome) -> JsonValue {
     let mut obj = JsonValue::object();
     if !label.scheme.is_empty() {
         obj = obj.field("scheme", label.scheme.as_str());

@@ -7,6 +7,13 @@
 //! after first execution. A warm `evaluate` run re-renders every report
 //! byte-identically while paying only trace generation, never simulation.
 //!
+//! The store is **two-tier**: a bounded in-memory LRU of decoded
+//! [`CellOutcome`]s sits in front of the on-disk entries, so a hot cell is
+//! served without touching the filesystem — the serve daemon's
+//! microsecond path ([`ResultStore::peek`]). The CLI leaves the memory
+//! tier unbounded (a process never re-runs enough distinct cells to
+//! matter); the long-lived daemon caps it ([`ResultStore::set_memory_cap`]).
+//!
 //! Invalidation is conservative and needs no dependency tracking:
 //!
 //! * **code fingerprint** — a build-script hash of every workspace source
@@ -26,12 +33,14 @@
 //! Like the trace cache, the map lock only resolves the key to a slot;
 //! per-slot locks serialize execution of one cell so a spec is executed
 //! **exactly once** per process even when racing workers request it, while
-//! distinct cells execute concurrently.
+//! distinct cells execute concurrently. Every lock recovers from
+//! poisoning: a captured cell panic (the daemon's panic isolation) must
+//! not wedge the store for later requests.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use silo_sim::SimStats;
 use silo_types::JsonValue;
@@ -42,6 +51,13 @@ use crate::exp::CellOutcome;
 /// On-disk entry format version; bumped on any layout change so old
 /// entries read as corrupt (and recompute) instead of misparsing.
 const STORE_VERSION: u64 = 1;
+
+/// Locks a mutex, recovering the data if a previous holder panicked: a
+/// captured cell panic poisons the slot it executed under, and the next
+/// request must still be servable.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Process-wide persistent store of finished cell outcomes.
 pub struct ResultStore {
@@ -54,15 +70,69 @@ pub struct ResultStore {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidated: AtomicU64,
+    memory_hits: AtomicU64,
     slots: Mutex<HashMap<(u64, u64), Arc<Slot>>>,
+    memory: Mutex<Lru>,
 }
 
+/// Per-key execution lock: holding it while computing a cell makes the
+/// execution exactly-once per process. The outcome itself lives in the
+/// [`Lru`] memory tier, not the slot, so the tier can be bounded.
 #[derive(Default)]
 struct Slot {
-    outcome: Mutex<Option<CellOutcome>>,
+    running: Mutex<()>,
 }
 
-/// Store effectiveness counters (the `[result-store]` stderr line).
+/// A small bounded LRU over decoded outcomes. Eviction scans for the
+/// oldest tick — O(n), which is fine at daemon cache sizes (thousands)
+/// against multi-millisecond simulations.
+struct Lru {
+    cap: usize,
+    tick: u64,
+    map: HashMap<(u64, u64), (CellOutcome, u64)>,
+}
+
+impl Lru {
+    fn new(cap: usize) -> Lru {
+        Lru {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: (u64, u64)) -> Option<CellOutcome> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|(outcome, used)| {
+            *used = tick;
+            outcome.clone()
+        })
+    }
+
+    fn insert(&mut self, key: (u64, u64), outcome: CellOutcome) {
+        self.tick += 1;
+        self.map.insert(key, (outcome, self.tick));
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        while self.map.len() > self.cap {
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// Store effectiveness counters (the `[result-store]` stderr line and the
+/// serve daemon's `GET /stats`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ResultStoreStats {
     /// Cells served from memory or disk without executing.
@@ -71,6 +141,32 @@ pub struct ResultStoreStats {
     pub misses: u64,
     /// Cells executed because their entry was corrupt or unreadable.
     pub invalidated: u64,
+    /// The subset of `hits` served from the in-memory tier (no disk I/O).
+    pub memory_hits: u64,
+}
+
+/// Where a [`ResultStore::get_or_run_traced`] outcome came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Served {
+    /// The in-memory LRU tier: microseconds, no disk touched.
+    Memory,
+    /// Decoded from an on-disk entry: no simulation ran.
+    Disk,
+    /// Executed fresh (miss, invalidated entry, disabled store, or an
+    /// uncacheable spec).
+    Executed,
+}
+
+impl Served {
+    /// Stable lower-case name for JSON payloads (`"memory"`, `"disk"`,
+    /// `"executed"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Served::Memory => "memory",
+            Served::Disk => "disk",
+            Served::Executed => "executed",
+        }
+    }
 }
 
 impl ResultStore {
@@ -88,8 +184,9 @@ impl ResultStore {
         })
     }
 
-    /// A store rooted at `dir` for the given code fingerprint (tests use
-    /// private instances; the CLI uses [`ResultStore::global`]).
+    /// A store rooted at `dir` for the given code fingerprint (tests and
+    /// the serve daemon use private instances; the CLI uses
+    /// [`ResultStore::global`]).
     pub fn new(dir: PathBuf, fingerprint: &str) -> ResultStore {
         ResultStore {
             enabled: AtomicBool::new(false),
@@ -98,7 +195,9 @@ impl ResultStore {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            memory_hits: AtomicU64::new(0),
             slots: Mutex::new(HashMap::new()),
+            memory: Mutex::new(Lru::new(usize::MAX)),
         }
     }
 
@@ -112,45 +211,90 @@ impl ResultStore {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Bounds the in-memory tier to `cap` outcomes, evicting
+    /// least-recently-used entries if it is already larger. The CLI
+    /// default is unbounded; the serve daemon caps it.
+    pub fn set_memory_cap(&self, cap: usize) {
+        let mut memory = lock_recovering(&self.memory);
+        memory.cap = cap.max(1);
+        memory.evict();
+    }
+
+    /// Outcomes currently resident in the in-memory tier.
+    pub fn memory_len(&self) -> usize {
+        lock_recovering(&self.memory).map.len()
+    }
+
     /// Effectiveness counters so far.
     pub fn stats(&self) -> ResultStoreStats {
         ResultStoreStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
         }
     }
 
+    /// A memory-tier hit for `key`, counted, or `None`.
+    fn memory_get(&self, key: (u64, u64)) -> Option<CellOutcome> {
+        let outcome = lock_recovering(&self.memory).get(key)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+        Some(outcome)
+    }
+
+    /// Serves `spec` from the in-memory tier only: `Some` (counted as a
+    /// memory hit) when resident, `None` without touching disk or
+    /// executing anything. The serve daemon's fast path: a hit here never
+    /// waits on a queue slot.
+    pub fn peek(&self, spec: &CellSpec) -> Option<CellOutcome> {
+        if !self.enabled() || !spec.cacheable() {
+            return None;
+        }
+        self.memory_get((spec.spec_hash(), spec.trace_fingerprint()))
+    }
+
     /// The outcome of `spec`: served from memory, then disk, then computed
-    /// by [`CellSpec::execute`] (and persisted). Disabled, it executes
-    /// unconditionally and touches nothing. Uncacheable specs
-    /// ([`CellSpec::cacheable`] — the corpus-mutating `fuzz` cells) also
-    /// execute unconditionally: replaying a stored outcome would skip the
-    /// corpus side effects the cell exists to produce.
+    /// by [`CellSpec::execute`] (and persisted). See
+    /// [`ResultStore::get_or_run_traced`] for the provenance-reporting
+    /// variant.
+    pub fn get_or_run(&self, spec: &CellSpec) -> CellOutcome {
+        self.get_or_run_traced(spec).0
+    }
+
+    /// [`ResultStore::get_or_run`] plus where the outcome came from.
+    /// Disabled, it executes unconditionally and touches nothing.
+    /// Uncacheable specs ([`CellSpec::cacheable`] — the corpus-mutating
+    /// `fuzz` cells) also execute unconditionally: replaying a stored
+    /// outcome would skip the corpus side effects the cell exists to
+    /// produce.
     ///
     /// The slot lock is held across execution, so concurrent requests for
     /// the same spec run it exactly once per process.
-    pub fn get_or_run(&self, spec: &CellSpec) -> CellOutcome {
+    pub fn get_or_run_traced(&self, spec: &CellSpec) -> (CellOutcome, Served) {
         if !self.enabled() || !spec.cacheable() {
-            return spec.execute();
+            return (spec.execute(), Served::Executed);
         }
         let key = (spec.spec_hash(), spec.trace_fingerprint());
+        if let Some(outcome) = self.memory_get(key) {
+            return (outcome, Served::Memory);
+        }
         let slot = {
-            let mut map = self.slots.lock().expect("result store map lock");
+            let mut map = lock_recovering(&self.slots);
             Arc::clone(map.entry(key).or_default())
         };
-        let mut guard = slot.outcome.lock().expect("result store slot lock");
-        if let Some(outcome) = guard.as_ref() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return outcome.clone();
+        let _running = lock_recovering(&slot.running);
+        // Whoever held the slot before us filled the memory tier.
+        if let Some(outcome) = self.memory_get(key) {
+            return (outcome, Served::Memory);
         }
         let path = self.entry_path(key);
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 if let Some(outcome) = decode_entry(&text, key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    *guard = Some(outcome.clone());
-                    return outcome;
+                    lock_recovering(&self.memory).insert(key, outcome.clone());
+                    return (outcome, Served::Disk);
                 }
                 // Corrupt/truncated/stale-format entry: recompute (and
                 // overwrite it below with a good one).
@@ -168,8 +312,8 @@ impl ResultStore {
         // Persistence is best-effort: a read-only disk degrades the store
         // to in-memory memoization, it never fails the experiment.
         let _ = self.persist(&path, encode_entry(&outcome, key));
-        *guard = Some(outcome.clone());
-        outcome
+        lock_recovering(&self.memory).insert(key, outcome.clone());
+        (outcome, Served::Executed)
     }
 
     /// `<dir>/<code fingerprint>/<spec hash>-<trace fingerprint>.json`.
@@ -318,14 +462,16 @@ mod tests {
     fn disabled_store_executes_and_touches_nothing() {
         let store = tmp_store("disabled");
         let spec = small_spec(3);
-        let out = store.get_or_run(&spec);
+        let (out, served) = store.get_or_run_traced(&spec);
         assert!(out.stats.is_some());
+        assert_eq!(served, Served::Executed);
         assert_eq!(
             store.stats(),
             ResultStoreStats {
                 hits: 0,
                 misses: 0,
-                invalidated: 0
+                invalidated: 0,
+                memory_hits: 0
             }
         );
         assert!(!store.dir.exists(), "disabled store must not write");
@@ -368,21 +514,26 @@ mod tests {
         let store = tmp_store("warm");
         store.set_enabled(true);
         let spec = small_spec(4);
-        let cold = store.get_or_run(&spec);
+        let (cold, cold_served) = store.get_or_run_traced(&spec);
         assert_eq!(store.stats().misses, 1);
-        // Same process: served from the slot.
-        let warm = store.get_or_run(&spec);
+        assert_eq!(cold_served, Served::Executed);
+        // Same process: served from the memory tier.
+        let (warm, warm_served) = store.get_or_run_traced(&spec);
         assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().memory_hits, 1);
+        assert_eq!(warm_served, Served::Memory);
         // "New process": fresh store over the same directory reads disk.
         let fresh = ResultStore::new(store.dir.clone(), "fp-test");
         fresh.set_enabled(true);
-        let disk = fresh.get_or_run(&spec);
+        let (disk, disk_served) = fresh.get_or_run_traced(&spec);
+        assert_eq!(disk_served, Served::Disk);
         assert_eq!(
             fresh.stats(),
             ResultStoreStats {
                 hits: 1,
                 misses: 0,
-                invalidated: 0
+                invalidated: 0,
+                memory_hits: 0
             }
         );
         for out in [&warm, &disk] {
@@ -391,6 +542,48 @@ mod tests {
                 cold.stats().to_json().to_string()
             );
         }
+        let _ = std::fs::remove_dir_all(&store.dir);
+    }
+
+    #[test]
+    fn peek_serves_memory_only() {
+        let store = tmp_store("peek");
+        store.set_enabled(true);
+        let spec = small_spec(9);
+        assert!(store.peek(&spec).is_none(), "cold peek must not execute");
+        assert_eq!(store.stats().misses, 0, "peek is not a miss");
+        store.get_or_run(&spec);
+        let peeked = store.peek(&spec).expect("resident after execution");
+        assert!(peeked.stats.is_some());
+        assert_eq!(store.stats().memory_hits, 1);
+        // A fresh store over the same directory has a cold memory tier:
+        // peek stays empty even though the disk entry exists.
+        let fresh = ResultStore::new(store.dir.clone(), "fp-test");
+        fresh.set_enabled(true);
+        assert!(fresh.peek(&spec).is_none(), "peek never reads disk");
+        let _ = std::fs::remove_dir_all(&store.dir);
+    }
+
+    #[test]
+    fn memory_cap_bounds_residency_and_evicts_lru() {
+        let store = tmp_store("lru");
+        store.set_enabled(true);
+        store.set_memory_cap(2);
+        let specs: Vec<CellSpec> = (3..6).map(small_spec).collect();
+        for spec in &specs {
+            store.get_or_run(spec);
+        }
+        assert_eq!(store.memory_len(), 2, "cap bounds the memory tier");
+        // The oldest outcome (specs[0]) was evicted: peek misses, but the
+        // disk tier still serves it without re-executing.
+        assert!(store.peek(&specs[0]).is_none());
+        let (_, served) = store.get_or_run_traced(&specs[0]);
+        assert_eq!(served, Served::Disk, "evicted outcome falls to disk");
+        // Touching specs[2] makes specs[1] the LRU victim of the reload.
+        assert_eq!(store.memory_len(), 2);
+        assert!(store.peek(&specs[2]).is_some());
+        store.get_or_run(&specs[0]);
+        assert!(store.peek(&specs[1]).is_none(), "LRU evicts the coldest");
         let _ = std::fs::remove_dir_all(&store.dir);
     }
 
@@ -446,7 +639,8 @@ mod tests {
             ResultStoreStats {
                 hits: 0,
                 misses: 1,
-                invalidated: 0
+                invalidated: 0,
+                memory_hits: 0
             }
         );
         assert!(store.dir.join("fp-test").is_dir());
@@ -474,6 +668,46 @@ mod tests {
         let s = store.stats();
         assert_eq!(s.misses, 1, "one execution");
         assert_eq!(s.hits, 7, "everyone else waits and hits");
+        assert_eq!(s.memory_hits, 7, "racers are served from memory");
+        let _ = std::fs::remove_dir_all(&store.dir);
+    }
+
+    #[test]
+    fn poisoned_slot_recovers_for_the_next_request() {
+        struct Bomb;
+        impl Drop for Bomb {
+            fn drop(&mut self) {
+                // Poison the store's internal locks by panicking while a
+                // get_or_run execution is in flight on this thread.
+            }
+        }
+        let store = tmp_store("poison");
+        store.set_enabled(true);
+        // A spec whose execution panics (unknown workload) poisons the
+        // slot lock it ran under; the identical request afterwards must
+        // still execute (and panic again) instead of wedging.
+        let bad = CellSpec::new(
+            CellLabel::default().with_param("bad"),
+            42,
+            CellWork::TraceStats {
+                workload: "NoSuchWorkload".into(),
+                txs: 2,
+            },
+        );
+        for _ in 0..2 {
+            let _bomb = Bomb;
+            let err =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.get_or_run(&bad)))
+                    .unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "?".into());
+            assert!(msg.contains("NoSuchWorkload"), "{msg}");
+        }
+        // A well-formed spec still resolves through the same store.
+        let good = store.get_or_run(&small_spec(8));
+        assert!(good.stats.is_some());
         let _ = std::fs::remove_dir_all(&store.dir);
     }
 }

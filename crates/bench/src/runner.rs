@@ -13,12 +13,19 @@
 //! entirely; disabled (the default outside the CLI), the spec executes
 //! directly. Either way the runner stamps the outcome's `origin` with the
 //! cell label so downstream accessor failures name their cell.
+//!
+//! A [`PanicPolicy`] decides what a panicking cell does. The CLI keeps
+//! the historical propagate-and-die behavior (a panic is a bug and should
+//! be loud); the serve daemon — and the CLI under `--catch-cell-panics` —
+//! captures the panic into a labeled failed outcome so one poisoned cell
+//! neither kills the process nor loses the other slots.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::cellspec::CellSpec;
 use crate::exp::{CellLabel, CellOutcome};
+use crate::result_store::Served;
 use crate::ResultStore;
 
 /// The machine's available parallelism (the `--jobs` default).
@@ -28,16 +35,73 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// What a panic inside one cell does to the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicPolicy {
+    /// Propagate to the caller: the historical CLI behavior, where a
+    /// panicking cell is a bug that should kill the process.
+    Propagate,
+    /// Capture into a labeled [`CellOutcome::failed`] for that cell only;
+    /// every other slot still completes. The serve daemon's isolation.
+    Capture,
+}
+
+/// Runs one spec through `store`, converting a panic anywhere in the
+/// trace/execute path into a labeled failed outcome. Used by every
+/// [`PanicPolicy::Capture`] call site, including the serve workers.
+pub(crate) fn run_spec_capturing(store: &ResultStore, spec: &CellSpec) -> (CellOutcome, Served) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        store.get_or_run_traced(spec)
+    }));
+    match result {
+        Ok(out) => out,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            let outcome =
+                CellOutcome::failed(format!("panic in cell {}: {msg}", spec.label.describe()));
+            (outcome, Served::Executed)
+        }
+    }
+}
+
+fn run_spec(store: &ResultStore, spec: &CellSpec, policy: PanicPolicy) -> CellOutcome {
+    match policy {
+        PanicPolicy::Propagate => store.get_or_run(spec),
+        PanicPolicy::Capture => run_spec_capturing(store, spec).0,
+    }
+}
+
 /// Runs every cell spec and returns `(label, outcome)` pairs in cell
 /// order.
 ///
 /// `jobs <= 1` runs serially on the calling thread; any larger value
 /// spawns `min(jobs, cells.len())` scoped workers. A panic inside a cell
-/// propagates to the caller either way.
+/// propagates to the caller either way — see [`run_cells_with`] for the
+/// capturing variant.
 pub fn run_cells(cells: Vec<CellSpec>, jobs: usize) -> Vec<(CellLabel, CellOutcome)> {
+    run_cells_with(cells, jobs, PanicPolicy::Propagate)
+}
+
+/// [`run_cells`] with an explicit [`PanicPolicy`].
+///
+/// Under [`PanicPolicy::Capture`] a panicking cell yields a
+/// `CellOutcome::failed` naming the cell, and every other slot is still
+/// filled — nothing propagates and no slot is lost.
+pub fn run_cells_with(
+    cells: Vec<CellSpec>,
+    jobs: usize,
+    policy: PanicPolicy,
+) -> Vec<(CellLabel, CellOutcome)> {
     let store = ResultStore::global();
     let outcomes: Vec<CellOutcome> = if jobs <= 1 || cells.len() <= 1 {
-        cells.iter().map(|spec| store.get_or_run(spec)).collect()
+        cells
+            .iter()
+            .map(|spec| run_spec(store, spec, policy))
+            .collect()
     } else {
         let workers = jobs.min(cells.len());
         let slots: Vec<Mutex<Option<CellOutcome>>> =
@@ -48,7 +112,7 @@ pub fn run_cells(cells: Vec<CellSpec>, jobs: usize) -> Vec<(CellLabel, CellOutco
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = cells.get(i) else { break };
-                    let outcome = store.get_or_run(spec);
+                    let outcome = run_spec(store, spec, policy);
                     *slots[i].lock().unwrap() = Some(outcome);
                 });
             }
@@ -91,6 +155,18 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// A cell whose execution panics (unknown workload at trace time).
+    fn poisoned_cell() -> CellSpec {
+        CellSpec::new(
+            CellLabel::default().with_param("poisoned"),
+            42,
+            CellWork::TraceStats {
+                workload: "NoSuchWorkload".into(),
+                txs: 1,
+            },
+        )
     }
 
     #[test]
@@ -150,5 +226,35 @@ mod tests {
         let msg = err.downcast_ref::<String>().expect("string panic");
         assert!(msg.contains("i=0"), "names the cell: {msg}");
         assert!(msg.contains("no simulation"), "{msg}");
+    }
+
+    #[test]
+    fn captured_panic_keeps_the_other_slots() {
+        for jobs in [1, 4] {
+            let mut cells = counting_cells(4);
+            cells.insert(2, poisoned_cell());
+            let done = run_cells_with(cells, jobs, PanicPolicy::Capture);
+            assert_eq!(done.len(), 5, "jobs={jobs}");
+            for (i, (label, outcome)) in done.iter().enumerate() {
+                if i == 2 {
+                    let err = outcome.error.as_deref().expect("captured failure");
+                    assert!(err.contains("panic in cell poisoned"), "{err}");
+                    assert!(err.contains("NoSuchWorkload"), "labels the cause: {err}");
+                } else {
+                    assert!(outcome.error.is_none(), "jobs={jobs} {}", label.param);
+                    assert!(outcome.value("avg_b") > 0.0, "jobs={jobs} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn propagate_policy_still_dies() {
+        let err = std::panic::catch_unwind(|| {
+            run_cells_with(vec![poisoned_cell()], 1, PanicPolicy::Propagate)
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("NoSuchWorkload"), "{msg}");
     }
 }

@@ -1,0 +1,978 @@
+//! `evaluate serve`: simulation-as-a-service.
+//!
+//! A long-lived daemon serving memoized cells over HTTP/1.1 + JSON
+//! ([`crate::http`] — `std` only, no async runtime). The execution core is
+//! a work-conserving scheduler:
+//!
+//! * a **bounded FIFO queue** feeding a fixed worker pool, with
+//!   backpressure: a submission that does not fit answers `429` with a
+//!   `Retry-After` header and enqueues nothing (all-or-nothing, so a
+//!   half-admitted experiment can never deadlock the queue);
+//! * a **singleflight table**: identical in-flight specs (by
+//!   [`CellSpec::spec_hash`] — the trace and code fingerprints are
+//!   process-constant) share exactly one execution, every waiter gets the
+//!   one outcome;
+//! * the **two-tier result store**: a cell resident in the in-memory LRU
+//!   is served in microseconds without touching the queue at all
+//!   ([`ResultStore::peek`]); a disk entry is decoded by a worker; only a
+//!   genuinely cold cell simulates ([`ResultStore::get_or_run_traced`]);
+//! * **panic isolation**: a panicking cell becomes a labeled failed
+//!   outcome for its request ([`PanicPolicy::Capture`] machinery), never a
+//!   dead daemon.
+//!
+//! Endpoints: `POST /cell` (one [`CellSpec`], synchronous), `POST
+//! /experiment` (a registry experiment by name with the CLI flag surface;
+//! `"wait": false` detaches and returns a job id), `GET /progress/<id>`
+//! and `GET /result/<id>` (per-cell progress — queued / running / done
+//! with the probe-layer cycle and commit counters — and the final
+//! report), `GET /stats` (queue depth, in-flight count, singleflight
+//! merges, LRU occupancy, store and trace-cache counters), and `POST
+//! /shutdown` (graceful drain; the crate forbids `unsafe`, so there is no
+//! signal handler — `POST /shutdown` *is* the SIGINT equivalent).
+//!
+//! Responses are byte-identical (envelope-stripped) to the CLI: the
+//! `"report"` field of an experiment response serializes exactly as the
+//! report body `evaluate <name>` writes, and `"text"` is the CLI stdout.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use silo_types::JsonValue;
+
+use crate::cellspec::CellSpec;
+use crate::exp::{CellLabel, CellOutcome, ExpParams};
+use crate::http::{read_request, respond, ParseError, Request};
+use crate::report::{cell_json, render_finished_checked, ExperimentError};
+use crate::result_store::Served;
+use crate::runner::run_spec_capturing;
+use crate::{registry, ResultStore, TraceCache};
+
+/// How the daemon is set up; every field has a serving default.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address. Port 0 picks a free port (the chosen one is in
+    /// [`Server::addr`] and on the `serving on` stdout line).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Queue bound: a submission needing more free slots answers 429.
+    pub queue_cap: usize,
+    /// In-memory outcome LRU capacity (distinct cells resident).
+    pub lru_cap: usize,
+    /// Result-store directory override; `None` follows the CLI resolution
+    /// (`SILO_RESULT_STORE`, then `target/result-store`).
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: crate::default_jobs(),
+            queue_cap: 256,
+            lru_cap: 4096,
+            store_dir: None,
+        }
+    }
+}
+
+/// Flight status for progress reporting.
+const FLIGHT_QUEUED: u8 = 0;
+const FLIGHT_RUNNING: u8 = 1;
+const FLIGHT_DONE: u8 = 2;
+
+/// One in-flight (or queued) execution that any number of submitters wait
+/// on: the singleflight unit.
+struct Flight {
+    status: AtomicU8,
+    done: Mutex<Option<(CellOutcome, Served)>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            status: AtomicU8::new(FLIGHT_QUEUED),
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, outcome: CellOutcome, served: Served) {
+        let mut done = lock_clean(&self.done);
+        *done = Some((outcome, served));
+        self.status.store(FLIGHT_DONE, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> (CellOutcome, Served) {
+        let mut done = lock_clean(&self.done);
+        loop {
+            if let Some(result) = done.as_ref() {
+                return result.clone();
+            }
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.status.load(Ordering::Acquire) {
+            FLIGHT_QUEUED => "queued",
+            FLIGHT_RUNNING => "running",
+            _ => "done",
+        }
+    }
+}
+
+/// A queued unit of work.
+struct QueuedJob {
+    key: u64,
+    spec: CellSpec,
+    flight: Arc<Flight>,
+}
+
+/// Queue and singleflight table under one lock: admission decisions see a
+/// consistent picture of both.
+struct SchedState {
+    queue: VecDeque<QueuedJob>,
+    flights: HashMap<u64, Arc<Flight>>,
+}
+
+/// How one submitted cell will be satisfied.
+enum Ticket {
+    /// Served straight from the memory tier — never touched the queue.
+    Ready(Box<CellOutcome>),
+    /// Joined an execution another submission already owns.
+    Merged(Arc<Flight>),
+    /// Owns a fresh queue slot.
+    Enqueued(Arc<Flight>),
+}
+
+impl Ticket {
+    /// Blocks until the outcome exists. The label names how it was served,
+    /// from this submission's point of view (`merged` hides the owner's
+    /// actual tier on purpose: the point is that *this* request ran
+    /// nothing).
+    fn wait(&self) -> (CellOutcome, &'static str) {
+        match self {
+            Ticket::Ready(outcome) => ((**outcome).clone(), Served::Memory.name()),
+            Ticket::Merged(flight) => (flight.wait().0, "merged"),
+            Ticket::Enqueued(flight) => {
+                let (outcome, served) = flight.wait();
+                (outcome, served.name())
+            }
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self {
+            Ticket::Ready(_) => "done",
+            Ticket::Merged(flight) | Ticket::Enqueued(flight) => flight.state_name(),
+        }
+    }
+}
+
+/// A finished experiment: the rendered text, the report body, and the
+/// per-tier served counts.
+type JobResult = Result<(String, JsonValue, JsonValue), ExperimentError>;
+
+/// One detached (`"wait": false`) experiment run.
+struct JobState {
+    name: &'static str,
+    labels: Vec<String>,
+    tickets: Vec<Ticket>,
+    /// Per-cell completion info, filled in submission order as the job
+    /// thread collects outcomes.
+    cells_done: Mutex<Vec<Option<JsonValue>>>,
+    /// The final render: `Ok((text, report, served-counts))` or the typed
+    /// failure, `None` while cells are still running.
+    result: Mutex<Option<JobResult>>,
+}
+
+struct ServerInner {
+    store: ResultStore,
+    addr: SocketAddr,
+    workers: usize,
+    queue_cap: usize,
+    sched: Mutex<SchedState>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    inflight: AtomicUsize,
+    merges: AtomicU64,
+    rejected: AtomicU64,
+    served_memory: AtomicU64,
+    served_disk: AtomicU64,
+    served_executed: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<JobState>>>,
+    next_job: AtomicU64,
+}
+
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A running daemon: accept loop + worker pool. Dropping the handle does
+/// not stop it; `POST /shutdown` (then [`Server::wait`]) does.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    /// The daemon keeps serving until `POST /shutdown`.
+    pub fn start(options: ServeOptions) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&options.addr)?;
+        let addr = listener.local_addr()?;
+        let store = match &options.store_dir {
+            Some(dir) => ResultStore::new(dir.clone(), env!("SILO_CODE_FINGERPRINT")),
+            None => {
+                let dir = std::env::var_os("SILO_RESULT_STORE")
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("target/result-store"));
+                ResultStore::new(dir, env!("SILO_CODE_FINGERPRINT"))
+            }
+        };
+        store.set_enabled(true);
+        store.set_memory_cap(options.lru_cap.max(1));
+        let inner = Arc::new(ServerInner {
+            store,
+            addr,
+            workers: options.workers.max(1),
+            queue_cap: options.queue_cap.max(1),
+            sched: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                flights: HashMap::new(),
+            }),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            merges: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            served_memory: AtomicU64::new(0),
+            served_disk: AtomicU64::new(0),
+            served_executed: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+        });
+        let workers = (0..inner.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(listener, &inner))
+        };
+        Ok(Server {
+            inner,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound address (the actual port when the options said `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Blocks until the daemon has shut down (via `POST /shutdown`) and
+    /// every queued cell has drained.
+    pub fn wait(self) {
+        let _ = self.accept.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &ServerInner) {
+    loop {
+        let job = {
+            let mut sched = lock_clean(&inner.sched);
+            loop {
+                if let Some(job) = sched.queue.pop_front() {
+                    break job;
+                }
+                // Exit only with an empty queue: shutdown drains every
+                // admitted cell, so no waiter hangs on a dead flight.
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                sched = inner.work_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        inner.inflight.fetch_add(1, Ordering::Relaxed);
+        job.flight.status.store(FLIGHT_RUNNING, Ordering::Release);
+        let (outcome, served) = run_spec_capturing(&inner.store, &job.spec);
+        match served {
+            Served::Memory => &inner.served_memory,
+            Served::Disk => &inner.served_disk,
+            Served::Executed => &inner.served_executed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        job.flight.fill(outcome, served);
+        lock_clean(&inner.sched).flights.remove(&job.key);
+        inner.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: &Arc<ServerInner>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        if inner.shutdown.load(Ordering::Acquire) {
+            // Drain mode: answer 503 and stop accepting. The connection
+            // that woke us may be the shutdown handler's self-connect, in
+            // which case the response goes nowhere — harmless.
+            let _ = respond(&stream, 503, &[], &error_body("shutting down"));
+            return;
+        }
+        let inner = Arc::clone(inner);
+        std::thread::spawn(move || handle_connection(stream, &inner));
+    }
+}
+
+fn error_body(message: &str) -> String {
+    JsonValue::object()
+        .field("error", message)
+        .build()
+        .to_string()
+}
+
+fn handle_connection(stream: TcpStream, inner: &Arc<ServerInner>) {
+    let request = match read_request(&stream) {
+        Ok(request) => request,
+        Err(err) => {
+            let status = match err {
+                ParseError::TooLarge => 413,
+                _ => 400,
+            };
+            let _ = respond(&stream, status, &[], &error_body(&err.to_string()));
+            return;
+        }
+    };
+    // Shutdown is answered before the drain is triggered: once the flag is
+    // set the accept loop and workers race to exit, and the whole process
+    // can be gone before a response written after that point reaches the
+    // wire. Writing first puts the 200 in the kernel's send buffer, which
+    // survives process exit on a gracefully closed socket.
+    if request.method == "POST" && request.path == "/shutdown" {
+        let (status, headers, body) = shutdown_body(inner);
+        let _ = respond(&stream, status, &headers, &body);
+        begin_shutdown(inner);
+        return;
+    }
+    let (status, headers, body) = route(&request, inner);
+    let _ = respond(&stream, status, &headers, &body);
+}
+
+type RouteResult = (u16, Vec<(&'static str, String)>, String);
+
+fn route(request: &Request, inner: &Arc<ServerInner>) -> RouteResult {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    match (method, path) {
+        ("POST", "/cell") => handle_cell(request, inner),
+        ("POST", "/experiment") => handle_experiment(request, inner),
+        ("GET", "/stats") => (200, Vec::new(), stats_body(inner)),
+        ("GET", _) if path.starts_with("/progress/") => {
+            handle_progress(&path["/progress/".len()..], inner)
+        }
+        ("GET", _) if path.starts_with("/result/") => {
+            handle_result(&path["/result/".len()..], inner)
+        }
+        ("GET", "/cell") | ("GET", "/experiment") | ("GET", "/shutdown") => (
+            405,
+            Vec::new(),
+            error_body(&format!("{path} wants POST, not GET")),
+        ),
+        _ => (
+            404,
+            Vec::new(),
+            error_body(&format!("no such endpoint {method} {path}")),
+        ),
+    }
+}
+
+/// Classifies `specs` against the cache, singleflight table, and queue —
+/// all-or-nothing: on `Err` (queue full) nothing was admitted. Cheap
+/// lookups happen outside the scheduler lock; the lock only covers the
+/// classify-and-admit step so admission stays atomic.
+fn submit_cells(inner: &ServerInner, specs: &[CellSpec]) -> Result<Vec<Ticket>, usize> {
+    // Memory-tier peeks first: hot cells never consume queue slots. This
+    // also resolves each spec's trace fingerprint outside the lock.
+    let peeked: Vec<Option<CellOutcome>> =
+        specs.iter().map(|spec| inner.store.peek(spec)).collect();
+    let mut sched = lock_clean(&inner.sched);
+    let new_slots = specs
+        .iter()
+        .zip(&peeked)
+        .filter(|(spec, hit)| hit.is_none() && !sched.flights.contains_key(&spec.spec_hash()))
+        .count();
+    // Duplicate keys within one submission: the first occurrence creates
+    // the flight, later ones merge, so counting distinct keys would be
+    // more precise — but counting occurrences is conservative (never
+    // admits more than the cap) and simpler to reason about.
+    if sched.queue.len() + new_slots > inner.queue_cap {
+        inner.rejected.fetch_add(1, Ordering::Relaxed);
+        return Err(sched.queue.len());
+    }
+    let mut tickets = Vec::with_capacity(specs.len());
+    for (spec, hit) in specs.iter().zip(peeked) {
+        if let Some(outcome) = hit {
+            inner.served_memory.fetch_add(1, Ordering::Relaxed);
+            tickets.push(Ticket::Ready(Box::new(outcome)));
+            continue;
+        }
+        let key = spec.spec_hash();
+        if let Some(flight) = sched.flights.get(&key) {
+            inner.merges.fetch_add(1, Ordering::Relaxed);
+            tickets.push(Ticket::Merged(Arc::clone(flight)));
+            continue;
+        }
+        let flight = Flight::new();
+        sched.flights.insert(key, Arc::clone(&flight));
+        sched.queue.push_back(QueuedJob {
+            key,
+            spec: spec.clone(),
+            flight: Arc::clone(&flight),
+        });
+        inner.work_cv.notify_one();
+        tickets.push(Ticket::Enqueued(flight));
+    }
+    Ok(tickets)
+}
+
+fn queue_full_response(queued: usize, inner: &ServerInner) -> RouteResult {
+    (
+        429,
+        vec![("Retry-After", "1".to_string())],
+        JsonValue::object()
+            .field("error", "queue full")
+            .field("queued", queued)
+            .field("queue_cap", inner.queue_cap)
+            .build()
+            .to_string(),
+    )
+}
+
+fn handle_cell(request: &Request, inner: &Arc<ServerInner>) -> RouteResult {
+    let Some(text) = request.body_text() else {
+        return (400, Vec::new(), error_body("body is not UTF-8"));
+    };
+    let parsed = match JsonValue::parse(text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            return (
+                400,
+                Vec::new(),
+                error_body(&format!("body is not JSON: {err}")),
+            );
+        }
+    };
+    let spec = match CellSpec::from_json(&parsed) {
+        Ok(spec) => spec,
+        Err(err) => return (400, Vec::new(), error_body(&err)),
+    };
+    if !spec.cacheable() {
+        return (
+            400,
+            Vec::new(),
+            error_body("fuzz cells mutate an on-disk corpus and cannot be served"),
+        );
+    }
+    let tickets = match submit_cells(inner, std::slice::from_ref(&spec)) {
+        Ok(tickets) => tickets,
+        Err(queued) => return queue_full_response(queued, inner),
+    };
+    let (mut outcome, served) = tickets[0].wait();
+    outcome.origin = spec.label.describe();
+    if let Some(error) = &outcome.error {
+        let body = JsonValue::object()
+            .field("origin", "cell")
+            .field("cell", spec.label.describe())
+            .field("error", error.as_str())
+            .build();
+        return (500, Vec::new(), body.to_string());
+    }
+    let body = JsonValue::object()
+        .field("served", served)
+        .field("cell", cell_json(&spec.label, &outcome))
+        .build();
+    (200, Vec::new(), body.to_string())
+}
+
+/// The validated, whitelisted `POST /experiment` flag surface. Every
+/// field is checked *before* the experiment's own `build` runs, because
+/// build functions are CLI code: on a bad flag they call
+/// `process::exit`, which must never happen inside the daemon.
+struct ExperimentRequest {
+    spec: crate::ExperimentSpec,
+    params: ExpParams,
+    wait: bool,
+}
+
+fn parse_experiment_request(parsed: &JsonValue) -> Result<ExperimentRequest, String> {
+    const KNOWN: [&str; 14] = [
+        "name",
+        "txs",
+        "seed",
+        "jobs",
+        "cores",
+        "bench",
+        "scheme",
+        "points",
+        "point",
+        "fault",
+        "torn_keep",
+        "battery_bytes",
+        "arrival",
+        "wait",
+    ];
+    let JsonValue::Obj(fields) = parsed else {
+        return Err("experiment request must be a JSON object".to_string());
+    };
+    for (key, _) in fields {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown field {key:?} (known: {})",
+                KNOWN.join(" ")
+            ));
+        }
+    }
+    let name = parsed
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("experiment request needs a string \"name\"")?;
+    let spec = registry::find(name).ok_or_else(|| {
+        format!(
+            "unknown experiment {name:?} (known: {})",
+            registry::names().join(" ")
+        )
+    })?;
+    if spec.name == "fuzz" {
+        return Err(
+            "fuzz mutates an on-disk corpus and is not memoizable; run it through the CLI"
+                .to_string(),
+        );
+    }
+    let uint = |key: &str| -> Result<Option<u64>, String> {
+        match parsed.get(key) {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| format!("{key:?} must be a non-negative integer")),
+        }
+    };
+    let names = |key: &str| -> Result<Option<Vec<String>>, String> {
+        match parsed.get(key) {
+            None | Some(JsonValue::Null) => Ok(None),
+            Some(JsonValue::Str(list)) => Ok(Some(list.split(',').map(str::to_string).collect())),
+            Some(JsonValue::Arr(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{key:?} entries must be strings"))
+                })
+                .collect::<Result<Vec<String>, String>>()
+                .map(Some),
+            Some(_) => Err(format!("{key:?} must be a string or an array of strings")),
+        }
+    };
+
+    let mut params = ExpParams::defaults(&spec);
+    if let Some(txs) = uint("txs")? {
+        params.txs = txs as usize;
+    }
+    if let Some(seed) = uint("seed")? {
+        params.seed = seed;
+    }
+    if let Some(cores) = uint("cores")? {
+        if cores == 0 {
+            return Err("\"cores\" must be at least 1".to_string());
+        }
+        params.cores = cores as usize;
+    }
+    if let Some(jobs) = uint("jobs")? {
+        // Accepted for CLI parity; the worker pool is the daemon's
+        // concurrency, so the value only needs to be sane.
+        if jobs == 0 {
+            return Err("\"jobs\" must be at least 1".to_string());
+        }
+    }
+    if let Some(benches) = names("bench")? {
+        for bench in &benches {
+            if silo_workloads::workload_by_name(bench).is_none() {
+                return Err(format!("unknown workload {bench:?}"));
+            }
+        }
+        params.benches = benches;
+    }
+    let mut extra: Vec<String> = Vec::new();
+    if let Some(schemes) = names("scheme")? {
+        for scheme in &schemes {
+            if !crate::ALL_SCHEMES.contains(&scheme.as_str()) {
+                return Err(format!(
+                    "unknown scheme {scheme:?} (known: {})",
+                    crate::ALL_SCHEMES.join(" ")
+                ));
+            }
+        }
+        extra.push("--scheme".to_string());
+        extra.push(schemes.join(","));
+    }
+    let fault = match parsed.get("fault") {
+        None | Some(JsonValue::Null) => None,
+        Some(v) => {
+            let fault = v.as_str().ok_or("\"fault\" must be a string")?;
+            if !["op-boundary", "torn-line", "battery"].contains(&fault) {
+                return Err(format!(
+                    "unknown fault model {fault:?} (known: op-boundary torn-line battery)"
+                ));
+            }
+            extra.push("--fault".to_string());
+            extra.push(fault.to_string());
+            Some(fault)
+        }
+    };
+    if let Some(points) = uint("points")? {
+        if points == 0 {
+            return Err("\"points\" must be positive".to_string());
+        }
+        extra.push("--points".to_string());
+        extra.push(points.to_string());
+    }
+    if let Some(point) = uint("point")? {
+        if fault.is_none() {
+            return Err(
+                "\"point\" requires exactly one \"fault\": op-boundary points are cycles \
+                 while torn-line/battery points are durability-event indices"
+                    .to_string(),
+            );
+        }
+        extra.push("--point".to_string());
+        extra.push(point.to_string());
+    }
+    if let Some(keep) = uint("torn_keep")? {
+        extra.push("--torn-keep".to_string());
+        extra.push(keep.to_string());
+    }
+    if let Some(bytes) = uint("battery_bytes")? {
+        extra.push("--battery-bytes".to_string());
+        extra.push(bytes.to_string());
+    }
+    if let Some(arrival) = parsed.get("arrival") {
+        if !matches!(arrival, JsonValue::Null) {
+            let ident = arrival.as_str().ok_or("\"arrival\" must be a string")?;
+            silo_workloads::ArrivalProcess::parse(ident)
+                .ok_or_else(|| format!("unknown arrival process {ident:?}"))?;
+            extra.push("--arrival".to_string());
+            extra.push(ident.to_string());
+        }
+    }
+    params.extra = extra;
+    let wait = match parsed.get("wait") {
+        None | Some(JsonValue::Null) => true,
+        Some(v) => v.as_bool().ok_or("\"wait\" must be a boolean")?,
+    };
+    Ok(ExperimentRequest { spec, params, wait })
+}
+
+/// Tallies how a finished experiment's cells were served.
+fn served_counts(labels: &[&'static str]) -> JsonValue {
+    let count = |what: &str| labels.iter().filter(|l| **l == what).count();
+    JsonValue::object()
+        .field("memory", count("memory"))
+        .field("disk", count("disk"))
+        .field("executed", count("executed"))
+        .field("merged", count("merged"))
+        .build()
+}
+
+/// One finished cell's progress payload: how it was served plus the
+/// probe-layer counters (simulated cycles, committed transactions) when a
+/// simulation ran.
+fn done_cell_json(label: &CellLabel, outcome: &CellOutcome, served: &'static str) -> JsonValue {
+    let mut obj = JsonValue::object()
+        .field("cell", label.describe())
+        .field("state", "done")
+        .field("served", served);
+    if let Some(stats) = &outcome.stats {
+        obj = obj
+            .field("sim_cycles", stats.sim_cycles.as_u64())
+            .field("txs_committed", stats.txs_committed);
+    }
+    if let Some(error) = &outcome.error {
+        obj = obj.field("error", error.as_str());
+    }
+    obj.build()
+}
+
+fn handle_experiment(request: &Request, inner: &Arc<ServerInner>) -> RouteResult {
+    let Some(text) = request.body_text() else {
+        return (400, Vec::new(), error_body("body is not UTF-8"));
+    };
+    let parsed = match JsonValue::parse(text) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            return (
+                400,
+                Vec::new(),
+                error_body(&format!("body is not JSON: {err}")),
+            );
+        }
+    };
+    let req = match parse_experiment_request(&parsed) {
+        Ok(req) => req,
+        Err(err) => return (400, Vec::new(), error_body(&err)),
+    };
+    // The flag surface was validated, so `build` cannot hit its
+    // `process::exit` paths; a panic here is still a daemon bug worth
+    // surfacing as a 500 rather than a dead process.
+    let cells = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        req.spec.build(&req.params)
+    })) {
+        Ok(cells) => cells,
+        Err(_) => {
+            return (
+                500,
+                Vec::new(),
+                error_body(&format!("building {} panicked", req.spec.name)),
+            );
+        }
+    };
+    if cells.iter().any(|c| !c.cacheable()) {
+        return (
+            400,
+            Vec::new(),
+            error_body("experiment builds uncacheable cells; run it through the CLI"),
+        );
+    }
+    let tickets = match submit_cells(inner, &cells) {
+        Ok(tickets) => tickets,
+        Err(queued) => return queue_full_response(queued, inner),
+    };
+    let job = Arc::new(JobState {
+        name: req.spec.name,
+        labels: cells.iter().map(|c| c.label.describe()).collect(),
+        cells_done: Mutex::new(vec![None; tickets.len()]),
+        tickets,
+        result: Mutex::new(None),
+    });
+    if req.wait {
+        collect_job(&job, &cells, &req.spec, &req.params);
+        return job_response(&job);
+    }
+    let id = inner.next_job.fetch_add(1, Ordering::Relaxed);
+    lock_clean(&inner.jobs).insert(id, Arc::clone(&job));
+    {
+        let job = Arc::clone(&job);
+        let spec = req.spec;
+        let params = req.params;
+        std::thread::spawn(move || collect_job(&job, &cells, &spec, &params));
+    }
+    let body = JsonValue::object()
+        .field("job", id)
+        .field("experiment", job.name)
+        .field("cells", job.labels.len())
+        .build();
+    (202, Vec::new(), body.to_string())
+}
+
+/// Waits every ticket in cell order, recording per-cell completion, then
+/// renders and stores the final result.
+fn collect_job(
+    job: &JobState,
+    cells: &[CellSpec],
+    spec: &crate::ExperimentSpec,
+    params: &ExpParams,
+) {
+    let mut finished: Vec<(CellLabel, CellOutcome)> = Vec::with_capacity(cells.len());
+    let mut served: Vec<&'static str> = Vec::with_capacity(cells.len());
+    for (i, (ticket, cell)) in job.tickets.iter().zip(cells).enumerate() {
+        let (mut outcome, how) = ticket.wait();
+        outcome.origin = cell.label.describe();
+        lock_clean(&job.cells_done)[i] = Some(done_cell_json(&cell.label, &outcome, how));
+        served.push(how);
+        finished.push((cell.label.clone(), outcome));
+    }
+    let result = render_finished_checked(spec, params, &finished)
+        .map(|run| (run.text, run.body, served_counts(&served)));
+    *lock_clean(&job.result) = Some(result);
+}
+
+/// The final response for a finished (or failed) experiment job.
+fn job_response(job: &JobState) -> RouteResult {
+    let result = lock_clean(&job.result);
+    match result.as_ref() {
+        None => (
+            202,
+            Vec::new(),
+            JsonValue::object()
+                .field("experiment", job.name)
+                .field("state", "running")
+                .build()
+                .to_string(),
+        ),
+        Some(Ok((text, report, served))) => {
+            let body = JsonValue::object()
+                .field("experiment", job.name)
+                .field("text", text.as_str())
+                .field("report", report.clone())
+                .field("served", served.clone())
+                .build();
+            (200, Vec::new(), body.to_string())
+        }
+        Some(Err(err)) => {
+            let mut obj = JsonValue::object()
+                .field("experiment", job.name)
+                .field("origin", err.origin_kind());
+            if let ExperimentError::Cell { origin, .. } = err {
+                obj = obj.field("cell", origin.as_str());
+            }
+            let body = obj.field("error", err.message()).build();
+            (500, Vec::new(), body.to_string())
+        }
+    }
+}
+
+fn find_job(id_text: &str, inner: &ServerInner) -> Result<Arc<JobState>, RouteResult> {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Err((
+            400,
+            Vec::new(),
+            error_body(&format!("bad job id {id_text:?}")),
+        ));
+    };
+    match lock_clean(&inner.jobs).get(&id) {
+        Some(job) => Ok(Arc::clone(job)),
+        None => Err((404, Vec::new(), error_body(&format!("no such job {id}")))),
+    }
+}
+
+fn handle_progress(id_text: &str, inner: &Arc<ServerInner>) -> RouteResult {
+    let job = match find_job(id_text, inner) {
+        Ok(job) => job,
+        Err(resp) => return resp,
+    };
+    let done = lock_clean(&job.cells_done);
+    let mut cells = Vec::with_capacity(job.tickets.len());
+    let mut done_count = 0usize;
+    for ((ticket, label), done_cell) in job.tickets.iter().zip(&job.labels).zip(done.iter()) {
+        match done_cell {
+            Some(cell) => {
+                done_count += 1;
+                cells.push(cell.clone());
+            }
+            None => {
+                cells.push(
+                    JsonValue::object()
+                        .field("cell", label.as_str())
+                        .field("state", ticket.state_name())
+                        .build(),
+                );
+            }
+        }
+    }
+    drop(done);
+    let complete = lock_clean(&job.result).is_some();
+    let body = JsonValue::object()
+        .field("experiment", job.name)
+        .field("done", done_count)
+        .field("total", job.tickets.len())
+        .field("complete", complete)
+        .field("cells", JsonValue::Arr(cells))
+        .build();
+    (200, Vec::new(), body.to_string())
+}
+
+fn handle_result(id_text: &str, inner: &Arc<ServerInner>) -> RouteResult {
+    match find_job(id_text, inner) {
+        Ok(job) => job_response(&job),
+        Err(resp) => resp,
+    }
+}
+
+fn stats_body(inner: &ServerInner) -> String {
+    let (queue_depth, flights) = {
+        let sched = lock_clean(&inner.sched);
+        (sched.queue.len(), sched.flights.len())
+    };
+    let store = inner.store.stats();
+    let cache = TraceCache::global().stats();
+    JsonValue::object()
+        .field("workers", inner.workers)
+        .field("queue_cap", inner.queue_cap)
+        .field("queue_depth", queue_depth)
+        .field("inflight", inner.inflight.load(Ordering::Relaxed))
+        .field("flights", flights)
+        .field("singleflight_merges", inner.merges.load(Ordering::Relaxed))
+        .field("rejected", inner.rejected.load(Ordering::Relaxed))
+        .field(
+            "served",
+            JsonValue::object()
+                .field("memory", inner.served_memory.load(Ordering::Relaxed))
+                .field("disk", inner.served_disk.load(Ordering::Relaxed))
+                .field("executed", inner.served_executed.load(Ordering::Relaxed))
+                .build(),
+        )
+        .field(
+            "store",
+            JsonValue::object()
+                .field("hits", store.hits)
+                .field("misses", store.misses)
+                .field("invalidated", store.invalidated)
+                .field("memory_hits", store.memory_hits)
+                .field("memory_len", inner.store.memory_len())
+                .build(),
+        )
+        .field(
+            "trace_cache",
+            JsonValue::object()
+                .field("unique_keys", cache.unique_keys)
+                .field("generations", cache.generations)
+                .field("hits", cache.hits)
+                .build(),
+        )
+        .field("jobs", lock_clean(&inner.jobs).len())
+        .build()
+        .to_string()
+}
+
+/// The `POST /shutdown` acknowledgement: a snapshot of what is left to
+/// drain. Computed (and sent) before [`begin_shutdown`] flips the flag.
+fn shutdown_body(inner: &Arc<ServerInner>) -> RouteResult {
+    let queued = lock_clean(&inner.sched).queue.len();
+    let body = JsonValue::object()
+        .field("state", "draining")
+        .field("queued", queued)
+        .field("inflight", inner.inflight.load(Ordering::Relaxed))
+        .build();
+    (200, Vec::new(), body.to_string())
+}
+
+/// Flip the shutdown flag and wake everyone who needs to see it: idle
+/// workers (condvar) and the accept loop (a self-connect it answers with
+/// 503 and then exits on).
+fn begin_shutdown(inner: &Arc<ServerInner>) {
+    {
+        let _sched = lock_clean(&inner.sched);
+        inner.shutdown.store(true, Ordering::Release);
+        inner.work_cv.notify_all();
+    }
+    let _ = TcpStream::connect(inner.addr);
+}
+
+impl From<Served> for JsonValue {
+    fn from(served: Served) -> JsonValue {
+        JsonValue::Str(served.name().to_string())
+    }
+}

@@ -33,6 +33,52 @@ fn unknown_experiment_is_rejected_with_exit_2() {
 }
 
 #[test]
+fn render_failure_exits_4() {
+    let out = evaluate()
+        .args([
+            "profile",
+            "--txs",
+            "8",
+            "--bench",
+            "Hash",
+            "--jobs",
+            "2",
+            "--no-result-store",
+        ])
+        .env("SILO_TEST_RENDER_PANIC", "1")
+        .output()
+        .expect("run evaluate");
+    assert_eq!(out.status.code(), Some(4), "render failure is exit 4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("render failed"), "{stderr:?}");
+}
+
+#[test]
+fn failed_cell_exits_3_under_catch_cell_panics() {
+    // An unknown workload panics inside the cell; --catch-cell-panics
+    // records it as a failed outcome and the run exits 3 naming the cell
+    // instead of aborting with the panic's 101.
+    let out = evaluate()
+        .args([
+            "latency",
+            "--txs",
+            "8",
+            "--bench",
+            "NoSuchWorkload",
+            "--jobs",
+            "2",
+            "--catch-cell-panics",
+            "--no-result-store",
+        ])
+        .output()
+        .expect("run evaluate");
+    assert_eq!(out.status.code(), Some(3), "cell failure is exit 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cell"), "{stderr:?}");
+    assert!(stderr.contains("NoSuchWorkload"), "{stderr:?}");
+}
+
+#[test]
 fn list_includes_crashfuzz() {
     let out = evaluate().arg("list").output().expect("run");
     assert_eq!(out.status.code(), Some(0));
